@@ -1,0 +1,58 @@
+"""Shared configuration and helpers for the reproduction benchmarks.
+
+Every benchmark regenerates one table or figure of the paper (see
+DESIGN.md's experiment index) and prints the corresponding rows/series to
+stdout.  Absolute values differ from the paper (our substrate is a
+simulator, not a TITAN Xp testbed); the *shape* — orderings, rough
+factors, crossovers — is what each benchmark asserts.
+
+Scale: sizes are chosen so the full suite finishes in tens of minutes.
+Set ``REPRO_BENCH_SCALE`` (a float, default 1.0) to shrink or grow every
+frame count and trial count proportionally.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, Mapping
+
+from repro.core.baselines import (
+    BruteForce,
+    ExploreFirst,
+    MESA,
+    Oracle,
+    RandomSelection,
+    SingleBest,
+)
+from repro.core.mes import MES
+from repro.core.selection import SelectionAlgorithm
+
+#: Global size multiplier for frame counts and trials.
+SCALE = float(os.environ.get("REPRO_BENCH_SCALE", "1.0"))
+
+
+def scaled(value: int, minimum: int = 1) -> int:
+    """Apply the global benchmark scale to a size parameter."""
+    return max(int(value * SCALE), minimum)
+
+
+#: The Figure 4 / Figure 7 algorithm roster (OPT first as the reference).
+def standard_algorithms() -> Dict[str, Callable[[], SelectionAlgorithm]]:
+    return {
+        "OPT": Oracle,
+        "BF": BruteForce,
+        "SGL": SingleBest,
+        "RAND": RandomSelection,
+        "EF": ExploreFirst,
+        "MES": MES,
+    }
+
+
+def ablation_algorithms() -> Dict[str, Callable[[], SelectionAlgorithm]]:
+    """Figure 8 roster: EF vs MES-A vs MES."""
+    return {"EF": ExploreFirst, "MES-A": MESA, "MES": MES}
+
+
+def banner(title: str) -> str:
+    line = "=" * max(len(title), 8)
+    return f"\n{line}\n{title}\n{line}"

@@ -1,0 +1,66 @@
+"""Figure 11: the effect of detector-pool size m (2^m - 1 ensembles).
+
+Runs the comparison at m = 2, 3, 5 on the specialized datasets.  Shape
+target from Section 5.7.3: the gap between EF/BF and MES closes as m
+shrinks — with only 3 ensembles (m=2) explore-first finds the optimum as
+reliably as MES, while at m=5 (31 ensembles) MES's advantage in stability
+is largest.
+"""
+
+import pytest
+
+from benchmarks.common import banner, scaled
+from repro.core.baselines import BruteForce, ExploreFirst, Oracle
+from repro.core.mes import MES
+from repro.core.scoring import WeightedLogScore
+from repro.runner.experiment import standard_setup
+from repro.runner.harness import compare_algorithms
+from repro.runner.reporting import format_table
+
+POOL_SIZES = (2, 3, 5)
+
+
+@pytest.mark.benchmark(group="fig11")
+@pytest.mark.parametrize("dataset", ("nusc-clear", "nusc-night", "nusc-rainy"))
+def test_fig11_varying_pool_size(benchmark, dataset):
+    num_frames = scaled(1500)
+    num_trials = scaled(2)
+
+    def run_all():
+        table = {}
+        for m in POOL_SIZES:
+            outcomes = compare_algorithms(
+                lambda trial, m=m: standard_setup(
+                    dataset, trial=trial, scale=0.3, m=m, max_frames=num_frames
+                ),
+                {"OPT": Oracle, "BF": BruteForce, "EF": ExploreFirst, "MES": MES},
+                num_trials=num_trials,
+                scoring=WeightedLogScore(0.5),
+            )
+            table[m] = outcomes
+        return table
+
+    table = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    rows = []
+    for m, outcomes in table.items():
+        row = {"m": m, "ensembles": 2**m - 1}
+        for name, outcome in outcomes.items():
+            row[name] = outcome.stats("s_sum").mean
+        row["EF/MES"] = row["EF"] / row["MES"]
+        rows.append(row)
+    print(banner(f"Figure 11 — varying |M| on {dataset}"))
+    print(format_table(rows))
+
+    ratios = {m: r["EF/MES"] for m, r in zip(POOL_SIZES, rows)}
+    # The paper's Section 5.7.3 claim: the EF-vs-MES gap closes as the
+    # number of ensembles shrinks — at m=2 (3 ensembles) EF equals MES.
+    assert abs(ratios[2] - 1.0) < 0.06
+    assert abs(ratios[2] - 1.0) <= abs(ratios[5] - 1.0) + 0.02
+    for m, outcomes in table.items():
+        mes = outcomes["MES"].stats("s_sum").mean
+        opt = outcomes["OPT"].stats("s_sum").mean
+        assert mes > 0.7 * opt, m
+        # BF degrades as the pool (and hence the full ensemble) grows.
+        bf = outcomes["BF"].stats("s_sum").mean
+        assert bf < mes, m

@@ -1,0 +1,73 @@
+"""Figure 2: inference time and AP of three models and their ensembles.
+
+The paper's Figure 2 shows three YOLOv7-tiny models trained on distinct
+datasets (Yolo-R / Yolo-C / Yolo-N) on nuScenes: ensembling raises AP —
+the full trio reaches ~15% higher AP than the best single — while inference
+time grows roughly linearly with ensemble size (3x for the trio).
+"""
+
+import pytest
+
+from benchmarks.common import banner, scaled
+from repro.core.environment import DetectionEnvironment
+from repro.core.scoring import WeightedLogScore
+from repro.runner.experiment import standard_setup
+from repro.runner.reporting import format_table
+
+
+@pytest.mark.benchmark(group="fig2")
+def test_fig2_ap_vs_time_of_ensembles(benchmark):
+    # Mixed-conditions nuScenes-like frames; the m=3 specialist trio.
+    setup = standard_setup(
+        "nusc", trial=0, scale=0.05, m=3, max_frames=scaled(600)
+    )
+    env = DetectionEnvironment(
+        list(setup.detectors), setup.reference, scoring=WeightedLogScore(0.5)
+    )
+
+    def measure():
+        totals = {key: [0.0, 0.0] for key in env.all_ensembles}
+        for frame in setup.frames:
+            batch = env.evaluate(frame, env.all_ensembles, charge=False)
+            for key, ev in batch.evaluations.items():
+                totals[key][0] += ev.true_ap
+                totals[key][1] += ev.cost_ms
+        n = len(setup.frames)
+        return {
+            key: (ap / n, ms / n) for key, (ap, ms) in totals.items()
+        }
+
+    stats = benchmark.pedantic(measure, rounds=1, iterations=1)
+
+    def short(key):
+        return "&".join(name.split("-")[-1][0].upper() for name in key)
+
+    rows = [
+        {
+            "ensemble": f"Yolo-{short(key)}",
+            "size": len(key),
+            "mean AP": ap,
+            "mean time (ms)": ms,
+        }
+        for key, (ap, ms) in sorted(stats.items(), key=lambda kv: len(kv[0]))
+    ]
+    print(banner("Figure 2 — AP vs inference time of models and ensembles"))
+    print(format_table(rows))
+
+    singles = {k: v for k, v in stats.items() if len(k) == 1}
+    trio_key = max(stats, key=lambda k: len(k))
+    best_single_ap = max(ap for ap, _ in singles.values())
+    best_single_time = max(ms for _, ms in singles.values())
+    trio_ap, trio_time = stats[trio_key]
+
+    # Shape: the full trio beats the best single in AP...
+    assert trio_ap > best_single_ap
+    # ...by a meaningful margin (paper: ~15% relative)...
+    assert trio_ap / best_single_ap > 1.05
+    # ...at roughly 3x the inference time of one model.
+    assert 2.5 < trio_time / best_single_time < 3.5
+    # Every pair also improves on its own members.
+    for key, (ap, _) in stats.items():
+        if len(key) == 2:
+            member_aps = [stats[(m,)][0] for m in key]
+            assert ap > min(member_aps)

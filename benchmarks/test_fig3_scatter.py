@@ -1,0 +1,86 @@
+"""Figure 3: the <a_bar, 1 - c_hat> positions of all 31 ensembles.
+
+For the m=5 pool, computes each ensemble's average AP and normalized-time
+complement on V_nusc and V_nusc^night.  The paper's scatter shows a broad
+trade-off frontier: cheap singles on the right (high 1-c_hat), accurate
+large ensembles toward the upper left, and per-dataset re-ranking (night
+favors the night-trained models).
+"""
+
+import pytest
+
+from benchmarks.common import banner, scaled
+from repro.core.environment import DetectionEnvironment
+from repro.core.scoring import WeightedLogScore
+from repro.runner.experiment import standard_setup
+from repro.runner.reporting import format_table
+
+
+def _scatter(dataset: str, num_frames: int):
+    setup = standard_setup(
+        dataset, trial=0, scale=0.1, m=5, max_frames=num_frames
+    )
+    env = DetectionEnvironment(
+        list(setup.detectors), setup.reference, scoring=WeightedLogScore(0.5)
+    )
+    totals = {key: [0.0, 0.0] for key in env.all_ensembles}
+    for frame in setup.frames:
+        batch = env.evaluate(frame, env.all_ensembles, charge=False)
+        for key, ev in batch.evaluations.items():
+            totals[key][0] += ev.true_ap
+            totals[key][1] += ev.normalized_cost
+    n = len(setup.frames)
+    return {key: (ap / n, 1.0 - c / n) for key, (ap, c) in totals.items()}
+
+
+@pytest.mark.benchmark(group="fig3")
+def test_fig3_ensemble_scatter(benchmark):
+    num_frames = scaled(400)
+    results = benchmark.pedantic(
+        lambda: {
+            "nusc": _scatter("nusc", num_frames),
+            "nusc-night": _scatter("nusc-night", num_frames),
+        },
+        rounds=1,
+        iterations=1,
+    )
+
+    for dataset, points in results.items():
+        rows = [
+            {
+                "ensemble": "+".join(n.split("-")[-1] for n in key),
+                "a_bar": ap,
+                "1 - c_hat": one_minus_c,
+            }
+            for key, (ap, one_minus_c) in sorted(
+                points.items(), key=lambda kv: -kv[1][0]
+            )
+        ]
+        print(banner(f"Figure 3 — ensemble scatter on {dataset}"))
+        print(format_table(rows))
+
+    for dataset, points in results.items():
+        aps = [ap for ap, _ in points.values()]
+        costs = [c for _, c in points.values()]
+        # A genuine trade-off frontier: wide spread on both axes.
+        assert max(aps) - min(aps) > 0.10, dataset
+        assert max(costs) - min(costs) > 0.3, dataset
+        # The accuracy maximum is a multi-model ensemble, the time maximum
+        # a single model.
+        best_ap_key = max(points, key=lambda k: points[k][0])
+        best_time_key = max(points, key=lambda k: points[k][1])
+        assert len(best_ap_key) >= 2, dataset
+        assert len(best_time_key) == 1, dataset
+
+    # Per-dataset re-ranking: the night-trained specialist ranks higher
+    # (by AP) among singles at night than on the mixed dataset.
+    def single_rank(points, name):
+        singles = sorted(
+            ((ap, key) for key, (ap, _) in points.items() if len(key) == 1),
+            reverse=True,
+        )
+        return [key[0] for _, key in singles].index(name)
+
+    night_rank_mixed = single_rank(results["nusc"], "yolov7-tiny-night")
+    night_rank_night = single_rank(results["nusc-night"], "yolov7-tiny-night")
+    assert night_rank_night < night_rank_mixed

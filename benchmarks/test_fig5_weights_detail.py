@@ -1,0 +1,69 @@
+"""Figure 5: s_sum, a_bar and 1 - c_hat under varying scoring weights.
+
+Sweeps the accuracy weight w1 on V_nusc^night and V_nusc^rainy and reports,
+for OPT / EF / MES, the three measurements of Section 5.5.  Shape targets:
+as w1 grows, selected ensembles get more accurate (a_bar rises) and more
+expensive (1 - c_hat falls); OPT and MES move together and EF diverges.
+"""
+
+import pytest
+
+from benchmarks.common import banner, scaled
+from repro.core.baselines import ExploreFirst, Oracle
+from repro.core.mes import MES
+from repro.runner.experiment import standard_setup
+from repro.runner.harness import compare_algorithms
+from repro.runner.sweeps import weight_sweep
+from repro.runner.reporting import format_table
+
+WEIGHTS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.benchmark(group="fig5")
+@pytest.mark.parametrize("dataset", ("nusc-night", "nusc-rainy"))
+def test_fig5_weight_details(benchmark, dataset):
+    num_frames = scaled(1200)
+
+    results = benchmark.pedantic(
+        lambda: weight_sweep(
+            lambda trial: standard_setup(
+                dataset, trial=trial, scale=0.25, m=5, max_frames=num_frames
+            ),
+            {"OPT": Oracle, "EF": ExploreFirst, "MES": MES},
+            accuracy_weights=WEIGHTS,
+            num_trials=scaled(1),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    for w1, outcomes in results.items():
+        for name, outcome in outcomes.items():
+            rows.append(
+                {
+                    "w1": w1,
+                    "algorithm": name,
+                    "s_sum": outcome.stats("s_sum").mean,
+                    "a_bar": outcome.stats("mean_ap").mean,
+                    "1-c_hat": 1.0 - outcome.stats("mean_cost").mean,
+                }
+            )
+    print(banner(f"Figure 5 — weight sweep on {dataset}"))
+    print(format_table(rows))
+
+    # MES's s_sum >= a healthy fraction of OPT at every weight combination.
+    for w1, outcomes in results.items():
+        opt = outcomes["OPT"].stats("s_sum").mean
+        mes = outcomes["MES"].stats("s_sum").mean
+        assert mes > 0.7 * opt, f"w1={w1}"
+
+    # a_bar rises and 1-c_hat falls as accuracy weight grows (endpoints),
+    # for both the oracle and MES.
+    for name in ("OPT", "MES"):
+        ap_low = results[WEIGHTS[0]][name].stats("mean_ap").mean
+        ap_high = results[WEIGHTS[-1]][name].stats("mean_ap").mean
+        cost_low = results[WEIGHTS[0]][name].stats("mean_cost").mean
+        cost_high = results[WEIGHTS[-1]][name].stats("mean_cost").mean
+        assert ap_high > ap_low, name
+        assert cost_high > cost_low, name  # 1-c_hat falls <=> c_hat rises

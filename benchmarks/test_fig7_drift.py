@@ -1,0 +1,109 @@
+"""Figure 7: TUVI-CD scores on the drifting datasets V_c&n, V_n&r, V_c&n&r.
+
+Builds the paper's drift compositions (each specialized dataset cut into 10
+segments, shuffled together, preserving the source-size asymmetry of Table
+1) and compares OPT / BF / SGL / RAND / EF / MES / SW-MES.
+
+Shape targets reproduced: MES and SW-MES clearly above SGL / BF / RAND / EF
+under drift, with SW-MES the strongest windowed adapter.  Honest deviation
+(documented in EXPERIMENTS.md): in this simulator MES's subset-piggyback
+keeps every arm's statistics fresh, so MES itself adapts to drift and
+SW-MES tracks within a few percent of it rather than above it.
+"""
+
+import pytest
+
+from benchmarks.common import banner, scaled
+from repro.core.baselines import (
+    BruteForce,
+    ExploreFirst,
+    Oracle,
+    RandomSelection,
+    SingleBest,
+)
+from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.mes import MES
+from repro.core.scoring import WeightedLogScore
+from repro.core.sw_mes import SWMES
+from repro.runner.experiment import nuscenes_detector_suite
+from repro.runner.reporting import format_table
+from repro.simulation.drift import compose_drifting_video
+from repro.simulation.lidar import SimulatedLidar
+from repro.simulation.world import generate_video
+
+#: Drift compositions with the paper's source-size ratios (Table 1):
+#: clear 13,700 : night 3,950 : rainy 9,200 samples.
+COMPOSITIONS = {
+    "V_c&n": (("clear", 3425), ("night", 988)),
+    "V_n&r": (("night", 988), ("rainy", 2300)),
+    "V_c&n&r": (("clear", 3425), ("night", 988), ("rainy", 2300)),
+}
+
+
+@pytest.mark.benchmark(group="fig7")
+@pytest.mark.parametrize("composition", sorted(COMPOSITIONS))
+def test_fig7_drift_scores(benchmark, composition):
+    sources = [
+        generate_video(f"fig7/{cat}", scaled(frames), cat, seed=10 + i)
+        for i, (cat, frames) in enumerate(COMPOSITIONS[composition])
+    ]
+    video = compose_drifting_video(
+        composition, sources, num_segments=10, seed=3
+    )
+    pool = nuscenes_detector_suite(m=3, seed=0)
+    lidar = SimulatedLidar(seed=42)
+    scoring = WeightedLogScore(0.5)
+    cache = EvaluationCache()
+
+    window = max(len(video) // 4, 50)
+    algorithms = {
+        "OPT": Oracle(),
+        "BF": BruteForce(),
+        "SGL": SingleBest(calibration_frames=300),
+        "RAND": RandomSelection(seed=1),
+        "EF": ExploreFirst(delta=5),
+        "MES": MES(gamma=5),
+        "SW-MES": SWMES(window=window, gamma=5),
+    }
+
+    def run_all():
+        results = {}
+        for name, algorithm in algorithms.items():
+            env = DetectionEnvironment(
+                pool, lidar, scoring=scoring, cache=cache
+            )
+            results[name] = algorithm.run(env, video.frames)
+        return results
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    opt = results["OPT"].s_sum
+    rows = [
+        {
+            "algorithm": name,
+            "s_sum": result.s_sum,
+            "pct_of_OPT": 100.0 * result.s_sum / opt,
+            "mean_AP": result.mean_true_ap,
+        }
+        for name, result in results.items()
+    ]
+    print(
+        banner(
+            f"Figure 7 — TUVI-CD on {composition} "
+            f"(n={len(video)}, xi={video.num_breakpoints}, lambda={window})"
+        )
+    )
+    print(format_table(rows, precision=1))
+
+    s = {name: result.s_sum for name, result in results.items()}
+    # MES-family selection beats every static baseline under drift.
+    for baseline in ("BF", "SGL", "RAND", "EF"):
+        assert s["MES"] > s[baseline], baseline
+    # SW-MES beats the commit-once and blind baselines...
+    for baseline in ("BF", "RAND", "EF"):
+        assert s["SW-MES"] > s[baseline], baseline
+    # ...and tracks the adaptive frontier (within a few % of MES here; the
+    # paper reports it above MES at 18k+ frame horizons — EXPERIMENTS.md
+    # documents why the subset piggyback closes that gap in this simulator).
+    assert s["SW-MES"] > 0.93 * s["MES"]
+    assert s["OPT"] >= max(v for k, v in s.items() if k != "OPT")

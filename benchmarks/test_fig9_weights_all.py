@@ -1,0 +1,57 @@
+"""Figure 9: scores of all algorithms under varying weight combinations.
+
+Sweeps w1 from 0.1 to 0.9 on V_nusc^night with the full algorithm roster.
+Shape targets from Section 5.7.2: RAND erratic and low; BF terrible when
+the cost component dominates (w1 = 0.1) and catching up as w1 grows; MES
+above EF everywhere with the advantage shrinking at w1 = 0.9.
+"""
+
+import pytest
+
+from benchmarks.common import banner, scaled, standard_algorithms
+from repro.runner.experiment import standard_setup
+from repro.runner.sweeps import weight_sweep
+from repro.runner.reporting import format_series
+
+WEIGHTS = (0.1, 0.3, 0.5, 0.7, 0.9)
+
+
+@pytest.mark.benchmark(group="fig9")
+def test_fig9_weight_sweep_all_algorithms(benchmark):
+    num_frames = scaled(1200)
+
+    results = benchmark.pedantic(
+        lambda: weight_sweep(
+            lambda trial: standard_setup(
+                "nusc-night", trial=trial, scale=0.25, m=5, max_frames=num_frames
+            ),
+            standard_algorithms(),
+            accuracy_weights=WEIGHTS,
+            num_trials=scaled(1),
+        ),
+        rounds=1,
+        iterations=1,
+    )
+
+    names = list(standard_algorithms())
+    series = {
+        name: [results[w][name].stats("s_sum").mean for w in WEIGHTS]
+        for name in names
+    }
+    print(banner("Figure 9 — s_sum vs weight combination (nusc-night)"))
+    print(format_series("w1", list(WEIGHTS), series, precision=1))
+
+    for i, w1 in enumerate(WEIGHTS):
+        # OPT is the ceiling at every weight combination.
+        for name in names:
+            assert series[name][i] <= series["OPT"][i] + 1e-6, (name, w1)
+        # MES stays within reach of the oracle everywhere.
+        assert series["MES"][i] > 0.7 * series["OPT"][i], w1
+
+    # BF is crushed when the cost component dominates...
+    assert series["BF"][0] < 0.6 * series["MES"][0]
+    # ...and closes much of the gap when accuracy dominates.
+    assert series["BF"][-1] / series["MES"][-1] > series["BF"][0] / series["MES"][0]
+    # RAND is never competitive with MES.
+    for i in range(len(WEIGHTS)):
+        assert series["RAND"][i] < series["MES"][i]

@@ -1,0 +1,62 @@
+"""Tables 1 & 2: dataset geometry of nuScenes-like and BDD-like builders.
+
+Regenerates the paper's dataset tables — group names, scene counts, sample
+counts and durations — at full scale and checks them against the published
+numbers.
+"""
+
+import pytest
+
+from benchmarks.common import banner
+from repro.runner.reporting import format_table
+from repro.simulation.datasets import build_bdd_like, build_nuscenes_like
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_table1_nuscenes_geometry(benchmark):
+    data = benchmark.pedantic(
+        lambda: build_nuscenes_like(seed=0, scale=1.0), rounds=1, iterations=1
+    )
+    rows = data.summary()
+    total = {
+        "group": "nuScenes (total)",
+        "num_scenes": sum(r["num_scenes"] for r in rows),
+        "num_samples": sum(r["num_samples"] for r in rows),
+        "duration_min": round(sum(r["duration_min"] for r in rows), 1),
+    }
+    print(banner("Table 1 — nuScenes-like dataset"))
+    print(format_table([total] + rows))
+
+    by_name = {r["group"]: r for r in rows}
+    # Paper: 850 scenes / 42,500 samples / 354 min total;
+    # clear 274/13,700/114; night 79/3,950/33; rainy 184/9,200/77.
+    assert total["num_scenes"] == 850
+    assert total["num_samples"] == 42_500
+    assert abs(total["duration_min"] - 354) < 1.0
+    assert by_name["nusc-clear"]["num_samples"] == 13_700
+    assert abs(by_name["nusc-clear"]["duration_min"] - 114) < 1.0
+    assert by_name["nusc-night"]["num_samples"] == 3_950
+    assert abs(by_name["nusc-night"]["duration_min"] - 33) < 1.0
+    assert by_name["nusc-rainy"]["num_samples"] == 9_200
+    assert abs(by_name["nusc-rainy"]["duration_min"] - 77) < 1.0
+
+
+@pytest.mark.benchmark(group="table1-2")
+def test_table2_bdd_geometry(benchmark):
+    data = benchmark.pedantic(
+        lambda: build_bdd_like(seed=0, scale=1.0), rounds=1, iterations=1
+    )
+    rows = data.summary()
+    print(banner("Table 2 — BDD-like dataset"))
+    print(format_table(rows))
+
+    by_name = {r["group"]: r for r in rows}
+    # Paper: BDD 300 seq / 30,000 samples / 200 min;
+    # rainy 120 / ~5,070 / ~80 min; snow 132 / ~5,549 / ~90 min.
+    assert by_name["bdd-main"]["num_scenes"] == 300
+    assert by_name["bdd-main"]["num_samples"] == 30_000
+    assert abs(by_name["bdd-main"]["duration_min"] - 200) < 1.0
+    assert by_name["bdd-rainy"]["num_scenes"] == 120
+    assert abs(by_name["bdd-rainy"]["num_samples"] - 5_070) < 100
+    assert by_name["bdd-snow"]["num_scenes"] == 132
+    assert abs(by_name["bdd-snow"]["num_samples"] - 5_549) < 100

@@ -1,0 +1,74 @@
+#!/usr/bin/env python
+"""Autonomous-driving ingestion: a miniature Figure 4 comparison.
+
+Reproduces the paper's motivating scenario end to end: a mixed-conditions
+nuScenes-like dataset, five detectors of different architectures and
+training domains (the m = 5 pool), the LiDAR reference, and all six
+selection strategies compared over several independent trials.
+
+Run:  python examples/autonomous_driving.py
+"""
+
+from repro import (
+    MES,
+    BruteForce,
+    ExploreFirst,
+    Oracle,
+    RandomSelection,
+    SingleBest,
+    WeightedLogScore,
+)
+from repro.runner import compare_algorithms, format_table, standard_setup
+
+
+def main() -> None:
+    algorithms = {
+        "OPT": Oracle,
+        "BF": BruteForce,
+        "SGL": SingleBest,
+        "RAND": RandomSelection,
+        "EF": ExploreFirst,
+        "MES": MES,
+    }
+    outcomes = compare_algorithms(
+        lambda trial: standard_setup(
+            "nusc-night", trial=trial, scale=0.2, m=5, max_frames=1200
+        ),
+        algorithms,
+        num_trials=3,
+        scoring=WeightedLogScore(accuracy_weight=0.5),
+    )
+
+    rows = []
+    opt_mean = outcomes["OPT"].stats("s_sum").mean
+    for name, outcome in outcomes.items():
+        stats = outcome.stats("s_sum")
+        rows.append(
+            {
+                "algorithm": name,
+                "s_sum mean": stats.mean,
+                "pct of OPT": 100.0 * stats.mean / opt_mean,
+                "std": stats.std,
+                "min": stats.min,
+                "max": stats.max,
+                "mean AP": outcome.stats("mean_ap").mean,
+                "1 - c_hat": 1.0 - outcome.stats("mean_cost").mean,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            precision=2,
+            title="nusc-night, m=5, w1=w2=0.5, 3 trials (Figure 4 shape)",
+        )
+    )
+    print(
+        "\nExpected shape: OPT highest; MES clearly above SGL/RAND/BF and "
+        "at EF's level on the mean with a several-times tighter min-max "
+        "band (EF's committed arm is a per-trial lottery).  MES's share of "
+        "OPT keeps growing with the horizon — see EXPERIMENTS.md Figure 4."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python
+"""Tracked video analytics: MES-selected detections feeding an IoU tracker.
+
+The full pre-processing pipeline a video query system runs: per frame,
+MES selects and fuses a detector ensemble; the fused boxes feed a
+SORT-style tracker; downstream analytics consume stable object identities
+(here: per-class object counts and dwell times).
+
+Run:  python examples/tracked_analytics.py
+"""
+
+from collections import Counter, defaultdict
+
+from repro import MES, WeightedLogScore
+from repro.runner import make_environment, standard_setup
+from repro.tracking import IoUTracker, evaluate_tracking
+
+
+def main() -> None:
+    setup = standard_setup("nusc-clear", trial=0, scale=0.1, m=3, max_frames=300)
+    env = make_environment(setup, scoring=WeightedLogScore(0.5))
+
+    # Phase 1: MES selects an ensemble per frame (the paper's contribution).
+    result = MES(gamma=5).run(env, setup.frames)
+
+    # Phase 2: the selected ensemble's fused detections feed the tracker.
+    tracker = IoUTracker(min_hits=2, max_age=3)
+    outputs = []
+    for record in result.records:
+        frame = setup.frames[record.frame_index]
+        detections = env.evaluate(
+            frame, [record.selected], charge=False
+        ).evaluations[record.selected].detections
+        outputs.append(tracker.update(detections))
+
+    # Phase 3: identity-level analytics.
+    dwell = defaultdict(int)
+    labels = {}
+    for tracks in outputs:
+        for track in tracks:
+            dwell[track.track_id] += 1
+            labels[track.track_id] = track.label
+
+    by_class = Counter(labels.values())
+    print(f"{len(dwell)} confirmed tracks over {len(setup.frames)} frames")
+    print("tracks per class:", dict(by_class))
+    longest = sorted(dwell.items(), key=lambda kv: -kv[1])[:5]
+    print("longest dwell times (frames):")
+    for track_id, frames_seen in longest:
+        print(f"  track {track_id:4d} ({labels[track_id]:12s}) {frames_seen}")
+
+    quality = evaluate_tracking(list(setup.frames), outputs)
+    print(
+        f"\ntracking quality vs ground truth: coverage={quality.coverage:.2f} "
+        f"precision={quality.precision:.2f} "
+        f"id-switches={quality.identity_switches} "
+        f"fragmentation={quality.fragmentation:.2f}"
+    )
+
+
+if __name__ == "__main__":
+    main()

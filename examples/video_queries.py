@@ -1,0 +1,73 @@
+#!/usr/bin/env python
+"""Video query processing: the SQL-ish interface from the paper's intro.
+
+Registers a video, detectors and the LiDAR reference with a QueryEngine
+and runs declarative queries whose PROCESS clause performs MES ensemble
+selection as the pre-processing step — the exact query shape the paper's
+Section 1 motivates.
+
+Run:  python examples/video_queries.py
+"""
+
+from repro.query import QueryEngine
+from repro.runner import standard_setup
+
+
+def main() -> None:
+    setup = standard_setup("nusc-clear", trial=0, scale=0.1, m=3, max_frames=400)
+    engine = QueryEngine()
+    engine.register_video("inputVideo", setup.frames)
+    for detector in setup.detectors:
+        engine.register_detector(detector)
+    engine.register_reference(setup.reference)
+
+    print("catalog:")
+    print(f"  videos:     {engine.videos}")
+    print(f"  detectors:  {engine.detectors}")
+    print(f"  references: {engine.references}\n")
+
+    queries = {
+        "busy frames (3+ confident cars)": """
+            SELECT frameID
+            FROM (PROCESS inputVideo PRODUCE frameID, Detections
+                  USING MES(yolov7-tiny-clear, yolov7-tiny-night,
+                            yolov7-tiny-rainy; lidar-ref)
+                  WITH gamma=5)
+            WHERE COUNT('car', conf > 0.4) >= 3
+        """,
+        "pedestrian near traffic, no bus": """
+            SELECT frameID
+            FROM (PROCESS inputVideo PRODUCE frameID, Detections
+                  USING MES(yolov7-tiny-clear, yolov7-tiny-night,
+                            yolov7-tiny-rainy; lidar-ref)
+                  WITH gamma=5)
+            WHERE EXISTS('pedestrian', conf > 0.3)
+              AND COUNT('car') >= 1
+              AND NOT EXISTS('bus')
+        """,
+        "early window, budgeted MES-B": """
+            SELECT frameID
+            FROM (PROCESS inputVideo PRODUCE frameID, Detections
+                  USING MES-B(yolov7-tiny-clear, yolov7-tiny-night,
+                              yolov7-tiny-rainy; lidar-ref)
+                  WITH budget=5000, gamma=5)
+            WHERE frameID < 100 AND COUNT(*) >= 4
+        """,
+    }
+
+    for title, text in queries.items():
+        result = engine.execute(text)
+        ids = result.frame_ids()
+        preview = ", ".join(map(str, ids[:12])) + (" ..." if len(ids) > 12 else "")
+        print(f"{title}:")
+        print(
+            f"  {len(result)} of {result.selection.frames_processed} "
+            f"processed frames match -> [{preview}]"
+        )
+        counts = result.selection.selection_counts()
+        top = max(counts, key=counts.get)
+        print(f"  most-used ensemble: {{{' + '.join(top)}}}\n")
+
+
+if __name__ == "__main__":
+    main()

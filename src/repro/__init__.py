@@ -1,0 +1,88 @@
+"""repro — reproduction of "Ensembling Object Detectors for Effective
+Video Query Processing" (Chao, Koudas, Yu, Chen; EDBT 2025).
+
+The package implements the paper's contribution — per-frame selection of
+object-detector ensembles balancing accuracy and inference time — together
+with every substrate it depends on: box-fusion methods (WBF and the
+alternatives of Section 5.2), AP metrics, a LiDAR reference model for
+ground-truth-free accuracy estimation, synthetic nuScenes-/BDD-like
+datasets, and a small video query language.
+
+Quickstart::
+
+    from repro import MES, WeightedLogScore
+    from repro.runner import standard_setup, make_environment
+
+    setup = standard_setup("nusc-night", trial=0, max_frames=200)
+    env = make_environment(setup, scoring=WeightedLogScore(0.5))
+    result = MES(gamma=5).run(env, setup.frames)
+    print(result.s_sum, result.mean_true_ap)
+
+See README.md for the full tour and DESIGN.md for the experiment index.
+"""
+
+from repro.core import (
+    DMES,
+    LRBP,
+    MES,
+    MESA,
+    MESB,
+    SWMES,
+    BruteForce,
+    DetectionEnvironment,
+    ExploreFirst,
+    LinearScore,
+    Oracle,
+    RandomSelection,
+    ScoringFunction,
+    SelectionAlgorithm,
+    SelectionResult,
+    SingleBest,
+    WeightedLogScore,
+)
+from repro.detection import BBox, Detection, FrameDetections, average_precision
+from repro.ensembling import WeightedBoxesFusion, available_methods, create_method
+from repro.simulation import (
+    SimulatedDetector,
+    SimulatedLidar,
+    Video,
+    build_bdd_like,
+    build_nuscenes_like,
+    compose_drifting_video,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BBox",
+    "BruteForce",
+    "DMES",
+    "Detection",
+    "DetectionEnvironment",
+    "ExploreFirst",
+    "FrameDetections",
+    "LRBP",
+    "LinearScore",
+    "MES",
+    "MESA",
+    "MESB",
+    "Oracle",
+    "RandomSelection",
+    "SWMES",
+    "ScoringFunction",
+    "SelectionAlgorithm",
+    "SelectionResult",
+    "SimulatedDetector",
+    "SimulatedLidar",
+    "SingleBest",
+    "Video",
+    "WeightedBoxesFusion",
+    "WeightedLogScore",
+    "available_methods",
+    "average_precision",
+    "build_bdd_like",
+    "build_nuscenes_like",
+    "compose_drifting_video",
+    "create_method",
+    "__version__",
+]

@@ -1,0 +1,194 @@
+"""Command-line interface: run comparisons, queries and dataset reports.
+
+Usage (after ``pip install -e .``)::
+
+    python -m repro compare --dataset nusc-night --frames 600 --trials 2
+    python -m repro query   --dataset nusc-clear --frames 300 \\
+        "SELECT frameID FROM (PROCESS video PRODUCE frameID, Detections \\
+         USING MES(yolov7-tiny-clear, yolov7-tiny-night, yolov7-tiny-rainy; \\
+         lidar-ref) WITH gamma=5) WHERE COUNT('car') >= 2"
+    python -m repro datasets
+    python -m repro algorithms
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional, Sequence
+
+from repro.core.scoring import WeightedLogScore
+from repro.query.executor import QueryEngine
+from repro.query.planner import algorithm_registry
+from repro.runner.experiment import dataset_keys, standard_setup
+from repro.runner.harness import compare_algorithms
+from repro.runner.io import save_outcomes_csv
+from repro.runner.reporting import format_table
+from repro.simulation.datasets import build_bdd_like, build_nuscenes_like
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description=(
+            "Reproduction of 'Ensembling Object Detectors for Effective "
+            "Video Query Processing' (EDBT 2025)."
+        ),
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    compare = sub.add_parser(
+        "compare", help="run the algorithm comparison on one dataset"
+    )
+    compare.add_argument(
+        "--dataset", default="nusc-night", choices=dataset_keys()
+    )
+    compare.add_argument("--frames", type=int, default=600)
+    compare.add_argument("--trials", type=int, default=2)
+    compare.add_argument("--m", type=int, default=5, help="detector pool size")
+    compare.add_argument(
+        "--w1", type=float, default=0.5, help="accuracy weight of Eq. 30"
+    )
+    compare.add_argument(
+        "--scale", type=float, default=0.2, help="dataset scene-count scale"
+    )
+    compare.add_argument(
+        "--budget", type=float, default=None, help="TCVI budget in ms"
+    )
+    compare.add_argument(
+        "--csv", default=None, help="write per-trial results to this CSV file"
+    )
+
+    query = sub.add_parser("query", help="run a video query")
+    query.add_argument("text", help="the query string")
+    query.add_argument(
+        "--dataset", default="nusc-clear", choices=dataset_keys()
+    )
+    query.add_argument("--frames", type=int, default=300)
+    query.add_argument("--m", type=int, default=3)
+    query.add_argument("--scale", type=float, default=0.1)
+    query.add_argument(
+        "--video-name",
+        default="video",
+        help="name under which the video is registered",
+    )
+
+    sub.add_parser("datasets", help="print the Table 1 / Table 2 summaries")
+    sub.add_parser("algorithms", help="list selection algorithms")
+    return parser
+
+
+def _run_compare(args: argparse.Namespace) -> int:
+    from repro.core.baselines import (
+        BruteForce,
+        ExploreFirst,
+        Oracle,
+        RandomSelection,
+        SingleBest,
+    )
+    from repro.core.mes import MES
+
+    algorithms = {
+        "OPT": Oracle,
+        "BF": BruteForce,
+        "SGL": SingleBest,
+        "RAND": RandomSelection,
+        "EF": ExploreFirst,
+        "MES": MES,
+    }
+    outcomes = compare_algorithms(
+        lambda trial: standard_setup(
+            args.dataset,
+            trial=trial,
+            scale=args.scale,
+            m=args.m,
+            max_frames=args.frames,
+        ),
+        algorithms,
+        num_trials=args.trials,
+        scoring=WeightedLogScore(accuracy_weight=args.w1),
+        budget_ms=args.budget,
+    )
+    rows = []
+    for name, outcome in outcomes.items():
+        stats = outcome.stats("s_sum")
+        rows.append(
+            {
+                "algorithm": name,
+                "s_sum_mean": stats.mean,
+                "std": stats.std,
+                "min": stats.min,
+                "max": stats.max,
+                "mean_AP": outcome.stats("mean_ap").mean,
+            }
+        )
+    print(
+        format_table(
+            rows,
+            precision=2,
+            title=(
+                f"{args.dataset}: m={args.m}, w1={args.w1}, "
+                f"{args.frames} frames, {args.trials} trials"
+            ),
+        )
+    )
+    if args.csv:
+        save_outcomes_csv(outcomes, args.csv)
+        print(f"\nper-trial rows written to {args.csv}")
+    return 0
+
+
+def _run_query(args: argparse.Namespace) -> int:
+    setup = standard_setup(
+        args.dataset, trial=0, scale=args.scale, m=args.m,
+        max_frames=args.frames,
+    )
+    engine = QueryEngine()
+    engine.register_video(args.video_name, setup.frames)
+    for detector in setup.detectors:
+        engine.register_detector(detector)
+    engine.register_reference(setup.reference)
+    result = engine.execute(args.text)
+    print(
+        f"{len(result)} of {result.selection.frames_processed} processed "
+        f"frames match"
+    )
+    print("frame ids:", result.frame_ids())
+    return 0
+
+
+def _run_datasets(args: argparse.Namespace) -> int:
+    for name, builder in (
+        ("Table 1 — nuScenes-like", build_nuscenes_like),
+        ("Table 2 — BDD-like", build_bdd_like),
+    ):
+        data = builder(seed=0, scale=1.0)
+        print(format_table(data.summary(), title=name))
+        print()
+    return 0
+
+
+def _run_algorithms(args: argparse.Namespace) -> int:
+    print("algorithms accepted by the query language / planner:")
+    for name in algorithm_registry():
+        print(f"  {name}")
+    return 0
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    handlers = {
+        "compare": _run_compare,
+        "query": _run_query,
+        "datasets": _run_datasets,
+        "algorithms": _run_algorithms,
+    }
+    return handlers[args.command](args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,89 @@
+"""The paper's contribution: scoring, environment, and selection algorithms.
+
+* :mod:`repro.core.ensembles` — the ensemble lattice over ``2^m - 1``
+  detector subsets;
+* :mod:`repro.core.scoring` — the generic scoring function of Section 2.2
+  and the Eq. (30) instance used in the experiments;
+* :mod:`repro.core.stats` — bandit placeholders ``T_S`` / ``mu_S`` with
+  cumulative, sliding-window, and discounted variants;
+* :mod:`repro.core.environment` — the runtime that applies detectors,
+  fuses, estimates AP against REF, and meters simulated time;
+* :mod:`repro.core.mes` / :mod:`repro.core.mes_b` / :mod:`repro.core.sw_mes`
+  — MES (Alg. 1), MES-B (Alg. 2) with LRBP, and SW-MES;
+* :mod:`repro.core.baselines` — OPT, BF, SGL, RAND, EF and the MES-A
+  ablation;
+* :mod:`repro.core.regret` — empirical regret against the per-frame oracle.
+"""
+
+from repro.core.baselines import (
+    BruteForce,
+    ExploreFirst,
+    MESA,
+    Oracle,
+    RandomSelection,
+    SingleBest,
+)
+from repro.core.ensembles import (
+    EnsembleKey,
+    enumerate_ensembles,
+    make_key,
+    proper_subsets,
+    subsets_inclusive,
+)
+from repro.core.environment import DetectionEnvironment, EnsembleEvaluation
+from repro.core.mes import MES
+from repro.core.mes_b import LRBP, MESB
+from repro.core.pareto import (
+    EnsemblePoint,
+    pareto_ensembles,
+    pareto_front,
+    profile_ensembles,
+)
+from repro.core.regret import empirical_regret, oracle_scores
+from repro.core.skipping import FrameSkipper, frame_similarity
+from repro.core.scoring import LinearScore, ScoringFunction, WeightedLogScore
+from repro.core.selection import FrameRecord, SelectionAlgorithm, SelectionResult
+from repro.core.stats import (
+    DiscountedStatistics,
+    EnsembleStatistics,
+    SlidingWindowStatistics,
+)
+from repro.core.sw_mes import DMES, SWMES
+
+__all__ = [
+    "BruteForce",
+    "DMES",
+    "DetectionEnvironment",
+    "DiscountedStatistics",
+    "EnsembleEvaluation",
+    "EnsembleKey",
+    "EnsemblePoint",
+    "EnsembleStatistics",
+    "ExploreFirst",
+    "FrameRecord",
+    "FrameSkipper",
+    "LRBP",
+    "LinearScore",
+    "MES",
+    "MESA",
+    "MESB",
+    "Oracle",
+    "RandomSelection",
+    "ScoringFunction",
+    "SelectionAlgorithm",
+    "SelectionResult",
+    "SingleBest",
+    "SlidingWindowStatistics",
+    "SWMES",
+    "WeightedLogScore",
+    "empirical_regret",
+    "enumerate_ensembles",
+    "frame_similarity",
+    "make_key",
+    "oracle_scores",
+    "pareto_ensembles",
+    "pareto_front",
+    "profile_ensembles",
+    "proper_subsets",
+    "subsets_inclusive",
+]

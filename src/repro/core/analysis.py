@@ -1,0 +1,132 @@
+"""Empirical analysis of the Section 4 regret bounds.
+
+The paper proves expected-regret bounds of ``O(|M| log |V|)`` for MES
+(Theorem 4.1), ``O(|M| log B)`` for MES-B (Theorem 4.3) and
+``O(|M| sqrt(xi |V| log |V|))`` for SW-MES (Theorem 4.4).  This module
+measures regret curves and fits them against the predicted growth shapes,
+so the bounds can be checked empirically (see
+``benchmarks/test_regret_bounds.py``).
+
+A fit of cumulative regret ``R(t)`` against ``log t`` being near-linear —
+equivalently, a strongly sub-linear fit against ``t`` — is the observable
+signature of a logarithmic-regret algorithm on a stationary video.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+import numpy as np
+
+__all__ = ["GrowthFit", "fit_log_growth", "fit_power_growth", "halves_ratio"]
+
+
+@dataclass(frozen=True)
+class GrowthFit:
+    """A least-squares fit of a regret curve against a growth model.
+
+    Attributes:
+        model: ``"log"`` (``a * ln t + b``) or ``"power"``
+            (``a * t^exponent``).
+        coefficient: The leading coefficient ``a``.
+        offset: The additive offset ``b`` (log model) or 0.
+        exponent: The fitted exponent (power model) or 0 for the log model.
+        r_squared: Goodness of fit in ``[0, 1]``.
+    """
+
+    model: str
+    coefficient: float
+    offset: float
+    exponent: float
+    r_squared: float
+
+
+def _r_squared(actual: np.ndarray, predicted: np.ndarray) -> float:
+    residual = float(np.sum((actual - predicted) ** 2))
+    total = float(np.sum((actual - actual.mean()) ** 2))
+    if total <= 0:
+        return 1.0
+    return max(0.0, 1.0 - residual / total)
+
+
+def fit_log_growth(curve: Sequence[float], skip: int = 1) -> GrowthFit:
+    """Fit ``R(t) ~ a * ln t + b`` to a cumulative regret curve.
+
+    Args:
+        curve: ``R(t)`` for ``t = 1..n`` (cumulative, non-decreasing).
+        skip: Leading iterations to exclude (initialization transient).
+
+    Raises:
+        ValueError: With fewer than three usable points.
+    """
+    values = np.asarray(curve[skip:], dtype=np.float64)
+    if values.size < 3:
+        raise ValueError("need at least three points to fit")
+    t = np.arange(skip + 1, skip + 1 + values.size, dtype=np.float64)
+    log_t = np.log(t)
+    a, b = np.polyfit(log_t, values, deg=1)
+    predicted = a * log_t + b
+    return GrowthFit(
+        model="log",
+        coefficient=float(a),
+        offset=float(b),
+        exponent=0.0,
+        r_squared=_r_squared(values, predicted),
+    )
+
+
+def fit_power_growth(curve: Sequence[float], skip: int = 1) -> GrowthFit:
+    """Fit ``R(t) ~ a * t^p`` (log-log regression) to a regret curve.
+
+    The exponent ``p`` is the headline: ``p`` near 1 means linear regret
+    (a non-learning policy), ``p`` well below 1 means sub-linear regret,
+    and the SW-MES bound predicts ``p ~ 0.5`` under drift with the right
+    window.
+    """
+    values = np.asarray(curve[skip:], dtype=np.float64)
+    if values.size < 3:
+        raise ValueError("need at least three points to fit")
+    t = np.arange(skip + 1, skip + 1 + values.size, dtype=np.float64)
+    positive = values > 0
+    if positive.sum() < 3:
+        # Essentially zero regret: report a flat power law.
+        return GrowthFit(
+            model="power",
+            coefficient=0.0,
+            offset=0.0,
+            exponent=0.0,
+            r_squared=1.0,
+        )
+    log_t = np.log(t[positive])
+    log_r = np.log(values[positive])
+    p, log_a = np.polyfit(log_t, log_r, deg=1)
+    predicted = log_a + p * log_t
+    return GrowthFit(
+        model="power",
+        coefficient=float(math.exp(log_a)),
+        offset=0.0,
+        exponent=float(p),
+        r_squared=_r_squared(log_r, predicted),
+    )
+
+
+def halves_ratio(curve: Sequence[float]) -> float:
+    """Second-half regret rate divided by first-half rate.
+
+    A model-free sub-linearity check: a value below 1 means per-frame
+    regret is shrinking over time (the algorithm is learning); a value
+    near 1 indicates linear regret.
+
+    Raises:
+        ValueError: For curves shorter than four points.
+    """
+    if len(curve) < 4:
+        raise ValueError("curve too short")
+    half = len(curve) // 2
+    first = curve[half - 1] / half
+    second = (curve[-1] - curve[half - 1]) / (len(curve) - half)
+    if first <= 0:
+        return 0.0 if second <= 0 else math.inf
+    return second / first

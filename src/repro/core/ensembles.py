@@ -1,0 +1,85 @@
+"""The ensemble lattice: canonical keys over detector subsets.
+
+An ensemble is identified by the sorted tuple of its member detector names
+(:data:`EnsembleKey`).  With ``m`` detectors there are ``2^m - 1`` non-empty
+ensembles; MES explores this lattice and exploits the subset structure —
+whenever ensemble ``S`` runs, every subset of ``S`` can be scored for free
+because single-model outputs are materialized (Alg. 1, lines 9–10).
+"""
+
+from __future__ import annotations
+
+from itertools import combinations
+from typing import Iterable, List, Sequence, Tuple
+
+__all__ = [
+    "EnsembleKey",
+    "make_key",
+    "enumerate_ensembles",
+    "proper_subsets",
+    "subsets_inclusive",
+    "is_subset",
+]
+
+EnsembleKey = Tuple[str, ...]
+
+
+def make_key(names: Iterable[str]) -> EnsembleKey:
+    """Canonical key for a set of detector names.
+
+    Raises:
+        ValueError: On empty input or duplicate names.
+    """
+    unique = sorted(set(names))
+    as_list = sorted(names)
+    if not as_list:
+        raise ValueError("an ensemble must contain at least one detector")
+    if len(unique) != len(as_list):
+        raise ValueError(f"duplicate detector names in ensemble: {as_list}")
+    return tuple(unique)
+
+
+def enumerate_ensembles(
+    model_names: Sequence[str], max_size: int | None = None
+) -> List[EnsembleKey]:
+    """All non-empty subsets of the detector pool, canonically ordered.
+
+    Ordering is by (size, lexicographic), so singles come first and the full
+    ensemble last — a stable order that algorithms use for deterministic
+    tie-breaking.
+
+    Args:
+        model_names: The detector pool ``M`` (no duplicates).
+        max_size: Optional cap on ensemble cardinality.
+    """
+    names = sorted(set(model_names))
+    if len(names) != len(list(model_names)):
+        raise ValueError(f"duplicate detector names in pool: {list(model_names)}")
+    if not names:
+        raise ValueError("the detector pool must be non-empty")
+    limit = len(names) if max_size is None else min(max_size, len(names))
+    if limit < 1:
+        raise ValueError("max_size must be at least 1")
+    keys: List[EnsembleKey] = []
+    for size in range(1, limit + 1):
+        for combo in combinations(names, size):
+            keys.append(tuple(combo))
+    return keys
+
+
+def proper_subsets(key: EnsembleKey) -> List[EnsembleKey]:
+    """All non-empty proper subsets of an ensemble, (size, lex)-ordered."""
+    subsets: List[EnsembleKey] = []
+    for size in range(1, len(key)):
+        subsets.extend(combinations(key, size))
+    return subsets
+
+
+def subsets_inclusive(key: EnsembleKey) -> List[EnsembleKey]:
+    """All non-empty subsets of an ensemble, including itself."""
+    return proper_subsets(key) + [tuple(key)]
+
+
+def is_subset(candidate: EnsembleKey, of: EnsembleKey) -> bool:
+    """True if ``candidate``'s members are all members of ``of``."""
+    return set(candidate).issubset(of)

@@ -1,0 +1,342 @@
+"""The detection environment: detectors x frames x REF, with cost metering.
+
+:class:`DetectionEnvironment` is the runtime every selection algorithm runs
+against.  It owns the detector pool ``M``, the reference model REF, the
+fusion method, the scoring function, and a simulated clock, and exposes one
+operation — :meth:`DetectionEnvironment.evaluate` — that applies an
+arbitrary set of ensembles to a frame while charging costs exactly as the
+paper's Eq. (12)/(14) prescribe:
+
+* each member detector is inferred (and billed) **once** per frame no
+  matter how many evaluated ensembles contain it — single-model outputs are
+  materialized and reused;
+* each evaluated ensemble pays only its fusion cost ``c^e``;
+* the reference model is inferred (and billed) once per processed frame.
+
+Evaluations report both the *estimated* score (AP against REF — what the
+algorithms may see, Eq. 3) and the *true* score (AP against ground truth —
+what the experiments report, Eq. 2).
+
+Evaluation results are cached by ``(frame, ensemble)``.  Because simulated
+detectors are deterministic per frame, a cache can safely be shared across
+environments (e.g. between the algorithms being compared in one trial) via
+the ``cache`` parameter, which makes multi-algorithm experiments several
+times faster without changing any result.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.core.ensembles import EnsembleKey, enumerate_ensembles, make_key
+from repro.core.scoring import ScoringFunction, WeightedLogScore
+from repro.detection.metrics import mean_average_precision
+from repro.detection.types import FrameDetections
+from repro.ensembling.base import EnsembleMethod
+from repro.ensembling.wbf import WeightedBoxesFusion
+from repro.simulation.clock import CostModel, SimulatedClock
+from repro.simulation.video import Frame
+
+__all__ = ["EnsembleEvaluation", "EvaluationBatch", "EvaluationCache", "DetectionEnvironment"]
+
+
+@dataclass(frozen=True)
+class EnsembleEvaluation:
+    """Everything known about applying one ensemble to one frame.
+
+    Attributes:
+        key: The ensemble.
+        detections: Fused detection output ``D_{S|v}``.
+        inference_ms: Sum of member inference times (as if ``S`` ran alone).
+        ensembling_ms: Fusion cost ``c^e_{S|v}``.
+        cost_ms: ``c_{S|v}`` per Eq. (1).
+        normalized_cost: ``c_hat_{S|v} = c_{S|v} / c_max``, clipped to
+            ``[0, 1]``.
+        est_ap: AP against the reference model (Eq. 3).
+        est_score: Score from estimated AP — what the bandit observes.
+        true_ap: AP against ground truth (Eq. 2).
+        true_score: Score from true AP — what experiments report.
+    """
+
+    key: EnsembleKey
+    detections: FrameDetections
+    inference_ms: float
+    ensembling_ms: float
+    cost_ms: float
+    normalized_cost: float
+    est_ap: float
+    est_score: float
+    true_ap: float
+    true_score: float
+
+
+@dataclass(frozen=True)
+class EvaluationBatch:
+    """Result of evaluating a set of ensembles on one frame.
+
+    Attributes:
+        evaluations: Per-ensemble evaluations.
+        detector_ms: Billable detector time this batch (each member model
+            once, Eq. 12/14).
+        ensembling_ms: Billable fusion time this batch (every evaluated
+            ensemble).
+        reference_ms: REF inference time incurred by this batch (zero if
+            this frame's REF output was already paid for).
+    """
+
+    evaluations: Dict[EnsembleKey, EnsembleEvaluation]
+    detector_ms: float
+    ensembling_ms: float
+    reference_ms: float
+
+    @property
+    def billable_ms(self) -> float:
+        """Time counted against a TCVI budget for this iteration."""
+        return self.detector_ms + self.ensembling_ms
+
+
+@dataclass
+class EvaluationCache:
+    """Shared memoization across environments of one trial.
+
+    Valid to share only between environments with identical detectors,
+    reference, fusion method and IoU threshold; the factory helpers in
+    :mod:`repro.runner.experiment` enforce this by construction.
+    """
+
+    detector_outputs: Dict[Tuple[str, str], object] = field(default_factory=dict)
+    reference_outputs: Dict[str, object] = field(default_factory=dict)
+    fused: Dict[Tuple[str, EnsembleKey], FrameDetections] = field(default_factory=dict)
+    est_ap: Dict[Tuple[str, EnsembleKey], float] = field(default_factory=dict)
+    true_ap: Dict[Tuple[str, EnsembleKey], float] = field(default_factory=dict)
+
+
+class DetectionEnvironment:
+    """Runtime for ensemble selection over a detector pool.
+
+    Args:
+        detectors: The pool ``M``; each needs ``.name``, ``.detect(frame)``
+            and ``.expected_time_ms`` (both :class:`SimulatedDetector` and
+            :class:`SimulatedLidar` qualify, as does any user detector with
+            the same surface).
+        reference: The REF model used for AP estimation.
+        scoring: The scoring function ``SC``; defaults to Eq. (30) with
+            ``w1 = w2 = 0.5``.
+        fusion: Box-fusion method; defaults to WBF as in the paper.
+        cost_model: Non-inference cost parameters.
+        iou_threshold: IoU threshold for AP computation.
+        cache: Optional shared :class:`EvaluationCache`.
+        clock: Optional externally owned clock (a fresh one by default).
+    """
+
+    def __init__(
+        self,
+        detectors: Sequence[object],
+        reference: object,
+        scoring: Optional[ScoringFunction] = None,
+        fusion: Optional[EnsembleMethod] = None,
+        cost_model: Optional[CostModel] = None,
+        iou_threshold: float = 0.5,
+        cache: Optional[EvaluationCache] = None,
+        clock: Optional[SimulatedClock] = None,
+    ) -> None:
+        if not detectors:
+            raise ValueError("the detector pool must be non-empty")
+        names = [d.name for d in detectors]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate detector names: {names}")
+        self._detectors: Dict[str, object] = {d.name: d for d in detectors}
+        self.reference = reference
+        self.scoring: ScoringFunction = (
+            scoring if scoring is not None else WeightedLogScore(0.5)
+        )
+        self.fusion: EnsembleMethod = (
+            fusion if fusion is not None else WeightedBoxesFusion()
+        )
+        self.cost_model = cost_model if cost_model is not None else CostModel()
+        if not 0.0 < iou_threshold <= 1.0:
+            raise ValueError("iou_threshold must be in (0, 1]")
+        self.iou_threshold = iou_threshold
+        self.cache = cache if cache is not None else EvaluationCache()
+        self.clock = clock if clock is not None else SimulatedClock()
+
+        self.model_names: Tuple[str, ...] = tuple(sorted(names))
+        self.full_ensemble: EnsembleKey = make_key(names)
+        self.all_ensembles: List[EnsembleKey] = enumerate_ensembles(names)
+        self._ref_charged: Set[str] = set()
+
+        # Normalization constant c_max: the cost of the full ensemble at
+        # worst-case jitter plus fusion overhead headroom.  The paper
+        # normalizes by the per-frame maximum over ensembles; a fixed upper
+        # bound preserves the required monotonicity while keeping scores
+        # comparable across frames, and normalized costs are clipped to
+        # [0, 1] regardless.
+        expected_full = sum(d.expected_time_ms for d in detectors)
+        self.c_max_ms = expected_full * 1.05 + self.cost_model.ensembling_cost_ms(
+            256
+        ) + 16.0
+
+    @property
+    def num_models(self) -> int:
+        return len(self.model_names)
+
+    def detector(self, name: str) -> object:
+        try:
+            return self._detectors[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown detector {name!r}; pool: {list(self.model_names)}"
+            ) from None
+
+    def normalized_cost(self, cost_ms: float) -> float:
+        """``c_hat`` — cost as a fraction of ``c_max``, clipped to [0, 1]."""
+        if cost_ms < 0:
+            raise ValueError("cost_ms must be non-negative")
+        return min(cost_ms / self.c_max_ms, 1.0)
+
+    def _single_output(self, frame: Frame, model: str):
+        cache_key = (frame.key, model)
+        output = self.cache.detector_outputs.get(cache_key)
+        if output is None:
+            output = self.detector(model).detect(frame)
+            self.cache.detector_outputs[cache_key] = output
+        return output
+
+    def _reference_output(self, frame: Frame):
+        output = self.cache.reference_outputs.get(frame.key)
+        if output is None:
+            output = self.reference.detect(frame)
+            self.cache.reference_outputs[frame.key] = output
+        return output
+
+    def reference_detections(self, frame: Frame) -> FrameDetections:
+        """``BBox_{REF|v}`` — the reference model's boxes for a frame."""
+        return self._reference_output(frame).detections
+
+    def _fused(self, frame: Frame, key: EnsembleKey) -> FrameDetections:
+        cache_key = (frame.key, key)
+        fused = self.cache.fused.get(cache_key)
+        if fused is None:
+            parts = [self._single_output(frame, m).detections for m in key]
+            fused = self.fusion.fuse(parts)
+            self.cache.fused[cache_key] = fused
+        return fused
+
+    def _estimated_ap(self, frame: Frame, key: EnsembleKey) -> float:
+        cache_key = (frame.key, key)
+        value = self.cache.est_ap.get(cache_key)
+        if value is None:
+            value = mean_average_precision(
+                self._fused(frame, key),
+                self.reference_detections(frame),
+                self.iou_threshold,
+            )
+            self.cache.est_ap[cache_key] = value
+        return value
+
+    def _true_ap(self, frame: Frame, key: EnsembleKey) -> float:
+        cache_key = (frame.key, key)
+        value = self.cache.true_ap.get(cache_key)
+        if value is None:
+            value = mean_average_precision(
+                self._fused(frame, key),
+                frame.ground_truth_detections(),
+                self.iou_threshold,
+            )
+            self.cache.true_ap[cache_key] = value
+        return value
+
+    def evaluate(
+        self,
+        frame: Frame,
+        keys: Iterable[EnsembleKey],
+        charge: bool = True,
+    ) -> EvaluationBatch:
+        """Apply a set of ensembles to a frame.
+
+        Args:
+            frame: The frame to process.
+            keys: Ensembles to evaluate; member names must be in the pool.
+                Duplicates are collapsed.
+            charge: If True, bill the clock for union-of-member detector
+                inference (once each), per-ensemble fusion, and (once per
+                frame) REF inference.  Pass False for oracle peeks that must
+                not consume budget.
+
+        Returns:
+            The per-ensemble evaluations plus this batch's cost components.
+        """
+        key_list: List[EnsembleKey] = []
+        seen: Set[EnsembleKey] = set()
+        for raw in keys:
+            key = make_key(raw)
+            for member in key:
+                if member not in self._detectors:
+                    raise KeyError(
+                        f"ensemble {key} references unknown detector {member!r}"
+                    )
+            if key not in seen:
+                seen.add(key)
+                key_list.append(key)
+        if not key_list:
+            raise ValueError("evaluate() requires at least one ensemble")
+
+        union_models = sorted({m for key in key_list for m in key})
+        detector_ms = 0.0
+        for model in union_models:
+            detector_ms += self._single_output(frame, model).inference_time_ms
+
+        reference_ms = 0.0
+        ref_output = self._reference_output(frame)
+        if charge and frame.key not in self._ref_charged:
+            reference_ms = ref_output.inference_time_ms
+            self._ref_charged.add(frame.key)
+
+        evaluations: Dict[EnsembleKey, EnsembleEvaluation] = {}
+        ensembling_ms = 0.0
+        for key in key_list:
+            fused = self._fused(frame, key)
+            member_outputs = [self._single_output(frame, m) for m in key]
+            inference_ms = sum(o.inference_time_ms for o in member_outputs)
+            pooled_boxes = sum(len(o.detections) for o in member_outputs)
+            fusion_ms = self.cost_model.ensembling_cost_ms(pooled_boxes)
+            ensembling_ms += fusion_ms
+            cost_ms = inference_ms + fusion_ms
+            c_hat = self.normalized_cost(cost_ms)
+            est_ap = self._estimated_ap(frame, key)
+            true_ap = self._true_ap(frame, key)
+            evaluations[key] = EnsembleEvaluation(
+                key=key,
+                detections=fused,
+                inference_ms=inference_ms,
+                ensembling_ms=fusion_ms,
+                cost_ms=cost_ms,
+                normalized_cost=c_hat,
+                est_ap=est_ap,
+                est_score=self.scoring(est_ap, c_hat),
+                true_ap=true_ap,
+                true_score=self.scoring(true_ap, c_hat),
+            )
+
+        if charge:
+            self.clock.charge("detector", detector_ms)
+            self.clock.charge("ensembling", ensembling_ms)
+            if reference_ms > 0.0:
+                self.clock.charge("reference", reference_ms)
+
+        return EvaluationBatch(
+            evaluations=evaluations,
+            detector_ms=detector_ms,
+            ensembling_ms=ensembling_ms,
+            reference_ms=reference_ms,
+        )
+
+    def charge_overhead(self, num_candidates: int) -> None:
+        """Bill selection bookkeeping (UCB computation etc.) to the clock."""
+        if num_candidates < 0:
+            raise ValueError("num_candidates must be non-negative")
+        self.clock.charge(
+            "overhead",
+            self.cost_model.overhead_per_ensemble_ms * num_candidates,
+        )

@@ -1,0 +1,126 @@
+"""MES-B (Algorithm 2) and LRBP — budgeted selection for TCVI.
+
+MES-B is MES with a running billable-cost counter ``C``; iteration stops
+once ``C`` exceeds the budget ``B``, having processed the frame prefix
+``V_B``.  Its expected regret is ``O(|M| log B)`` (Theorem 4.3).
+
+LRBP (Linear-Regression-based Budget Prediction, Section 3.2) fits a line
+to the ``(t, C_t)`` pairs observed while processing ``V_B`` and predicts
+the extra budget ``B_extra`` required to finish the remaining
+``|V| - |V_B|`` frames under the same strategy — evaluated in Table 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.mes import MES
+from repro.core.selection import SelectionResult
+
+__all__ = ["MESB", "LRBP"]
+
+
+class MESB(MES):
+    """Budget-constrained MES.
+
+    Behaviourally identical to :class:`~repro.core.mes.MES` except that
+    ``run`` requires a budget; the shared
+    :class:`~repro.core.selection.IterativeSelection` loop enforces the
+    Alg. 2 ``while C <= B`` guard for all algorithms, so MES-B only pins
+    the calling convention.
+    """
+
+    name = "MES-B"
+
+    def run(self, env, frames, budget_ms: Optional[float] = None) -> SelectionResult:
+        if budget_ms is None:
+            raise ValueError("MES-B requires a budget_ms (use MES for TUVI)")
+        return super().run(env, frames, budget_ms=budget_ms)
+
+
+@dataclass(frozen=True)
+class LRBP:
+    """A fitted linear budget model ``C(t) ~ slope * t + intercept``.
+
+    Attributes:
+        slope: Estimated billable cost per frame (ms).
+        intercept: Fitted offset (absorbs the expensive initialization
+            prefix).
+        num_points: Number of regression points used.
+    """
+
+    slope: float
+    intercept: float
+    num_points: int
+
+    @classmethod
+    def fit(cls, points: Sequence[Tuple[int, float]]) -> "LRBP":
+        """Least-squares fit of cumulative cost against iteration number.
+
+        Args:
+            points: ``(t, C_t)`` pairs, e.g. from
+                :meth:`SelectionResult.cumulative_cost_points`.
+
+        Raises:
+            ValueError: With fewer than two points (no slope estimate).
+        """
+        if len(points) < 2:
+            raise ValueError("LRBP needs at least two (t, C_t) points")
+        t = np.asarray([p[0] for p in points], dtype=np.float64)
+        c = np.asarray([p[1] for p in points], dtype=np.float64)
+        slope, intercept = np.polyfit(t, c, deg=1)
+        return cls(slope=float(slope), intercept=float(intercept), num_points=len(points))
+
+    @classmethod
+    def from_result(
+        cls,
+        result: SelectionResult,
+        skip_initialization: int = 0,
+        recent_fraction: float = 0.5,
+    ) -> "LRBP":
+        """Fit from a finished (budget-exhausted) run.
+
+        Args:
+            result: The MES-B run over ``V_B``.
+            skip_initialization: Number of leading iterations to exclude
+                from the fit.  The initialization frames are far more
+                expensive than steady state; excluding them (e.g. passing
+                the run's ``gamma``) improves extrapolation.
+            recent_fraction: Fraction of the (post-initialization) points,
+                counted from the end, to fit on.  Early iterations are
+                exploration-heavy and cost more per frame than the steady
+                state the remaining video will run at; fitting the recent
+                window extrapolates the converged cost rate.  1.0 fits on
+                everything.
+        """
+        if not 0.0 < recent_fraction <= 1.0:
+            raise ValueError("recent_fraction must be in (0, 1]")
+        points = result.cumulative_cost_points()[skip_initialization:]
+        keep = max(int(len(points) * recent_fraction), 2)
+        return cls.fit(points[-keep:])
+
+    def predict_cumulative(self, t: int) -> float:
+        """Predicted cumulative cost after ``t`` iterations."""
+        if t < 0:
+            raise ValueError("t must be non-negative")
+        return self.slope * t + self.intercept
+
+    def predict_extra_budget(
+        self, frames_processed: int, total_frames: int
+    ) -> float:
+        """``B_lrbp`` — predicted extra budget to finish the video.
+
+        Args:
+            frames_processed: ``|V_B|``.
+            total_frames: ``|V|``.
+
+        Returns:
+            The predicted additional billable time (>= 0).
+        """
+        if total_frames < frames_processed:
+            raise ValueError("total_frames must be >= frames_processed")
+        remaining = total_frames - frames_processed
+        return max(self.slope * remaining, 0.0)

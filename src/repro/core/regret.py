@@ -1,0 +1,69 @@
+"""Empirical regret against the per-frame oracle (Section 4, Eq. 17).
+
+Regret measures the score lost by not selecting the optimal ensemble at
+every iteration.  The analysis section bounds it at ``O(|M| log |V|)`` for
+MES; the tests in ``tests/test_regret.py`` verify sub-linearity
+empirically.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.selection import SelectionResult
+from repro.simulation.video import Frame
+
+__all__ = ["oracle_scores", "empirical_regret", "regret_curve"]
+
+
+def oracle_scores(
+    env: DetectionEnvironment, frames: Sequence[Frame]
+) -> List[float]:
+    """``r_{S*_v | v}`` — best true score per frame, by uncharged peek."""
+    best: List[float] = []
+    for frame in frames:
+        batch = env.evaluate(frame, env.all_ensembles, charge=False)
+        best.append(
+            max(ev.true_score for ev in batch.evaluations.values())
+        )
+    return best
+
+
+def empirical_regret(
+    result: SelectionResult, oracle: Sequence[float]
+) -> float:
+    """Total regret of a run against pre-computed oracle scores.
+
+    Args:
+        result: The algorithm's run.
+        oracle: Per-frame oracle scores, aligned with the frame sequence
+            the algorithm processed (only the processed prefix is used, so
+            budgeted runs work unchanged).
+
+    Raises:
+        ValueError: If the oracle sequence is shorter than the run.
+    """
+    if len(oracle) < len(result.records):
+        raise ValueError(
+            f"oracle has {len(oracle)} scores but the run processed "
+            f"{len(result.records)} frames"
+        )
+    return sum(
+        oracle[i] - record.true_score
+        for i, record in enumerate(result.records)
+    )
+
+
+def regret_curve(
+    result: SelectionResult, oracle: Sequence[float]
+) -> List[float]:
+    """Cumulative regret after each iteration (for growth-rate checks)."""
+    if len(oracle) < len(result.records):
+        raise ValueError("oracle shorter than the run")
+    curve: List[float] = []
+    total = 0.0
+    for i, record in enumerate(result.records):
+        total += oracle[i] - record.true_score
+        curve.append(total)
+    return curve

@@ -1,0 +1,255 @@
+"""Selection-algorithm framework: records, results, and the run loop.
+
+All algorithms — MES, MES-B, SW-MES and every baseline — share the same
+iterative structure: per frame, choose an ensemble (and possibly extra
+ensembles to piggyback-evaluate), apply them through the environment, and
+update internal state.  :class:`IterativeSelection` implements that loop
+once, including the TCVI budget guard (Alg. 2's ``while C <= B``), so each
+algorithm only supplies its ``_choose`` / ``_update`` hooks.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.core.ensembles import EnsembleKey
+from repro.core.environment import DetectionEnvironment, EvaluationBatch
+from repro.simulation.video import Frame
+
+__all__ = ["FrameRecord", "SelectionResult", "SelectionAlgorithm", "IterativeSelection"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Outcome of one iteration (one processed frame).
+
+    Attributes:
+        iteration: 1-based iteration number ``t``.
+        frame_index: Index of the processed frame in its video.
+        selected: The ensemble chosen for this frame.
+        est_score / est_ap: Estimated (REF-based) score and AP of the
+            selected ensemble — what the algorithm observed.
+        true_score / true_ap: Ground-truth score and AP — what experiments
+            report (``r`` in the paper's ``s_sum``).
+        cost_ms: ``c_{S|v}`` of the selected ensemble (its own cost, as
+            scored).
+        normalized_cost: ``c_hat`` of the selected ensemble.
+        charged_ms: Billable time actually spent this iteration (includes
+            piggyback subset fusions; Eq. 12/14).
+    """
+
+    iteration: int
+    frame_index: int
+    selected: EnsembleKey
+    est_score: float
+    est_ap: float
+    true_score: float
+    true_ap: float
+    cost_ms: float
+    normalized_cost: float
+    charged_ms: float
+
+
+@dataclass
+class SelectionResult:
+    """The full trace of one algorithm run.
+
+    Attributes:
+        algorithm: The algorithm's name.
+        records: Per-iteration records, in order.
+        budget_ms: The budget the run was given (None for TUVI).
+    """
+
+    algorithm: str
+    records: List[FrameRecord]
+    budget_ms: Optional[float] = None
+
+    @property
+    def frames_processed(self) -> int:
+        """``|V_B|`` under a budget, ``|V|`` otherwise."""
+        return len(self.records)
+
+    @property
+    def s_sum(self) -> float:
+        """Sum of true scores of selected ensembles (Section 5.5)."""
+        return sum(r.true_score for r in self.records)
+
+    @property
+    def s_sum_estimated(self) -> float:
+        """Sum of REF-estimated scores (what the algorithm maximized)."""
+        return sum(r.est_score for r in self.records)
+
+    @property
+    def mean_true_ap(self) -> float:
+        """``a_bar`` — average true AP of selected ensembles."""
+        if not self.records:
+            return 0.0
+        return sum(r.true_ap for r in self.records) / len(self.records)
+
+    @property
+    def mean_normalized_cost(self) -> float:
+        """``c_hat`` averaged over iterations (``1 - c_hat`` is reported)."""
+        if not self.records:
+            return 0.0
+        return sum(r.normalized_cost for r in self.records) / len(self.records)
+
+    @property
+    def total_charged_ms(self) -> float:
+        """Total billable time ``C`` consumed by the run."""
+        return sum(r.charged_ms for r in self.records)
+
+    def selection_counts(self) -> Dict[EnsembleKey, int]:
+        """How many times each ensemble was selected (Figure 10)."""
+        counts: Dict[EnsembleKey, int] = {}
+        for record in self.records:
+            counts[record.selected] = counts.get(record.selected, 0) + 1
+        return counts
+
+    def cumulative_cost_points(self) -> List[Tuple[int, float]]:
+        """``(t, C_t)`` pairs — the LRBP regression input (Section 3.2)."""
+        points: List[Tuple[int, float]] = []
+        total = 0.0
+        for record in self.records:
+            total += record.charged_ms
+            points.append((record.iteration, total))
+        return points
+
+
+class SelectionAlgorithm(abc.ABC):
+    """Interface of an ensemble-selection strategy."""
+
+    #: Display name; subclasses override.
+    name: str = "abstract"
+
+    @abc.abstractmethod
+    def run(
+        self,
+        env: DetectionEnvironment,
+        frames: Sequence[Frame],
+        budget_ms: Optional[float] = None,
+    ) -> SelectionResult:
+        """Process frames, selecting one ensemble per frame.
+
+        Args:
+            env: The detection environment (a fresh clock per run is the
+                caller's responsibility when clock readings matter).
+            frames: The frame sequence ``V``.
+            budget_ms: Optional TCVI budget ``B``; processing stops once
+                cumulative billable time exceeds it.
+        """
+
+
+class IterativeSelection(SelectionAlgorithm):
+    """Template for per-frame selection algorithms.
+
+    Subclasses implement:
+
+    * :meth:`_begin` — optional pre-run setup (may inspect ``frames``);
+    * :meth:`_choose` — pick the selected ensemble and the full list of
+      ensembles to evaluate this iteration;
+    * :meth:`_update` — fold the evaluation batch into internal state.
+    """
+
+    def _begin(
+        self, env: DetectionEnvironment, frames: Sequence[Frame]
+    ) -> None:
+        """Hook: called once before iteration starts."""
+
+    @abc.abstractmethod
+    def _choose(
+        self, env: DetectionEnvironment, t: int, frame: Frame
+    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+        """Hook: return ``(selected, ensembles_to_evaluate)`` for iteration t.
+
+        ``ensembles_to_evaluate`` must contain ``selected``.
+        """
+
+    def _update(
+        self,
+        env: DetectionEnvironment,
+        t: int,
+        frame: Frame,
+        batch: EvaluationBatch,
+    ) -> None:
+        """Hook: consume the evaluation batch (default: no state)."""
+
+    #: Whether the algorithm can process an unbounded frame stream.
+    #: Algorithms that pre-scan the video (e.g. SGL's calibration pass)
+    #: override this to False.
+    supports_streaming: bool = True
+
+    def run_stream(
+        self,
+        env: DetectionEnvironment,
+        frames: Iterable[Frame],
+        budget_ms: Optional[float] = None,
+    ) -> Iterator[FrameRecord]:
+        """Process frames lazily, yielding one record per iteration.
+
+        Works on unbounded streams (any iterable of frames).  The
+        iteration stops when the stream ends or the budget is exhausted.
+
+        Raises:
+            TypeError: If the algorithm requires a full pre-scan
+                (``supports_streaming`` is False).
+        """
+        if not self.supports_streaming:
+            raise TypeError(
+                f"{self.name} pre-scans the video and cannot run on a stream"
+            )
+        if budget_ms is not None and budget_ms <= 0:
+            raise ValueError("budget_ms must be positive when given")
+        self._begin(env, ())
+        yield from self._iterate(env, frames, budget_ms)
+
+    def run(
+        self,
+        env: DetectionEnvironment,
+        frames: Sequence[Frame],
+        budget_ms: Optional[float] = None,
+    ) -> SelectionResult:
+        if budget_ms is not None and budget_ms <= 0:
+            raise ValueError("budget_ms must be positive when given")
+        self._begin(env, frames)
+        records = list(self._iterate(env, frames, budget_ms))
+        return SelectionResult(
+            algorithm=self.name, records=records, budget_ms=budget_ms
+        )
+
+    def _iterate(
+        self,
+        env: DetectionEnvironment,
+        frames: Iterable[Frame],
+        budget_ms: Optional[float],
+    ) -> Iterator[FrameRecord]:
+        spent_ms = 0.0
+        for t, frame in enumerate(frames, start=1):
+            # Alg. 2 line 6: iterate while C <= B (the final iteration may
+            # overshoot the budget; the next one does not start).
+            if budget_ms is not None and spent_ms > budget_ms:
+                break
+            selected, eval_keys = self._choose(env, t, frame)
+            if selected not in eval_keys:
+                raise RuntimeError(
+                    f"{self.name}: selected ensemble {selected} missing from "
+                    "its evaluation list"
+                )
+            env.charge_overhead(len(eval_keys))
+            batch = env.evaluate(frame, eval_keys, charge=True)
+            self._update(env, t, frame, batch)
+            chosen = batch.evaluations[selected]
+            spent_ms += batch.billable_ms
+            yield FrameRecord(
+                iteration=t,
+                frame_index=frame.index,
+                selected=selected,
+                est_score=chosen.est_score,
+                est_ap=chosen.est_ap,
+                true_score=chosen.true_score,
+                true_ap=chosen.true_ap,
+                cost_ms=chosen.cost_ms,
+                normalized_cost=chosen.normalized_cost,
+                charged_ms=batch.billable_ms,
+            )

@@ -1,0 +1,169 @@
+"""Bandit placeholders: ``T_S`` and ``mu_S`` in three flavours.
+
+* :class:`EnsembleStatistics` — the cumulative counts and means of MES
+  (Eq. 10), with the UCB exploration bonus ``sqrt(2 ln t / T_S)``;
+* :class:`SlidingWindowStatistics` — the windowed counterparts of SW-MES
+  (Eq. 15/16), observing only the last ``window`` iterations;
+* :class:`DiscountedStatistics` — an exponentially discounted alternative
+  (the D-UCB family), provided as the drift-adaptation ablation D-MES.
+
+An ensemble never observed (``T_S = 0``) has an infinite exploration bonus,
+so UCB selection visits every arm before exploiting.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Tuple
+
+from repro.core.ensembles import EnsembleKey
+
+__all__ = [
+    "EnsembleStatistics",
+    "SlidingWindowStatistics",
+    "DiscountedStatistics",
+]
+
+
+class EnsembleStatistics:
+    """Cumulative per-ensemble observation counts and score means."""
+
+    def __init__(self) -> None:
+        self._counts: Dict[EnsembleKey, int] = {}
+        self._means: Dict[EnsembleKey, float] = {}
+
+    def record(self, key: EnsembleKey, reward: float) -> None:
+        """Fold one observed score into ``(T_S, mu_S)`` (Eq. 8/9)."""
+        count = self._counts.get(key, 0) + 1
+        mean = self._means.get(key, 0.0)
+        self._counts[key] = count
+        self._means[key] = mean + (reward - mean) / count
+
+    def count(self, key: EnsembleKey) -> int:
+        """``T_S`` — number of iterations in which ``S``'s score was observed."""
+        return self._counts.get(key, 0)
+
+    def mean(self, key: EnsembleKey) -> float:
+        """``mu_S`` — mean observed score (0 before any observation)."""
+        return self._means.get(key, 0.0)
+
+    def exploration_bonus(self, key: EnsembleKey, t: int) -> float:
+        """``Gamma_S = sqrt(2 ln t / T_S)``; infinite when unobserved."""
+        count = self.count(key)
+        if count == 0:
+            return math.inf
+        return math.sqrt(2.0 * math.log(max(t, 2)) / count)
+
+    def ucb(self, key: EnsembleKey, t: int) -> float:
+        """Upper confidence bound ``U_S`` (Eq. 7)."""
+        return self.mean(key) + self.exploration_bonus(key, t)
+
+    def observed_keys(self) -> List[EnsembleKey]:
+        return sorted(self._counts)
+
+
+class SlidingWindowStatistics:
+    """Windowed ``T^lambda_S`` / ``mu^lambda_S`` for SW-MES (Eq. 15).
+
+    Observations older than ``window`` iterations are forgotten, which both
+    adapts to concept drift and washes out a misleading initialization.
+    """
+
+    def __init__(self, window: int) -> None:
+        if window < 1:
+            raise ValueError("window must be at least 1")
+        self.window = window
+        self._history: Dict[EnsembleKey, Deque[Tuple[int, float]]] = {}
+
+    def record(self, key: EnsembleKey, reward: float, iteration: int) -> None:
+        """Record the score observed for ``S`` at iteration ``iteration``."""
+        if iteration < 1:
+            raise ValueError("iteration numbering starts at 1")
+        queue = self._history.setdefault(key, deque())
+        if queue and queue[-1][0] > iteration:
+            raise ValueError("iterations must be recorded in order")
+        queue.append((iteration, reward))
+        self._evict(queue, iteration)
+
+    def _evict(self, queue: Deque[Tuple[int, float]], now: int) -> None:
+        horizon = now - self.window
+        while queue and queue[0][0] <= horizon:
+            queue.popleft()
+
+    def count(self, key: EnsembleKey, now: int) -> int:
+        """``T^lambda_S`` at iteration ``now``."""
+        queue = self._history.get(key)
+        if not queue:
+            return 0
+        self._evict(queue, now)
+        return len(queue)
+
+    def mean(self, key: EnsembleKey, now: int) -> float:
+        """``mu^lambda_S`` at iteration ``now`` (0 when the window is empty)."""
+        queue = self._history.get(key)
+        if not queue:
+            return 0.0
+        self._evict(queue, now)
+        if not queue:
+            return 0.0
+        return sum(reward for _, reward in queue) / len(queue)
+
+    def exploration_bonus(self, key: EnsembleKey, t: int) -> float:
+        """``Gamma^lambda_S = sqrt(2 ln(min(t-1, lambda)) / T^lambda_S)``."""
+        count = self.count(key, t)
+        if count == 0:
+            return math.inf
+        effective = max(min(t - 1, self.window), 2)
+        return math.sqrt(2.0 * math.log(effective) / count)
+
+    def ucb(self, key: EnsembleKey, t: int) -> float:
+        """Windowed UCB (Eq. 16)."""
+        return self.mean(key, t) + self.exploration_bonus(key, t)
+
+
+class DiscountedStatistics:
+    """Exponentially discounted counts/means (the D-UCB alternative).
+
+    Every call to :meth:`advance` multiplies all accumulated weight by the
+    discount factor; recent observations therefore dominate without a hard
+    window edge.
+    """
+
+    def __init__(self, discount: float = 0.99) -> None:
+        if not 0.0 < discount <= 1.0:
+            raise ValueError("discount must be in (0, 1]")
+        self.discount = discount
+        self._weights: Dict[EnsembleKey, float] = {}
+        self._weighted_sums: Dict[EnsembleKey, float] = {}
+
+    def advance(self) -> None:
+        """Decay all statistics by one iteration."""
+        for key in self._weights:
+            self._weights[key] *= self.discount
+            self._weighted_sums[key] *= self.discount
+
+    def record(self, key: EnsembleKey, reward: float) -> None:
+        self._weights[key] = self._weights.get(key, 0.0) + 1.0
+        self._weighted_sums[key] = self._weighted_sums.get(key, 0.0) + reward
+
+    def count(self, key: EnsembleKey) -> float:
+        """Discounted observation mass ``N_S`` (fractional)."""
+        return self._weights.get(key, 0.0)
+
+    def mean(self, key: EnsembleKey) -> float:
+        weight = self._weights.get(key, 0.0)
+        if weight <= 0.0:
+            return 0.0
+        return self._weighted_sums[key] / weight
+
+    def exploration_bonus(self, key: EnsembleKey) -> float:
+        """D-UCB bonus using total discounted mass as the horizon."""
+        count = self.count(key)
+        if count <= 0.0:
+            return math.inf
+        total = sum(self._weights.values())
+        return math.sqrt(2.0 * math.log(max(total, 2.0)) / count)
+
+    def ucb(self, key: EnsembleKey) -> float:
+        return self.mean(key) + self.exploration_bonus(key)

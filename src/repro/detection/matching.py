@@ -1,0 +1,142 @@
+"""Greedy IoU matching between a detection set and a reference set.
+
+Matching follows the standard PASCAL VOC / COCO evaluation protocol:
+detections are visited in decreasing confidence order and each is matched to
+the highest-IoU unmatched reference box of the same class, provided the IoU
+clears the threshold.  The same protocol serves two roles in this repo:
+
+* scoring detections against ground truth (true AP, Eq. 2 of the paper), and
+* scoring detections against the reference model's boxes (estimated AP,
+  Eq. 3), where the "ground truth" is simply ``BBox_{REF|v}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.detection.boxes import iou_matrix
+from repro.detection.types import Detection, FrameDetections
+
+__all__ = ["MatchResult", "match_detections"]
+
+
+@dataclass(frozen=True)
+class MatchResult:
+    """Outcome of matching predictions against references for one frame.
+
+    Attributes:
+        pairs: ``(prediction_index, reference_index)`` matched pairs, indices
+            into the *original* prediction / reference sequences.
+        unmatched_predictions: Prediction indices with no matching reference
+            (false positives at this threshold).
+        unmatched_references: Reference indices never matched (false
+            negatives / misses).
+        ious: IoU of each matched pair, aligned with ``pairs``.
+    """
+
+    pairs: Tuple[Tuple[int, int], ...]
+    unmatched_predictions: Tuple[int, ...]
+    unmatched_references: Tuple[int, ...]
+    ious: Tuple[float, ...]
+
+    @property
+    def true_positives(self) -> int:
+        return len(self.pairs)
+
+    @property
+    def false_positives(self) -> int:
+        return len(self.unmatched_predictions)
+
+    @property
+    def false_negatives(self) -> int:
+        return len(self.unmatched_references)
+
+    @property
+    def precision(self) -> float:
+        total = self.true_positives + self.false_positives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def recall(self) -> float:
+        total = self.true_positives + self.false_negatives
+        return self.true_positives / total if total else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) > 0 else 0.0
+
+
+def match_detections(
+    predictions: Sequence[Detection] | FrameDetections,
+    references: Sequence[Detection] | FrameDetections,
+    iou_threshold: float = 0.5,
+    class_aware: bool = True,
+) -> MatchResult:
+    """Greedily match predictions to references by decreasing confidence.
+
+    Args:
+        predictions: Predicted detections.
+        references: Reference detections (ground truth or REF-model boxes).
+        iou_threshold: Minimum IoU for a valid match, in ``(0, 1]``.
+        class_aware: If True (the default, matching the VOC protocol), a
+            prediction may only match a reference with the same label.
+
+    Returns:
+        A :class:`MatchResult` over original indices.
+    """
+    if not 0.0 < iou_threshold <= 1.0:
+        raise ValueError(f"iou_threshold must be in (0, 1], got {iou_threshold}")
+
+    preds = list(predictions)
+    refs = list(references)
+    if not preds or not refs:
+        return MatchResult(
+            pairs=(),
+            unmatched_predictions=tuple(range(len(preds))),
+            unmatched_references=tuple(range(len(refs))),
+            ious=(),
+        )
+
+    ious = iou_matrix([p.box for p in preds], [r.box for r in refs])
+    if class_aware:
+        pred_labels = np.asarray([p.label for p in preds], dtype=object)
+        ref_labels = np.asarray([r.label for r in refs], dtype=object)
+        label_ok = pred_labels[:, None] == ref_labels[None, :]
+        ious = np.where(label_ok, ious, 0.0)
+
+    order = sorted(
+        range(len(preds)), key=lambda i: preds[i].confidence, reverse=True
+    )
+    ref_taken = [False] * len(refs)
+    pairs: List[Tuple[int, int]] = []
+    pair_ious: List[float] = []
+    unmatched_preds: List[int] = []
+
+    for pi in order:
+        row = ious[pi]
+        best_ref = -1
+        best_iou = iou_threshold
+        for ri in range(len(refs)):
+            if ref_taken[ri]:
+                continue
+            if row[ri] >= best_iou:
+                best_iou = row[ri]
+                best_ref = ri
+        if best_ref >= 0:
+            ref_taken[best_ref] = True
+            pairs.append((pi, best_ref))
+            pair_ious.append(float(best_iou))
+        else:
+            unmatched_preds.append(pi)
+
+    unmatched_refs = [ri for ri, taken in enumerate(ref_taken) if not taken]
+    return MatchResult(
+        pairs=tuple(pairs),
+        unmatched_predictions=tuple(sorted(unmatched_preds)),
+        unmatched_references=tuple(unmatched_refs),
+        ious=tuple(pair_ious),
+    )

@@ -1,0 +1,166 @@
+"""Detection value types: the paper's ``<BBox, Conf, Label>`` triplets.
+
+A :class:`Detection` is a single predicted object instance; a
+:class:`FrameDetections` is the full output of applying one detector (or one
+ensemble) to one frame, i.e. the paper's ``D_{M_i | v}`` / ``D_{S | v}``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from repro.detection.boxes import BBox
+
+__all__ = ["Detection", "FrameDetections"]
+
+
+@dataclass(frozen=True)
+class Detection:
+    """A single detected object instance.
+
+    Attributes:
+        box: The predicted bounding box.
+        confidence: Detector confidence in ``[0, 1]``.
+        label: Predicted object class (e.g. ``"car"``).
+        source: Optional name of the detector that produced this detection;
+            fusion methods use it to weight contributions and tests use it
+            for provenance assertions.
+        object_id: Optional ground-truth object identity; only populated by
+            the simulation substrate (real detectors do not know identities).
+            Metrics never read it.
+    """
+
+    box: BBox
+    confidence: float
+    label: str
+    source: Optional[str] = None
+    object_id: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.confidence <= 1.0:
+            raise ValueError(
+                f"confidence must be in [0, 1], got {self.confidence!r}"
+            )
+        if not self.label:
+            raise ValueError("label must be a non-empty string")
+
+    def with_confidence(self, confidence: float) -> "Detection":
+        """Copy of this detection with a replaced confidence."""
+        return Detection(
+            box=self.box,
+            confidence=confidence,
+            label=self.label,
+            source=self.source,
+            object_id=self.object_id,
+        )
+
+    def with_source(self, source: Optional[str]) -> "Detection":
+        """Copy of this detection attributed to ``source``."""
+        return Detection(
+            box=self.box,
+            confidence=self.confidence,
+            label=self.label,
+            source=source,
+            object_id=self.object_id,
+        )
+
+
+@dataclass(frozen=True)
+class FrameDetections:
+    """All detections produced for one frame by one detector or ensemble.
+
+    Instances are immutable; transformation helpers return new objects.
+
+    Attributes:
+        frame_index: Index of the frame within its video.
+        detections: The detection triplets, in no particular order.
+        source: Name of the producing detector or ensemble (optional).
+    """
+
+    frame_index: int
+    detections: Tuple[Detection, ...] = ()
+    source: Optional[str] = None
+
+    def __post_init__(self) -> None:
+        if self.frame_index < 0:
+            raise ValueError("frame_index must be non-negative")
+        if not isinstance(self.detections, tuple):
+            object.__setattr__(self, "detections", tuple(self.detections))
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    def __iter__(self) -> Iterator[Detection]:
+        return iter(self.detections)
+
+    def __bool__(self) -> bool:
+        return bool(self.detections)
+
+    @property
+    def labels(self) -> Tuple[str, ...]:
+        return tuple(d.label for d in self.detections)
+
+    def filter_confidence(self, threshold: float) -> "FrameDetections":
+        """Keep only detections with confidence ``>= threshold``."""
+        kept = tuple(d for d in self.detections if d.confidence >= threshold)
+        return FrameDetections(self.frame_index, kept, self.source)
+
+    def filter_label(self, label: str) -> "FrameDetections":
+        """Keep only detections of class ``label``."""
+        kept = tuple(d for d in self.detections if d.label == label)
+        return FrameDetections(self.frame_index, kept, self.source)
+
+    def by_label(self) -> Dict[str, List[Detection]]:
+        """Group detections by class label."""
+        groups: Dict[str, List[Detection]] = {}
+        for det in self.detections:
+            groups.setdefault(det.label, []).append(det)
+        return groups
+
+    def sorted_by_confidence(self) -> "FrameDetections":
+        """Detections ordered by decreasing confidence."""
+        ordered = tuple(
+            sorted(self.detections, key=lambda d: d.confidence, reverse=True)
+        )
+        return FrameDetections(self.frame_index, ordered, self.source)
+
+    def with_source(self, source: Optional[str]) -> "FrameDetections":
+        """Copy with a replaced source name on the frame and each detection."""
+        return FrameDetections(
+            self.frame_index,
+            tuple(d.with_source(source) for d in self.detections),
+            source,
+        )
+
+    def merged_with(self, *others: "FrameDetections") -> "FrameDetections":
+        """Concatenate detection lists from multiple sources for one frame.
+
+        This is the raw pooling step that fusion methods start from; it does
+        not deduplicate anything.
+        """
+        for other in others:
+            if other.frame_index != self.frame_index:
+                raise ValueError(
+                    "cannot merge detections from different frames "
+                    f"({self.frame_index} vs {other.frame_index})"
+                )
+        pooled: List[Detection] = list(self.detections)
+        for other in others:
+            pooled.extend(other.detections)
+        return FrameDetections(self.frame_index, tuple(pooled), None)
+
+    @staticmethod
+    def pool(
+        frame_index: int, parts: Iterable["FrameDetections"]
+    ) -> "FrameDetections":
+        """Pool any number of per-detector outputs for a frame."""
+        pooled: List[Detection] = []
+        for part in parts:
+            if part.frame_index != frame_index:
+                raise ValueError(
+                    f"frame index mismatch: expected {frame_index}, "
+                    f"got {part.frame_index}"
+                )
+            pooled.extend(part.detections)
+        return FrameDetections(frame_index, tuple(pooled), None)

@@ -1,0 +1,111 @@
+"""Common interface for box-fusion (model prediction ensembling) methods.
+
+A fusion method takes the per-detector outputs for one frame and produces a
+single combined :class:`~repro.detection.types.FrameDetections`.  Methods are
+stateless value objects: constructing one is cheap and calling it has no side
+effects, so a single instance can be shared across frames and threads.
+
+Fusion operates per class label throughout — boxes of different classes never
+suppress or merge with each other, matching every method's published
+formulation.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, List, Sequence, Tuple
+
+from repro.detection.types import Detection, FrameDetections
+
+__all__ = ["EnsembleMethod"]
+
+
+class EnsembleMethod(abc.ABC):
+    """Abstract base class for box-fusion methods.
+
+    Subclasses implement :meth:`_fuse_class` over a single-class pool of
+    detections; the base class handles pooling across detectors, splitting by
+    class, and re-assembling the frame output.
+    """
+
+    #: Short registry name; subclasses override.
+    name: str = "abstract"
+
+    def __call__(
+        self, per_detector: Sequence[FrameDetections]
+    ) -> FrameDetections:
+        return self.fuse(per_detector)
+
+    def fuse(self, per_detector: Sequence[FrameDetections]) -> FrameDetections:
+        """Fuse the outputs of several detectors on one frame.
+
+        Args:
+            per_detector: One :class:`FrameDetections` per detector, all with
+                the same ``frame_index``.  A single-element sequence is valid
+                and (for every method implemented here) passes detections
+                through with at most NMS-style dedup of that one model.
+
+        Returns:
+            The fused detections with ``source`` set to this method's name.
+        """
+        if not per_detector:
+            raise ValueError("fuse() requires at least one detector output")
+        frame_index = per_detector[0].frame_index
+        pooled = FrameDetections.pool(frame_index, per_detector)
+        num_models = len(per_detector)
+
+        fused: List[Detection] = []
+        for label, dets in sorted(pooled.by_label().items()):
+            fused.extend(self._fuse_class(dets, num_models))
+        ordered = tuple(
+            sorted(fused, key=lambda d: d.confidence, reverse=True)
+        )
+        return FrameDetections(frame_index, ordered, source=self.name)
+
+    @abc.abstractmethod
+    def _fuse_class(
+        self, detections: Sequence[Detection], num_models: int
+    ) -> List[Detection]:
+        """Fuse a pool of same-class detections from ``num_models`` models."""
+
+    def __repr__(self) -> str:
+        params = ", ".join(
+            f"{k}={v!r}"
+            for k, v in sorted(vars(self).items())
+            if not k.startswith("_")
+        )
+        return f"{type(self).__name__}({params})"
+
+
+def cluster_by_iou(
+    detections: Sequence[Detection], iou_threshold: float
+) -> List[List[int]]:
+    """Greedy confidence-ordered clustering used by WBF / NMW / Fusion.
+
+    Detections are visited in decreasing confidence order; each joins the
+    first existing cluster whose representative (the cluster's first, i.e.
+    highest-confidence, member) overlaps it with IoU above the threshold,
+    otherwise it seeds a new cluster.
+
+    Returns:
+        Clusters as lists of indices into ``detections``, each ordered by
+        decreasing confidence.
+    """
+    order = sorted(
+        range(len(detections)),
+        key=lambda i: detections[i].confidence,
+        reverse=True,
+    )
+    clusters: List[List[int]] = []
+    for idx in order:
+        box = detections[idx].box
+        placed = False
+        for cluster in clusters:
+            rep = detections[cluster[0]].box
+            if rep.iou(box) >= iou_threshold:
+                cluster.append(idx)
+                placed = True
+                break
+        if not placed:
+            clusters.append([idx])
+    return clusters

@@ -1,0 +1,42 @@
+"""Video query processing: the SQL-ish front end of the paper's Section 1.
+
+The paper motivates MES with queries of the form::
+
+    SELECT frameID
+    FROM (PROCESS inputVideo PRODUCE frameID, Detections
+          USING MES(OD1, OD2, ...; REF))
+    WHERE ...
+
+This subpackage implements that surface: a lexer and recursive-descent
+parser (:mod:`repro.query.parser`), a typed AST (:mod:`repro.query.ast`),
+a planner that binds detector / algorithm names to runtime objects
+(:mod:`repro.query.planner`), detection-level predicates
+(:mod:`repro.query.predicates`), and an executor that drives a selection
+algorithm over the video and filters the produced rows
+(:mod:`repro.query.executor`).
+"""
+
+from repro.query.ast import (
+    Comparison,
+    CountExpr,
+    ExistsExpr,
+    LogicalExpr,
+    ProcessClause,
+    Query,
+)
+from repro.query.executor import QueryEngine, QueryResult, Row
+from repro.query.parser import ParseError, parse_query
+
+__all__ = [
+    "Comparison",
+    "CountExpr",
+    "ExistsExpr",
+    "LogicalExpr",
+    "ParseError",
+    "ProcessClause",
+    "Query",
+    "QueryEngine",
+    "QueryResult",
+    "Row",
+    "parse_query",
+]

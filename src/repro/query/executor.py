@@ -1,0 +1,217 @@
+"""Query execution: drive a selection algorithm and filter produced rows.
+
+:class:`QueryEngine` is the user-facing entry point.  Videos, detectors and
+reference models are registered by name; :meth:`QueryEngine.execute` parses
+a query string, plans it, runs the bound selection algorithm over the video
+(selecting and fusing an ensemble per frame — the paper's pre-processing
+step), materializes the ``PRODUCE`` rows, and applies the ``WHERE``
+predicate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.scoring import ScoringFunction, WeightedLogScore
+from repro.core.selection import SelectionResult
+from repro.detection.types import FrameDetections
+from repro.ensembling.base import EnsembleMethod
+from repro.query.ast import Query
+from repro.query.parser import parse_query
+from repro.query.planner import PlanError, QueryPlan, build_plan
+from repro.query.predicates import evaluate_expr
+from repro.simulation.video import Frame, Video
+
+__all__ = ["Row", "QueryResult", "QueryEngine"]
+
+#: Columns a PROCESS clause may produce, lower-cased.
+_PRODUCIBLE = ("frameid", "detections", "score", "ensemble")
+
+
+@dataclass(frozen=True)
+class Row:
+    """One produced row (one processed frame)."""
+
+    frame_id: int
+    detections: FrameDetections
+    score: float
+    ensemble: Tuple[str, ...]
+
+    def value(self, column: str) -> object:
+        """Column accessor by (case-insensitive) name."""
+        key = column.lower()
+        if key == "frameid":
+            return self.frame_id
+        if key == "detections":
+            return self.detections
+        if key == "score":
+            return self.score
+        if key == "ensemble":
+            return self.ensemble
+        raise KeyError(f"unknown column {column!r}; known: {_PRODUCIBLE}")
+
+
+@dataclass
+class QueryResult:
+    """Execution output: selected rows plus run statistics."""
+
+    rows: List[Row]
+    selection: SelectionResult
+    query: Query
+
+    def __len__(self) -> int:
+        return len(self.rows)
+
+    def column(self, name: str) -> List[object]:
+        """All values of one selected column."""
+        return [row.value(name) for row in self.rows]
+
+    def frame_ids(self) -> List[int]:
+        return [row.frame_id for row in self.rows]
+
+
+class QueryEngine:
+    """Catalog + executor for the video query language.
+
+    Args:
+        scoring: Scoring function used by selection algorithms.
+        fusion: Fusion method (WBF by default).
+    """
+
+    def __init__(
+        self,
+        scoring: Optional[ScoringFunction] = None,
+        fusion: Optional[EnsembleMethod] = None,
+    ) -> None:
+        self.scoring = scoring if scoring is not None else WeightedLogScore(0.5)
+        self.fusion = fusion
+        self._videos: Dict[str, Tuple[Frame, ...]] = {}
+        self._detectors: Dict[str, object] = {}
+        self._references: Dict[str, object] = {}
+
+    # ---- catalog --------------------------------------------------------
+
+    def register_video(self, name: str, video: Video | Sequence[Frame]) -> None:
+        """Register a video (or raw frame sequence) under ``name``."""
+        if not name:
+            raise ValueError("video name must be non-empty")
+        frames = tuple(video.frames if isinstance(video, Video) else video)
+        if not frames:
+            raise ValueError("cannot register an empty video")
+        self._videos[name] = frames
+
+    def register_detector(self, detector: object) -> None:
+        """Register a detector by its own ``.name``."""
+        name = getattr(detector, "name", None)
+        if not name:
+            raise ValueError("detector must expose a non-empty .name")
+        self._detectors[name] = detector
+
+    def register_reference(self, reference: object) -> None:
+        """Register a reference model by its own ``.name``."""
+        name = getattr(reference, "name", None)
+        if not name:
+            raise ValueError("reference model must expose a non-empty .name")
+        self._references[name] = reference
+
+    @property
+    def videos(self) -> List[str]:
+        return sorted(self._videos)
+
+    @property
+    def detectors(self) -> List[str]:
+        return sorted(self._detectors)
+
+    @property
+    def references(self) -> List[str]:
+        return sorted(self._references)
+
+    # ---- execution ------------------------------------------------------
+
+    def plan(self, text: str) -> QueryPlan:
+        """Parse and plan a query without executing it."""
+        query = parse_query(text)
+        for column in query.process.produce:
+            if column.lower() not in _PRODUCIBLE:
+                raise PlanError(
+                    f"cannot produce column {column!r}; "
+                    f"producible: {list(_PRODUCIBLE)}"
+                )
+        return build_plan(
+            query,
+            known_videos=self.videos,
+            known_detectors=self.detectors,
+            known_references=self.references,
+        )
+
+    def execute(self, text: str) -> QueryResult:
+        """Run a query end to end.
+
+        Raises:
+            ParseError: On syntax errors.
+            PlanError: On unknown names / bad parameters.
+        """
+        plan = self.plan(text)
+        process = plan.query.process
+        frames = self._videos[process.video]
+        detectors = [self._detectors[m] for m in process.models]
+        if process.reference is not None:
+            reference = self._references[process.reference]
+        else:
+            if not self._references:
+                raise PlanError(
+                    "query has no reference model and none is registered"
+                )
+            # Deterministic default: the first registered reference.
+            reference = self._references[self.references[0]]
+
+        env = DetectionEnvironment(
+            detectors=detectors,
+            reference=reference,
+            scoring=self.scoring,
+            fusion=self.fusion,
+        )
+        selection = plan.algorithm.run(env, frames, budget_ms=plan.budget_ms)
+
+        rows: List[Row] = []
+        for record in selection.records:
+            frame = frames[record.frame_index]
+            batch = env.evaluate(frame, [record.selected], charge=False)
+            detections = batch.evaluations[record.selected].detections
+            row = Row(
+                frame_id=record.frame_index,
+                detections=detections,
+                score=record.est_score,
+                ensemble=record.selected,
+            )
+            if plan.query.where is None or evaluate_expr(
+                plan.query.where,
+                detections,
+                {"frameid": float(row.frame_id), "score": row.score},
+            ):
+                rows.append(row)
+        if plan.query.min_duration > 1:
+            rows = _apply_min_duration(rows, plan.query.min_duration)
+        return QueryResult(rows=rows, selection=selection, query=plan.query)
+
+
+def _apply_min_duration(rows: List[Row], min_duration: int) -> List[Row]:
+    """Keep only rows in consecutive-frame runs of at least ``min_duration``.
+
+    Implements the temporal qualifier ``FOR AT LEAST n FRAMES``: an event
+    counts only if the predicate held on ``n`` or more consecutive frames.
+    """
+    kept: List[Row] = []
+    run: List[Row] = []
+    for row in rows:
+        if run and row.frame_id == run[-1].frame_id + 1:
+            run.append(row)
+        else:
+            if len(run) >= min_duration:
+                kept.extend(run)
+            run = [row]
+    if len(run) >= min_duration:
+        kept.extend(run)
+    return kept

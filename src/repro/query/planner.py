@@ -1,0 +1,144 @@
+"""Query planning: bind names in the AST to runtime objects.
+
+The planner resolves the ``USING`` algorithm name against the selection-
+algorithm registry (applying ``WITH`` parameters), checks that referenced
+detectors / reference models / videos are registered with the engine, and
+produces an executable plan.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.baselines import (
+    BruteForce,
+    ExploreFirst,
+    MESA,
+    Oracle,
+    RandomSelection,
+    SingleBest,
+)
+from repro.core.mes import MES
+from repro.core.mes_b import MESB
+from repro.core.selection import SelectionAlgorithm
+from repro.core.sw_mes import DMES, SWMES
+from repro.query.ast import Query
+
+__all__ = ["PlanError", "QueryPlan", "build_plan", "algorithm_registry"]
+
+
+class PlanError(ValueError):
+    """Raised when a query references unknown names or invalid parameters."""
+
+
+def _make_mes(params: Mapping[str, float]) -> SelectionAlgorithm:
+    return MES(gamma=int(params.get("gamma", 5)))
+
+
+def _make_mes_b(params: Mapping[str, float]) -> SelectionAlgorithm:
+    return MESB(gamma=int(params.get("gamma", 5)))
+
+
+def _make_sw_mes(params: Mapping[str, float]) -> SelectionAlgorithm:
+    if "window" not in params:
+        raise PlanError("SW-MES requires WITH window=<size>")
+    return SWMES(
+        window=int(params["window"]), gamma=int(params.get("gamma", 5))
+    )
+
+
+def _make_d_mes(params: Mapping[str, float]) -> SelectionAlgorithm:
+    return DMES(
+        discount=float(params.get("discount", 0.99)),
+        gamma=int(params.get("gamma", 5)),
+    )
+
+
+def _make_ef(params: Mapping[str, float]) -> SelectionAlgorithm:
+    return ExploreFirst(delta=int(params.get("delta", 5)))
+
+
+def _make_rand(params: Mapping[str, float]) -> SelectionAlgorithm:
+    return RandomSelection(seed=int(params.get("seed", 0)))
+
+
+_ALGORITHMS: Dict[str, Callable[[Mapping[str, float]], SelectionAlgorithm]] = {
+    "mes": _make_mes,
+    "mes-b": _make_mes_b,
+    "mes-a": lambda params: MESA(gamma=int(params.get("gamma", 5))),
+    "sw-mes": _make_sw_mes,
+    "d-mes": _make_d_mes,
+    "opt": lambda params: Oracle(),
+    "bf": lambda params: BruteForce(),
+    "sgl": lambda params: SingleBest(),
+    "rand": _make_rand,
+    "ef": _make_ef,
+}
+
+
+def algorithm_registry() -> List[str]:
+    """Names accepted in the ``USING`` clause."""
+    return sorted(_ALGORITHMS)
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An executable plan: the bound algorithm plus validated names.
+
+    Attributes:
+        query: The source AST.
+        algorithm: Fresh algorithm instance configured from WITH params.
+        budget_ms: TCVI budget from ``WITH budget=...`` (None if absent).
+    """
+
+    query: Query
+    algorithm: SelectionAlgorithm
+    budget_ms: Optional[float]
+
+
+def build_plan(
+    query: Query,
+    known_videos: Sequence[str],
+    known_detectors: Sequence[str],
+    known_references: Sequence[str],
+) -> QueryPlan:
+    """Validate a query against the engine's catalog and bind the algorithm.
+
+    Raises:
+        PlanError: For unknown videos / detectors / references / algorithms
+            or invalid WITH parameters.
+    """
+    process = query.process
+    if process.video not in known_videos:
+        raise PlanError(
+            f"unknown video {process.video!r}; registered: {sorted(known_videos)}"
+        )
+    for model in process.models:
+        if model not in known_detectors:
+            raise PlanError(
+                f"unknown detector {model!r}; "
+                f"registered: {sorted(known_detectors)}"
+            )
+    if process.reference is not None and process.reference not in known_references:
+        raise PlanError(
+            f"unknown reference model {process.reference!r}; "
+            f"registered: {sorted(known_references)}"
+        )
+
+    algo_key = process.algorithm.lower()
+    factory = _ALGORITHMS.get(algo_key)
+    if factory is None:
+        raise PlanError(
+            f"unknown algorithm {process.algorithm!r}; "
+            f"known: {algorithm_registry()}"
+        )
+    params = dict(process.params)
+    budget_ms = params.pop("budget", None)
+    if algo_key == "mes-b" and budget_ms is None:
+        raise PlanError("MES-B requires WITH budget=<ms>")
+    try:
+        algorithm = factory(params)
+    except (ValueError, TypeError) as exc:
+        raise PlanError(f"invalid parameters for {process.algorithm}: {exc}") from exc
+    return QueryPlan(query=query, algorithm=algorithm, budget_ms=budget_ms)

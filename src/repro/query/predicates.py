@@ -1,0 +1,101 @@
+"""Evaluation of WHERE expressions against produced rows.
+
+A row carries the frame id and the fused detections the selected ensemble
+produced; predicates reduce detections with ``COUNT`` / ``EXISTS``
+aggregates and compare scalars.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+from repro.detection.types import FrameDetections
+from repro.query.ast import (
+    Comparison,
+    CountExpr,
+    ExistsExpr,
+    Expr,
+    FieldRef,
+    LogicalExpr,
+)
+
+__all__ = ["evaluate_expr", "count_detections"]
+
+
+def count_detections(
+    detections: FrameDetections, label: str | None, min_confidence: float
+) -> int:
+    """Number of detections matching a label and confidence floor."""
+    return sum(
+        1
+        for det in detections
+        if (label is None or det.label == label)
+        and det.confidence >= min_confidence
+    )
+
+
+def _compare(left: float, op: str, right: float) -> bool:
+    if op == "=":
+        return left == right
+    if op == "!=":
+        return left != right
+    if op == "<":
+        return left < right
+    if op == "<=":
+        return left <= right
+    if op == ">":
+        return left > right
+    if op == ">=":
+        return left >= right
+    raise ValueError(f"unknown comparison operator {op!r}")
+
+
+def evaluate_expr(
+    expr: Expr,
+    detections: FrameDetections,
+    fields: Mapping[str, float],
+) -> bool:
+    """Evaluate a WHERE expression on one row.
+
+    Args:
+        expr: The parsed expression.
+        detections: The row's fused detections.
+        fields: Scalar row fields by lower-cased name (``frameid`` etc.).
+
+    Raises:
+        KeyError: If a field reference names an unknown row field.
+    """
+    if isinstance(expr, LogicalExpr):
+        if expr.op == "and":
+            return all(
+                evaluate_expr(operand, detections, fields)
+                for operand in expr.operands
+            )
+        if expr.op == "or":
+            return any(
+                evaluate_expr(operand, detections, fields)
+                for operand in expr.operands
+            )
+        return not evaluate_expr(expr.operands[0], detections, fields)
+
+    if isinstance(expr, ExistsExpr):
+        return count_detections(detections, expr.label, expr.min_confidence) > 0
+
+    if isinstance(expr, Comparison):
+        if isinstance(expr.left, CountExpr):
+            left = float(
+                count_detections(
+                    detections, expr.left.label, expr.left.min_confidence
+                )
+            )
+        else:
+            name = expr.left.name.lower()
+            if name not in fields:
+                raise KeyError(
+                    f"unknown field {expr.left.name!r}; "
+                    f"available: {sorted(fields)}"
+                )
+            left = float(fields[name])
+        return _compare(left, expr.op, expr.value)
+
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")

@@ -1,0 +1,30 @@
+"""Experiment orchestration: trials, multi-trial harness, sweeps, reports."""
+
+from repro.runner.experiment import (
+    TrialSetup,
+    bdd_detector_suite,
+    make_environment,
+    nuscenes_detector_suite,
+    run_algorithms,
+    standard_setup,
+)
+from repro.runner.harness import MetricStats, TrialOutcome, compare_algorithms
+from repro.runner.reporting import format_table, normalize_by
+from repro.runner.sweeps import budget_sweep, gamma_sweep, weight_sweep
+
+__all__ = [
+    "MetricStats",
+    "TrialOutcome",
+    "TrialSetup",
+    "bdd_detector_suite",
+    "budget_sweep",
+    "compare_algorithms",
+    "format_table",
+    "gamma_sweep",
+    "make_environment",
+    "normalize_by",
+    "nuscenes_detector_suite",
+    "run_algorithms",
+    "standard_setup",
+    "weight_sweep",
+]

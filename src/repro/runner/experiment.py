@@ -1,0 +1,216 @@
+"""Single-trial experiment assembly: detector suites, environments, runs.
+
+The detector suites mirror Section 5.2: YOLOv7-family and Faster R-CNN
+structures specialized on different domains.  The ``m = 3`` suite is the
+Figure 2 trio (three YOLOv7-tiny models trained on clear / night / rainy —
+the paper's Yolo-C / Yolo-N / Yolo-R); ``m = 5`` adds a heavyweight
+generalist and a fast generalist, giving the 31-ensemble lattice used in
+most experiments; ``m = 2`` is the reduced pool of Figure 11.
+
+:func:`run_algorithms` runs several algorithms over the same trial with a
+shared evaluation cache, which is sound because detector outputs are
+deterministic per frame — only the clocks and selections differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.scoring import ScoringFunction, WeightedLogScore
+from repro.core.selection import SelectionAlgorithm, SelectionResult
+from repro.ensembling.base import EnsembleMethod
+from repro.ensembling.wbf import WeightedBoxesFusion
+from repro.simulation.clock import CostModel
+from repro.simulation.datasets import Dataset, build_bdd_like, build_nuscenes_like
+from repro.simulation.detectors import SimulatedDetector
+from repro.simulation.lidar import SimulatedLidar
+from repro.simulation.profiles import make_profile
+from repro.simulation.video import Frame, Video
+from repro.utils.rng import derive_seed
+
+__all__ = [
+    "nuscenes_detector_suite",
+    "bdd_detector_suite",
+    "TrialSetup",
+    "standard_setup",
+    "make_environment",
+    "run_algorithms",
+]
+
+#: (architecture, domain) pairs per suite size, ordered so that smaller
+#: suites are prefixes of larger ones.
+_NUSC_SUITE: Tuple[Tuple[str, str], ...] = (
+    ("yolov7-tiny", "clear"),
+    ("yolov7-tiny", "night"),
+    ("yolov7-tiny", "rainy"),
+    ("yolov7", "all"),
+    ("yolov7-micro", "all"),
+    ("faster-rcnn", "all"),
+)
+
+_BDD_SUITE: Tuple[Tuple[str, str], ...] = (
+    ("yolov7-tiny", "rainy"),
+    ("yolov7-tiny", "snow"),
+    ("yolov7-tiny", "clear"),
+    ("yolov7", "all"),
+    ("yolov7-micro", "all"),
+    ("faster-rcnn", "all"),
+)
+
+
+def _build_suite(
+    pairs: Sequence[Tuple[str, str]], m: int, seed: int
+) -> List[SimulatedDetector]:
+    if not 1 <= m <= len(pairs):
+        raise ValueError(f"m must be in [1, {len(pairs)}], got {m}")
+    detectors: List[SimulatedDetector] = []
+    for arch, domain in pairs[:m]:
+        profile = make_profile(arch, domain)
+        detectors.append(
+            SimulatedDetector(profile, seed=derive_seed(seed, "det", profile.name))
+        )
+    return detectors
+
+
+def nuscenes_detector_suite(m: int = 5, seed: int = 0) -> List[SimulatedDetector]:
+    """The nuScenes experiment detector pool (m in 1..6)."""
+    return _build_suite(_NUSC_SUITE, m, seed)
+
+
+def bdd_detector_suite(m: int = 5, seed: int = 0) -> List[SimulatedDetector]:
+    """The BDD experiment detector pool (m in 1..6)."""
+    return _build_suite(_BDD_SUITE, m, seed)
+
+
+@dataclass(frozen=True)
+class TrialSetup:
+    """Everything one experiment trial needs.
+
+    Attributes:
+        frames: The frame sequence ``V``.
+        detectors: The pool ``M``.
+        reference: The REF model.
+        label: Human-readable dataset label (e.g. ``"nusc-night"``).
+    """
+
+    frames: Tuple[Frame, ...]
+    detectors: Tuple[SimulatedDetector, ...]
+    reference: SimulatedLidar
+    label: str
+
+
+#: Dataset keys accepted by :func:`standard_setup`, mapped to
+#: (builder, group, suite) triples.  ``None`` group means the whole dataset.
+_DATASET_REGISTRY: Dict[str, Tuple[Callable[..., Dataset], Optional[str], str]] = {
+    "nusc": (build_nuscenes_like, None, "nusc"),
+    "nusc-clear": (build_nuscenes_like, "nusc-clear", "nusc"),
+    "nusc-night": (build_nuscenes_like, "nusc-night", "nusc"),
+    "nusc-rainy": (build_nuscenes_like, "nusc-rainy", "nusc"),
+    "bdd": (build_bdd_like, None, "bdd"),
+    "bdd-rainy": (build_bdd_like, "bdd-rainy", "bdd"),
+    "bdd-snow": (build_bdd_like, "bdd-snow", "bdd"),
+}
+
+
+def dataset_keys() -> List[str]:
+    """The dataset labels accepted by :func:`standard_setup`."""
+    return sorted(_DATASET_REGISTRY)
+
+
+def standard_setup(
+    dataset: str = "nusc",
+    trial: int = 0,
+    scale: float = 0.01,
+    m: int = 5,
+    max_frames: Optional[int] = None,
+    seed: int = 0,
+) -> TrialSetup:
+    """Build a trial: resampled dataset + detector suite + LiDAR REF.
+
+    Args:
+        dataset: One of :func:`dataset_keys`.
+        trial: Trial number; trials differ in dataset resampling and
+            detector noise seeds (the Section 5.4 protocol).
+        scale: Fraction of the paper's scene counts to generate.
+        m: Detector-pool size.
+        max_frames: Optional cap on the frame-sequence length.
+        seed: Base seed of the whole experiment family.
+    """
+    if dataset not in _DATASET_REGISTRY:
+        raise KeyError(
+            f"unknown dataset {dataset!r}; known: {dataset_keys()}"
+        )
+    builder, group, suite = _DATASET_REGISTRY[dataset]
+    data = builder(seed=derive_seed(seed, "data", dataset, trial), scale=scale)
+    video = data.as_video(group)
+    frames: Tuple[Frame, ...] = video.frames
+    if max_frames is not None:
+        frames = frames[:max_frames]
+
+    suite_seed = derive_seed(seed, "suite", dataset, trial)
+    if suite == "nusc":
+        detectors = nuscenes_detector_suite(m, seed=suite_seed)
+    else:
+        detectors = bdd_detector_suite(m, seed=suite_seed)
+    reference = SimulatedLidar(seed=derive_seed(seed, "lidar", dataset, trial))
+    return TrialSetup(
+        frames=tuple(frames),
+        detectors=tuple(detectors),
+        reference=reference,
+        label=dataset,
+    )
+
+
+def make_environment(
+    setup: TrialSetup,
+    scoring: Optional[ScoringFunction] = None,
+    fusion: Optional[EnsembleMethod] = None,
+    cost_model: Optional[CostModel] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> DetectionEnvironment:
+    """A fresh environment over a trial setup (optionally sharing a cache)."""
+    return DetectionEnvironment(
+        detectors=list(setup.detectors),
+        reference=setup.reference,
+        scoring=scoring if scoring is not None else WeightedLogScore(0.5),
+        fusion=fusion if fusion is not None else WeightedBoxesFusion(),
+        cost_model=cost_model,
+        cache=cache,
+    )
+
+
+def run_algorithms(
+    setup: TrialSetup,
+    algorithms: Mapping[str, Callable[[], SelectionAlgorithm]],
+    scoring: Optional[ScoringFunction] = None,
+    budget_ms: Optional[float] = None,
+    fusion: Optional[EnsembleMethod] = None,
+    cache: Optional[EvaluationCache] = None,
+) -> Dict[str, SelectionResult]:
+    """Run several algorithms on one trial with a shared evaluation cache.
+
+    Args:
+        setup: The trial.
+        algorithms: Name -> zero-argument factory producing a *fresh*
+            algorithm instance (selection algorithms are stateful).
+        scoring: Scoring function shared by all runs.
+        budget_ms: Optional TCVI budget applied to every run.
+        fusion: Fusion method (WBF by default).
+        cache: Optional externally owned cache (e.g. shared across the
+            budget points of a sweep over the same trial).
+
+    Returns:
+        Name -> the algorithm's :class:`SelectionResult`.
+    """
+    if cache is None:
+        cache = EvaluationCache()
+    results: Dict[str, SelectionResult] = {}
+    for name, factory in algorithms.items():
+        env = make_environment(
+            setup, scoring=scoring, fusion=fusion, cache=cache
+        )
+        algorithm = factory()
+        results[name] = algorithm.run(env, setup.frames, budget_ms=budget_ms)
+    return results

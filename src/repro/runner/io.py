@@ -1,0 +1,161 @@
+"""Result serialization: JSON and CSV export of runs and comparisons.
+
+Experiments are cheap to re-run but expensive to re-compare; these helpers
+persist :class:`~repro.core.selection.SelectionResult` traces and harness
+outcomes in plain formats any analysis stack can read.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Dict, List, Mapping, Union
+
+from repro.core.selection import FrameRecord, SelectionResult
+from repro.runner.harness import TrialOutcome
+
+__all__ = [
+    "result_to_dict",
+    "save_result_json",
+    "load_result_json",
+    "save_records_csv",
+    "outcomes_to_rows",
+    "save_outcomes_csv",
+]
+
+_PathLike = Union[str, Path]
+
+
+def result_to_dict(result: SelectionResult) -> Dict:
+    """A JSON-serializable view of a run."""
+    return {
+        "algorithm": result.algorithm,
+        "budget_ms": result.budget_ms,
+        "frames_processed": result.frames_processed,
+        "s_sum": result.s_sum,
+        "s_sum_estimated": result.s_sum_estimated,
+        "mean_true_ap": result.mean_true_ap,
+        "mean_normalized_cost": result.mean_normalized_cost,
+        "total_charged_ms": result.total_charged_ms,
+        "records": [
+            {
+                "iteration": r.iteration,
+                "frame_index": r.frame_index,
+                "selected": list(r.selected),
+                "est_score": r.est_score,
+                "est_ap": r.est_ap,
+                "true_score": r.true_score,
+                "true_ap": r.true_ap,
+                "cost_ms": r.cost_ms,
+                "normalized_cost": r.normalized_cost,
+                "charged_ms": r.charged_ms,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def save_result_json(result: SelectionResult, path: _PathLike) -> None:
+    """Write a run to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(result_to_dict(result), handle, indent=2)
+
+
+def load_result_json(path: _PathLike) -> SelectionResult:
+    """Load a run previously written by :func:`save_result_json`."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    records = [
+        FrameRecord(
+            iteration=r["iteration"],
+            frame_index=r["frame_index"],
+            selected=tuple(r["selected"]),
+            est_score=r["est_score"],
+            est_ap=r["est_ap"],
+            true_score=r["true_score"],
+            true_ap=r["true_ap"],
+            cost_ms=r["cost_ms"],
+            normalized_cost=r["normalized_cost"],
+            charged_ms=r["charged_ms"],
+        )
+        for r in payload["records"]
+    ]
+    return SelectionResult(
+        algorithm=payload["algorithm"],
+        records=records,
+        budget_ms=payload["budget_ms"],
+    )
+
+
+_RECORD_COLUMNS = (
+    "iteration",
+    "frame_index",
+    "selected",
+    "est_score",
+    "est_ap",
+    "true_score",
+    "true_ap",
+    "cost_ms",
+    "normalized_cost",
+    "charged_ms",
+)
+
+
+def save_records_csv(result: SelectionResult, path: _PathLike) -> None:
+    """Write per-frame records to CSV (ensembles joined with '+')."""
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(_RECORD_COLUMNS)
+        for r in result.records:
+            writer.writerow(
+                [
+                    r.iteration,
+                    r.frame_index,
+                    "+".join(r.selected),
+                    r.est_score,
+                    r.est_ap,
+                    r.true_score,
+                    r.true_ap,
+                    r.cost_ms,
+                    r.normalized_cost,
+                    r.charged_ms,
+                ]
+            )
+
+
+def outcomes_to_rows(outcomes: Mapping[str, TrialOutcome]) -> List[Dict]:
+    """Flatten a harness comparison into per-(algorithm, trial) rows."""
+    rows: List[Dict] = []
+    for name, outcome in outcomes.items():
+        for trial, s_sum in enumerate(outcome.s_sum):
+            rows.append(
+                {
+                    "algorithm": name,
+                    "trial": trial,
+                    "s_sum": s_sum,
+                    "mean_ap": outcome.mean_ap[trial],
+                    "mean_cost": outcome.mean_cost[trial],
+                    "frames_processed": outcome.frames_processed[trial],
+                }
+            )
+    return rows
+
+
+def save_outcomes_csv(
+    outcomes: Mapping[str, TrialOutcome], path: _PathLike
+) -> None:
+    """Write a harness comparison to CSV."""
+    rows = outcomes_to_rows(outcomes)
+    columns = (
+        "algorithm",
+        "trial",
+        "s_sum",
+        "mean_ap",
+        "mean_cost",
+        "frames_processed",
+    )
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        writer = csv.DictWriter(handle, fieldnames=columns)
+        writer.writeheader()
+        writer.writerows(rows)

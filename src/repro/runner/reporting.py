@@ -1,0 +1,87 @@
+"""Plain-text reporting: aligned tables and normalization helpers.
+
+The benchmark harness prints every reproduced table and figure as rows and
+series on stdout; these helpers keep that output consistent and readable.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Mapping, Optional, Sequence
+
+__all__ = ["format_table", "normalize_by", "format_series"]
+
+
+def _format_cell(value: object, precision: int) -> str:
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+def format_table(
+    rows: Sequence[Mapping[str, object]],
+    columns: Optional[Sequence[str]] = None,
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render rows of dicts as an aligned text table.
+
+    Args:
+        rows: The data; each row is a column-name -> value mapping.
+        columns: Column order; defaults to the first row's key order.
+        precision: Decimal places for float cells.
+        title: Optional heading line.
+    """
+    if not rows:
+        return (title + "\n(empty)") if title else "(empty)"
+    cols = list(columns) if columns is not None else list(rows[0].keys())
+    header = [str(c) for c in cols]
+    body = [
+        [_format_cell(row.get(c, ""), precision) for c in cols] for row in rows
+    ]
+    widths = [
+        max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for r in body:
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def normalize_by(
+    values: Mapping[str, float], reference_key: str
+) -> Dict[str, float]:
+    """Scale a metric mapping so that ``reference_key`` maps to 1.0.
+
+    Used for Figure 8's "normalized by the score of MES" presentation.
+
+    Raises:
+        KeyError: If the reference key is missing.
+        ValueError: If the reference value is zero.
+    """
+    if reference_key not in values:
+        raise KeyError(f"reference key {reference_key!r} not in values")
+    reference = values[reference_key]
+    if reference == 0:
+        raise ValueError("cannot normalize by a zero reference value")
+    return {key: value / reference for key, value in values.items()}
+
+
+def format_series(
+    x_label: str,
+    x_values: Sequence[object],
+    series: Mapping[str, Sequence[float]],
+    precision: int = 3,
+    title: Optional[str] = None,
+) -> str:
+    """Render one-x-many-y series (a figure's line chart) as a table."""
+    rows: List[Dict[str, object]] = []
+    for i, x in enumerate(x_values):
+        row: Dict[str, object] = {x_label: x}
+        for name, ys in series.items():
+            row[name] = ys[i] if i < len(ys) else ""
+        rows.append(row)
+    return format_table(rows, precision=precision, title=title)

@@ -1,0 +1,185 @@
+"""Concept-drift composition by segment shuffling (the TUVI-CD datasets).
+
+Section 5.1.1 of the paper builds drifting videos — ``V_c&n``, ``V_n&r``,
+``V_c&n&r`` — by cutting each specialized dataset into 10 segments and
+interleaving the segments in random order.  The junctions between segments
+of different source categories are the abrupt breakpoints of the TUVI-CD
+problem definition; :func:`compose_drifting_video` records them on the
+resulting :class:`~repro.simulation.video.Video` so experiments can compute
+the drift count ``xi`` and regret bounds can be checked.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from repro.simulation.video import Video
+from repro.utils.rng import derive_rng
+
+__all__ = ["split_segments", "compose_drifting_video"]
+
+
+def split_segments(video: Video, num_segments: int) -> List[Video]:
+    """Cut a video into ``num_segments`` contiguous, nearly equal pieces.
+
+    Raises:
+        ValueError: If the video has fewer frames than segments.
+    """
+    if num_segments <= 0:
+        raise ValueError("num_segments must be positive")
+    if len(video) < num_segments:
+        raise ValueError(
+            f"cannot cut a {len(video)}-frame video into {num_segments} segments"
+        )
+    segments: List[Video] = []
+    base = len(video) // num_segments
+    remainder = len(video) % num_segments
+    start = 0
+    for i in range(num_segments):
+        length = base + (1 if i < remainder else 0)
+        segments.append(video.slice(start, start + length))
+        start += length
+    return segments
+
+
+def compose_drifting_video(
+    name: str,
+    sources: Sequence[Video],
+    num_segments: int = 10,
+    seed: int = 0,
+    source_labels: Optional[Sequence[str]] = None,
+) -> Video:
+    """Build a drifting video by shuffling segments of several sources.
+
+    Each source video contributes ``num_segments`` contiguous segments; all
+    segments are shuffled together uniformly.  A breakpoint is recorded at
+    every junction where the source changes (junctions between two segments
+    of the same source are not drifts).
+
+    Args:
+        name: Name of the composed video.
+        sources: Source videos, e.g. the clear and night specialized
+            datasets for ``V_c&n``.
+        num_segments: Segments per source (the paper uses 10).
+        seed: Shuffle seed.
+        source_labels: Optional per-source labels used only for error
+            messages; defaults to the videos' names.
+
+    Returns:
+        The composed :class:`Video` with drift breakpoints populated.
+    """
+    if len(sources) < 2:
+        raise ValueError("drift composition needs at least two source videos")
+    labels = (
+        list(source_labels)
+        if source_labels is not None
+        else [v.name for v in sources]
+    )
+    if len(labels) != len(sources):
+        raise ValueError("source_labels must match sources in length")
+
+    tagged: List[tuple] = []
+    for src_idx, video in enumerate(sources):
+        for segment in split_segments(video, num_segments):
+            tagged.append((src_idx, segment))
+
+    rng = derive_rng(seed, "drift", name)
+    order = rng.permutation(len(tagged))
+    shuffled = [tagged[int(i)] for i in order]
+
+    parts = [segment for _, segment in shuffled]
+    composed = Video.concatenate(name, parts, mark_breakpoints=False)
+
+    # Record a breakpoint only where the source category actually changes.
+    breakpoints: List[int] = []
+    position = 0
+    for k, (src_idx, segment) in enumerate(shuffled):
+        if k > 0 and src_idx != shuffled[k - 1][0]:
+            breakpoints.append(position)
+        position += len(segment)
+    return Video(
+        name=composed.name,
+        frames=composed.frames,
+        breakpoints=tuple(breakpoints),
+    )
+
+
+def interpolate_category(
+    start: "SceneCategory", end: "SceneCategory", alpha: float
+) -> "SceneCategory":
+    """Linear interpolation between two scene categories.
+
+    Args:
+        start / end: Endpoint categories.
+        alpha: Mixing coefficient in ``[0, 1]`` (0 = start, 1 = end).
+
+    Returns:
+        A transitional category named ``"{start}->{end}"``.
+    """
+    from repro.simulation.scenes import SceneCategory
+
+    if not 0.0 <= alpha <= 1.0:
+        raise ValueError("alpha must be in [0, 1]")
+
+    def lerp(a: float, b: float) -> float:
+        return a + (b - a) * alpha
+
+    return SceneCategory(
+        name=f"{start.name}->{end.name}",
+        visibility=lerp(start.visibility, end.visibility),
+        clutter=lerp(start.clutter, end.clutter),
+        contrast=lerp(start.contrast, end.contrast),
+        lidar_visibility=lerp(start.lidar_visibility, end.lidar_visibility),
+        density_multiplier=lerp(
+            start.density_multiplier, end.density_multiplier
+        ),
+    )
+
+
+def generate_gradual_drift_video(
+    name: str,
+    num_frames: int,
+    start_category: str,
+    end_category: str,
+    seed: int = 0,
+    hold_fraction: float = 0.25,
+):
+    """A video whose conditions morph gradually from one category to another.
+
+    The paper's TUVI-CD models *abrupt* drift (Section 2.4); gradual drift
+    — dusk falling, rain setting in — is the natural extension this helper
+    provides.  The schedule holds the start category for ``hold_fraction``
+    of the video, interpolates linearly through the middle, and holds the
+    end category for the final ``hold_fraction``.
+
+    Returns:
+        A :class:`~repro.simulation.video.Video` with no recorded
+        breakpoints (the drift has no breakpoint instant).
+    """
+    from repro.simulation.scenes import get_category
+    from repro.simulation.world import generate_video
+
+    if num_frames <= 0:
+        raise ValueError("num_frames must be positive")
+    if not 0.0 <= hold_fraction < 0.5:
+        raise ValueError("hold_fraction must be in [0, 0.5)")
+    start = get_category(start_category)
+    end = get_category(end_category)
+    hold = int(num_frames * hold_fraction)
+    ramp = max(num_frames - 2 * hold, 1)
+    schedule = []
+    for t in range(num_frames):
+        if t < hold:
+            alpha = 0.0
+        elif t >= num_frames - hold:
+            alpha = 1.0
+        else:
+            alpha = (t - hold) / ramp
+        schedule.append(interpolate_category(start, end, alpha))
+    return generate_video(
+        name,
+        num_frames,
+        category=start,
+        seed=seed,
+        category_schedule=schedule,
+    )

@@ -1,0 +1,115 @@
+"""Scene categories and their visual-difficulty parameters.
+
+nuScenes scenes are grouped by the paper into *clear*, *night* and *rainy*;
+BDD adds *rainy* and *snow* splits.  A scene category controls how hard its
+frames are for camera-based detectors: night frames have low visibility,
+rain and snow add clutter (spurious textures that induce false positives)
+and reduce contrast.  The LiDAR reference model is much less affected by
+lighting, which is exactly why the paper can use it as REF.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+from repro.utils.validation import check_positive, check_probability
+
+__all__ = ["SceneCategory", "SCENE_CATEGORIES", "get_category"]
+
+
+@dataclass(frozen=True)
+class SceneCategory:
+    """Visual difficulty profile of an environment category.
+
+    Attributes:
+        name: Category identifier (``"clear"``, ``"night"``, ...).
+        visibility: Baseline visibility of objects to camera detectors in
+            ``[0, 1]``; multiplies detection probability.
+        clutter: Relative rate of detector false positives induced by the
+            environment (1.0 = clear-weather baseline).
+        contrast: Localization quality factor in ``(0, 1]``; lower contrast
+            means noisier boxes.
+        lidar_visibility: Visibility to the LiDAR reference, typically close
+            to 1 even at night (LiDAR is active sensing); heavy rain degrades
+            it slightly.
+        density_multiplier: Relative object density of scenes in this
+            category (night streets are emptier, city rain is similar).
+    """
+
+    name: str
+    visibility: float
+    clutter: float
+    contrast: float
+    lidar_visibility: float
+    density_multiplier: float
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("category name must be non-empty")
+        check_probability(self.visibility, "visibility")
+        check_positive(self.clutter, "clutter")
+        check_probability(self.contrast, "contrast")
+        check_probability(self.lidar_visibility, "lidar_visibility")
+        check_positive(self.density_multiplier, "density_multiplier")
+
+
+#: The categories used by the datasets in Tables 1–2, plus "overcast" for
+#: nuScenes scenes outside the three labeled groups.
+SCENE_CATEGORIES: Dict[str, SceneCategory] = {
+    "clear": SceneCategory(
+        name="clear",
+        visibility=0.95,
+        clutter=1.0,
+        contrast=0.95,
+        lidar_visibility=0.97,
+        density_multiplier=1.0,
+    ),
+    "night": SceneCategory(
+        name="night",
+        visibility=0.60,
+        clutter=1.6,
+        contrast=0.55,
+        lidar_visibility=0.95,
+        density_multiplier=0.7,
+    ),
+    "rainy": SceneCategory(
+        name="rainy",
+        visibility=0.75,
+        clutter=1.9,
+        contrast=0.70,
+        lidar_visibility=0.85,
+        density_multiplier=0.9,
+    ),
+    "snow": SceneCategory(
+        name="snow",
+        visibility=0.70,
+        clutter=2.2,
+        contrast=0.65,
+        lidar_visibility=0.80,
+        density_multiplier=0.8,
+    ),
+    "overcast": SceneCategory(
+        name="overcast",
+        visibility=0.88,
+        clutter=1.2,
+        contrast=0.85,
+        lidar_visibility=0.95,
+        density_multiplier=0.95,
+    ),
+}
+
+
+def get_category(name: str) -> SceneCategory:
+    """Look up a scene category by name.
+
+    Raises:
+        KeyError: With the list of known categories if ``name`` is unknown.
+    """
+    try:
+        return SCENE_CATEGORIES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scene category {name!r}; "
+            f"known: {', '.join(sorted(SCENE_CATEGORIES))}"
+        ) from None

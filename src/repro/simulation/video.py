@@ -1,0 +1,201 @@
+"""Frame / video value types carrying synthetic ground truth.
+
+A :class:`Frame` holds the ground-truth objects visible at one time step
+plus its scene category; a :class:`Video` is a finite sequence of frames
+(the paper's ``V = {v_1, ..., v_|V|}``).  Unbounded streams are ordinary
+Python iterables of frames; everything downstream consumes frames one at a
+time, so streaming works without a dedicated class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from repro.detection.boxes import BBox
+from repro.detection.types import Detection
+from repro.simulation.scenes import SceneCategory
+
+__all__ = ["GroundTruthObject", "Frame", "Video"]
+
+#: Default frame geometry, matching the nuScenes camera resolution.
+FRAME_WIDTH = 1600.0
+FRAME_HEIGHT = 900.0
+
+
+@dataclass(frozen=True)
+class GroundTruthObject:
+    """A ground-truth object instance in one frame.
+
+    Attributes:
+        object_id: Stable identity across the frames of one track.
+        box: The true bounding box.
+        label: Object class.
+        distance: Simulated distance from the camera in meters; far objects
+            are smaller and harder to detect.
+        visibility: Per-object visibility in ``[0, 1]``, combining occlusion
+            and the scene's conditions; multiplies detection probability.
+    """
+
+    object_id: int
+    box: BBox
+    label: str
+    distance: float
+    visibility: float
+
+    def __post_init__(self) -> None:
+        if self.object_id < 0:
+            raise ValueError("object_id must be non-negative")
+        if self.distance <= 0:
+            raise ValueError("distance must be positive")
+        if not 0.0 <= self.visibility <= 1.0:
+            raise ValueError("visibility must be in [0, 1]")
+
+    def as_detection(self) -> Detection:
+        """View this ground-truth object as a confidence-1 detection."""
+        return Detection(
+            box=self.box,
+            confidence=1.0,
+            label=self.label,
+            source="ground_truth",
+            object_id=self.object_id,
+        )
+
+
+@dataclass(frozen=True)
+class Frame:
+    """One video frame with its ground truth.
+
+    Attributes:
+        index: Position of this frame within its video.
+        category: Scene category in effect (drives detector difficulty).
+        objects: Ground-truth objects visible in this frame.
+        video_name: Name of the owning video; together with ``index`` it
+            forms the deterministic RNG key for detector noise.
+        width / height: Frame geometry.
+    """
+
+    index: int
+    category: SceneCategory
+    objects: Tuple[GroundTruthObject, ...] = ()
+    video_name: str = "video"
+    width: float = FRAME_WIDTH
+    height: float = FRAME_HEIGHT
+
+    def __post_init__(self) -> None:
+        if self.index < 0:
+            raise ValueError("frame index must be non-negative")
+        if self.width <= 0 or self.height <= 0:
+            raise ValueError("frame dimensions must be positive")
+        if not isinstance(self.objects, tuple):
+            object.__setattr__(self, "objects", tuple(self.objects))
+
+    @property
+    def key(self) -> str:
+        """Deterministic identity used to derive per-frame RNG streams."""
+        return f"{self.video_name}#{self.index}"
+
+    def ground_truth_detections(self) -> List[Detection]:
+        """Ground truth as confidence-1 detections for metric computation."""
+        return [obj.as_detection() for obj in self.objects]
+
+    def with_index(self, index: int, video_name: Optional[str] = None) -> "Frame":
+        """Copy of this frame re-addressed within another video."""
+        return Frame(
+            index=index,
+            category=self.category,
+            objects=self.objects,
+            video_name=video_name if video_name is not None else self.video_name,
+            width=self.width,
+            height=self.height,
+        )
+
+
+@dataclass(frozen=True)
+class Video:
+    """A finite sequence of frames.
+
+    Attributes:
+        name: Dataset-unique video name.
+        frames: The frame sequence, indices ``0..len-1``.
+        breakpoints: Frame indices at which an abrupt concept drift occurs
+            (used by the TUVI-CD datasets; empty for stationary videos).
+    """
+
+    name: str
+    frames: Tuple[Frame, ...]
+    breakpoints: Tuple[int, ...] = ()
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ValueError("video name must be non-empty")
+        if not isinstance(self.frames, tuple):
+            object.__setattr__(self, "frames", tuple(self.frames))
+        if not isinstance(self.breakpoints, tuple):
+            object.__setattr__(self, "breakpoints", tuple(self.breakpoints))
+        for i, frame in enumerate(self.frames):
+            if frame.index != i:
+                raise ValueError(
+                    f"frame at position {i} has index {frame.index}; "
+                    "videos require contiguous zero-based indices"
+                )
+
+    def __len__(self) -> int:
+        return len(self.frames)
+
+    def __iter__(self) -> Iterator[Frame]:
+        return iter(self.frames)
+
+    def __getitem__(self, index: int) -> Frame:
+        return self.frames[index]
+
+    @property
+    def num_breakpoints(self) -> int:
+        return len(self.breakpoints)
+
+    def categories(self) -> Dict[str, int]:
+        """Frame counts per scene-category name."""
+        counts: Dict[str, int] = {}
+        for frame in self.frames:
+            counts[frame.category.name] = counts.get(frame.category.name, 0) + 1
+        return counts
+
+    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Video":
+        """A re-indexed sub-video covering ``frames[start:stop]``."""
+        sub_name = name if name is not None else f"{self.name}[{start}:{stop}]"
+        frames = tuple(
+            frame.with_index(i, sub_name)
+            for i, frame in enumerate(self.frames[start:stop])
+        )
+        return Video(name=sub_name, frames=frames)
+
+    @staticmethod
+    def concatenate(
+        name: str, parts: Sequence["Video"], mark_breakpoints: bool = True
+    ) -> "Video":
+        """Concatenate videos, optionally recording junctions as breakpoints.
+
+        Frame RNG identity is preserved: each frame keeps its original
+        ``video_name``-derived noise stream even after re-indexing, so a
+        detector sees the same frame content wherever the segment lands.
+        """
+        frames: List[Frame] = []
+        breakpoints: List[int] = []
+        for part in parts:
+            if frames and mark_breakpoints:
+                breakpoints.append(len(frames))
+            for frame in part.frames:
+                # Re-index within the concatenation but keep the original
+                # video_name so the frame's content (detector noise key)
+                # is unchanged.
+                frames.append(
+                    Frame(
+                        index=len(frames),
+                        category=frame.category,
+                        objects=frame.objects,
+                        video_name=frame.video_name,
+                        width=frame.width,
+                        height=frame.height,
+                    )
+                )
+        return Video(name=name, frames=tuple(frames), breakpoints=tuple(breakpoints))

@@ -1,0 +1,22 @@
+"""Multi-object tracking over fused detections.
+
+Video query processors built on object detection (the systems the paper's
+introduction targets — SVQ/SVQ++, track-merging, OTIF) consume *tracks*,
+not isolated per-frame boxes: temporal queries ("the same car present for
+ten seconds") need object identity across frames.  This subpackage provides
+that downstream substrate: a SORT-style IoU tracker with constant-velocity
+prediction (:mod:`repro.tracking.tracker`) and identity-quality metrics
+computed against the simulator's ground-truth identities
+(:mod:`repro.tracking.metrics`).
+"""
+
+from repro.tracking.metrics import TrackingQuality, evaluate_tracking
+from repro.tracking.tracker import IoUTracker, TrackedObject, TrackState
+
+__all__ = [
+    "IoUTracker",
+    "TrackedObject",
+    "TrackState",
+    "TrackingQuality",
+    "evaluate_tracking",
+]

@@ -1,0 +1,19 @@
+"""Shared utilities: deterministic RNG derivation and argument validation."""
+
+from repro.utils.rng import derive_rng, derive_seed, spawn_seeds
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+__all__ = [
+    "check_fraction",
+    "check_non_negative",
+    "check_positive",
+    "check_probability",
+    "derive_rng",
+    "derive_seed",
+    "spawn_seeds",
+]

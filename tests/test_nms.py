@@ -1,0 +1,97 @@
+"""Unit tests for hard NMS fusion."""
+
+import pytest
+
+from repro.detection.boxes import BBox
+from repro.detection.types import Detection, FrameDetections
+from repro.ensembling.nms import NonMaximumSuppression
+
+
+def frame(dets, index=0, source=None):
+    return FrameDetections(index, tuple(dets), source)
+
+
+def det(x1, y1, x2, y2, conf, label="car", source="m1"):
+    return Detection(BBox(x1, y1, x2, y2), conf, label, source=source)
+
+
+class TestNMS:
+    def test_suppresses_overlapping_lower_confidence(self):
+        nms = NonMaximumSuppression(iou_threshold=0.5)
+        result = nms.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.9, source="a")]),
+                frame([det(1, 0, 11, 10, 0.7, source="b")]),
+            ]
+        )
+        assert len(result) == 1
+        assert result.detections[0].confidence == 0.9
+
+    def test_keeps_disjoint_boxes(self):
+        nms = NonMaximumSuppression()
+        result = nms.fuse(
+            [frame([det(0, 0, 10, 10, 0.9), det(100, 100, 120, 120, 0.8)])]
+        )
+        assert len(result) == 2
+
+    def test_classes_do_not_suppress_each_other(self):
+        nms = NonMaximumSuppression()
+        result = nms.fuse(
+            [
+                frame(
+                    [
+                        det(0, 0, 10, 10, 0.9, label="car"),
+                        det(0, 0, 10, 10, 0.8, label="bus"),
+                    ]
+                )
+            ]
+        )
+        assert len(result) == 2
+
+    def test_confidence_threshold_prefilters(self):
+        nms = NonMaximumSuppression(confidence_threshold=0.5)
+        result = nms.fuse(
+            [frame([det(0, 0, 10, 10, 0.4), det(50, 50, 60, 60, 0.9)])]
+        )
+        assert len(result) == 1
+
+    def test_output_sorted_by_confidence(self):
+        nms = NonMaximumSuppression()
+        result = nms.fuse(
+            [frame([det(0, 0, 10, 10, 0.3), det(50, 50, 60, 60, 0.9)])]
+        )
+        confs = [d.confidence for d in result]
+        assert confs == sorted(confs, reverse=True)
+
+    def test_source_set_to_method_name(self):
+        nms = NonMaximumSuppression()
+        result = nms.fuse([frame([det(0, 0, 10, 10, 0.9)])])
+        assert result.source == "nms"
+
+    def test_empty_input_frames(self):
+        nms = NonMaximumSuppression()
+        assert len(nms.fuse([frame([])])) == 0
+
+    def test_no_frames_rejected(self):
+        with pytest.raises(ValueError):
+            NonMaximumSuppression().fuse([])
+
+    def test_frame_index_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            NonMaximumSuppression().fuse(
+                [frame([det(0, 0, 1, 1, 0.5)], index=0), frame([], index=1)]
+            )
+
+    def test_invalid_params(self):
+        with pytest.raises(ValueError):
+            NonMaximumSuppression(iou_threshold=1.5)
+        with pytest.raises(ValueError):
+            NonMaximumSuppression(confidence_threshold=-0.1)
+
+    def test_boundary_iou_not_suppressed(self):
+        # Equal to the threshold is kept (suppression requires strict >).
+        nms = NonMaximumSuppression(iou_threshold=1.0)
+        result = nms.fuse(
+            [frame([det(0, 0, 10, 10, 0.9), det(0, 0, 10, 10, 0.8)])]
+        )
+        assert len(result) == 2

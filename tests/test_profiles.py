@@ -1,0 +1,93 @@
+"""Unit tests for the model zoo and detector profiles."""
+
+import pytest
+
+from repro.simulation.profiles import (
+    ARCHITECTURES,
+    TRANSFER_MATRIX,
+    DetectorProfile,
+    make_profile,
+)
+
+
+class TestArchitectures:
+    def test_table3_membership(self):
+        for name in ("yolov7", "yolov7-tiny", "yolov7-micro", "faster-rcnn"):
+            assert name in ARCHITECTURES
+
+    def test_table3_parameters(self):
+        # Parameter counts and times straight from the paper's Table 3.
+        assert ARCHITECTURES["yolov7"].num_params_millions == 37.2
+        assert ARCHITECTURES["yolov7"].base_time_ms == 49.5
+        assert ARCHITECTURES["yolov7-tiny"].num_params_millions == 6.03
+        assert ARCHITECTURES["yolov7-tiny"].base_time_ms == 10.0
+        assert ARCHITECTURES["yolov7-micro"].num_params_millions == 2.68
+        assert ARCHITECTURES["yolov7-micro"].base_time_ms == 7.7
+        assert ARCHITECTURES["faster-rcnn"].num_params_millions == 42.1
+        assert ARCHITECTURES["faster-rcnn"].base_time_ms == 212.0
+
+    def test_accuracy_ordering(self):
+        # Section 5.2: YOLOv7 > YOLOv7-tiny > YOLOv7-micro > Faster R-CNN.
+        skills = [
+            ARCHITECTURES[n].base_skill
+            for n in ("yolov7", "yolov7-tiny", "yolov7-micro", "faster-rcnn")
+        ]
+        assert skills == sorted(skills, reverse=True)
+
+
+class TestTransferMatrix:
+    def test_diagonal_is_one(self):
+        for domain, row in TRANSFER_MATRIX.items():
+            if domain in row:
+                assert row[domain] == 1.0
+
+    def test_all_multipliers_in_unit_interval(self):
+        for row in TRANSFER_MATRIX.values():
+            for value in row.values():
+                assert 0.0 < value <= 1.0
+
+    def test_night_transfer_is_hardest_from_clear(self):
+        row = TRANSFER_MATRIX["clear"]
+        assert row["night"] == min(row.values())
+
+
+class TestDetectorProfile:
+    def test_make_profile_default_name(self):
+        profile = make_profile("yolov7-tiny", "rainy")
+        assert profile.name == "yolov7-tiny-rainy"
+
+    def test_make_profile_custom_name(self):
+        profile = make_profile("yolov7-tiny", "rainy", name="Yolo-R")
+        assert profile.name == "Yolo-R"
+
+    def test_unknown_architecture(self):
+        with pytest.raises(KeyError):
+            make_profile("yolov99", "clear")
+
+    def test_unknown_domain(self):
+        with pytest.raises(ValueError):
+            make_profile("yolov7", "desert")
+
+    def test_skill_on_in_domain_equals_base(self):
+        profile = make_profile("yolov7-tiny", "night")
+        assert profile.skill_on("night") == ARCHITECTURES["yolov7-tiny"].base_skill
+
+    def test_skill_on_out_of_domain_lower(self):
+        profile = make_profile("yolov7-tiny", "clear")
+        assert profile.skill_on("night") < profile.skill_on("clear")
+
+    def test_specialist_beats_generalist_in_domain(self):
+        specialist = make_profile("yolov7-tiny", "rainy")
+        generalist = make_profile("yolov7-tiny", "all")
+        assert specialist.skill_on("rainy") > generalist.skill_on("rainy")
+
+    def test_generalist_beats_specialist_out_of_domain(self):
+        specialist = make_profile("yolov7-tiny", "clear")
+        generalist = make_profile("yolov7-tiny", "all")
+        assert generalist.skill_on("night") > specialist.skill_on("night")
+
+    def test_unknown_category_uses_weakest_transfer(self):
+        profile = make_profile("yolov7-tiny", "clear")
+        weakest = min(TRANSFER_MATRIX["clear"].values())
+        expected = ARCHITECTURES["yolov7-tiny"].base_skill * weakest
+        assert profile.skill_on("fog") == pytest.approx(expected)

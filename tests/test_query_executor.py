@@ -1,0 +1,128 @@
+"""Integration tests for the query engine."""
+
+import pytest
+
+from repro.query.executor import QueryEngine, Row
+from repro.query.parser import ParseError
+from repro.query.planner import PlanError
+from repro.detection.types import FrameDetections
+from tests.conftest import make_detection
+
+
+@pytest.fixture
+def engine(detector_pool, lidar, small_video):
+    engine = QueryEngine()
+    engine.register_video("inputVideo", small_video)
+    for det in detector_pool:
+        engine.register_detector(det)
+    engine.register_reference(lidar)
+    return engine
+
+
+MODELS = "yolov7-tiny-clear, yolov7-tiny-night, yolov7-tiny-rainy"
+
+
+class TestCatalog:
+    def test_registration(self, engine):
+        assert engine.videos == ["inputVideo"]
+        assert len(engine.detectors) == 3
+        assert engine.references == ["lidar-ref"]
+
+    def test_empty_video_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.register_video("empty", [])
+
+    def test_unnamed_detector_rejected(self, engine):
+        with pytest.raises(ValueError):
+            engine.register_detector(object())
+
+
+class TestExecute:
+    def test_unfiltered_query_returns_all_frames(self, engine, small_video):
+        result = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING MES({MODELS}; lidar-ref) WITH gamma=2)"
+        )
+        assert len(result) == len(small_video)
+        assert result.frame_ids() == list(range(len(small_video)))
+
+    def test_where_filters_rows(self, engine, small_video):
+        all_rows = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING BF({MODELS}))"
+        )
+        filtered = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING BF({MODELS})) WHERE COUNT('car') >= 3"
+        )
+        assert len(filtered) < len(all_rows)
+        # Every surviving row really satisfies the predicate.
+        for row in filtered.rows:
+            cars = [d for d in row.detections if d.label == "car"]
+            assert len(cars) >= 3
+
+    def test_frameid_predicate(self, engine):
+        result = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING SGL({MODELS})) WHERE frameID < 5"
+        )
+        assert result.frame_ids() == [0, 1, 2, 3, 4]
+
+    def test_budgeted_query_processes_prefix(self, engine, small_video):
+        result = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING MES-B({MODELS}; lidar-ref) WITH budget=200, gamma=2)"
+        )
+        assert 0 < len(result.selection.records) < len(small_video)
+
+    def test_default_reference_used_when_omitted(self, engine):
+        result = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING MES({MODELS}) WITH gamma=2) WHERE frameID < 3"
+        )
+        assert len(result) == 3
+
+    def test_result_columns(self, engine):
+        result = engine.execute(
+            f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            f"USING SGL({MODELS})) WHERE frameID < 2"
+        )
+        ids = result.column("frameID")
+        assert ids == [0, 1]
+        detections = result.column("Detections")
+        assert all(isinstance(d, FrameDetections) for d in detections)
+
+    def test_parse_error_propagates(self, engine):
+        with pytest.raises(ParseError):
+            engine.execute("SELECT FROM nothing")
+
+    def test_plan_error_on_unknown_detector(self, engine):
+        with pytest.raises(PlanError):
+            engine.execute(
+                "SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID "
+                "USING MES(ghost-model))"
+            )
+
+    def test_unproducible_column_rejected(self, engine):
+        with pytest.raises(PlanError, match="cannot produce"):
+            engine.execute(
+                f"SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, magic "
+                f"USING BF({MODELS}))"
+            )
+
+    def test_subset_of_models_usable(self, engine):
+        result = engine.execute(
+            "SELECT frameID FROM (PROCESS inputVideo PRODUCE frameID, Detections "
+            "USING BF(yolov7-tiny-clear)) WHERE frameID < 3"
+        )
+        assert all(row.ensemble == ("yolov7-tiny-clear",) for row in result.rows)
+
+
+class TestRow:
+    def test_value_accessor(self):
+        dets = FrameDetections(0, (make_detection(),))
+        row = Row(frame_id=0, detections=dets, score=0.5, ensemble=("m1",))
+        assert row.value("frameID") == 0
+        assert row.value("SCORE") == 0.5
+        with pytest.raises(KeyError):
+            row.value("bogus")

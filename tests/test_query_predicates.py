@@ -1,0 +1,97 @@
+"""Unit tests for WHERE-expression evaluation."""
+
+import pytest
+
+from repro.detection.types import FrameDetections
+from repro.query.ast import (
+    Comparison,
+    CountExpr,
+    ExistsExpr,
+    FieldRef,
+    LogicalExpr,
+)
+from repro.query.predicates import count_detections, evaluate_expr
+from tests.conftest import make_detection
+
+
+@pytest.fixture
+def detections():
+    return FrameDetections(
+        0,
+        (
+            make_detection(conf=0.9, label="car"),
+            make_detection(conf=0.4, label="car"),
+            make_detection(conf=0.8, label="pedestrian"),
+        ),
+    )
+
+
+class TestCountDetections:
+    def test_count_all(self, detections):
+        assert count_detections(detections, None, 0.0) == 3
+
+    def test_count_by_label(self, detections):
+        assert count_detections(detections, "car", 0.0) == 2
+
+    def test_count_with_floor(self, detections):
+        assert count_detections(detections, "car", 0.5) == 1
+
+    def test_count_missing_label(self, detections):
+        assert count_detections(detections, "bus", 0.0) == 0
+
+
+class TestEvaluateExpr:
+    def test_count_comparison(self, detections):
+        expr = Comparison(CountExpr("car"), ">=", 2)
+        assert evaluate_expr(expr, detections, {})
+
+    def test_exists(self, detections):
+        assert evaluate_expr(ExistsExpr("pedestrian"), detections, {})
+        assert not evaluate_expr(ExistsExpr("bus"), detections, {})
+
+    def test_exists_with_floor(self, detections):
+        assert not evaluate_expr(
+            ExistsExpr("car", min_confidence=0.95), detections, {}
+        )
+
+    def test_field_comparison(self, detections):
+        expr = Comparison(FieldRef("frameID"), "<", 10)
+        assert evaluate_expr(expr, detections, {"frameid": 5.0})
+        assert not evaluate_expr(expr, detections, {"frameid": 15.0})
+
+    def test_unknown_field(self, detections):
+        expr = Comparison(FieldRef("bogus"), "=", 1)
+        with pytest.raises(KeyError):
+            evaluate_expr(expr, detections, {"frameid": 1.0})
+
+    def test_and_or_not(self, detections):
+        car2 = Comparison(CountExpr("car"), ">=", 2)
+        bus = ExistsExpr("bus")
+        assert not evaluate_expr(
+            LogicalExpr("and", (car2, bus)), detections, {}
+        )
+        assert evaluate_expr(LogicalExpr("or", (car2, bus)), detections, {})
+        assert evaluate_expr(LogicalExpr("not", (bus,)), detections, {})
+
+    def test_all_comparison_operators(self, detections):
+        cases = [
+            ("=", 2, True),
+            ("!=", 2, False),
+            ("<", 3, True),
+            ("<=", 2, True),
+            (">", 1, True),
+            (">=", 3, False),
+        ]
+        for op, value, expected in cases:
+            expr = Comparison(CountExpr("car"), op, value)
+            assert evaluate_expr(expr, detections, {}) is expected
+
+    def test_invalid_logical_op_rejected_at_construction(self):
+        with pytest.raises(ValueError):
+            LogicalExpr("xor", (ExistsExpr("car"), ExistsExpr("bus")))
+        with pytest.raises(ValueError):
+            LogicalExpr("not", (ExistsExpr("car"), ExistsExpr("bus")))
+
+    def test_invalid_comparison_op_rejected(self):
+        with pytest.raises(ValueError):
+            Comparison(CountExpr("car"), "~", 1)

@@ -1,0 +1,131 @@
+"""Unit tests for scene categories and video value types."""
+
+import pytest
+
+from repro.detection.boxes import BBox
+from repro.simulation.scenes import SCENE_CATEGORIES, SceneCategory, get_category
+from repro.simulation.video import Frame, GroundTruthObject, Video
+
+
+class TestSceneCategories:
+    def test_paper_categories_exist(self):
+        for name in ("clear", "night", "rainy", "snow", "overcast"):
+            assert name in SCENE_CATEGORIES
+
+    def test_night_is_hardest_for_cameras(self):
+        assert (
+            SCENE_CATEGORIES["night"].visibility
+            < SCENE_CATEGORIES["rainy"].visibility
+            < SCENE_CATEGORIES["clear"].visibility
+        )
+
+    def test_lidar_barely_affected_by_darkness(self):
+        night = SCENE_CATEGORIES["night"]
+        # The premise of REF := LiDAR (Section 2.3): lidar visibility at
+        # night stays near clear-weather levels while camera visibility
+        # collapses.
+        assert night.lidar_visibility > 0.9
+        assert night.visibility < 0.7
+
+    def test_get_category_unknown(self):
+        with pytest.raises(KeyError, match="unknown scene category"):
+            get_category("volcanic")
+
+    def test_invalid_category_values(self):
+        with pytest.raises(ValueError):
+            SceneCategory("bad", 1.5, 1.0, 0.9, 0.9, 1.0)
+        with pytest.raises(ValueError):
+            SceneCategory("", 0.9, 1.0, 0.9, 0.9, 1.0)
+
+
+class TestGroundTruthObject:
+    def test_valid(self):
+        obj = GroundTruthObject(0, BBox(0, 0, 10, 10), "car", 10.0, 0.9)
+        assert obj.label == "car"
+
+    def test_as_detection(self):
+        obj = GroundTruthObject(7, BBox(0, 0, 10, 10), "car", 10.0, 0.9)
+        det = obj.as_detection()
+        assert det.confidence == 1.0
+        assert det.object_id == 7
+        assert det.source == "ground_truth"
+
+    def test_invalid_distance(self):
+        with pytest.raises(ValueError):
+            GroundTruthObject(0, BBox(0, 0, 1, 1), "car", 0.0, 0.9)
+
+    def test_invalid_visibility(self):
+        with pytest.raises(ValueError):
+            GroundTruthObject(0, BBox(0, 0, 1, 1), "car", 5.0, 1.2)
+
+
+class TestFrame:
+    def test_key_is_unique_per_video_and_index(self, clear_category):
+        a = Frame(0, clear_category, video_name="v1")
+        b = Frame(1, clear_category, video_name="v1")
+        c = Frame(0, clear_category, video_name="v2")
+        assert len({a.key, b.key, c.key}) == 3
+
+    def test_ground_truth_detections(self, simple_frame):
+        dets = simple_frame.ground_truth_detections()
+        assert len(dets) == 3
+        assert all(d.confidence == 1.0 for d in dets)
+
+    def test_with_index_preserves_content(self, simple_frame):
+        moved = simple_frame.with_index(9, video_name="other")
+        assert moved.index == 9
+        assert moved.objects == simple_frame.objects
+
+    def test_negative_index_rejected(self, clear_category):
+        with pytest.raises(ValueError):
+            Frame(-1, clear_category)
+
+
+class TestVideo:
+    def _make(self, n, category, name="v"):
+        return Video(
+            name=name,
+            frames=tuple(Frame(i, category, video_name=name) for i in range(n)),
+        )
+
+    def test_len_iter_getitem(self, clear_category):
+        video = self._make(5, clear_category)
+        assert len(video) == 5
+        assert video[2].index == 2
+        assert [f.index for f in video] == [0, 1, 2, 3, 4]
+
+    def test_non_contiguous_indices_rejected(self, clear_category):
+        with pytest.raises(ValueError, match="contiguous"):
+            Video("v", (Frame(1, clear_category),))
+
+    def test_slice_reindexes(self, clear_category):
+        video = self._make(10, clear_category)
+        part = video.slice(3, 7)
+        assert len(part) == 4
+        assert [f.index for f in part] == [0, 1, 2, 3]
+
+    def test_categories_count(self, clear_category, night_category):
+        frames = tuple(
+            Frame(i, clear_category if i < 3 else night_category)
+            for i in range(5)
+        )
+        video = Video("v", frames)
+        assert video.categories() == {"clear": 3, "night": 2}
+
+    def test_concatenate_marks_breakpoints(self, clear_category, night_category):
+        a = self._make(4, clear_category, "a")
+        b = self._make(3, night_category, "b")
+        merged = Video.concatenate("ab", [a, b])
+        assert len(merged) == 7
+        assert merged.breakpoints == (4,)
+        assert [f.index for f in merged] == list(range(7))
+
+    def test_concatenate_without_breakpoints(self, clear_category):
+        a = self._make(2, clear_category, "a")
+        b = self._make(2, clear_category, "b")
+        merged = Video.concatenate("ab", [a, b], mark_breakpoints=False)
+        assert merged.breakpoints == ()
+
+    def test_empty_name_rejected(self, clear_category):
+        with pytest.raises(ValueError):
+            Video("", (Frame(0, clear_category),))

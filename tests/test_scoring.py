@@ -1,0 +1,113 @@
+"""Unit tests for scoring functions (Section 2.2 criteria, Eq. 30)."""
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.scoring import (
+    LinearScore,
+    ScoringFunction,
+    WeightedLogScore,
+    verify_criteria,
+)
+
+unit = st.floats(min_value=0.0, max_value=1.0)
+
+
+class TestWeightedLogScore:
+    def test_eq30_formula(self):
+        score = WeightedLogScore(accuracy_weight=0.5)
+        value = score(0.5, 0.25)
+        expected = 0.5 * math.log2(1.5) + 0.5 * math.log2(1.75)
+        assert value == pytest.approx(expected)
+
+    def test_perfect_cheap_ensemble_scores_one(self):
+        assert WeightedLogScore(0.5)(1.0, 0.0) == pytest.approx(1.0)
+
+    def test_useless_expensive_ensemble_scores_zero(self):
+        assert WeightedLogScore(0.5)(0.0, 1.0) == pytest.approx(0.0)
+
+    def test_weights_must_sum_to_one(self):
+        with pytest.raises(ValueError):
+            WeightedLogScore(accuracy_weight=0.5, time_weight=0.6)
+
+    def test_default_time_weight_complements(self):
+        score = WeightedLogScore(accuracy_weight=0.7)
+        assert score.weights == (0.7, pytest.approx(0.3))
+
+    def test_weight_bounds(self):
+        with pytest.raises(ValueError):
+            WeightedLogScore(accuracy_weight=1.5)
+
+    def test_input_validation(self):
+        score = WeightedLogScore(0.5)
+        with pytest.raises(ValueError):
+            score(1.5, 0.0)
+        with pytest.raises(ValueError):
+            score(0.5, -0.1)
+
+    @given(unit, unit)
+    def test_score_in_unit_interval(self, ap, cost):
+        value = WeightedLogScore(0.5)(ap, cost)
+        assert 0.0 <= value <= 1.0
+
+    @given(unit, unit, unit)
+    def test_monotone_in_ap(self, ap, delta, cost):
+        score = WeightedLogScore(0.5)
+        higher = min(ap + delta, 1.0)
+        assert score(higher, cost) >= score(ap, cost) - 1e-12
+
+    @given(unit, unit, unit)
+    def test_antitone_in_cost(self, ap, cost, delta):
+        score = WeightedLogScore(0.5)
+        higher = min(cost + delta, 1.0)
+        assert score(ap, higher) <= score(ap, cost) + 1e-12
+
+    def test_accuracy_only_weights(self):
+        score = WeightedLogScore(accuracy_weight=1.0)
+        assert score(0.5, 0.0) == score(0.5, 1.0)
+
+    def test_time_only_weights(self):
+        score = WeightedLogScore(accuracy_weight=0.0)
+        assert score(0.0, 0.3) == score(1.0, 0.3)
+
+
+class TestLinearScore:
+    def test_formula(self):
+        assert LinearScore(0.5)(0.6, 0.2) == pytest.approx(0.5 * 0.6 + 0.5 * 0.8)
+
+    @given(unit, unit)
+    def test_in_unit_interval(self, ap, cost):
+        assert 0.0 <= LinearScore(0.3)(ap, cost) <= 1.0
+
+
+class TestVerifyCriteria:
+    def test_valid_functions_pass(self):
+        verify_criteria(WeightedLogScore(0.5))
+        verify_criteria(LinearScore(0.7))
+
+    def test_range_violation_detected(self):
+        class TooBig(ScoringFunction):
+            def score(self, ap, cost):
+                return 2.0 * ap
+
+        with pytest.raises(ValueError, match="out of"):
+            verify_criteria(TooBig())
+
+    def test_monotonicity_violation_detected(self):
+        class Decreasing(ScoringFunction):
+            def score(self, ap, cost):
+                return 1.0 - ap
+
+        with pytest.raises(ValueError, match="decreases in AP"):
+            verify_criteria(Decreasing())
+
+    def test_cost_direction_violation_detected(self):
+        class LikesCost(ScoringFunction):
+            def score(self, ap, cost):
+                return cost
+
+        with pytest.raises(ValueError, match="increases in cost"):
+            verify_criteria(LikesCost())

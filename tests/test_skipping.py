@@ -1,0 +1,141 @@
+"""Unit tests for similarity-based frame skipping."""
+
+import pytest
+
+from repro.core.baselines import BruteForce, SingleBest
+from repro.core.mes import MES
+from repro.core.skipping import DIFF_DETECTOR_MS, FrameSkipper, frame_similarity
+from repro.detection.boxes import BBox
+from repro.simulation.video import Frame, GroundTruthObject
+
+
+def make_frame(index, boxes, category, video_name="skip-test"):
+    objects = tuple(
+        GroundTruthObject(i, box, "car", 10.0, 0.9)
+        for i, box in enumerate(boxes)
+    )
+    return Frame(index, category, objects, video_name=video_name)
+
+
+class TestFrameSimilarity:
+    def test_identical_frames(self, clear_category):
+        frame = make_frame(0, [BBox(0, 0, 100, 100)], clear_category)
+        other = make_frame(1, [BBox(0, 0, 100, 100)], clear_category)
+        assert frame_similarity(frame, other) == pytest.approx(1.0)
+
+    def test_both_empty(self, clear_category):
+        a = make_frame(0, [], clear_category)
+        b = make_frame(1, [], clear_category)
+        assert frame_similarity(a, b) == 1.0
+
+    def test_empty_vs_nonempty(self, clear_category):
+        a = make_frame(0, [], clear_category)
+        b = make_frame(1, [BBox(0, 0, 10, 10)], clear_category)
+        assert frame_similarity(a, b) == 0.0
+
+    def test_small_motion_high_similarity(self, clear_category):
+        a = make_frame(0, [BBox(100, 100, 300, 300)], clear_category)
+        b = make_frame(1, [BBox(105, 100, 305, 300)], clear_category)
+        assert frame_similarity(a, b) > 0.9
+
+    def test_large_motion_low_similarity(self, clear_category):
+        a = make_frame(0, [BBox(100, 100, 200, 200)], clear_category)
+        b = make_frame(1, [BBox(900, 600, 1000, 700)], clear_category)
+        assert frame_similarity(a, b) == 0.0
+
+    def test_object_count_change_reduces_similarity(self, clear_category):
+        one = make_frame(0, [BBox(0, 0, 100, 100)], clear_category)
+        two = make_frame(
+            1, [BBox(0, 0, 100, 100), BBox(500, 500, 600, 600)], clear_category
+        )
+        assert frame_similarity(one, two) < frame_similarity(one, one)
+
+    def test_symmetry(self, clear_category):
+        a = make_frame(0, [BBox(0, 0, 120, 90)], clear_category)
+        b = make_frame(1, [BBox(30, 10, 140, 95)], clear_category)
+        assert frame_similarity(a, b) == pytest.approx(frame_similarity(b, a))
+
+
+class TestFrameSkipper:
+    def _static_frames(self, clear_category, n=12):
+        """Frames whose single object never moves (maximally skippable)."""
+        return [
+            make_frame(i, [BBox(100, 100, 400, 300)], clear_category)
+            for i in range(n)
+        ]
+
+    def test_covers_all_frames(self, environment, clear_category):
+        frames = self._static_frames(clear_category)
+        result = FrameSkipper(MES(gamma=2)).run(environment, frames)
+        assert result.frames_processed == len(frames)
+        assert [r.frame_index for r in result.records] == list(range(len(frames)))
+
+    def test_skipped_frames_cost_almost_nothing(self, environment, clear_category):
+        frames = self._static_frames(clear_category)
+        result = FrameSkipper(
+            BruteForce(), similarity_threshold=0.8, max_consecutive_skips=3
+        ).run(environment, frames)
+        skipped = [r for r in result.records if r.charged_ms <= DIFF_DETECTOR_MS]
+        processed = [r for r in result.records if r.charged_ms > DIFF_DETECTOR_MS]
+        assert skipped, "static scene must produce skips"
+        assert processed, "max_consecutive_skips must force re-processing"
+        for record in skipped:
+            assert record.cost_ms == DIFF_DETECTOR_MS
+
+    def test_max_consecutive_skips_enforced(self, environment, clear_category):
+        frames = self._static_frames(clear_category, n=20)
+        result = FrameSkipper(
+            BruteForce(), similarity_threshold=0.5, max_consecutive_skips=2
+        ).run(environment, frames)
+        consecutive = 0
+        for record in result.records:
+            if record.charged_ms <= DIFF_DETECTOR_MS:
+                consecutive += 1
+                assert consecutive <= 2
+            else:
+                consecutive = 0
+
+    def test_cheaper_than_unskipped_on_static_video(
+        self, detector_pool, lidar, clear_category
+    ):
+        from repro.core.environment import DetectionEnvironment, EvaluationCache
+
+        frames = self._static_frames(clear_category, n=16)
+        cache = EvaluationCache()
+        env_plain = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        plain = BruteForce().run(env_plain, frames)
+        env_skip = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        skipped = FrameSkipper(BruteForce()).run(env_skip, frames)
+        assert skipped.total_charged_ms < plain.total_charged_ms * 0.7
+        # Reused detections on a static scene barely lose accuracy.
+        assert skipped.mean_true_ap > plain.mean_true_ap * 0.9
+
+    def test_dynamic_video_rarely_skips(self, environment, small_video):
+        result = FrameSkipper(
+            MES(gamma=2), similarity_threshold=0.95
+        ).run(environment, small_video.frames)
+        skipped = sum(
+            1 for r in result.records if r.charged_ms <= DIFF_DETECTOR_MS
+        )
+        # Generated driving scenes move; near-exact similarity is rare.
+        assert skipped < len(small_video) * 0.5
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            FrameSkipper(MES(), similarity_threshold=0.0)
+        with pytest.raises(ValueError):
+            FrameSkipper(MES(), max_consecutive_skips=0)
+
+    def test_name_wraps_inner(self):
+        assert FrameSkipper(MES()).name == "skip(MES)"
+
+    def test_requires_iterative_algorithm(self, environment, small_video):
+        class NotIterative:
+            name = "X"
+
+        skipper = FrameSkipper.__new__(FrameSkipper)
+        skipper.inner = NotIterative()
+        skipper.similarity_threshold = 0.8
+        skipper.max_consecutive_skips = 2
+        with pytest.raises(TypeError):
+            skipper.run(environment, small_video.frames)

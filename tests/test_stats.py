@@ -1,0 +1,149 @@
+"""Unit tests for bandit statistics (cumulative, windowed, discounted)."""
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.stats import (
+    DiscountedStatistics,
+    EnsembleStatistics,
+    SlidingWindowStatistics,
+)
+
+KEY_A = ("a",)
+KEY_B = ("b",)
+
+
+class TestEnsembleStatistics:
+    def test_initial_state(self):
+        stats = EnsembleStatistics()
+        assert stats.count(KEY_A) == 0
+        assert stats.mean(KEY_A) == 0.0
+        assert stats.exploration_bonus(KEY_A, 10) == math.inf
+
+    def test_running_mean(self):
+        stats = EnsembleStatistics()
+        for reward in (0.2, 0.4, 0.9):
+            stats.record(KEY_A, reward)
+        assert stats.count(KEY_A) == 3
+        assert stats.mean(KEY_A) == pytest.approx(0.5)
+
+    def test_bonus_formula(self):
+        stats = EnsembleStatistics()
+        stats.record(KEY_A, 0.5)
+        stats.record(KEY_A, 0.5)
+        assert stats.exploration_bonus(KEY_A, 100) == pytest.approx(
+            math.sqrt(2 * math.log(100) / 2)
+        )
+
+    def test_bonus_decreases_with_count(self):
+        stats = EnsembleStatistics()
+        stats.record(KEY_A, 0.5)
+        b1 = stats.exploration_bonus(KEY_A, 50)
+        stats.record(KEY_A, 0.5)
+        assert stats.exploration_bonus(KEY_A, 50) < b1
+
+    def test_ucb_prefers_unexplored(self):
+        stats = EnsembleStatistics()
+        stats.record(KEY_A, 0.99)
+        assert stats.ucb(KEY_B, 10) > stats.ucb(KEY_A, 10)
+
+    def test_observed_keys(self):
+        stats = EnsembleStatistics()
+        stats.record(KEY_B, 0.1)
+        stats.record(KEY_A, 0.2)
+        assert stats.observed_keys() == [KEY_A, KEY_B]
+
+    @given(st.lists(st.floats(min_value=0, max_value=1), min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_mean_matches_arithmetic_mean(self, rewards):
+        stats = EnsembleStatistics()
+        for r in rewards:
+            stats.record(KEY_A, r)
+        assert stats.mean(KEY_A) == pytest.approx(sum(rewards) / len(rewards))
+
+
+class TestSlidingWindowStatistics:
+    def test_window_forgets_old_observations(self):
+        stats = SlidingWindowStatistics(window=3)
+        stats.record(KEY_A, 1.0, iteration=1)
+        stats.record(KEY_A, 0.0, iteration=4)
+        # At iteration 5, the iteration-1 observation (age 4 > 3) is gone.
+        assert stats.count(KEY_A, now=5) == 1
+        assert stats.mean(KEY_A, now=5) == 0.0
+
+    def test_observations_within_window_kept(self):
+        stats = SlidingWindowStatistics(window=5)
+        stats.record(KEY_A, 1.0, iteration=1)
+        stats.record(KEY_A, 0.5, iteration=3)
+        assert stats.count(KEY_A, now=5) == 2
+        assert stats.mean(KEY_A, now=5) == pytest.approx(0.75)
+
+    def test_empty_window_zero_mean_infinite_bonus(self):
+        stats = SlidingWindowStatistics(window=2)
+        stats.record(KEY_A, 1.0, iteration=1)
+        assert stats.mean(KEY_A, now=100) == 0.0
+        assert stats.exploration_bonus(KEY_A, 100) == math.inf
+
+    def test_bonus_uses_min_of_t_and_window(self):
+        stats = SlidingWindowStatistics(window=10)
+        stats.record(KEY_A, 0.5, iteration=99)
+        stats.record(KEY_A, 0.5, iteration=100)
+        expected = math.sqrt(2 * math.log(10) / 2)
+        assert stats.exploration_bonus(KEY_A, 100) == pytest.approx(expected)
+
+    def test_out_of_order_iterations_rejected(self):
+        stats = SlidingWindowStatistics(window=3)
+        stats.record(KEY_A, 0.5, iteration=5)
+        with pytest.raises(ValueError):
+            stats.record(KEY_A, 0.5, iteration=4)
+
+    def test_invalid_window(self):
+        with pytest.raises(ValueError):
+            SlidingWindowStatistics(window=0)
+
+    def test_recovery_after_drift(self):
+        """The windowed mean tracks the recent regime, not the history."""
+        stats = SlidingWindowStatistics(window=10)
+        for t in range(1, 51):
+            stats.record(KEY_A, 0.9, iteration=t)
+        for t in range(51, 101):
+            stats.record(KEY_A, 0.1, iteration=t)
+        assert stats.mean(KEY_A, now=100) == pytest.approx(0.1)
+
+
+class TestDiscountedStatistics:
+    def test_record_and_mean(self):
+        stats = DiscountedStatistics(discount=0.9)
+        stats.record(KEY_A, 0.8)
+        assert stats.mean(KEY_A) == pytest.approx(0.8)
+
+    def test_decay_prefers_recent(self):
+        stats = DiscountedStatistics(discount=0.5)
+        stats.record(KEY_A, 1.0)
+        for _ in range(5):
+            stats.advance()
+        stats.record(KEY_A, 0.0)
+        # Old observation decayed to weight 1/32: mean close to 0.
+        assert stats.mean(KEY_A) < 0.1
+
+    def test_unobserved_bonus_infinite(self):
+        stats = DiscountedStatistics()
+        assert stats.exploration_bonus(KEY_A) == math.inf
+
+    def test_discount_one_recovers_plain_mean(self):
+        plain = EnsembleStatistics()
+        discounted = DiscountedStatistics(discount=1.0)
+        for r in (0.2, 0.6, 0.7):
+            plain.record(KEY_A, r)
+            discounted.advance()
+            discounted.record(KEY_A, r)
+        assert discounted.mean(KEY_A) == pytest.approx(plain.mean(KEY_A))
+
+    def test_invalid_discount(self):
+        with pytest.raises(ValueError):
+            DiscountedStatistics(discount=0.0)
+        with pytest.raises(ValueError):
+            DiscountedStatistics(discount=1.5)

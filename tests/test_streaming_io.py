@@ -1,0 +1,106 @@
+"""Unit tests for streaming execution and result serialization."""
+
+import itertools
+
+import pytest
+
+from repro.core.baselines import BruteForce, SingleBest
+from repro.core.mes import MES
+from repro.core.selection import SelectionResult
+from repro.runner.harness import TrialOutcome
+from repro.runner.io import (
+    load_result_json,
+    outcomes_to_rows,
+    result_to_dict,
+    save_outcomes_csv,
+    save_records_csv,
+    save_result_json,
+)
+
+
+class TestStreaming:
+    def test_stream_matches_batch(self, detector_pool, lidar, small_video):
+        from repro.core.environment import DetectionEnvironment, EvaluationCache
+
+        cache = EvaluationCache()
+        env_batch = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        batch = MES(gamma=2).run(env_batch, small_video.frames)
+
+        env_stream = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        streamed = list(
+            MES(gamma=2).run_stream(env_stream, iter(small_video.frames))
+        )
+        assert [r.selected for r in streamed] == [
+            r.selected for r in batch.records
+        ]
+        assert sum(r.true_score for r in streamed) == pytest.approx(batch.s_sum)
+
+    def test_stream_is_lazy(self, environment, small_video):
+        stream = MES(gamma=2).run_stream(environment, iter(small_video.frames))
+        first_three = list(itertools.islice(stream, 3))
+        assert len(first_three) == 3
+        assert first_three[0].iteration == 1
+
+    def test_stream_respects_budget(self, environment, small_video):
+        records = list(
+            BruteForce().run_stream(
+                environment, iter(small_video.frames), budget_ms=100.0
+            )
+        )
+        assert 0 < len(records) < len(small_video)
+
+    def test_unbounded_stream(self, environment, small_video):
+        """An infinite stream works; the consumer decides when to stop."""
+        infinite = itertools.cycle(small_video.frames)
+        # Re-index so frame indices stay unique per iteration key reuse.
+        stream = MES(gamma=2).run_stream(environment, infinite)
+        records = list(itertools.islice(stream, 45))
+        assert len(records) == 45
+
+    def test_prescan_algorithms_refuse_streams(self, environment, small_video):
+        with pytest.raises(TypeError, match="stream"):
+            next(
+                SingleBest().run_stream(environment, iter(small_video.frames))
+            )
+
+
+class TestResultIO:
+    @pytest.fixture
+    def result(self, environment, small_video):
+        return MES(gamma=2).run(environment, small_video.frames[:8])
+
+    def test_json_roundtrip(self, result, tmp_path):
+        path = tmp_path / "run.json"
+        save_result_json(result, path)
+        loaded = load_result_json(path)
+        assert loaded.algorithm == result.algorithm
+        assert loaded.budget_ms == result.budget_ms
+        assert loaded.records == result.records
+        assert loaded.s_sum == pytest.approx(result.s_sum)
+
+    def test_result_to_dict_summary_fields(self, result):
+        payload = result_to_dict(result)
+        assert payload["frames_processed"] == 8
+        assert payload["s_sum"] == pytest.approx(result.s_sum)
+        assert len(payload["records"]) == 8
+
+    def test_records_csv(self, result, tmp_path):
+        path = tmp_path / "records.csv"
+        save_records_csv(result, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 1 + 8
+        assert lines[0].startswith("iteration,frame_index,selected")
+
+    def test_outcomes_rows_and_csv(self, result, tmp_path):
+        outcome = TrialOutcome(algorithm="MES")
+        outcome.add(result)
+        outcome.add(result)
+        rows = outcomes_to_rows({"MES": outcome})
+        assert len(rows) == 2
+        assert rows[0]["algorithm"] == "MES"
+        assert rows[1]["trial"] == 1
+
+        path = tmp_path / "outcomes.csv"
+        save_outcomes_csv({"MES": outcome}, path)
+        lines = path.read_text().strip().splitlines()
+        assert len(lines) == 3

@@ -1,0 +1,70 @@
+"""Unit tests for the parameter-sweep helpers (small scale)."""
+
+import pytest
+
+from repro.core.baselines import BruteForce
+from repro.core.mes import MES
+from repro.runner.experiment import standard_setup
+from repro.runner.sweeps import budget_sweep, gamma_sweep, weight_sweep
+
+
+def tiny_setup(trial):
+    return standard_setup(
+        "nusc-clear", trial=trial, scale=0.02, m=2, max_frames=15
+    )
+
+
+class TestWeightSweep:
+    def test_structure(self):
+        results = weight_sweep(
+            tiny_setup,
+            {"BF": BruteForce, "MES": lambda: MES(gamma=2)},
+            accuracy_weights=(0.2, 0.8),
+            num_trials=1,
+        )
+        assert set(results) == {0.2, 0.8}
+        for outcomes in results.values():
+            assert set(outcomes) == {"BF", "MES"}
+            assert len(outcomes["MES"].s_sum) == 1
+
+    def test_weights_change_scores(self):
+        results = weight_sweep(
+            tiny_setup,
+            {"BF": BruteForce},
+            accuracy_weights=(0.1, 0.9),
+            num_trials=1,
+        )
+        low = results[0.1]["BF"].stats("s_sum").mean
+        high = results[0.9]["BF"].stats("s_sum").mean
+        # BF pays maximum cost, so a heavier accuracy weight helps it.
+        assert high != low
+
+
+class TestBudgetSweep:
+    def test_monotone_frames(self):
+        results = budget_sweep(
+            tiny_setup,
+            {"BF": BruteForce},
+            budgets_ms=(50.0, 5000.0),
+            num_trials=1,
+        )
+        small = results[50.0]["BF"].frames_processed[0]
+        large = results[5000.0]["BF"].frames_processed[0]
+        assert small <= large
+
+    def test_empty_budgets_rejected(self):
+        with pytest.raises(ValueError):
+            budget_sweep(tiny_setup, {"BF": BruteForce}, budgets_ms=())
+
+
+class TestGammaSweep:
+    def test_structure(self):
+        results = gamma_sweep(
+            tiny_setup,
+            lambda gamma: MES(gamma=gamma),
+            gammas=(1, 3),
+            num_trials=1,
+        )
+        assert set(results) == {1, 3}
+        for outcome in results.values():
+            assert len(outcome.s_sum) == 1

@@ -1,0 +1,162 @@
+"""Unit tests for the IoU tracker and tracking metrics."""
+
+import pytest
+
+from repro.detection.boxes import BBox
+from repro.detection.types import Detection, FrameDetections
+from repro.simulation.video import Frame, GroundTruthObject
+from repro.tracking.metrics import evaluate_tracking
+from repro.tracking.tracker import IoUTracker, TrackState
+
+
+def det(x1, y1, x2, y2, conf=0.9, label="car"):
+    return Detection(BBox(x1, y1, x2, y2), conf, label)
+
+
+def feed(tracker, frames_of_dets):
+    return [tracker.update(FrameDetections(i, tuple(dets)))
+            for i, dets in enumerate(frames_of_dets)]
+
+
+class TestIoUTracker:
+    def test_stable_identity_for_static_object(self):
+        tracker = IoUTracker(min_hits=2)
+        outputs = feed(tracker, [[det(0, 0, 100, 100)]] * 5)
+        # Confirmed from the second frame on, with one stable id.
+        assert outputs[0] == []
+        ids = {t.track_id for out in outputs[1:] for t in out}
+        assert ids == {1}
+
+    def test_follows_moving_object(self):
+        tracker = IoUTracker(min_hits=2)
+        frames = [[det(10 * i, 0, 100 + 10 * i, 100)] for i in range(8)]
+        outputs = feed(tracker, frames)
+        ids = {t.track_id for out in outputs[2:] for t in out}
+        assert ids == {1}
+        # The reported box tracks the detection.
+        last = outputs[-1][0]
+        assert last.box.x1 == pytest.approx(70, abs=1)
+
+    def test_velocity_prediction_bridges_missed_frames(self):
+        tracker = IoUTracker(min_hits=2, max_age=3, iou_threshold=0.3)
+        moving = [[det(20 * i, 0, 150 + 20 * i, 120)] for i in range(5)]
+        feed(tracker, moving)
+        # Two blank frames: the track coasts on its velocity.
+        coasting = tracker.update(FrameDetections(5))
+        assert coasting and coasting[0].coasting
+        tracker.update(FrameDetections(6))
+        # The object reappears where constant velocity predicts (~x=140).
+        reappeared = tracker.update(
+            FrameDetections(7, (det(140, 0, 290, 120),))
+        )
+        assert reappeared[0].track_id == 1
+        assert not reappeared[0].coasting
+
+    def test_track_dropped_after_max_age(self):
+        tracker = IoUTracker(min_hits=1, max_age=2)
+        feed(tracker, [[det(0, 0, 100, 100)]])
+        for i in range(1, 5):
+            tracker.update(FrameDetections(i))
+        assert tracker.active_tracks == 0
+
+    def test_min_hits_suppresses_one_off_false_positive(self):
+        tracker = IoUTracker(min_hits=3)
+        outputs = feed(
+            tracker,
+            [[det(0, 0, 50, 50)], [], [], []],
+        )
+        assert all(out == [] for out in outputs)
+
+    def test_two_objects_two_tracks(self):
+        tracker = IoUTracker(min_hits=2)
+        frames = [
+            [det(0, 0, 100, 100), det(500, 500, 650, 620)] for _ in range(4)
+        ]
+        outputs = feed(tracker, frames)
+        assert len(outputs[-1]) == 2
+        assert {t.track_id for t in outputs[-1]} == {1, 2}
+
+    def test_labels_do_not_cross_associate(self):
+        tracker = IoUTracker(min_hits=1)
+        feed(tracker, [[det(0, 0, 100, 100, label="car")]])
+        outputs = tracker.update(
+            FrameDetections(1, (det(0, 0, 100, 100, label="pedestrian"),))
+        )
+        # The pedestrian starts its own track rather than stealing the
+        # car's identity.
+        ids = {t.track_id for t in outputs}
+        assert 2 in ids or len(ids) <= 1
+
+    def test_low_confidence_ignored(self):
+        tracker = IoUTracker(min_hits=1, min_confidence=0.5)
+        outputs = feed(tracker, [[det(0, 0, 100, 100, conf=0.2)]])
+        assert outputs == [[]]
+        assert tracker.active_tracks == 0
+
+    def test_reset(self):
+        tracker = IoUTracker(min_hits=1)
+        feed(tracker, [[det(0, 0, 100, 100)]])
+        tracker.reset()
+        assert tracker.active_tracks == 0
+        outputs = feed(tracker, [[det(0, 0, 100, 100)]])
+        assert tracker._next_id == 2  # ids restart
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            IoUTracker(iou_threshold=0.0)
+        with pytest.raises(ValueError):
+            IoUTracker(max_age=0)
+        with pytest.raises(ValueError):
+            IoUTracker(velocity_smoothing=1.0)
+
+
+class TestEvaluateTracking:
+    def _gt_frame(self, index, category, positions):
+        objects = tuple(
+            GroundTruthObject(oid, BBox(x, y, x + 100, y + 100), "car", 10.0, 0.9)
+            for oid, (x, y) in positions.items()
+        )
+        return Frame(index, category, objects, video_name="track-test")
+
+    def test_perfect_tracking(self, clear_category):
+        frames = [
+            self._gt_frame(i, clear_category, {0: (10 * i, 0)})
+            for i in range(6)
+        ]
+        tracker = IoUTracker(min_hits=1)
+        outputs = [
+            tracker.update(
+                FrameDetections(
+                    f.index, tuple(o.as_detection() for o in f.objects)
+                )
+            )
+            for f in frames
+        ]
+        quality = evaluate_tracking(frames, outputs)
+        assert quality.coverage == pytest.approx(1.0)
+        assert quality.precision == pytest.approx(1.0)
+        assert quality.identity_switches == 0
+        assert quality.fragmentation == 1.0
+
+    def test_mismatched_lengths(self, clear_category):
+        frames = [self._gt_frame(0, clear_category, {0: (0, 0)})]
+        with pytest.raises(ValueError):
+            evaluate_tracking(frames, [])
+
+    def test_end_to_end_on_simulated_detections(self, small_video, detector_pool):
+        """Tracking fused real-ish detections yields sane statistics."""
+        from repro.ensembling.wbf import WeightedBoxesFusion
+
+        fusion = WeightedBoxesFusion()
+        tracker = IoUTracker(min_hits=2, max_age=3)
+        outputs = []
+        for frame in small_video:
+            fused = fusion.fuse(
+                [d.detect(frame).detections for d in detector_pool]
+            )
+            outputs.append(tracker.update(fused))
+        quality = evaluate_tracking(small_video.frames, outputs)
+        assert 0.0 < quality.coverage <= 1.0
+        assert 0.0 < quality.precision <= 1.0
+        assert quality.num_tracks > 0
+        assert quality.fragmentation >= 1.0

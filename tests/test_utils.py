@@ -1,0 +1,69 @@
+"""Unit tests for RNG derivation and validators."""
+
+import pytest
+
+from repro.utils.rng import derive_rng, derive_seed, spawn_seeds
+from repro.utils.validation import (
+    check_fraction,
+    check_non_negative,
+    check_positive,
+    check_probability,
+)
+
+
+class TestRng:
+    def test_derive_seed_deterministic(self):
+        assert derive_seed(1, "a", 2) == derive_seed(1, "a", 2)
+
+    def test_derive_seed_key_sensitivity(self):
+        assert derive_seed(1, "a") != derive_seed(1, "b")
+        assert derive_seed(1, "a") != derive_seed(2, "a")
+
+    def test_no_concatenation_collision(self):
+        # ("ab",) and ("a", "b") must not collide.
+        assert derive_seed(0, "ab") != derive_seed(0, "a", "b")
+
+    def test_derive_rng_streams_independent(self):
+        a = derive_rng(0, "x").random(5)
+        b = derive_rng(0, "y").random(5)
+        assert list(a) != list(b)
+
+    def test_derive_rng_reproducible(self):
+        assert list(derive_rng(0, "x").random(5)) == list(
+            derive_rng(0, "x").random(5)
+        )
+
+    def test_spawn_seeds(self):
+        seeds = spawn_seeds(7, 10)
+        assert len(seeds) == 10
+        assert len(set(seeds)) == 10
+
+    def test_spawn_seeds_negative(self):
+        with pytest.raises(ValueError):
+            spawn_seeds(0, -1)
+
+
+class TestValidators:
+    def test_check_positive(self):
+        assert check_positive(1.5, "x") == 1.5
+        for bad in (0.0, -1.0, float("nan"), float("inf")):
+            with pytest.raises(ValueError, match="x"):
+                check_positive(bad, "x")
+
+    def test_check_non_negative(self):
+        assert check_non_negative(0.0, "x") == 0.0
+        with pytest.raises(ValueError):
+            check_non_negative(-0.1, "x")
+
+    def test_check_probability(self):
+        assert check_probability(0.0, "p") == 0.0
+        assert check_probability(1.0, "p") == 1.0
+        for bad in (-0.01, 1.01, float("nan")):
+            with pytest.raises(ValueError):
+                check_probability(bad, "p")
+
+    def test_check_fraction(self):
+        assert check_fraction(1.0, "f") == 1.0
+        for bad in (0.0, 1.5):
+            with pytest.raises(ValueError):
+                check_fraction(bad, "f")

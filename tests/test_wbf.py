@@ -1,0 +1,137 @@
+"""Unit tests for Weighted Boxes Fusion."""
+
+import pytest
+
+from repro.detection.boxes import BBox
+from repro.detection.types import Detection, FrameDetections
+from repro.ensembling.wbf import WeightedBoxesFusion
+
+
+def frame(dets, index=0, source=None):
+    return FrameDetections(index, tuple(dets), source)
+
+
+def det(x1, y1, x2, y2, conf, label="car", source="m1"):
+    return Detection(BBox(x1, y1, x2, y2), conf, label, source=source)
+
+
+class TestWBF:
+    def test_merges_overlapping_boxes(self):
+        wbf = WeightedBoxesFusion(iou_threshold=0.5)
+        result = wbf.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.8, source="a")]),
+                frame([det(2, 0, 12, 10, 0.8, source="b")]),
+            ]
+        )
+        assert len(result) == 1
+        merged = result.detections[0]
+        # Equal weights: coordinates average.
+        assert merged.box.x1 == pytest.approx(1.0)
+        assert merged.box.x2 == pytest.approx(11.0)
+
+    def test_confidence_weighted_coordinates(self):
+        wbf = WeightedBoxesFusion(iou_threshold=0.5)
+        result = wbf.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.9, source="a")]),
+                frame([det(2, 0, 12, 10, 0.1, source="b")]),
+            ]
+        )
+        merged = result.detections[0]
+        # Weighted mean of x1: (0*0.9 + 2*0.1) / 1.0 = 0.2
+        assert merged.box.x1 == pytest.approx(0.2)
+
+    def test_full_agreement_keeps_confidence(self):
+        wbf = WeightedBoxesFusion()
+        result = wbf.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.8, source="a")]),
+                frame([det(0, 0, 10, 10, 0.6, source="b")]),
+            ]
+        )
+        merged = result.detections[0]
+        # avg = 0.7, found by 2/2 models -> no discount.
+        assert merged.confidence == pytest.approx(0.7)
+
+    def test_single_model_discovery_discounted(self):
+        wbf = WeightedBoxesFusion()
+        result = wbf.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.8, source="a")]),
+                frame([], source="b"),
+            ]
+        )
+        merged = result.detections[0]
+        # Found by 1 of 2 models -> confidence halved.
+        assert merged.confidence == pytest.approx(0.4)
+
+    def test_single_model_input_not_discounted(self):
+        wbf = WeightedBoxesFusion()
+        result = wbf.fuse([frame([det(0, 0, 10, 10, 0.8, source="a")])])
+        assert result.detections[0].confidence == pytest.approx(0.8)
+
+    def test_max_conf_type(self):
+        wbf = WeightedBoxesFusion(conf_type="max")
+        result = wbf.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.8, source="a")]),
+                frame([det(0, 0, 10, 10, 0.6, source="b")]),
+            ]
+        )
+        assert result.detections[0].confidence == pytest.approx(0.8)
+
+    def test_disjoint_boxes_not_merged(self):
+        wbf = WeightedBoxesFusion()
+        result = wbf.fuse(
+            [frame([det(0, 0, 10, 10, 0.9), det(100, 100, 120, 120, 0.8)])]
+        )
+        assert len(result) == 2
+
+    def test_classes_not_merged(self):
+        wbf = WeightedBoxesFusion()
+        result = wbf.fuse(
+            [
+                frame(
+                    [
+                        det(0, 0, 10, 10, 0.9, label="car"),
+                        det(0, 0, 10, 10, 0.9, label="bus"),
+                    ]
+                )
+            ]
+        )
+        assert len(result) == 2
+
+    def test_confidence_threshold(self):
+        wbf = WeightedBoxesFusion(confidence_threshold=0.5)
+        result = wbf.fuse([frame([det(0, 0, 10, 10, 0.3)])])
+        assert len(result) == 0
+
+    def test_invalid_conf_type(self):
+        with pytest.raises(ValueError):
+            WeightedBoxesFusion(conf_type="median")
+
+    def test_invalid_iou_threshold(self):
+        with pytest.raises(ValueError):
+            WeightedBoxesFusion(iou_threshold=-0.5)
+
+    def test_three_model_partial_agreement(self):
+        wbf = WeightedBoxesFusion()
+        result = wbf.fuse(
+            [
+                frame([det(0, 0, 10, 10, 0.9, source="a")]),
+                frame([det(0, 0, 10, 10, 0.6, source="b")]),
+                frame([], source="c"),
+            ]
+        )
+        merged = result.detections[0]
+        # avg 0.75 scaled by 2/3.
+        assert merged.confidence == pytest.approx(0.75 * 2 / 3)
+
+    def test_improves_recall_over_single_model(self):
+        """The core ensembling premise: the union finds more objects."""
+        wbf = WeightedBoxesFusion()
+        a = frame([det(0, 0, 10, 10, 0.9, source="a")], source="a")
+        b = frame([det(100, 100, 120, 120, 0.9, source="b")], source="b")
+        result = wbf.fuse([a, b])
+        assert len(result) == 2
