@@ -14,7 +14,7 @@ frame count and trial count proportionally.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict, Mapping
+from typing import Callable, Dict
 
 from repro.core.baselines import (
     BruteForce,

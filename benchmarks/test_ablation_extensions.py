@@ -15,7 +15,7 @@ Three design-choice ablations the paper motivates but does not measure:
 import pytest
 
 from benchmarks.common import banner, scaled
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.pareto import pareto_ensembles
 from repro.core.scoring import WeightedLogScore
@@ -58,7 +58,7 @@ def test_pareto_pruned_mes_matches_full_lattice(benchmark):
         "nusc-night", trial=0, scale=0.3, m=5, max_frames=scaled(2000)
     )
     scoring = WeightedLogScore(0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     def run_all():
         calib_env = DetectionEnvironment(
@@ -105,7 +105,7 @@ def test_drift_mechanism_ablation(benchmark):
     pool = nuscenes_detector_suite(m=3, seed=0)
     lidar = SimulatedLidar(seed=42)
     scoring = WeightedLogScore(0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     algorithms = {
         "MES": MES(gamma=5),
@@ -139,7 +139,7 @@ def test_frame_skipping_ablation(benchmark):
         "nusc-clear", trial=0, scale=0.2, m=3, max_frames=scaled(1200)
     )
     scoring = WeightedLogScore(0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     def run_all():
         env_plain = DetectionEnvironment(

@@ -10,7 +10,7 @@ accurate ensembles (high a_bar, the upper left).
 import pytest
 
 from benchmarks.common import banner, scaled
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.scoring import WeightedLogScore
 from repro.runner.experiment import standard_setup
@@ -24,7 +24,7 @@ def test_fig10_selection_distribution(benchmark):
     setup = standard_setup(
         "nusc", trial=0, scale=0.2, m=5, max_frames=scaled(2000)
     )
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     def run_all():
         per_weight = {}

@@ -12,7 +12,6 @@ from benchmarks.common import banner, scaled
 from repro.core.baselines import ExploreFirst, Oracle
 from repro.core.mes import MES
 from repro.runner.experiment import standard_setup
-from repro.runner.harness import compare_algorithms
 from repro.runner.sweeps import weight_sweep
 from repro.runner.reporting import format_table
 

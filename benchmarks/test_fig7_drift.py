@@ -21,7 +21,7 @@ from repro.core.baselines import (
     RandomSelection,
     SingleBest,
 )
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.scoring import WeightedLogScore
 from repro.core.sw_mes import SWMES
@@ -53,7 +53,7 @@ def test_fig7_drift_scores(benchmark, composition):
     pool = nuscenes_detector_suite(m=3, seed=0)
     lidar = SimulatedLidar(seed=42)
     scoring = WeightedLogScore(0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     window = max(len(video) // 4, 50)
     algorithms = {

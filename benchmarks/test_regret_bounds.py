@@ -12,7 +12,7 @@ import pytest
 from benchmarks.common import banner, scaled
 from repro.core.analysis import fit_log_growth, fit_power_growth, halves_ratio
 from repro.core.baselines import RandomSelection
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.regret import oracle_scores, regret_curve
 from repro.core.scoring import WeightedLogScore
@@ -26,7 +26,7 @@ def test_theorem41_mes_regret_is_sublinear(benchmark):
         "nusc-clear", trial=0, scale=0.3, m=3, max_frames=scaled(2500)
     )
     scoring = WeightedLogScore(0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     def run_all():
         env = DetectionEnvironment(

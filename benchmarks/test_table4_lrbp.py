@@ -9,7 +9,7 @@ compares.  The paper reports prediction errors generally within 10%.
 import pytest
 
 from benchmarks.common import banner, scaled
-from repro.core.environment import EvaluationCache
+from repro.core.environment import EvaluationStore
 from repro.core.mes_b import LRBP, MESB
 from repro.runner.experiment import make_environment, standard_setup
 from repro.runner.reporting import format_table
@@ -36,7 +36,7 @@ def test_table4_lrbp_predictions(benchmark):
             setup = standard_setup(
                 dataset, trial=0, scale=0.6, m=3, max_frames=num_frames
             )
-            cache = EvaluationCache()
+            cache = EvaluationStore()
             env = make_environment(setup, cache=cache)
             partial = MESB(gamma=GAMMA).run(
                 env, setup.frames, budget_ms=budget

@@ -11,14 +11,14 @@ Run:  python examples/budgeted_ingestion.py
 """
 
 from repro import LRBP, MESB, WeightedLogScore
-from repro.core.environment import EvaluationCache
+from repro.core.environment import EvaluationStore
 from repro.runner import make_environment, standard_setup
 
 
 def main() -> None:
     setup = standard_setup("nusc-rainy", trial=0, scale=0.15, m=3, max_frames=1500)
     scoring = WeightedLogScore(accuracy_weight=0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
     total_frames = len(setup.frames)
     gamma = 5
 

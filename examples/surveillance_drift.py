@@ -14,7 +14,7 @@ Run:  python examples/surveillance_drift.py
 """
 
 from repro import MES, SWMES, Oracle, WeightedLogScore, compose_drifting_video
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.sw_mes import suggested_window
 from repro.simulation.detectors import SimulatedDetector
 from repro.simulation.lidar import SimulatedLidar
@@ -40,7 +40,7 @@ def main() -> None:
     ]
     lidar = SimulatedLidar(seed=42)
     scoring = WeightedLogScore(accuracy_weight=0.5)
-    cache = EvaluationCache()
+    cache = EvaluationStore()
 
     def run(algorithm):
         env = DetectionEnvironment(pool, lidar, scoring=scoring, cache=cache)

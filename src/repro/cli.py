@@ -15,9 +15,11 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import List, Optional, Sequence
+from typing import Optional, Sequence
 
+from repro.core.environment import BILLING_POLICIES
 from repro.core.scoring import WeightedLogScore
+from repro.engine.backends import BACKEND_NAMES, make_backend
 from repro.query.executor import QueryEngine
 from repro.query.planner import algorithm_registry
 from repro.runner.experiment import dataset_keys, standard_setup
@@ -27,6 +29,25 @@ from repro.runner.reporting import format_table
 from repro.simulation.datasets import build_bdd_like, build_nuscenes_like
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
+    """The execution-engine flags shared by ``compare`` and ``query``."""
+    parser.add_argument(
+        "--backend",
+        default="serial",
+        choices=BACKEND_NAMES,
+        help=(
+            "execution backend for detector inference; parallel backends "
+            "change wall-clock time only, never results or simulated costs"
+        ),
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=4,
+        help="worker count for the thread / process backends",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -61,6 +82,16 @@ def build_parser() -> argparse.ArgumentParser:
     compare.add_argument(
         "--csv", default=None, help="write per-trial results to this CSV file"
     )
+    compare.add_argument(
+        "--billing",
+        default="sum",
+        choices=BILLING_POLICIES,
+        help=(
+            "detector billing policy: 'sum' charges every member "
+            "(Eq. 12/14), 'max' models members running on parallel devices"
+        ),
+    )
+    _add_backend_arguments(compare)
 
     query = sub.add_parser("query", help="run a video query")
     query.add_argument("text", help="the query string")
@@ -75,6 +106,7 @@ def build_parser() -> argparse.ArgumentParser:
         default="video",
         help="name under which the video is registered",
     )
+    _add_backend_arguments(query)
 
     sub.add_parser("datasets", help="print the Table 1 / Table 2 summaries")
     sub.add_parser("algorithms", help="list selection algorithms")
@@ -99,19 +131,25 @@ def _run_compare(args: argparse.Namespace) -> int:
         "EF": ExploreFirst,
         "MES": MES,
     }
-    outcomes = compare_algorithms(
-        lambda trial: standard_setup(
-            args.dataset,
-            trial=trial,
-            scale=args.scale,
-            m=args.m,
-            max_frames=args.frames,
-        ),
-        algorithms,
-        num_trials=args.trials,
-        scoring=WeightedLogScore(accuracy_weight=args.w1),
-        budget_ms=args.budget,
-    )
+    backend = make_backend(args.backend, workers=args.workers)
+    try:
+        outcomes = compare_algorithms(
+            lambda trial: standard_setup(
+                args.dataset,
+                trial=trial,
+                scale=args.scale,
+                m=args.m,
+                max_frames=args.frames,
+            ),
+            algorithms,
+            num_trials=args.trials,
+            scoring=WeightedLogScore(accuracy_weight=args.w1),
+            budget_ms=args.budget,
+            backend=backend,
+            billing=args.billing,
+        )
+    finally:
+        backend.close()
     rows = []
     for name, outcome in outcomes.items():
         stats = outcome.stats("s_sum")
@@ -146,12 +184,16 @@ def _run_query(args: argparse.Namespace) -> int:
         args.dataset, trial=0, scale=args.scale, m=args.m,
         max_frames=args.frames,
     )
-    engine = QueryEngine()
-    engine.register_video(args.video_name, setup.frames)
-    for detector in setup.detectors:
-        engine.register_detector(detector)
-    engine.register_reference(setup.reference)
-    result = engine.execute(args.text)
+    backend = make_backend(args.backend, workers=args.workers)
+    try:
+        engine = QueryEngine(backend=backend)
+        engine.register_video(args.video_name, setup.frames)
+        for detector in setup.detectors:
+            engine.register_detector(detector)
+        engine.register_reference(setup.reference)
+        result = engine.execute(args.text)
+    finally:
+        backend.close()
     print(
         f"{len(result)} of {result.selection.frames_processed} processed "
         f"frames match"

@@ -17,7 +17,6 @@ from __future__ import annotations
 
 from typing import List, Optional, Sequence, Tuple
 
-import numpy as np
 
 from repro.core.ensembles import EnsembleKey, make_key
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
@@ -51,7 +50,7 @@ class Oracle(IterativeSelection):
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
     ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
-        peek = env.evaluate(frame, env.all_ensembles, charge=False)
+        peek = env.peek(frame, env.all_ensembles)
         best_key = max(
             peek.evaluations,
             key=lambda key: (peek.evaluations[key].true_score, key),
@@ -99,7 +98,7 @@ class SingleBest(IterativeSelection):
         singles = [make_key([name]) for name in env.model_names]
         totals = {key: 0.0 for key in singles}
         for frame in sample:
-            batch = env.evaluate(frame, singles, charge=False)
+            batch = env.peek(frame, singles)
             for key in singles:
                 totals[key] += batch.evaluations[key].true_ap
         self._best = max(singles, key=lambda key: (totals[key], key))
@@ -174,8 +173,8 @@ class ExploreFirst(IterativeSelection):
         batch: EvaluationBatch,
     ) -> None:
         if t <= self.delta:
-            for key, evaluation in batch.evaluations.items():
-                self._stats.record(key, evaluation.est_score)
+            for key, est_score in batch.observations():
+                self._stats.record(key, est_score)
 
 
 class MESA(MES):

@@ -17,28 +17,61 @@ Evaluations report both the *estimated* score (AP against REF — what the
 algorithms may see, Eq. 3) and the *true* score (AP against ground truth —
 what the experiments report, Eq. 2).
 
-Evaluation results are cached by ``(frame, ensemble)``.  Because simulated
-detectors are deterministic per frame, a cache can safely be shared across
-environments (e.g. between the algorithms being compared in one trial) via
-the ``cache`` parameter, which makes multi-algorithm experiments several
-times faster without changing any result.
+Execution is layered on the :mod:`repro.engine` package:
+
+* the union-of-member inferences (and REF) of one frame run through an
+  :class:`~repro.engine.backends.ExecutionBackend` — serially by default,
+  concurrently with the thread/process backends.  Backends change wall
+  clock only; every simulated charge, score and selection is identical
+  across backends.
+* results are memoized in a bounded, LRU-evicting, thread-safe
+  :class:`~repro.engine.store.EvaluationStore` keyed by ``(frame,
+  ensemble)`` stage entries.  Because simulated detectors are
+  deterministic per frame, a store can safely be shared across
+  environments (e.g. between the algorithms being compared in one trial)
+  via the ``cache`` parameter, which makes multi-algorithm experiments
+  several times faster without changing any result.
+
+How parallel hardware is *billed* is an explicit policy, not a backend
+side effect: with ``billing="sum"`` (the paper's Eq. 12/14) the union
+members' inference times add up; ``billing="max"`` charges only the
+slowest member, modeling a deployment where members run on parallel GPUs.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.ensembles import EnsembleKey, enumerate_ensembles, make_key
 from repro.core.scoring import ScoringFunction, WeightedLogScore
 from repro.detection.metrics import mean_average_precision
 from repro.detection.types import FrameDetections
+from repro.engine.backends import ExecutionBackend, InferenceJob, SerialBackend
+from repro.engine.store import CacheStats, EvaluationStore
 from repro.ensembling.base import EnsembleMethod
 from repro.ensembling.wbf import WeightedBoxesFusion
 from repro.simulation.clock import CostModel, SimulatedClock
 from repro.simulation.video import Frame
 
-__all__ = ["EnsembleEvaluation", "EvaluationBatch", "EvaluationCache", "DetectionEnvironment"]
+__all__ = [
+    "EnsembleEvaluation",
+    "EvaluationBatch",
+    "EvaluationStore",
+    "EvaluationCache",
+    "CacheStats",
+    "BILLING_POLICIES",
+    "DetectionEnvironment",
+]
+
+#: Detector billing policies: ``"sum"`` adds the union members' inference
+#: times (Eq. 12/14 — one device runs them back to back); ``"max"`` charges
+#: the slowest member only (members run on parallel devices).
+BILLING_POLICIES: Tuple[str, ...] = ("sum", "max")
+
+#: Backwards-compatible alias: the old raw-dict ``EvaluationCache`` is gone;
+#: the name now resolves to the bounded, instrumented store.
+EvaluationCache = EvaluationStore
 
 
 @dataclass(frozen=True)
@@ -77,8 +110,10 @@ class EvaluationBatch:
 
     Attributes:
         evaluations: Per-ensemble evaluations.
-        detector_ms: Billable detector time this batch (each member model
-            once, Eq. 12/14).
+        detector_ms: Billable detector time this batch (union of member
+            models, combined per the environment's billing policy —
+            summed for ``"sum"`` per Eq. 12/14, the slowest member for
+            ``"max"``).
         ensembling_ms: Billable fusion time this batch (every evaluated
             ensemble).
         reference_ms: REF inference time incurred by this batch (zero if
@@ -95,21 +130,10 @@ class EvaluationBatch:
         """Time counted against a TCVI budget for this iteration."""
         return self.detector_ms + self.ensembling_ms
 
-
-@dataclass
-class EvaluationCache:
-    """Shared memoization across environments of one trial.
-
-    Valid to share only between environments with identical detectors,
-    reference, fusion method and IoU threshold; the factory helpers in
-    :mod:`repro.runner.experiment` enforce this by construction.
-    """
-
-    detector_outputs: Dict[Tuple[str, str], object] = field(default_factory=dict)
-    reference_outputs: Dict[str, object] = field(default_factory=dict)
-    fused: Dict[Tuple[str, EnsembleKey], FrameDetections] = field(default_factory=dict)
-    est_ap: Dict[Tuple[str, EnsembleKey], float] = field(default_factory=dict)
-    true_ap: Dict[Tuple[str, EnsembleKey], float] = field(default_factory=dict)
+    def observations(self) -> Iterator[Tuple[EnsembleKey, float]]:
+        """``(ensemble, est_score)`` pairs — what a bandit observes."""
+        for key, evaluation in self.evaluations.items():
+            yield key, evaluation.est_score
 
 
 class DetectionEnvironment:
@@ -124,10 +148,16 @@ class DetectionEnvironment:
         scoring: The scoring function ``SC``; defaults to Eq. (30) with
             ``w1 = w2 = 0.5``.
         fusion: Box-fusion method; defaults to WBF as in the paper.
-        cost_model: Non-inference cost parameters.
+        cost_model: Non-inference cost parameters and the ``c_max``
+            normalization policy.
         iou_threshold: IoU threshold for AP computation.
-        cache: Optional shared :class:`EvaluationCache`.
+        cache: Optional shared :class:`EvaluationStore` (a private one by
+            default).
         clock: Optional externally owned clock (a fresh one by default).
+        backend: Execution backend for inference jobs; defaults to
+            :class:`~repro.engine.backends.SerialBackend`.  Backends
+            affect wall-clock time only, never results or charges.
+        billing: Detector billing policy, one of :data:`BILLING_POLICIES`.
     """
 
     def __init__(
@@ -138,14 +168,21 @@ class DetectionEnvironment:
         fusion: Optional[EnsembleMethod] = None,
         cost_model: Optional[CostModel] = None,
         iou_threshold: float = 0.5,
-        cache: Optional[EvaluationCache] = None,
+        cache: Optional[EvaluationStore] = None,
         clock: Optional[SimulatedClock] = None,
+        backend: Optional[ExecutionBackend] = None,
+        billing: str = "sum",
     ) -> None:
         if not detectors:
             raise ValueError("the detector pool must be non-empty")
         names = [d.name for d in detectors]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate detector names: {names}")
+        if billing not in BILLING_POLICIES:
+            raise ValueError(
+                f"unknown billing policy {billing!r}; "
+                f"known: {list(BILLING_POLICIES)}"
+            )
         self._detectors: Dict[str, object] = {d.name: d for d in detectors}
         self.reference = reference
         self.scoring: ScoringFunction = (
@@ -158,24 +195,26 @@ class DetectionEnvironment:
         if not 0.0 < iou_threshold <= 1.0:
             raise ValueError("iou_threshold must be in (0, 1]")
         self.iou_threshold = iou_threshold
-        self.cache = cache if cache is not None else EvaluationCache()
+        self.store: EvaluationStore = (
+            cache if cache is not None else EvaluationStore()
+        )
         self.clock = clock if clock is not None else SimulatedClock()
+        self.backend: ExecutionBackend = (
+            backend if backend is not None else SerialBackend()
+        )
+        self.billing = billing
 
         self.model_names: Tuple[str, ...] = tuple(sorted(names))
         self.full_ensemble: EnsembleKey = make_key(names)
         self.all_ensembles: List[EnsembleKey] = enumerate_ensembles(names)
-        self._ref_charged: Set[str] = set()
 
-        # Normalization constant c_max: the cost of the full ensemble at
-        # worst-case jitter plus fusion overhead headroom.  The paper
-        # normalizes by the per-frame maximum over ensembles; a fixed upper
-        # bound preserves the required monotonicity while keeping scores
-        # comparable across frames, and normalized costs are clipped to
-        # [0, 1] regardless.
         expected_full = sum(d.expected_time_ms for d in detectors)
-        self.c_max_ms = expected_full * 1.05 + self.cost_model.ensembling_cost_ms(
-            256
-        ) + 16.0
+        self.c_max_ms = self.cost_model.c_max_ms(expected_full)
+
+    @property
+    def cache(self) -> EvaluationStore:
+        """Alias of :attr:`store` (the historical parameter name)."""
+        return self.store
 
     @property
     def num_models(self) -> int:
@@ -195,57 +234,83 @@ class DetectionEnvironment:
             raise ValueError("cost_ms must be non-negative")
         return min(cost_ms / self.c_max_ms, 1.0)
 
+    # ---- engine-backed memoized stages ---------------------------------
+
     def _single_output(self, frame: Frame, model: str):
-        cache_key = (frame.key, model)
-        output = self.cache.detector_outputs.get(cache_key)
-        if output is None:
-            output = self.detector(model).detect(frame)
-            self.cache.detector_outputs[cache_key] = output
-        return output
+        return self.store.get_or_compute(
+            "detector",
+            (frame.key, model),
+            lambda: self.detector(model).detect(frame),
+        )
 
     def _reference_output(self, frame: Frame):
-        output = self.cache.reference_outputs.get(frame.key)
-        if output is None:
-            output = self.reference.detect(frame)
-            self.cache.reference_outputs[frame.key] = output
-        return output
+        return self.store.get_or_compute(
+            "reference", frame.key, lambda: self.reference.detect(frame)
+        )
 
     def reference_detections(self, frame: Frame) -> FrameDetections:
         """``BBox_{REF|v}`` — the reference model's boxes for a frame."""
         return self._reference_output(frame).detections
 
     def _fused(self, frame: Frame, key: EnsembleKey) -> FrameDetections:
-        cache_key = (frame.key, key)
-        fused = self.cache.fused.get(cache_key)
-        if fused is None:
+        def compute() -> FrameDetections:
             parts = [self._single_output(frame, m).detections for m in key]
-            fused = self.fusion.fuse(parts)
-            self.cache.fused[cache_key] = fused
-        return fused
+            return self.fusion.fuse(parts)
+
+        return self.store.get_or_compute("fused", (frame.key, key), compute)
 
     def _estimated_ap(self, frame: Frame, key: EnsembleKey) -> float:
-        cache_key = (frame.key, key)
-        value = self.cache.est_ap.get(cache_key)
-        if value is None:
-            value = mean_average_precision(
+        return self.store.get_or_compute(
+            "est_ap",
+            (frame.key, key),
+            lambda: mean_average_precision(
                 self._fused(frame, key),
                 self.reference_detections(frame),
                 self.iou_threshold,
-            )
-            self.cache.est_ap[cache_key] = value
-        return value
+            ),
+        )
 
     def _true_ap(self, frame: Frame, key: EnsembleKey) -> float:
-        cache_key = (frame.key, key)
-        value = self.cache.true_ap.get(cache_key)
-        if value is None:
-            value = mean_average_precision(
+        return self.store.get_or_compute(
+            "true_ap",
+            (frame.key, key),
+            lambda: mean_average_precision(
                 self._fused(frame, key),
                 frame.ground_truth_detections(),
                 self.iou_threshold,
-            )
-            self.cache.true_ap[cache_key] = value
-        return value
+            ),
+        )
+
+    def _materialize_outputs(self, frame: Frame, models: Sequence[str]) -> None:
+        """Ensure single-model and REF outputs exist, via the backend.
+
+        The missing inferences of one frame are independent jobs; the
+        backend may run them concurrently.  Outputs land in the store, so
+        everything downstream (billing, fusion, AP) reads identical values
+        regardless of the backend — wall clock is the only difference.
+        """
+        jobs: List[InferenceJob] = []
+        stages: List[Tuple[str, object]] = []
+        for model in models:
+            if not self.store.contains("detector", (frame.key, model)):
+                jobs.append(InferenceJob(self._detectors[model], frame))
+                stages.append(("detector", (frame.key, model)))
+        if not self.store.contains("reference", frame.key):
+            jobs.append(InferenceJob(self.reference, frame))
+            stages.append(("reference", frame.key))
+        if not jobs:
+            return
+        for (stage, key), result in zip(stages, self.backend.run(jobs)):
+            if not self.store.contains(stage, key):
+                self.store.put(stage, key, result.output, result.wall_ms)
+
+    # ---- evaluation -----------------------------------------------------
+
+    def peek(
+        self, frame: Frame, keys: Iterable[EnsembleKey]
+    ) -> EvaluationBatch:
+        """Evaluate ensembles *without* consuming budget (oracle peeks)."""
+        return self.evaluate(frame, keys, charge=False)
 
     def evaluate(
         self,
@@ -260,9 +325,9 @@ class DetectionEnvironment:
             keys: Ensembles to evaluate; member names must be in the pool.
                 Duplicates are collapsed.
             charge: If True, bill the clock for union-of-member detector
-                inference (once each), per-ensemble fusion, and (once per
-                frame) REF inference.  Pass False for oracle peeks that must
-                not consume budget.
+                inference (combined per the billing policy), per-ensemble
+                fusion, and (once per frame) REF inference.  Pass False for
+                oracle peeks that must not consume budget.
 
         Returns:
             The per-ensemble evaluations plus this batch's cost components.
@@ -283,15 +348,23 @@ class DetectionEnvironment:
             raise ValueError("evaluate() requires at least one ensemble")
 
         union_models = sorted({m for key in key_list for m in key})
-        detector_ms = 0.0
-        for model in union_models:
-            detector_ms += self._single_output(frame, model).inference_time_ms
+        self._materialize_outputs(frame, union_models)
+
+        member_times = [
+            self._single_output(frame, model).inference_time_ms
+            for model in union_models
+        ]
+        if self.billing == "max":
+            detector_ms = max(member_times)
+        else:
+            detector_ms = sum(member_times)
 
         reference_ms = 0.0
         ref_output = self._reference_output(frame)
-        if charge and frame.key not in self._ref_charged:
+        if charge and self.clock.charge_once(
+            "reference", frame.key, ref_output.inference_time_ms
+        ):
             reference_ms = ref_output.inference_time_ms
-            self._ref_charged.add(frame.key)
 
         evaluations: Dict[EnsembleKey, EnsembleEvaluation] = {}
         ensembling_ms = 0.0
@@ -322,8 +395,6 @@ class DetectionEnvironment:
         if charge:
             self.clock.charge("detector", detector_ms)
             self.clock.charge("ensembling", ensembling_ms)
-            if reference_ms > 0.0:
-                self.clock.charge("reference", reference_ms)
 
         return EvaluationBatch(
             evaluations=evaluations,

@@ -82,5 +82,5 @@ class MES(IterativeSelection):
         frame: Frame,
         batch: EvaluationBatch,
     ) -> None:
-        for key, evaluation in batch.evaluations.items():
-            self._stats.record(key, evaluation.est_score)
+        for key, est_score in batch.observations():
+            self._stats.record(key, est_score)

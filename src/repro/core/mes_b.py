@@ -13,12 +13,12 @@ the extra budget ``B_extra`` required to finish the remaining
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
 from repro.core.mes import MES
-from repro.core.selection import SelectionResult
+from repro.core.selection import FrameObserver, SelectionResult
 
 __all__ = ["MESB", "LRBP"]
 
@@ -35,10 +35,16 @@ class MESB(MES):
 
     name = "MES-B"
 
-    def run(self, env, frames, budget_ms: Optional[float] = None) -> SelectionResult:
+    def run(
+        self,
+        env,
+        frames,
+        budget_ms: Optional[float] = None,
+        observers: Sequence[FrameObserver] = (),
+    ) -> SelectionResult:
         if budget_ms is None:
             raise ValueError("MES-B requires a budget_ms (use MES for TUVI)")
-        return super().run(env, frames, budget_ms=budget_ms)
+        return super().run(env, frames, budget_ms=budget_ms, observers=observers)
 
 
 @dataclass(frozen=True)

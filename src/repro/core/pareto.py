@@ -19,7 +19,7 @@ This module implements that direction:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.ensembles import EnsembleKey
 from repro.core.environment import DetectionEnvironment

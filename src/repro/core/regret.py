@@ -23,7 +23,7 @@ def oracle_scores(
     """``r_{S*_v | v}`` — best true score per frame, by uncharged peek."""
     best: List[float] = []
     for frame in frames:
-        batch = env.evaluate(frame, env.all_ensembles, charge=False)
+        batch = env.peek(frame, env.all_ensembles)
         best.append(
             max(ev.true_score for ev in batch.evaluations.values())
         )

@@ -1,11 +1,13 @@
-"""Selection-algorithm framework: records, results, and the run loop.
+"""Selection-algorithm framework: records, results, and the run API.
 
 All algorithms — MES, MES-B, SW-MES and every baseline — share the same
 iterative structure: per frame, choose an ensemble (and possibly extra
 ensembles to piggyback-evaluate), apply them through the environment, and
-update internal state.  :class:`IterativeSelection` implements that loop
-once, including the TCVI budget guard (Alg. 2's ``while C <= B``), so each
-algorithm only supplies its ``_choose`` / ``_update`` hooks.
+update internal state.  The loop itself — including the TCVI budget guard
+(Alg. 2's ``while C <= B``) — lives in exactly one place, the engine's
+:class:`~repro.engine.pipeline.FramePipeline`; :class:`IterativeSelection`
+binds an algorithm's ``_choose`` / ``_update`` hooks to it, so each
+algorithm only supplies those hooks.
 """
 
 from __future__ import annotations
@@ -16,40 +18,16 @@ from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.ensembles import EnsembleKey
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
+from repro.engine.pipeline import FrameObserver, FramePipeline, FrameRecord
 from repro.simulation.video import Frame
 
-__all__ = ["FrameRecord", "SelectionResult", "SelectionAlgorithm", "IterativeSelection"]
-
-
-@dataclass(frozen=True)
-class FrameRecord:
-    """Outcome of one iteration (one processed frame).
-
-    Attributes:
-        iteration: 1-based iteration number ``t``.
-        frame_index: Index of the processed frame in its video.
-        selected: The ensemble chosen for this frame.
-        est_score / est_ap: Estimated (REF-based) score and AP of the
-            selected ensemble — what the algorithm observed.
-        true_score / true_ap: Ground-truth score and AP — what experiments
-            report (``r`` in the paper's ``s_sum``).
-        cost_ms: ``c_{S|v}`` of the selected ensemble (its own cost, as
-            scored).
-        normalized_cost: ``c_hat`` of the selected ensemble.
-        charged_ms: Billable time actually spent this iteration (includes
-            piggyback subset fusions; Eq. 12/14).
-    """
-
-    iteration: int
-    frame_index: int
-    selected: EnsembleKey
-    est_score: float
-    est_ap: float
-    true_score: float
-    true_ap: float
-    cost_ms: float
-    normalized_cost: float
-    charged_ms: float
+__all__ = [
+    "FrameRecord",
+    "FrameObserver",
+    "SelectionResult",
+    "SelectionAlgorithm",
+    "IterativeSelection",
+]
 
 
 @dataclass
@@ -129,6 +107,7 @@ class SelectionAlgorithm(abc.ABC):
         env: DetectionEnvironment,
         frames: Sequence[Frame],
         budget_ms: Optional[float] = None,
+        observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
         """Process frames, selecting one ensemble per frame.
 
@@ -138,6 +117,9 @@ class SelectionAlgorithm(abc.ABC):
             frames: The frame sequence ``V``.
             budget_ms: Optional TCVI budget ``B``; processing stops once
                 cumulative billable time exceeds it.
+            observers: Per-frame callbacks ``(frame, batch, record)`` fired
+                by the pipeline for each processed frame (e.g. row
+                materialization in the query executor).
         """
 
 
@@ -150,6 +132,9 @@ class IterativeSelection(SelectionAlgorithm):
     * :meth:`_choose` — pick the selected ensemble and the full list of
       ensembles to evaluate this iteration;
     * :meth:`_update` — fold the evaluation batch into internal state.
+
+    The hooks are bound to the single shared
+    :class:`~repro.engine.pipeline.FramePipeline` loop.
     """
 
     def _begin(
@@ -180,11 +165,23 @@ class IterativeSelection(SelectionAlgorithm):
     #: override this to False.
     supports_streaming: bool = True
 
+    def _pipeline(
+        self,
+        env: DetectionEnvironment,
+        budget_ms: Optional[float],
+        observers: Sequence[FrameObserver],
+    ) -> FramePipeline:
+        """The engine pipeline bound to this algorithm's hooks."""
+        return FramePipeline(
+            env, budget_ms=budget_ms, observers=observers, label=self.name
+        )
+
     def run_stream(
         self,
         env: DetectionEnvironment,
         frames: Iterable[Frame],
         budget_ms: Optional[float] = None,
+        observers: Sequence[FrameObserver] = (),
     ) -> Iterator[FrameRecord]:
         """Process frames lazily, yielding one record per iteration.
 
@@ -199,57 +196,20 @@ class IterativeSelection(SelectionAlgorithm):
             raise TypeError(
                 f"{self.name} pre-scans the video and cannot run on a stream"
             )
-        if budget_ms is not None and budget_ms <= 0:
-            raise ValueError("budget_ms must be positive when given")
+        pipeline = self._pipeline(env, budget_ms, observers)
         self._begin(env, ())
-        yield from self._iterate(env, frames, budget_ms)
+        return pipeline.run(frames, self._choose, self._update)
 
     def run(
         self,
         env: DetectionEnvironment,
         frames: Sequence[Frame],
         budget_ms: Optional[float] = None,
+        observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
-        if budget_ms is not None and budget_ms <= 0:
-            raise ValueError("budget_ms must be positive when given")
+        pipeline = self._pipeline(env, budget_ms, observers)
         self._begin(env, frames)
-        records = list(self._iterate(env, frames, budget_ms))
+        records = list(pipeline.run(frames, self._choose, self._update))
         return SelectionResult(
             algorithm=self.name, records=records, budget_ms=budget_ms
         )
-
-    def _iterate(
-        self,
-        env: DetectionEnvironment,
-        frames: Iterable[Frame],
-        budget_ms: Optional[float],
-    ) -> Iterator[FrameRecord]:
-        spent_ms = 0.0
-        for t, frame in enumerate(frames, start=1):
-            # Alg. 2 line 6: iterate while C <= B (the final iteration may
-            # overshoot the budget; the next one does not start).
-            if budget_ms is not None and spent_ms > budget_ms:
-                break
-            selected, eval_keys = self._choose(env, t, frame)
-            if selected not in eval_keys:
-                raise RuntimeError(
-                    f"{self.name}: selected ensemble {selected} missing from "
-                    "its evaluation list"
-                )
-            env.charge_overhead(len(eval_keys))
-            batch = env.evaluate(frame, eval_keys, charge=True)
-            self._update(env, t, frame, batch)
-            chosen = batch.evaluations[selected]
-            spent_ms += batch.billable_ms
-            yield FrameRecord(
-                iteration=t,
-                frame_index=frame.index,
-                selected=selected,
-                est_score=chosen.est_score,
-                est_ap=chosen.est_ap,
-                true_score=chosen.true_score,
-                true_ap=chosen.true_ap,
-                cost_ms=chosen.cost_ms,
-                normalized_cost=chosen.normalized_cost,
-                charged_ms=batch.billable_ms,
-            )

@@ -16,11 +16,11 @@ real difference detector would call similar.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import List, Optional, Sequence
 
 from repro.core.environment import DetectionEnvironment
 from repro.core.selection import (
+    FrameObserver,
     FrameRecord,
     IterativeSelection,
     SelectionAlgorithm,
@@ -116,6 +116,7 @@ class FrameSkipper(SelectionAlgorithm):
         env: DetectionEnvironment,
         frames: Sequence[Frame],
         budget_ms: Optional[float] = None,
+        observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
         if not isinstance(self.inner, IterativeSelection):
             raise TypeError(
@@ -143,8 +144,10 @@ class FrameSkipper(SelectionAlgorithm):
                 consecutive = 0
 
         # Phase 2: run the inner algorithm on the processed subsequence.
+        # Observers fire per *processed* frame (skipped frames never form
+        # an evaluation batch to observe).
         inner_result = self.inner.run(
-            env, processed_frames, budget_ms=budget_ms
+            env, processed_frames, budget_ms=budget_ms, observers=observers
         )
 
         # Phase 3: stitch full-coverage records, reusing detections on
@@ -179,8 +182,8 @@ class FrameSkipper(SelectionAlgorithm):
                 if source_record is None:
                     break
                 source_frame = processed_frames[reuse]
-                reused = env.evaluate(
-                    source_frame, [source_record.selected], charge=False
+                reused = env.peek(
+                    source_frame, [source_record.selected]
                 ).evaluations[source_record.selected]
                 true_ap = mean_average_precision(
                     reused.detections,

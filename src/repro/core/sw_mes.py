@@ -94,8 +94,8 @@ class SWMES(IterativeSelection):
         frame: Frame,
         batch: EvaluationBatch,
     ) -> None:
-        for key, evaluation in batch.evaluations.items():
-            self._stats.record(key, evaluation.est_score, iteration=t)
+        for key, est_score in batch.observations():
+            self._stats.record(key, est_score, iteration=t)
 
 
 class DMES(IterativeSelection):
@@ -153,5 +153,5 @@ class DMES(IterativeSelection):
         batch: EvaluationBatch,
     ) -> None:
         self._stats.advance()
-        for key, evaluation in batch.evaluations.items():
-            self._stats.record(key, evaluation.est_score)
+        for key, est_score in batch.observations():
+            self._stats.record(key, est_score)

@@ -7,8 +7,8 @@ ensemble) to one frame, i.e. the paper's ``D_{M_i | v}`` / ``D_{S | v}``.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.detection.boxes import BBox
 

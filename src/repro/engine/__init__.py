@@ -1,0 +1,56 @@
+"""The pluggable execution engine: backends, bounded store, frame pipeline.
+
+This package is the layer between the selection algorithms / query planner
+and the detector models:
+
+* :mod:`repro.engine.backends` — *where* inference jobs run (serial,
+  thread pool, process pool), wall-clock only, result-equivalent;
+* :mod:`repro.engine.store` — the bounded, LRU-evicting, thread-safe
+  :class:`EvaluationStore` with :class:`CacheStats` instrumentation;
+* :mod:`repro.engine.pipeline` — the single
+  frame → evaluate → observe → record loop (:class:`FramePipeline`).
+"""
+
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    InferenceJob,
+    JobResult,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+from repro.engine.pipeline import (
+    ChooseHook,
+    FrameObserver,
+    FramePipeline,
+    FrameRecord,
+    UpdateHook,
+)
+from repro.engine.store import (
+    DEFAULT_CAPACITY,
+    CacheStats,
+    EvaluationStore,
+    StageStats,
+)
+
+__all__ = [
+    "BACKEND_NAMES",
+    "ExecutionBackend",
+    "InferenceJob",
+    "JobResult",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "make_backend",
+    "ChooseHook",
+    "FrameObserver",
+    "FramePipeline",
+    "FrameRecord",
+    "UpdateHook",
+    "DEFAULT_CAPACITY",
+    "CacheStats",
+    "EvaluationStore",
+    "StageStats",
+]

@@ -1,0 +1,206 @@
+"""Execution backends: where (real) inference work actually runs.
+
+The environment's :meth:`~repro.core.environment.DetectionEnvironment.evaluate`
+needs, per frame, the outputs of the *union of member detectors* plus the
+reference model — the work that dominates cost in the paper.  A backend
+decides how those independent inference jobs execute:
+
+* :class:`SerialBackend` — one after another on the calling thread;
+* :class:`ThreadPoolBackend` — a shared thread pool, for detectors whose
+  ``detect`` releases the GIL (real GPU/IO-bound inference);
+* :class:`ProcessPoolBackend` — a process pool, for CPU-bound detectors
+  (jobs and outputs must be picklable; the simulated detectors are).
+
+Backends change *wall-clock* time only.  Every simulated-clock charge,
+score and selection is computed from the returned outputs afterwards on
+the calling thread, so all backends are bitwise-equivalent on results —
+a property ``tests/test_engine_backends.py`` pins for MES, MES-B and
+SW-MES.  How parallel hardware is *billed* is a separate, explicit knob
+(the environment's ``billing`` policy), never an accident of the backend.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import Any, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+
+__all__ = [
+    "InferenceJob",
+    "JobResult",
+    "ExecutionBackend",
+    "SerialBackend",
+    "ThreadPoolBackend",
+    "ProcessPoolBackend",
+    "BACKEND_NAMES",
+    "make_backend",
+]
+
+
+@dataclass(frozen=True)
+class InferenceJob:
+    """One unit of inference work: apply one model to one frame.
+
+    Attributes:
+        model: Anything with ``.detect(frame)`` (a member detector or the
+            REF model).
+        frame: The frame to process.
+    """
+
+    model: Any
+    frame: Any
+
+
+@dataclass(frozen=True)
+class JobResult:
+    """A job's output plus the wall-clock time it took to produce.
+
+    ``wall_ms`` is measurement-only instrumentation (fed to the
+    :class:`~repro.engine.store.EvaluationStore` timing counters); the
+    simulated billing time lives inside ``output.inference_time_ms``.
+    """
+
+    output: Any
+    wall_ms: float
+
+
+def _execute_job(job: InferenceJob) -> JobResult:
+    """Run one job, timing it.  Module-level so process pools can pickle it."""
+    start = time.perf_counter()
+    output = job.model.detect(job.frame)
+    return JobResult(
+        output=output, wall_ms=(time.perf_counter() - start) * 1000.0
+    )
+
+
+@runtime_checkable
+class ExecutionBackend(Protocol):
+    """Strategy for executing a batch of independent inference jobs.
+
+    Implementations must return results in job order and must not reorder,
+    drop, or merge jobs — the environment relies on positional matching.
+    """
+
+    #: Short identifier (``"serial"``, ``"thread"``, ``"process"``).
+    name: str
+
+    def run(self, jobs: Sequence[InferenceJob]) -> List[JobResult]:
+        """Execute all jobs, returning their results in job order."""
+        ...
+
+    def close(self) -> None:
+        """Release any worker resources; idempotent."""
+        ...
+
+
+class SerialBackend:
+    """Run jobs sequentially on the calling thread (the default)."""
+
+    name = "serial"
+
+    def run(self, jobs: Sequence[InferenceJob]) -> List[JobResult]:
+        return [_execute_job(job) for job in jobs]
+
+    def close(self) -> None:  # nothing to release
+        pass
+
+    def __enter__(self) -> "SerialBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return "SerialBackend()"
+
+
+class _PoolBackend:
+    """Shared lazy-pool machinery for thread/process backends."""
+
+    name = "pool"
+
+    def __init__(self, workers: int = 4) -> None:
+        if workers < 1:
+            raise ValueError("workers must be at least 1")
+        self.workers = workers
+        self._executor: Optional[Executor] = None
+
+    def _make_executor(self) -> Executor:
+        raise NotImplementedError
+
+    def _pool(self) -> Executor:
+        if self._executor is None:
+            self._executor = self._make_executor()
+        return self._executor
+
+    def run(self, jobs: Sequence[InferenceJob]) -> List[JobResult]:
+        if len(jobs) <= 1:
+            # Pool dispatch overhead is never worth it for a single job.
+            return [_execute_job(job) for job in jobs]
+        return list(self._pool().map(_execute_job, jobs))
+
+    def close(self) -> None:
+        if self._executor is not None:
+            self._executor.shutdown(wait=True)
+            self._executor = None
+
+    def __enter__(self) -> "_PoolBackend":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return f"{type(self).__name__}(workers={self.workers})"
+
+
+class ThreadPoolBackend(_PoolBackend):
+    """Run jobs on a thread pool.
+
+    Speeds up detectors whose ``detect`` releases the GIL (network
+    inference on an accelerator, remote calls, I/O).  Pure-Python
+    simulated detectors see little wall-clock gain but remain bitwise
+    result-equivalent to :class:`SerialBackend`.
+    """
+
+    name = "thread"
+
+    def _make_executor(self) -> Executor:
+        return ThreadPoolExecutor(
+            max_workers=self.workers, thread_name_prefix="repro-engine"
+        )
+
+
+class ProcessPoolBackend(_PoolBackend):
+    """Run jobs on a process pool (CPU-bound detectors).
+
+    Jobs and outputs cross process boundaries, so models, frames and
+    detector outputs must be picklable.  Worker startup is amortized
+    across the backend's lifetime — reuse one backend for a whole run.
+    """
+
+    name = "process"
+
+    def _make_executor(self) -> Executor:
+        return ProcessPoolExecutor(max_workers=self.workers)
+
+
+#: Backend names accepted by :func:`make_backend` (and ``--backend``).
+BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+
+
+def make_backend(name: str, workers: int = 4) -> ExecutionBackend:
+    """Construct a backend by name.
+
+    Args:
+        name: One of :data:`BACKEND_NAMES`.
+        workers: Pool size for the parallel backends (ignored by serial).
+    """
+    if name == "serial":
+        return SerialBackend()
+    if name == "thread":
+        return ThreadPoolBackend(workers=workers)
+    if name == "process":
+        return ProcessPoolBackend(workers=workers)
+    raise ValueError(f"unknown backend {name!r}; known: {list(BACKEND_NAMES)}")

@@ -1,0 +1,164 @@
+"""The unified frame pipeline: frame → evaluate → observe → record.
+
+Every consumer of the runtime used to carry its own copy of this loop —
+the selection algorithms' iterate loop, the query executor's row
+materialization pass, and the benchmark harness's trial driver.
+:class:`FramePipeline` is now the *only* frame-loop implementation:
+:class:`~repro.core.selection.IterativeSelection` (and through it every
+algorithm and the multi-trial harness) and
+:class:`~repro.query.executor.QueryEngine` all drive it.
+
+Per iteration the pipeline:
+
+1. guards the TCVI budget (Alg. 2 line 6: iteration ``t`` starts only
+   while cumulative billable cost is ``<= B``; the final iteration may
+   overshoot, the next never starts);
+2. asks the algorithm hook to *choose* the selected ensemble plus the
+   full evaluation list (piggyback subsets included);
+3. bills selection overhead and *evaluates* the batch through the
+   environment (union-of-member inference, Eq. 12/14 billing);
+4. lets the algorithm *observe* the batch (its ``_update`` hook) and
+   notifies any registered observers (e.g. the query executor capturing
+   fused detections for row materialization);
+5. yields the :class:`FrameRecord`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import (
+    TYPE_CHECKING,
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
+    from repro.core.environment import DetectionEnvironment, EvaluationBatch
+    from repro.core.ensembles import EnsembleKey
+    from repro.simulation.video import Frame
+
+__all__ = ["FrameRecord", "FrameObserver", "ChooseHook", "UpdateHook", "FramePipeline"]
+
+
+@dataclass(frozen=True)
+class FrameRecord:
+    """Outcome of one iteration (one processed frame).
+
+    Attributes:
+        iteration: 1-based iteration number ``t``.
+        frame_index: Index of the processed frame in its video.
+        selected: The ensemble chosen for this frame.
+        est_score / est_ap: Estimated (REF-based) score and AP of the
+            selected ensemble — what the algorithm observed.
+        true_score / true_ap: Ground-truth score and AP — what experiments
+            report (``r`` in the paper's ``s_sum``).
+        cost_ms: ``c_{S|v}`` of the selected ensemble (its own cost, as
+            scored).
+        normalized_cost: ``c_hat`` of the selected ensemble.
+        charged_ms: Billable time actually spent this iteration (includes
+            piggyback subset fusions; Eq. 12/14).
+    """
+
+    iteration: int
+    frame_index: int
+    selected: "EnsembleKey"
+    est_score: float
+    est_ap: float
+    true_score: float
+    true_ap: float
+    cost_ms: float
+    normalized_cost: float
+    charged_ms: float
+
+
+#: Callback fired after each processed frame, before the record is yielded.
+FrameObserver = Callable[["Frame", "EvaluationBatch", FrameRecord], None]
+
+#: ``choose(env, t, frame) -> (selected, ensembles_to_evaluate)``.
+ChooseHook = Callable[
+    ["DetectionEnvironment", int, "Frame"],
+    Tuple["EnsembleKey", List["EnsembleKey"]],
+]
+
+#: ``update(env, t, frame, batch)`` — fold the batch into algorithm state.
+UpdateHook = Callable[["DetectionEnvironment", int, "Frame", "EvaluationBatch"], None]
+
+
+class FramePipeline:
+    """The single frame → evaluate → observe → record loop.
+
+    Args:
+        env: The detection environment to evaluate against.
+        budget_ms: Optional TCVI budget ``B``; iteration stops once
+            cumulative billable time exceeds it.
+        observers: Callbacks fired per processed frame with
+            ``(frame, batch, record)``.
+        label: Name used in error messages (typically the algorithm name).
+    """
+
+    def __init__(
+        self,
+        env: "DetectionEnvironment",
+        budget_ms: Optional[float] = None,
+        observers: Sequence[FrameObserver] = (),
+        label: str = "pipeline",
+    ) -> None:
+        if budget_ms is not None and budget_ms <= 0:
+            raise ValueError("budget_ms must be positive when given")
+        self.env = env
+        self.budget_ms = budget_ms
+        self.observers: Tuple[FrameObserver, ...] = tuple(observers)
+        self.label = label
+
+    def run(
+        self,
+        frames: Iterable["Frame"],
+        choose: ChooseHook,
+        update: Optional[UpdateHook] = None,
+    ) -> Iterator[FrameRecord]:
+        """Process frames lazily, yielding one record per iteration.
+
+        Works on unbounded streams (any iterable of frames); iteration
+        stops when the stream ends or the budget is exhausted.
+
+        Raises:
+            RuntimeError: If ``choose`` returns a selected ensemble that
+                is missing from its own evaluation list.
+        """
+        env = self.env
+        spent_ms = 0.0
+        for t, frame in enumerate(frames, start=1):
+            if self.budget_ms is not None and spent_ms > self.budget_ms:
+                break
+            selected, eval_keys = choose(env, t, frame)
+            if selected not in eval_keys:
+                raise RuntimeError(
+                    f"{self.label}: selected ensemble {selected} missing "
+                    "from its evaluation list"
+                )
+            env.charge_overhead(len(eval_keys))
+            batch = env.evaluate(frame, eval_keys, charge=True)
+            if update is not None:
+                update(env, t, frame, batch)
+            chosen = batch.evaluations[selected]
+            spent_ms += batch.billable_ms
+            record = FrameRecord(
+                iteration=t,
+                frame_index=frame.index,
+                selected=selected,
+                est_score=chosen.est_score,
+                est_ap=chosen.est_ap,
+                true_score=chosen.true_score,
+                true_ap=chosen.true_ap,
+                cost_ms=chosen.cost_ms,
+                normalized_cost=chosen.normalized_cost,
+                charged_ms=batch.billable_ms,
+            )
+            for observer in self.observers:
+                observer(frame, batch, record)
+            yield record

@@ -1,0 +1,264 @@
+"""The bounded, instrumented evaluation store.
+
+:class:`EvaluationStore` replaces the five unbounded dicts the old
+``EvaluationCache`` carried (detector outputs, REF outputs, fused boxes,
+estimated AP, true AP) with a single capacity-bounded, LRU-evicting,
+thread-safe map keyed by ``(stage, key)``.  Entries from every stage share
+one recency order, so the bound holds globally no matter how a workload
+splits across stages.
+
+Eviction is always *safe*: every cached value is a deterministic function
+of its key (detectors are deterministic per ``(detector, frame)``), so a
+miss after eviction merely recomputes — results never change, only wall
+time.  Simulated-clock billing is unaffected either way, because billing
+reads the simulated ``inference_time_ms`` carried *inside* the cached
+outputs, not the wall time spent producing them.
+
+The store keeps hit/miss/eviction counters and per-stage compute timing,
+exposed as an immutable :class:`CacheStats` snapshot — the instrumentation
+the ROADMAP's "as fast as the hardware allows" goal needs to verify that
+caching actually works at scale.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import OrderedDict
+from dataclasses import dataclass
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+
+__all__ = ["StageStats", "CacheStats", "EvaluationStore", "DEFAULT_CAPACITY"]
+
+#: Default entry bound.  A 600-frame, 31-ensemble trial needs ~60k entries
+#: across all stages; 2**18 leaves generous headroom for sweeps that share
+#: a store across budget/weight points while still bounding memory.
+DEFAULT_CAPACITY = 262_144
+
+
+@dataclass(frozen=True)
+class StageStats:
+    """Counters for one pipeline stage (e.g. ``"detector"``, ``"fused"``).
+
+    Attributes:
+        lookups: Number of reads issued against this stage.
+        hits: Reads answered from the store.
+        misses: Reads that required (re)computation.
+        compute_ms: Wall-clock milliseconds spent computing missed values.
+            This is *measurement* time, never simulated-clock time.
+    """
+
+    lookups: int = 0
+    hits: int = 0
+    misses: int = 0
+    compute_ms: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass(frozen=True)
+class CacheStats:
+    """Immutable snapshot of an :class:`EvaluationStore`'s instrumentation.
+
+    Invariant: ``hits + misses == lookups``, both in total and per stage.
+
+    Attributes:
+        capacity: The store's entry bound.
+        size: Entries currently held.
+        lookups / hits / misses: Totals across all stages.
+        evictions: Entries dropped by the LRU policy since creation
+            (or the last :meth:`EvaluationStore.clear`).
+        stages: Per-stage :class:`StageStats`, keyed by stage name.
+    """
+
+    capacity: int
+    size: int
+    lookups: int
+    hits: int
+    misses: int
+    evictions: int
+    stages: Mapping[str, StageStats]
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, Any]:
+        """A JSON-serializable view (see :mod:`repro.runner.io`)."""
+        return {
+            "capacity": self.capacity,
+            "size": self.size,
+            "lookups": self.lookups,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hit_rate,
+            "stages": {
+                name: {
+                    "lookups": s.lookups,
+                    "hits": s.hits,
+                    "misses": s.misses,
+                    "compute_ms": s.compute_ms,
+                    "hit_rate": s.hit_rate,
+                }
+                for name, s in self.stages.items()
+            },
+        }
+
+
+class _MutableStageStats:
+    """Internal mutable accumulator behind :class:`StageStats`."""
+
+    __slots__ = ("lookups", "hits", "misses", "compute_ms")
+
+    def __init__(self) -> None:
+        self.lookups = 0
+        self.hits = 0
+        self.misses = 0
+        self.compute_ms = 0.0
+
+    def freeze(self) -> StageStats:
+        return StageStats(
+            lookups=self.lookups,
+            hits=self.hits,
+            misses=self.misses,
+            compute_ms=self.compute_ms,
+        )
+
+
+class EvaluationStore:
+    """Bounded LRU memoization shared across the environments of one trial.
+
+    Valid to share only between environments with identical detectors,
+    reference, fusion method and IoU threshold; the factory helpers in
+    :mod:`repro.runner.experiment` enforce this by construction.
+
+    Thread safety: all bookkeeping happens under an internal lock, while
+    value computation (:meth:`get_or_compute`) runs *outside* it, so slow
+    inferences never serialize unrelated readers.  If two threads race on
+    the same missing key both compute it (deterministically identical
+    values) and the first insert wins — correctness is unaffected.
+
+    Args:
+        capacity: Maximum number of entries across all stages (>= 1).
+    """
+
+    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+        if capacity < 1:
+            raise ValueError("capacity must be at least 1")
+        self._capacity = capacity
+        self._lock = threading.RLock()
+        self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
+        self._stages: Dict[str, _MutableStageStats] = {}
+        self._evictions = 0
+
+    @property
+    def capacity(self) -> int:
+        return self._capacity
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._entries)
+
+    def _stage(self, stage: str) -> _MutableStageStats:
+        stats = self._stages.get(stage)
+        if stats is None:
+            stats = self._stages[stage] = _MutableStageStats()
+        return stats
+
+    def get(self, stage: str, key: Hashable) -> Optional[Any]:
+        """Look up a value, counting a hit or miss; ``None`` if absent.
+
+        Cached values are never ``None`` (:meth:`put` rejects it), so a
+        ``None`` return unambiguously means *absent*.
+        """
+        full_key = (stage, key)
+        with self._lock:
+            stats = self._stage(stage)
+            stats.lookups += 1
+            if full_key in self._entries:
+                stats.hits += 1
+                self._entries.move_to_end(full_key)
+                return self._entries[full_key]
+            stats.misses += 1
+            return None
+
+    def put(
+        self, stage: str, key: Hashable, value: Any, compute_ms: float = 0.0
+    ) -> None:
+        """Insert a computed value, evicting LRU entries past capacity.
+
+        Args:
+            stage: Stage namespace of the entry.
+            key: Hashable key within the stage.
+            value: The computed value (must not be ``None``).
+            compute_ms: Wall-clock ms it took to compute, accumulated into
+                the stage's timing counters.
+        """
+        if value is None:
+            raise ValueError("EvaluationStore cannot cache None values")
+        if compute_ms < 0:
+            raise ValueError("compute_ms must be non-negative")
+        full_key = (stage, key)
+        with self._lock:
+            self._stage(stage).compute_ms += compute_ms
+            if full_key in self._entries:
+                # A racing thread inserted first; keep the existing entry
+                # (values are deterministic, so they are identical).
+                self._entries.move_to_end(full_key)
+                return
+            self._entries[full_key] = value
+            while len(self._entries) > self._capacity:
+                self._entries.popitem(last=False)
+                self._evictions += 1
+
+    def get_or_compute(
+        self, stage: str, key: Hashable, compute: Callable[[], Any]
+    ) -> Any:
+        """Return the cached value, computing (and timing) it on a miss."""
+        value = self.get(stage, key)
+        if value is not None:
+            return value
+        start = time.perf_counter()
+        value = compute()
+        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        self.put(stage, key, value, compute_ms=elapsed_ms)
+        return value
+
+    def contains(self, stage: str, key: Hashable) -> bool:
+        """Membership test that does *not* count as a lookup."""
+        with self._lock:
+            return (stage, key) in self._entries
+
+    def stats(self) -> CacheStats:
+        """An immutable snapshot of counters and per-stage timing."""
+        with self._lock:
+            stages = {
+                name: stats.freeze() for name, stats in self._stages.items()
+            }
+            return CacheStats(
+                capacity=self._capacity,
+                size=len(self._entries),
+                lookups=sum(s.lookups for s in stages.values()),
+                hits=sum(s.hits for s in stages.values()),
+                misses=sum(s.misses for s in stages.values()),
+                evictions=self._evictions,
+                stages=MappingProxyType(stages),
+            )
+
+    def clear(self) -> None:
+        """Drop all entries and reset every counter."""
+        with self._lock:
+            self._entries.clear()
+            self._stages.clear()
+            self._evictions = 0
+
+    def __repr__(self) -> str:
+        with self._lock:
+            return (
+                f"EvaluationStore(size={len(self._entries)}, "
+                f"capacity={self._capacity}, evictions={self._evictions})"
+            )

@@ -13,7 +13,7 @@ formulation.
 from __future__ import annotations
 
 import abc
-from typing import Dict, List, Sequence, Tuple
+from typing import List, Sequence
 
 from repro.detection.types import Detection, FrameDetections
 

@@ -6,17 +6,23 @@ a query string, plans it, runs the bound selection algorithm over the video
 (selecting and fusing an ensemble per frame — the paper's pre-processing
 step), materializes the ``PRODUCE`` rows, and applies the ``WHERE``
 predicate.
+
+Row materialization rides the engine's unified
+:class:`~repro.engine.pipeline.FramePipeline`: a per-frame observer
+captures each selected ensemble's fused detections *during* the selection
+run, so the executor never re-walks the video in a second loop.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.core.environment import DetectionEnvironment
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import ScoringFunction, WeightedLogScore
 from repro.core.selection import SelectionResult
 from repro.detection.types import FrameDetections
+from repro.engine.backends import ExecutionBackend
 from repro.ensembling.base import EnsembleMethod
 from repro.query.ast import Query
 from repro.query.parser import parse_query
@@ -78,15 +84,25 @@ class QueryEngine:
     Args:
         scoring: Scoring function used by selection algorithms.
         fusion: Fusion method (WBF by default).
+        backend: Execution backend shared by all queries (serial by
+            default); parallel backends change wall clock only, never
+            results.
+        store: Optional shared :class:`EvaluationStore`; queries over the
+            same registered video/models then reuse inference across
+            executions.
     """
 
     def __init__(
         self,
         scoring: Optional[ScoringFunction] = None,
         fusion: Optional[EnsembleMethod] = None,
+        backend: Optional[ExecutionBackend] = None,
+        store: Optional[EvaluationStore] = None,
     ) -> None:
         self.scoring = scoring if scoring is not None else WeightedLogScore(0.5)
         self.fusion = fusion
+        self.backend = backend
+        self.store = store
         self._videos: Dict[str, Tuple[Frame, ...]] = {}
         self._detectors: Dict[str, object] = {}
         self._references: Dict[str, object] = {}
@@ -172,14 +188,28 @@ class QueryEngine:
             reference=reference,
             scoring=self.scoring,
             fusion=self.fusion,
+            cache=self.store,
+            backend=self.backend,
         )
-        selection = plan.algorithm.run(env, frames, budget_ms=plan.budget_ms)
+
+        # A pipeline observer captures the selected ensemble's fused
+        # detections as each frame is processed — no second frame loop.
+        detections_by_index: Dict[int, FrameDetections] = {}
+
+        def capture_detections(frame, batch, record) -> None:
+            evaluation = batch.evaluations[record.selected]
+            detections_by_index[record.frame_index] = evaluation.detections
+
+        selection = plan.algorithm.run(
+            env,
+            frames,
+            budget_ms=plan.budget_ms,
+            observers=[capture_detections],
+        )
 
         rows: List[Row] = []
         for record in selection.records:
-            frame = frames[record.frame_index]
-            batch = env.evaluate(frame, [record.selected], charge=False)
-            detections = batch.evaluations[record.selected].detections
+            detections = detections_by_index[record.frame_index]
             row = Row(
                 frame_id=record.frame_index,
                 detections=detections,

@@ -15,7 +15,6 @@ from repro.query.ast import (
     CountExpr,
     ExistsExpr,
     Expr,
-    FieldRef,
     LogicalExpr,
 )
 

@@ -17,9 +17,10 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import ScoringFunction, WeightedLogScore
 from repro.core.selection import SelectionAlgorithm, SelectionResult
+from repro.engine.backends import ExecutionBackend
 from repro.ensembling.base import EnsembleMethod
 from repro.ensembling.wbf import WeightedBoxesFusion
 from repro.simulation.clock import CostModel
@@ -27,7 +28,7 @@ from repro.simulation.datasets import Dataset, build_bdd_like, build_nuscenes_li
 from repro.simulation.detectors import SimulatedDetector
 from repro.simulation.lidar import SimulatedLidar
 from repro.simulation.profiles import make_profile
-from repro.simulation.video import Frame, Video
+from repro.simulation.video import Frame
 from repro.utils.rng import derive_seed
 
 __all__ = [
@@ -168,9 +169,21 @@ def make_environment(
     scoring: Optional[ScoringFunction] = None,
     fusion: Optional[EnsembleMethod] = None,
     cost_model: Optional[CostModel] = None,
-    cache: Optional[EvaluationCache] = None,
+    cache: Optional[EvaluationStore] = None,
+    backend: Optional[ExecutionBackend] = None,
+    billing: str = "sum",
 ) -> DetectionEnvironment:
-    """A fresh environment over a trial setup (optionally sharing a cache)."""
+    """A fresh environment over a trial setup (optionally sharing a store).
+
+    Args:
+        setup: The trial.
+        scoring / fusion / cost_model: Environment configuration.
+        cache: Optional shared :class:`EvaluationStore`.
+        backend: Optional execution backend (serial by default); affects
+            wall clock only.
+        billing: Detector billing policy (``"sum"`` per Eq. 12/14, or
+            ``"max"`` for parallel-device deployments).
+    """
     return DetectionEnvironment(
         detectors=list(setup.detectors),
         reference=setup.reference,
@@ -178,6 +191,8 @@ def make_environment(
         fusion=fusion if fusion is not None else WeightedBoxesFusion(),
         cost_model=cost_model,
         cache=cache,
+        backend=backend,
+        billing=billing,
     )
 
 
@@ -187,9 +202,11 @@ def run_algorithms(
     scoring: Optional[ScoringFunction] = None,
     budget_ms: Optional[float] = None,
     fusion: Optional[EnsembleMethod] = None,
-    cache: Optional[EvaluationCache] = None,
+    cache: Optional[EvaluationStore] = None,
+    backend: Optional[ExecutionBackend] = None,
+    billing: str = "sum",
 ) -> Dict[str, SelectionResult]:
-    """Run several algorithms on one trial with a shared evaluation cache.
+    """Run several algorithms on one trial with a shared evaluation store.
 
     Args:
         setup: The trial.
@@ -198,18 +215,27 @@ def run_algorithms(
         scoring: Scoring function shared by all runs.
         budget_ms: Optional TCVI budget applied to every run.
         fusion: Fusion method (WBF by default).
-        cache: Optional externally owned cache (e.g. shared across the
-            budget points of a sweep over the same trial).
+        cache: Optional externally owned :class:`EvaluationStore` (e.g.
+            shared across the budget points of a sweep over the same
+            trial).
+        backend: Optional execution backend shared by all runs (the caller
+            owns its lifecycle); wall clock only, results unchanged.
+        billing: Detector billing policy for every run.
 
     Returns:
         Name -> the algorithm's :class:`SelectionResult`.
     """
     if cache is None:
-        cache = EvaluationCache()
+        cache = EvaluationStore()
     results: Dict[str, SelectionResult] = {}
     for name, factory in algorithms.items():
         env = make_environment(
-            setup, scoring=scoring, fusion=fusion, cache=cache
+            setup,
+            scoring=scoring,
+            fusion=fusion,
+            cache=cache,
+            backend=backend,
+            billing=billing,
         )
         algorithm = factory()
         results[name] = algorithm.run(env, setup.frames, budget_ms=budget_ms)

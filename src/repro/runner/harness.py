@@ -16,6 +16,8 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.scoring import ScoringFunction
 from repro.core.selection import SelectionAlgorithm, SelectionResult
+from repro.engine.backends import ExecutionBackend
+from repro.engine.store import EvaluationStore
 from repro.runner.experiment import TrialSetup, run_algorithms
 
 __all__ = ["MetricStats", "TrialOutcome", "compare_algorithms"]
@@ -98,9 +100,15 @@ def compare_algorithms(
     num_trials: int = 10,
     scoring: Optional[ScoringFunction] = None,
     budget_ms: Optional[float] = None,
-    cache_by_trial: Optional[Dict[int, object]] = None,
+    cache_by_trial: Optional[Dict[int, EvaluationStore]] = None,
+    backend: Optional[ExecutionBackend] = None,
+    billing: str = "sum",
 ) -> Dict[str, TrialOutcome]:
     """Run the multi-trial comparison protocol.
+
+    Every per-algorithm run inside a trial drives the engine's single
+    :class:`~repro.engine.pipeline.FramePipeline` loop through
+    :func:`~repro.runner.experiment.run_algorithms`.
 
     Args:
         setup_factory: Maps a trial number to a (re-sampled) trial setup;
@@ -109,9 +117,12 @@ def compare_algorithms(
         num_trials: Number of independent trials (the paper uses 100).
         scoring: Shared scoring function.
         budget_ms: Optional TCVI budget.
-        cache_by_trial: Optional per-trial evaluation caches, reused across
+        cache_by_trial: Optional per-trial evaluation stores, reused across
             calls (e.g. the budget points of a sweep re-run identical
-            trials; sharing caches avoids re-inferring every frame).
+            trials; sharing stores avoids re-inferring every frame).
+        backend: Optional execution backend shared across all trials (the
+            caller owns its lifecycle); wall clock only, results unchanged.
+        billing: Detector billing policy for every run.
 
     Returns:
         Name -> accumulated :class:`TrialOutcome`.
@@ -125,11 +136,15 @@ def compare_algorithms(
         setup = setup_factory(trial)
         cache = None
         if cache_by_trial is not None:
-            from repro.core.environment import EvaluationCache
-
-            cache = cache_by_trial.setdefault(trial, EvaluationCache())
+            cache = cache_by_trial.setdefault(trial, EvaluationStore())
         results = run_algorithms(
-            setup, algorithms, scoring=scoring, budget_ms=budget_ms, cache=cache
+            setup,
+            algorithms,
+            scoring=scoring,
+            budget_ms=budget_ms,
+            cache=cache,
+            backend=backend,
+            billing=billing,
         )
         for name, result in results.items():
             outcomes[name].add(result)

@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Union
 
 from repro.core.selection import FrameRecord, SelectionResult
+from repro.engine.store import CacheStats
 from repro.runner.harness import TrialOutcome
 
 __all__ = [
@@ -22,6 +23,8 @@ __all__ = [
     "save_records_csv",
     "outcomes_to_rows",
     "save_outcomes_csv",
+    "cache_stats_to_dict",
+    "save_cache_stats_json",
 ]
 
 _PathLike = Union[str, Path]
@@ -159,3 +162,14 @@ def save_outcomes_csv(
         writer = csv.DictWriter(handle, fieldnames=columns)
         writer.writeheader()
         writer.writerows(rows)
+
+
+def cache_stats_to_dict(stats: CacheStats) -> Dict:
+    """A JSON-serializable view of an :class:`EvaluationStore` snapshot."""
+    return stats.as_dict()
+
+
+def save_cache_stats_json(stats: CacheStats, path: _PathLike) -> None:
+    """Write a store's :class:`CacheStats` snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(cache_stats_to_dict(stats), handle, indent=2)

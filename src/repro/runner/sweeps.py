@@ -8,7 +8,7 @@ TrialOutcome}}`` structures the benchmarks format into the paper's series.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import Callable, Dict, Mapping, Optional, Sequence
 
 from repro.core.scoring import WeightedLogScore
 from repro.core.selection import SelectionAlgorithm

@@ -13,7 +13,7 @@ the profile it was built from (tested in ``tests/test_calibration.py``).
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.detection.matching import match_detections

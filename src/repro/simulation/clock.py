@@ -12,8 +12,9 @@ ensembling, selection overhead) to reproduce the Figure 13 breakdown.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict
+from typing import Dict, Hashable, Tuple
 
 from repro.utils.validation import check_non_negative
 
@@ -22,18 +23,35 @@ __all__ = ["CostModel", "SimulatedClock"]
 
 @dataclass(frozen=True)
 class CostModel:
-    """Costs of the non-inference work.
+    """Costs of the non-inference work, plus the ``c_max`` normalization.
 
     Attributes:
         ensembling_base_ms: Fixed cost of one fusion call.
         ensembling_per_box_ms: Marginal cost per pooled input box.
         overhead_per_ensemble_ms: Bookkeeping cost (UCB computation and
             placeholder updates) per candidate ensemble per iteration.
+        inference_jitter_headroom: Multiplier on the pool's expected full
+            inference time when computing ``c_max``.  The simulated
+            detectors draw a multiplicative time jitter in ``[0.95, 1.05]``
+            per frame; ``1.05`` is that jitter's upper bound, so the full
+            ensemble's inference never exceeds the headroomed expectation.
+            Must be >= 1 or ``c_hat = c / c_max`` (the paper's normalized
+            cost, clipped to [0, 1]) would saturate on ordinary frames and
+            break the monotonicity the scoring function (Eq. 30) relies on.
+        c_max_pool_boxes: Worst-case pooled box count assumed when adding
+            fusion headroom to ``c_max`` — an upper bound on the boxes the
+            full ensemble contributes to one WBF call on a cluttered frame.
+        c_max_margin_ms: Additive safety margin absorbing the per-box NMS
+            term of detector inference time (0.05 ms/box in the simulator),
+            which the expected times do not include.
     """
 
     ensembling_base_ms: float = 0.05
     ensembling_per_box_ms: float = 0.002
     overhead_per_ensemble_ms: float = 0.001
+    inference_jitter_headroom: float = 1.05
+    c_max_pool_boxes: int = 256
+    c_max_margin_ms: float = 16.0
 
     def __post_init__(self) -> None:
         check_non_negative(self.ensembling_base_ms, "ensembling_base_ms")
@@ -41,12 +59,41 @@ class CostModel:
         check_non_negative(
             self.overhead_per_ensemble_ms, "overhead_per_ensemble_ms"
         )
+        if self.inference_jitter_headroom < 1.0:
+            raise ValueError(
+                "inference_jitter_headroom must be >= 1.0: c_max must upper-"
+                "bound the full ensemble's jittered inference time"
+            )
+        if self.c_max_pool_boxes < 0:
+            raise ValueError("c_max_pool_boxes must be non-negative")
+        check_non_negative(self.c_max_margin_ms, "c_max_margin_ms")
 
     def ensembling_cost_ms(self, num_boxes: int) -> float:
         """Cost ``c^e`` of fusing a pool of ``num_boxes`` boxes."""
         if num_boxes < 0:
             raise ValueError("num_boxes must be non-negative")
         return self.ensembling_base_ms + self.ensembling_per_box_ms * num_boxes
+
+    def c_max_ms(self, expected_full_inference_ms: float) -> float:
+        """The normalization constant ``c_max`` for a detector pool.
+
+        The paper normalizes per-frame cost by the maximum over ensembles;
+        a fixed upper bound on the full ensemble's cost preserves the
+        required monotonicity while keeping scores comparable across
+        frames (normalized costs are clipped to [0, 1] regardless).
+
+        Args:
+            expected_full_inference_ms: Sum of the pool's expected
+                per-frame inference times (the full ensemble ``M``).
+        """
+        check_non_negative(
+            expected_full_inference_ms, "expected_full_inference_ms"
+        )
+        return (
+            expected_full_inference_ms * self.inference_jitter_headroom
+            + self.ensembling_cost_ms(self.c_max_pool_boxes)
+            + self.c_max_margin_ms
+        )
 
 
 #: Ledger component names, in reporting order.
@@ -67,6 +114,13 @@ class SimulatedClock:
     reference_ms: float = 0.0
     ensembling_ms: float = 0.0
     overhead_ms: float = 0.0
+    #: How many recent once-only charge keys to remember (see
+    #: :meth:`charge_once`).  Bounded so unbounded frame streams cannot
+    #: grow the clock's memory without limit.
+    charge_once_window: int = 4096
+    _charged_keys: "OrderedDict[Tuple[str, Hashable], None]" = field(
+        default_factory=OrderedDict, repr=False, compare=False
+    )
 
     def charge(self, component: str, ms: float) -> None:
         """Add ``ms`` to a component ledger.
@@ -89,6 +143,32 @@ class SimulatedClock:
             raise KeyError(
                 f"unknown clock component {component!r}; known: {COMPONENTS}"
             )
+
+    def charge_once(self, component: str, key: Hashable, ms: float) -> bool:
+        """Charge a component at most once per ``(component, key)``.
+
+        Used for per-frame once-only costs — REF inference is billed once
+        per processed frame (Section 2.3) no matter how many evaluation
+        batches touch the frame.  The charged-key memory is an LRU bounded
+        by :attr:`charge_once_window`, so environments stay reusable over
+        unbounded streams; under sequential frame processing a key only
+        recurs while it is still within the window.  :meth:`reset` clears
+        the memory along with the ledgers, making a clock (and the
+        environment owning it) reusable across trials.
+
+        Returns:
+            True if the charge was applied, False if ``key`` was already
+            charged for this component.
+        """
+        full_key = (component, key)
+        if full_key in self._charged_keys:
+            self._charged_keys.move_to_end(full_key)
+            return False
+        self.charge(component, ms)
+        self._charged_keys[full_key] = None
+        while len(self._charged_keys) > self.charge_once_window:
+            self._charged_keys.popitem(last=False)
+        return True
 
     @property
     def billable_ms(self) -> float:
@@ -130,3 +210,4 @@ class SimulatedClock:
         self.reference_ms = 0.0
         self.ensembling_ms = 0.0
         self.overhead_ms = 0.0
+        self._charged_keys.clear()

@@ -16,13 +16,12 @@ seconds.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
-from repro.simulation.video import Frame, Video
+from repro.simulation.video import Video
 from repro.simulation.world import WorldConfig, generate_video
 from repro.utils.rng import derive_rng, derive_seed
 from repro.utils.validation import check_positive

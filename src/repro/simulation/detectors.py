@@ -23,7 +23,7 @@ with fixed weights), and downstream caches are sound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import List, Tuple
 
 import numpy as np
 

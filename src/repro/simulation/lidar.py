@@ -22,11 +22,9 @@ paper's Section 2.3 observation.
 
 from __future__ import annotations
 
-import math
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
-import numpy as np
 
 from repro.detection.boxes import BBox
 from repro.detection.types import Detection, FrameDetections

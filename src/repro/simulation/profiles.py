@@ -17,9 +17,8 @@ the per-dataset ensemble rankings of Figures 2–4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional, Tuple
+from typing import Dict, Optional
 
-from repro.simulation.scenes import SCENE_CATEGORIES
 from repro.utils.validation import check_positive, check_probability
 
 __all__ = [

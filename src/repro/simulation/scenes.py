@@ -11,7 +11,7 @@ lighting, which is exactly why the paper can use it as REF.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Tuple
+from typing import Dict
 
 from repro.utils.validation import check_positive, check_probability
 

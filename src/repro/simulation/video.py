@@ -9,7 +9,7 @@ time, so streaming works without a dedicated class.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.detection.boxes import BBox

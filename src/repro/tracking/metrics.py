@@ -11,7 +11,7 @@ fragmentation (mean number of distinct track ids per GT object).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Set
+from typing import Dict, Sequence, Set
 
 from repro.detection.boxes import iou_matrix
 from repro.simulation.video import Frame

@@ -12,8 +12,8 @@ which IoU gating makes unnecessary at simulation fidelity).
 from __future__ import annotations
 
 import enum
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
 
 from repro.detection.boxes import BBox, iou_matrix
 from repro.detection.types import Detection, FrameDetections

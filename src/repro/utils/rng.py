@@ -15,7 +15,7 @@ Keys are hashed with SHA-256, so arbitrary strings and integers are safe.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Tuple, Union
+from typing import List, Union
 
 import numpy as np
 

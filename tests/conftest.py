@@ -7,7 +7,7 @@ import pytest
 from repro.core.environment import DetectionEnvironment
 from repro.core.scoring import WeightedLogScore
 from repro.detection.boxes import BBox
-from repro.detection.types import Detection, FrameDetections
+from repro.detection.types import Detection
 from repro.simulation.detectors import SimulatedDetector
 from repro.simulation.lidar import SimulatedLidar
 from repro.simulation.profiles import make_profile

@@ -2,7 +2,6 @@
 
 import math
 
-import numpy as np
 import pytest
 
 from repro.core.analysis import (
@@ -79,7 +78,7 @@ class TestHalvesRatio:
 class TestOnRealAlgorithms:
     def test_mes_regret_fits_sublinear_growth(self, detector_pool, lidar):
         """Theorem 4.1 signature: MES's regret exponent is well below 1."""
-        from repro.core.environment import DetectionEnvironment, EvaluationCache
+        from repro.core.environment import DetectionEnvironment, EvaluationStore
         from repro.core.mes import MES
         from repro.core.baselines import RandomSelection
         from repro.core.regret import oracle_scores, regret_curve
@@ -87,7 +86,7 @@ class TestOnRealAlgorithms:
         from repro.simulation.world import generate_video
 
         video = generate_video("analysis/clear", 500, "clear", seed=23)
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         scoring = WeightedLogScore(0.5)
         env = DetectionEnvironment(detector_pool, lidar, scoring=scoring, cache=cache)
         oracle = oracle_scores(env, video.frames)

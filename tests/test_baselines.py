@@ -10,7 +10,7 @@ from repro.core.baselines import (
     RandomSelection,
     SingleBest,
 )
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import WeightedLogScore
 
 
@@ -30,7 +30,7 @@ class TestOracle:
             assert record.true_score == pytest.approx(best)
 
     def test_oracle_dominates_everyone(self, detector_pool, lidar, frames):
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         scoring = WeightedLogScore(0.5)
 
         def run(algo):

@@ -1,6 +1,5 @@
 """Unit tests for the bounding-box algebra."""
 
-import math
 
 import numpy as np
 import pytest

@@ -5,7 +5,6 @@ import pytest
 from repro.simulation.datasets import (
     BDD_SPEC,
     NUSCENES_SPEC,
-    Dataset,
     DatasetSpec,
     GroupSpec,
     build_bdd_like,

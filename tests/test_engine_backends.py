@@ -1,0 +1,179 @@
+"""Execution-backend equivalence: backends change wall clock, not results.
+
+The acceptance property of the engine refactor: Serial, ThreadPool and
+ProcessPool backends must produce bitwise-identical selection runs —
+identical :class:`FrameRecord` sequences *and* identical simulated-clock
+ledgers — because every simulated charge is computed from detector
+outputs, never from how they were scheduled.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.mes import MES
+from repro.core.mes_b import MESB
+from repro.core.sw_mes import SWMES
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    InferenceJob,
+    ProcessPoolBackend,
+    SerialBackend,
+    ThreadPoolBackend,
+    make_backend,
+)
+
+#: algorithm -> (factory, budget_ms); MES-B is budget-mandatory (TCVI).
+ALGORITHMS = {
+    "mes": (lambda: MES(), None),
+    "mes-b": (lambda: MESB(), 2_000.0),
+    "sw-mes": (lambda: SWMES(window=8), None),
+}
+
+
+def _run(algorithm, backend, detector_pool, lidar, frames, billing="sum"):
+    factory, budget_ms = ALGORITHMS[algorithm]
+    env = DetectionEnvironment(
+        detector_pool, lidar, backend=backend, billing=billing
+    )
+    result = factory().run(env, frames, budget_ms=budget_ms)
+    return result, env.clock.snapshot()
+
+
+class TestBackendEquivalence:
+    @pytest.mark.parametrize("algorithm", sorted(ALGORITHMS))
+    @pytest.mark.parametrize("backend_name", ["thread", "process"])
+    def test_identical_to_serial(
+        self, algorithm, backend_name, detector_pool, lidar, small_video
+    ):
+        frames = small_video.frames[:12]
+        serial_result, serial_clock = _run(
+            algorithm, SerialBackend(), detector_pool, lidar, frames
+        )
+        backend = make_backend(backend_name, workers=4)
+        try:
+            result, clock = _run(
+                algorithm, backend, detector_pool, lidar, frames
+            )
+        finally:
+            backend.close()
+        # Bitwise equality: FrameRecord is a frozen dataclass of floats,
+        # so == means every field (scores, costs, charges) is identical.
+        assert result.records == serial_result.records
+        assert result.s_sum == serial_result.s_sum
+        assert clock == serial_clock
+
+    def test_thread_backend_with_shared_store_matches_serial(
+        self, detector_pool, lidar, small_video
+    ):
+        from repro.engine.store import EvaluationStore
+
+        frames = small_video.frames[:10]
+        serial_result, serial_clock = _run(
+            "mes", SerialBackend(), detector_pool, lidar, frames
+        )
+        store = EvaluationStore()
+        with ThreadPoolBackend(workers=4) as backend:
+            env = DetectionEnvironment(
+                detector_pool, lidar, cache=store, backend=backend
+            )
+            result = MES().run(env, frames)
+            assert result.records == serial_result.records
+            assert env.clock.snapshot() == serial_clock
+
+
+class TestBillingPolicy:
+    def test_max_charges_slowest_member_only(
+        self, detector_pool, lidar, simple_frame
+    ):
+        env_sum = DetectionEnvironment(detector_pool, lidar, billing="sum")
+        env_max = DetectionEnvironment(detector_pool, lidar, billing="max")
+        keys = [env_sum.full_ensemble]
+        batch_sum = env_sum.evaluate(simple_frame, keys, charge=True)
+        batch_max = env_max.evaluate(simple_frame, keys, charge=True)
+        members = [
+            env_sum._single_output(simple_frame, m).inference_time_ms
+            for m in env_sum.model_names
+        ]
+        assert batch_sum.detector_ms == pytest.approx(sum(members))
+        assert batch_max.detector_ms == pytest.approx(max(members))
+        assert env_max.clock.detector_ms < env_sum.clock.detector_ms
+
+    def test_billing_does_not_change_scores(
+        self, detector_pool, lidar, simple_frame
+    ):
+        """The policy bills the clock; per-ensemble scoring costs (Eq. 1)
+        are the ensemble's own and unaffected."""
+        env_sum = DetectionEnvironment(detector_pool, lidar, billing="sum")
+        env_max = DetectionEnvironment(detector_pool, lidar, billing="max")
+        keys = env_sum.all_ensembles
+        batch_sum = env_sum.evaluate(simple_frame, keys, charge=False)
+        batch_max = env_max.evaluate(simple_frame, keys, charge=False)
+        for key in keys:
+            assert (
+                batch_sum.evaluations[key].est_score
+                == batch_max.evaluations[key].est_score
+            )
+            assert (
+                batch_sum.evaluations[key].cost_ms
+                == batch_max.evaluations[key].cost_ms
+            )
+
+    def test_unknown_policy_rejected(self, detector_pool, lidar):
+        with pytest.raises(ValueError, match="billing"):
+            DetectionEnvironment(detector_pool, lidar, billing="mean")
+
+
+class TestBackendMechanics:
+    def test_make_backend_names(self):
+        for name in BACKEND_NAMES:
+            backend = make_backend(name, workers=2)
+            try:
+                assert backend.name == name
+            finally:
+                backend.close()
+
+    def test_make_backend_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown backend"):
+            make_backend("gpu")
+
+    def test_workers_validated(self):
+        with pytest.raises(ValueError):
+            ThreadPoolBackend(workers=0)
+        with pytest.raises(ValueError):
+            ProcessPoolBackend(workers=-1)
+
+    def test_results_preserve_job_order(self, detector_pool, simple_frame):
+        jobs = [InferenceJob(d, simple_frame) for d in detector_pool]
+        serial = SerialBackend().run(jobs)
+        with ThreadPoolBackend(workers=3) as backend:
+            threaded = backend.run(jobs)
+        assert [r.output for r in serial] == [r.output for r in threaded]
+
+    def test_single_job_skips_pool_dispatch(self, detector_pool, simple_frame):
+        with ThreadPoolBackend(workers=2) as backend:
+            results = backend.run([InferenceJob(detector_pool[0], simple_frame)])
+            assert len(results) == 1
+            # The lazy pool was never needed for a single job.
+            assert backend._executor is None
+
+    def test_close_is_idempotent(self):
+        backend = ThreadPoolBackend(workers=2)
+        backend.close()
+        backend.close()
+
+    def test_environment_reusable_after_clock_reset(
+        self, detector_pool, lidar, small_video
+    ):
+        frames = small_video.frames[:8]
+        with ThreadPoolBackend(workers=4) as backend:
+            env = DetectionEnvironment(detector_pool, lidar, backend=backend)
+            first = MES().run(env, frames)
+            first_clock = env.clock.snapshot()
+            env.clock.reset()
+            assert env.clock.total_ms == 0.0
+            second = MES().run(env, frames)
+            # Same frames, same detectors, warm store: identical charges.
+            assert env.clock.snapshot() == first_clock
+            assert second.records == first.records

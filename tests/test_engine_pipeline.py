@@ -1,0 +1,137 @@
+"""Tests for the unified frame pipeline (frame → evaluate → observe → record)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.mes import MES
+from repro.engine.pipeline import FramePipeline, FrameRecord
+
+
+def _greedy_choose(env, t, frame):
+    """A trivial hook: evaluate all singles, select the first."""
+    singles = [key for key in env.all_ensembles if len(key) == 1]
+    return singles[0], singles
+
+
+class TestPipeline:
+    def test_yields_one_record_per_frame(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detector_pool, lidar)
+        pipeline = FramePipeline(env)
+        records = list(pipeline.run(small_video.frames[:7], _greedy_choose))
+        assert len(records) == 7
+        assert [r.iteration for r in records] == list(range(1, 8))
+        assert [r.frame_index for r in records] == [
+            f.index for f in small_video.frames[:7]
+        ]
+        assert all(isinstance(r, FrameRecord) for r in records)
+
+    def test_budget_guard_stops_iteration(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detector_pool, lidar)
+        probe = list(
+            FramePipeline(env).run(small_video.frames[:1], _greedy_choose)
+        )
+        per_frame_ms = probe[0].charged_ms
+        # Budget for ~3 frames: frame t+1 starts only while spent <= B.
+        budget = per_frame_ms * 2.5
+        env2 = DetectionEnvironment(detector_pool, lidar)
+        records = list(
+            FramePipeline(env2, budget_ms=budget).run(
+                small_video.frames, _greedy_choose
+            )
+        )
+        assert 0 < len(records) < len(small_video.frames)
+        spent = sum(r.charged_ms for r in records)
+        # The last started iteration may overshoot, but without its charge
+        # the run was still within budget.
+        assert spent - records[-1].charged_ms <= budget
+
+    def test_invalid_budget_rejected(self, environment):
+        with pytest.raises(ValueError, match="budget_ms"):
+            FramePipeline(environment, budget_ms=0.0)
+        with pytest.raises(ValueError, match="budget_ms"):
+            FramePipeline(environment, budget_ms=-10.0)
+
+    def test_selected_must_be_in_evaluation_list(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detector_pool, lidar)
+
+        def bad_choose(env, t, frame):
+            singles = [key for key in env.all_ensembles if len(key) == 1]
+            return env.full_ensemble, singles  # selected not evaluated
+
+        pipeline = FramePipeline(env, label="bad-algo")
+        with pytest.raises(RuntimeError, match="bad-algo"):
+            list(pipeline.run(small_video.frames[:1], bad_choose))
+
+    def test_observers_fire_per_frame(self, detector_pool, lidar, small_video):
+        env = DetectionEnvironment(detector_pool, lidar)
+        seen = []
+
+        def observer(frame, batch, record):
+            assert record.selected in batch.evaluations
+            seen.append((frame.index, record.iteration))
+
+        pipeline = FramePipeline(env, observers=[observer])
+        records = list(pipeline.run(small_video.frames[:5], _greedy_choose))
+        assert len(seen) == len(records) == 5
+        assert seen == [(r.frame_index, r.iteration) for r in records]
+
+    def test_update_hook_sees_batch_before_record(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detector_pool, lidar)
+        updates = []
+
+        def update(env_, t, frame, batch):
+            updates.append((t, sorted(batch.evaluations)))
+
+        list(
+            FramePipeline(env).run(
+                small_video.frames[:3], _greedy_choose, update
+            )
+        )
+        assert [t for t, _ in updates] == [1, 2, 3]
+
+    def test_works_on_lazy_streams(self, detector_pool, lidar, small_video):
+        """The pipeline never materializes its input."""
+        env = DetectionEnvironment(detector_pool, lidar)
+
+        def stream():
+            yield from small_video.frames[:4]
+
+        records = list(FramePipeline(env).run(stream(), _greedy_choose))
+        assert len(records) == 4
+
+
+class TestSingleLoopOwnership:
+    def test_algorithms_share_the_pipeline_loop(
+        self, detector_pool, lidar, small_video
+    ):
+        """IterativeSelection runs drive FramePipeline — observers wired
+        through `run` see exactly the frames the pipeline processed."""
+        env = DetectionEnvironment(detector_pool, lidar)
+        observed = []
+        result = MES().run(
+            env,
+            small_video.frames[:6],
+            observers=[lambda f, b, r: observed.append(r)],
+        )
+        assert observed == list(result.records)
+
+    def test_run_stream_uses_same_pipeline(
+        self, detector_pool, lidar, small_video
+    ):
+        env_stream = DetectionEnvironment(detector_pool, lidar)
+        streamed = list(
+            MES().run_stream(env_stream, iter(small_video.frames[:6]))
+        )
+        env_batch = DetectionEnvironment(detector_pool, lidar)
+        batch = MES().run(env_batch, small_video.frames[:6])
+        assert streamed == list(batch.records)

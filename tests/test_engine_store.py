@@ -1,0 +1,224 @@
+"""Tests for the bounded, instrumented evaluation store."""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.core.environment import DetectionEnvironment
+from repro.engine.store import DEFAULT_CAPACITY, CacheStats, EvaluationStore
+
+
+class TestBasics:
+    def test_default_capacity(self):
+        store = EvaluationStore()
+        assert store.capacity == DEFAULT_CAPACITY
+        assert len(store) == 0
+
+    def test_invalid_capacity_rejected(self):
+        with pytest.raises(ValueError):
+            EvaluationStore(capacity=0)
+        with pytest.raises(ValueError):
+            EvaluationStore(capacity=-5)
+
+    def test_put_get_roundtrip(self):
+        store = EvaluationStore(capacity=10)
+        store.put("detector", ("f0", "m0"), "out")
+        assert store.get("detector", ("f0", "m0")) == "out"
+        assert len(store) == 1
+
+    def test_none_values_rejected(self):
+        store = EvaluationStore(capacity=10)
+        with pytest.raises(ValueError):
+            store.put("detector", "k", None)
+
+    def test_negative_compute_ms_rejected(self):
+        store = EvaluationStore(capacity=10)
+        with pytest.raises(ValueError):
+            store.put("detector", "k", "v", compute_ms=-1.0)
+
+    def test_stages_are_namespaced(self):
+        store = EvaluationStore(capacity=10)
+        store.put("detector", "k", "a")
+        store.put("reference", "k", "b")
+        assert store.get("detector", "k") == "a"
+        assert store.get("reference", "k") == "b"
+
+    def test_contains_does_not_count_as_lookup(self):
+        store = EvaluationStore(capacity=10)
+        store.put("detector", "k", "v")
+        assert store.contains("detector", "k")
+        assert not store.contains("detector", "absent")
+        assert store.stats().lookups == 0
+
+
+class TestEviction:
+    def test_capacity_is_enforced(self):
+        store = EvaluationStore(capacity=3)
+        for i in range(10):
+            store.put("s", i, f"v{i}")
+        assert len(store) == 3
+        assert store.stats().evictions == 7
+
+    def test_lru_order(self):
+        store = EvaluationStore(capacity=2)
+        store.put("s", "a", 1)
+        store.put("s", "b", 2)
+        # Touch "a" so "b" becomes least-recently-used.
+        assert store.get("s", "a") == 1
+        store.put("s", "c", 3)
+        assert store.contains("s", "a")
+        assert not store.contains("s", "b")
+        assert store.contains("s", "c")
+
+    def test_eviction_then_recompute_is_correct(self):
+        """A miss after eviction recomputes the same deterministic value."""
+        store = EvaluationStore(capacity=2)
+        compute_count = {"n": 0}
+
+        def make(i):
+            def compute():
+                compute_count["n"] += 1
+                return i * i
+
+            return compute
+
+        for i in range(1, 6):
+            assert store.get_or_compute("s", i, make(i)) == i * i
+        assert compute_count["n"] == 5
+        # 1..3 were evicted; recomputing yields identical values.
+        assert store.get_or_compute("s", 1, make(1)) == 1
+        assert compute_count["n"] == 6
+
+    def test_evicted_environment_results_unchanged(
+        self, detector_pool, lidar, small_video
+    ):
+        """A pathologically tiny store changes no evaluation result."""
+        frames = small_video.frames[:6]
+
+        def run(store):
+            env = DetectionEnvironment(detector_pool, lidar, cache=store)
+            scores = []
+            for frame in frames:
+                batch = env.evaluate(frame, env.all_ensembles, charge=True)
+                scores.append(
+                    {k: v.est_score for k, v in batch.evaluations.items()}
+                )
+            return scores, env.clock.snapshot()
+
+        roomy_scores, roomy_clock = run(EvaluationStore())
+        tiny_store = EvaluationStore(capacity=4)
+        tiny_scores, tiny_clock = run(tiny_store)
+        assert tiny_scores == roomy_scores
+        assert tiny_clock == roomy_clock
+        assert tiny_store.stats().evictions > 0
+        assert len(tiny_store) <= 4
+
+
+class TestStats:
+    def test_hits_plus_misses_equals_lookups(self):
+        store = EvaluationStore(capacity=8)
+        for i in range(12):
+            store.get_or_compute("s", i % 5, lambda: "v")
+        stats = store.stats()
+        assert stats.hits + stats.misses == stats.lookups
+        for stage in stats.stages.values():
+            assert stage.hits + stage.misses == stage.lookups
+
+    def test_invariant_holds_after_environment_run(
+        self, detector_pool, lidar, small_video
+    ):
+        store = EvaluationStore()
+        env = DetectionEnvironment(detector_pool, lidar, cache=store)
+        for frame in small_video.frames[:5]:
+            env.evaluate(frame, env.all_ensembles, charge=True)
+        stats = store.stats()
+        assert isinstance(stats, CacheStats)
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.lookups > 0
+        assert stats.hits > 0  # repeat evaluations reuse single outputs
+        assert set(stats.stages) >= {"detector", "reference", "fused"}
+
+    def test_per_stage_compute_timing(self):
+        store = EvaluationStore(capacity=8)
+        store.get_or_compute("slow", "k", lambda: sum(range(1000)))
+        assert store.stats().stages["slow"].compute_ms >= 0.0
+
+    def test_hit_rate(self):
+        store = EvaluationStore(capacity=8)
+        assert store.stats().hit_rate == 0.0
+        store.put("s", "k", "v")
+        store.get("s", "k")
+        store.get("s", "k")
+        store.get("s", "absent")
+        stats = store.stats()
+        assert stats.hit_rate == pytest.approx(2 / 3)
+
+    def test_as_dict_is_json_shaped(self):
+        import json
+
+        store = EvaluationStore(capacity=8)
+        store.get_or_compute("s", "k", lambda: "v")
+        payload = store.stats().as_dict()
+        # Round-trips through JSON without custom encoders.
+        decoded = json.loads(json.dumps(payload))
+        assert decoded["capacity"] == 8
+        assert decoded["stages"]["s"]["misses"] == 1
+
+    def test_clear_resets_everything(self):
+        store = EvaluationStore(capacity=2)
+        for i in range(5):
+            store.get_or_compute("s", i, lambda: i)
+        store.clear()
+        assert len(store) == 0
+        stats = store.stats()
+        assert stats.lookups == 0
+        assert stats.evictions == 0
+        assert not stats.stages
+
+
+class TestThreadSafety:
+    def test_concurrent_get_or_compute(self):
+        store = EvaluationStore(capacity=64)
+        errors = []
+
+        def worker(seed):
+            try:
+                for i in range(200):
+                    key = (seed + i) % 40
+                    value = store.get_or_compute("s", key, lambda k=key: k * 2)
+                    assert value == key * 2
+            except Exception as exc:  # pragma: no cover - failure path
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=worker, args=(s,)) for s in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = store.stats()
+        assert stats.hits + stats.misses == stats.lookups
+        assert len(store) <= 64
+
+    def test_concurrent_eviction_pressure(self):
+        store = EvaluationStore(capacity=8)
+
+        def worker(base):
+            for i in range(300):
+                store.get_or_compute("s", base * 1000 + i, lambda: i)
+
+        threads = [
+            threading.Thread(target=worker, args=(b,)) for b in range(4)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store) <= 8
+        stats = store.stats()
+        assert stats.hits + stats.misses == stats.lookups
+        assert stats.evictions > 0

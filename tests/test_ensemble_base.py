@@ -1,6 +1,5 @@
 """Unit tests for the fusion base class helpers."""
 
-import pytest
 
 from repro.detection.boxes import BBox
 from repro.detection.types import Detection

@@ -2,10 +2,9 @@
 
 import pytest
 
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import WeightedLogScore
 from repro.simulation.detectors import SimulatedDetector
-from repro.simulation.lidar import SimulatedLidar
 from repro.simulation.profiles import make_profile
 
 
@@ -106,17 +105,21 @@ class TestEvaluate:
 
 class TestSharedCache:
     def test_cache_shared_across_environments(self, detector_pool, lidar, simple_frame):
-        cache = EvaluationCache()
-        env1 = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        store = EvaluationStore()
+        env1 = DetectionEnvironment(detector_pool, lidar, cache=store)
         env1.evaluate(simple_frame, env1.all_ensembles, charge=False)
-        populated = len(cache.detector_outputs)
-        env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
+        populated = len(store)
+        misses_after_first = store.stats().misses
+        env2 = DetectionEnvironment(detector_pool, lidar, cache=store)
         env2.evaluate(simple_frame, env2.all_ensembles, charge=False)
-        # No new detector inference happened.
-        assert len(cache.detector_outputs) == populated
+        # No new detector inference happened: only cache hits, no new
+        # entries, no new misses.
+        assert len(store) == populated
+        assert store.stats().misses == misses_after_first
+        assert store.stats().hits > 0
 
     def test_clocks_are_independent(self, detector_pool, lidar, simple_frame):
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env1 = DetectionEnvironment(detector_pool, lidar, cache=cache)
         env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
         env1.evaluate(simple_frame, env1.all_ensembles, charge=True)

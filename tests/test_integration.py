@@ -3,7 +3,7 @@
 import pytest
 
 from repro.core.baselines import BruteForce, Oracle, RandomSelection
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.scoring import LinearScore, WeightedLogScore
 from repro.ensembling.nms import NonMaximumSuppression
@@ -34,7 +34,7 @@ class TestEndToEnd:
             return MES(gamma=3).run(env, small_video.frames)
 
         isolated = run(None)
-        shared = EvaluationCache()
+        shared = EvaluationStore()
         # Warm the cache with a different algorithm first.
         env_warm = DetectionEnvironment(
             detector_pool, lidar, scoring=scoring, cache=shared
@@ -70,7 +70,7 @@ class TestEndToEnd:
             assert 0.0 <= record.true_score <= 1.0
 
     def test_oracle_bounds_everyone_on_every_frame(self, detector_pool, lidar, small_video):
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         scoring = WeightedLogScore(0.5)
 
         def run(algo):

@@ -5,7 +5,6 @@ import pytest
 from repro.detection.boxes import BBox
 from repro.detection.matching import match_detections
 from repro.detection.types import Detection
-from tests.conftest import make_detection
 
 
 def det(x1, y1, x2, y2, conf=0.9, label="car"):

@@ -95,9 +95,9 @@ class TestLRBP:
         30-frame toy video we accept a looser band (steady-state cost is
         noisier at this scale).
         """
-        from repro.core.environment import DetectionEnvironment, EvaluationCache
+        from repro.core.environment import DetectionEnvironment, EvaluationStore
 
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env1 = DetectionEnvironment(detector_pool, lidar, cache=cache)
         partial = MESB(gamma=3).run(env1, small_video.frames, budget_ms=400.0)
         assert 0 < partial.frames_processed < len(small_video)

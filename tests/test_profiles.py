@@ -5,7 +5,6 @@ import pytest
 from repro.simulation.profiles import (
     ARCHITECTURES,
     TRANSFER_MATRIX,
-    DetectorProfile,
     make_profile,
 )
 

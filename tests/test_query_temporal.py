@@ -3,7 +3,6 @@
 import pytest
 
 from repro.detection.types import FrameDetections
-from repro.query.ast import Query
 from repro.query.executor import Row, _apply_min_duration
 from repro.query.parser import ParseError, parse_query
 

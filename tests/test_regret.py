@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.baselines import Oracle, RandomSelection
 from repro.core.regret import empirical_regret, oracle_scores, regret_curve
@@ -12,7 +12,7 @@ from repro.simulation.world import generate_video
 
 class TestOracleScores:
     def test_matches_oracle_run(self, detector_pool, lidar, small_video):
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env = DetectionEnvironment(detector_pool, lidar, cache=cache)
         scores = oracle_scores(env, small_video.frames)
         env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
@@ -27,7 +27,7 @@ class TestEmpiricalRegret:
         assert empirical_regret(result, oracle) == pytest.approx(0.0, abs=1e-9)
 
     def test_regret_non_negative(self, detector_pool, lidar, small_video):
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env = DetectionEnvironment(detector_pool, lidar, cache=cache)
         oracle = oracle_scores(env, small_video.frames)
         env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
@@ -40,7 +40,7 @@ class TestEmpiricalRegret:
             empirical_regret(result, [1.0])
 
     def test_curve_is_cumulative(self, detector_pool, lidar, small_video):
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env = DetectionEnvironment(detector_pool, lidar, cache=cache)
         oracle = oracle_scores(env, small_video.frames)
         env2 = DetectionEnvironment(detector_pool, lidar, cache=cache)
@@ -61,7 +61,7 @@ class TestMESRegretGrowth:
         second half must be no worse.
         """
         video = generate_video("regret/clear", 400, "clear", seed=17)
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         scoring = WeightedLogScore(0.5)
         env = DetectionEnvironment(detector_pool, lidar, scoring=scoring, cache=cache)
         oracle = oracle_scores(env, video.frames)

@@ -8,7 +8,6 @@ from repro.core.scoring import WeightedLogScore
 from repro.runner.experiment import (
     bdd_detector_suite,
     dataset_keys,
-    make_environment,
     nuscenes_detector_suite,
     run_algorithms,
     standard_setup,

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.baselines import BruteForce, SingleBest
+from repro.core.baselines import BruteForce
 from repro.core.mes import MES
 from repro.core.skipping import DIFF_DETECTOR_MS, FrameSkipper, frame_similarity
 from repro.detection.boxes import BBox
@@ -98,10 +98,10 @@ class TestFrameSkipper:
     def test_cheaper_than_unskipped_on_static_video(
         self, detector_pool, lidar, clear_category
     ):
-        from repro.core.environment import DetectionEnvironment, EvaluationCache
+        from repro.core.environment import DetectionEnvironment, EvaluationStore
 
         frames = self._static_frames(clear_category, n=16)
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env_plain = DetectionEnvironment(detector_pool, lidar, cache=cache)
         plain = BruteForce().run(env_plain, frames)
         env_skip = DetectionEnvironment(detector_pool, lidar, cache=cache)

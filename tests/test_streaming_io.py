@@ -6,7 +6,6 @@ import pytest
 
 from repro.core.baselines import BruteForce, SingleBest
 from repro.core.mes import MES
-from repro.core.selection import SelectionResult
 from repro.runner.harness import TrialOutcome
 from repro.runner.io import (
     load_result_json,
@@ -20,9 +19,9 @@ from repro.runner.io import (
 
 class TestStreaming:
     def test_stream_matches_batch(self, detector_pool, lidar, small_video):
-        from repro.core.environment import DetectionEnvironment, EvaluationCache
+        from repro.core.environment import DetectionEnvironment, EvaluationStore
 
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         env_batch = DetectionEnvironment(detector_pool, lidar, cache=cache)
         batch = MES(gamma=2).run(env_batch, small_video.frames)
 

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.environment import DetectionEnvironment, EvaluationCache
+from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.scoring import WeightedLogScore
 from repro.core.sw_mes import DMES, SWMES, suggested_window
@@ -92,7 +92,7 @@ class TestDriftAdaptation:
         """
         from repro.core.baselines import ExploreFirst
 
-        cache = EvaluationCache()
+        cache = EvaluationStore()
         scoring = WeightedLogScore(0.5)
 
         def run(algorithm):

@@ -6,7 +6,7 @@ from repro.detection.boxes import BBox
 from repro.detection.types import Detection, FrameDetections
 from repro.simulation.video import Frame, GroundTruthObject
 from repro.tracking.metrics import evaluate_tracking
-from repro.tracking.tracker import IoUTracker, TrackState
+from repro.tracking.tracker import IoUTracker
 
 
 def det(x1, y1, x2, y2, conf=0.9, label="car"):
@@ -98,7 +98,7 @@ class TestIoUTracker:
         feed(tracker, [[det(0, 0, 100, 100)]])
         tracker.reset()
         assert tracker.active_tracks == 0
-        outputs = feed(tracker, [[det(0, 0, 100, 100)]])
+        feed(tracker, [[det(0, 0, 100, 100)]])
         assert tracker._next_id == 2  # ids restart
 
     def test_invalid_parameters(self):
