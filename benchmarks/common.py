@@ -14,7 +14,7 @@ frame count and trial count proportionally.
 from __future__ import annotations
 
 import os
-from typing import Callable, Dict
+from collections.abc import Callable
 
 from repro.core.baselines import (
     BruteForce,
@@ -37,7 +37,7 @@ def scaled(value: int, minimum: int = 1) -> int:
 
 
 #: The Figure 4 / Figure 7 algorithm roster (OPT first as the reference).
-def standard_algorithms() -> Dict[str, Callable[[], SelectionAlgorithm]]:
+def standard_algorithms() -> dict[str, Callable[[], SelectionAlgorithm]]:
     return {
         "OPT": Oracle,
         "BF": BruteForce,
@@ -48,7 +48,7 @@ def standard_algorithms() -> Dict[str, Callable[[], SelectionAlgorithm]]:
     }
 
 
-def ablation_algorithms() -> Dict[str, Callable[[], SelectionAlgorithm]]:
+def ablation_algorithms() -> dict[str, Callable[[], SelectionAlgorithm]]:
     """Figure 8 roster: EF vs MES-A vs MES."""
     return {"EF": ExploreFirst, "MES-A": MESA, "MES": MES}
 

@@ -13,8 +13,8 @@ Three design-choice ablations the paper motivates but does not measure:
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.pareto import pareto_ensembles

@@ -21,8 +21,8 @@ import json
 import time
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.baselines import BruteForce
 from repro.core.environment import DetectionEnvironment
 from repro.engine.backends import make_backend

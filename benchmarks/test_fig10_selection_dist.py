@@ -8,8 +8,8 @@ accurate ensembles (high a_bar, the upper left).
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
 from repro.core.scoring import WeightedLogScore

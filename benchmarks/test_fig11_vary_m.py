@@ -8,8 +8,8 @@ is largest.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.baselines import BruteForce, ExploreFirst, Oracle
 from repro.core.mes import MES
 from repro.core.scoring import WeightedLogScore
@@ -52,7 +52,7 @@ def test_fig11_varying_pool_size(benchmark, dataset):
     print(banner(f"Figure 11 — varying |M| on {dataset}"))
     print(format_table(rows))
 
-    ratios = {m: r["EF/MES"] for m, r in zip(POOL_SIZES, rows)}
+    ratios = {m: r["EF/MES"] for m, r in zip(POOL_SIZES, rows, strict=True)}
     # The paper's Section 5.7.3 claim: the EF-vs-MES gap closes as the
     # number of ensembles shrinks — at m=2 (3 ensembles) EF equals MES.
     assert abs(ratios[2] - 1.0) < 0.06

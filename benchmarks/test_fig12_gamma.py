@@ -8,12 +8,12 @@ per-frame scores.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.mes import MES
 from repro.runner.experiment import standard_setup
-from repro.runner.sweeps import gamma_sweep
 from repro.runner.reporting import format_series
+from repro.runner.sweeps import gamma_sweep
 
 GAMMAS = (1, 3, 5, 10, 25, 60)
 

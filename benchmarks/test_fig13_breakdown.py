@@ -8,8 +8,8 @@ negligible (~0.4%).
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.environment import DetectionEnvironment
 from repro.core.mes import MES
 from repro.core.scoring import WeightedLogScore

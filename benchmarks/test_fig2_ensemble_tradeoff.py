@@ -7,8 +7,8 @@ time grows roughly linearly with ensemble size (3x for the trio).
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.environment import DetectionEnvironment
 from repro.core.scoring import WeightedLogScore
 from repro.runner.experiment import standard_setup

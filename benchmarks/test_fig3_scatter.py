@@ -8,8 +8,8 @@ favors the night-trained models).
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.environment import DetectionEnvironment
 from repro.core.scoring import WeightedLogScore
 from repro.runner.experiment import standard_setup

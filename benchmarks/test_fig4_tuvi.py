@@ -13,8 +13,8 @@ see EXPERIMENTS.md.)
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled, standard_algorithms
+
 from repro.core.scoring import WeightedLogScore
 from repro.runner.experiment import standard_setup
 from repro.runner.harness import compare_algorithms

@@ -7,13 +7,13 @@ expensive (1 - c_hat falls); OPT and MES move together and EF diverges.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.baselines import ExploreFirst, Oracle
 from repro.core.mes import MES
 from repro.runner.experiment import standard_setup
-from repro.runner.sweeps import weight_sweep
 from repro.runner.reporting import format_table
+from repro.runner.sweeps import weight_sweep
 
 WEIGHTS = (0.1, 0.3, 0.5, 0.7, 0.9)
 

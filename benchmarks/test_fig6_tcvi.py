@@ -7,13 +7,13 @@ sweep, at small budgets and large.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.baselines import BruteForce, ExploreFirst, Oracle, SingleBest
 from repro.core.mes_b import MESB
 from repro.runner.experiment import standard_setup
-from repro.runner.sweeps import budget_sweep
 from repro.runner.reporting import format_series
+from repro.runner.sweeps import budget_sweep
 
 DATASETS = ("nusc-night", "nusc-rainy", "bdd")
 #: Budgets in simulated ms.  The paper's smallest budgets already cover
@@ -56,7 +56,7 @@ def test_fig6_score_budget_curves(benchmark, dataset):
 
     for name, values in series.items():
         # Scores never decrease with more budget.
-        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:])), name
+        assert all(b >= a - 1e-6 for a, b in zip(values, values[1:], strict=False)), name
     # MES-B beats the static baselines at every budget point.
     for i, budget in enumerate(BUDGETS):
         assert series["MES-B"][i] > series["BF"][i], budget

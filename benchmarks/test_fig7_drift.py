@@ -12,8 +12,8 @@ SW-MES tracks within a few percent of it rather than above it.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.baselines import (
     BruteForce,
     ExploreFirst,

@@ -7,8 +7,8 @@ a significant drop from full MES on every dataset.
 """
 
 import pytest
-
 from benchmarks.common import ablation_algorithms, banner, scaled
+
 from repro.core.scoring import WeightedLogScore
 from repro.runner.experiment import standard_setup
 from repro.runner.harness import compare_algorithms

@@ -7,11 +7,11 @@ above EF everywhere with the advantage shrinking at w1 = 0.9.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled, standard_algorithms
+
 from repro.runner.experiment import standard_setup
-from repro.runner.sweeps import weight_sweep
 from repro.runner.reporting import format_series
+from repro.runner.sweeps import weight_sweep
 
 WEIGHTS = (0.1, 0.3, 0.5, 0.7, 0.9)
 

@@ -7,8 +7,8 @@ nuScenes-like frames.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.detection.metrics import coco_map
 from repro.ensembling import available_methods, create_method
 from repro.runner.experiment import standard_setup
@@ -30,7 +30,7 @@ def test_fusion_method_comparison(benchmark):
         for name in available_methods():
             method = create_method(name)
             total = 0.0
-            for frame, outputs in zip(setup.frames, per_frame):
+            for frame, outputs in zip(setup.frames, per_frame, strict=True):
                 fused = method.fuse(outputs)
                 # COCO-style mAP@[.5:.95] rewards localization quality,
                 # where coordinate-averaging fusion differentiates itself.
@@ -44,7 +44,7 @@ def test_fusion_method_comparison(benchmark):
     for i in range(len(setup.detectors)):
         total = sum(
             coco_map(outputs[i], frame.ground_truth_detections())
-            for frame, outputs in zip(setup.frames, per_frame)
+            for frame, outputs in zip(setup.frames, per_frame, strict=True)
         )
         best_single = max(best_single, total / len(setup.frames))
 

@@ -8,8 +8,8 @@ logarithmic model well, with per-frame regret shrinking over time.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.analysis import fit_log_growth, fit_power_growth, halves_ratio
 from repro.core.baselines import RandomSelection
 from repro.core.environment import DetectionEnvironment, EvaluationStore

@@ -6,8 +6,8 @@ numbers.
 """
 
 import pytest
-
 from benchmarks.common import banner
+
 from repro.runner.reporting import format_table
 from repro.simulation.datasets import build_bdd_like, build_nuscenes_like
 

@@ -6,8 +6,8 @@ generated video and checks it matches the paper's Table 3 column (49.5 /
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.runner.reporting import format_table
 from repro.simulation.detectors import SimulatedDetector
 from repro.simulation.profiles import ARCHITECTURES, make_profile

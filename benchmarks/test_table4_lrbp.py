@@ -7,8 +7,8 @@ compares.  The paper reports prediction errors generally within 10%.
 """
 
 import pytest
-
 from benchmarks.common import banner, scaled
+
 from repro.core.environment import EvaluationStore
 from repro.core.mes_b import LRBP, MESB
 from repro.runner.experiment import make_environment, standard_setup

@@ -10,9 +10,9 @@ Run:  python examples/autonomous_driving.py
 """
 
 from repro import (
-    MES,
     BruteForce,
     ExploreFirst,
+    MES,
     Oracle,
     RandomSelection,
     SingleBest,

@@ -34,7 +34,7 @@ def main() -> None:
     for name in available_methods():
         method = create_method(name)
         total_ap = 0.0
-        for frame, outputs in zip(setup.frames, per_frame_outputs):
+        for frame, outputs in zip(setup.frames, per_frame_outputs, strict=True):
             fused = method.fuse(outputs)
             total_ap += coco_map(fused, frame.ground_truth_detections())
         scores[name] = total_ap / len(setup.frames)
@@ -44,7 +44,7 @@ def main() -> None:
     for i, detector in enumerate(setup.detectors):
         total_ap = sum(
             coco_map(outputs[i], frame.ground_truth_detections())
-            for frame, outputs in zip(setup.frames, per_frame_outputs)
+            for frame, outputs in zip(setup.frames, per_frame_outputs, strict=True)
         )
         best_single = max(best_single, total_ap / len(setup.frames))
 

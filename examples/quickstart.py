@@ -9,7 +9,7 @@ using the full ensemble.
 Run:  python examples/quickstart.py
 """
 
-from repro import MES, BruteForce, WeightedLogScore
+from repro import BruteForce, MES, WeightedLogScore
 from repro.runner import make_environment, standard_setup
 
 

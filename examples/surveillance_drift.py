@@ -13,7 +13,7 @@ to each other at different horizons).
 Run:  python examples/surveillance_drift.py
 """
 
-from repro import MES, SWMES, Oracle, WeightedLogScore, compose_drifting_video
+from repro import MES, Oracle, SWMES, WeightedLogScore, compose_drifting_video
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.sw_mes import suggested_window
 from repro.simulation.detectors import SimulatedDetector

@@ -22,18 +22,18 @@ See README.md for the full tour and DESIGN.md for the experiment index.
 """
 
 from repro.core import (
+    BruteForce,
     DMES,
+    DetectionEnvironment,
+    ExploreFirst,
     LRBP,
+    LinearScore,
     MES,
     MESA,
     MESB,
-    SWMES,
-    BruteForce,
-    DetectionEnvironment,
-    ExploreFirst,
-    LinearScore,
     Oracle,
     RandomSelection,
+    SWMES,
     ScoringFunction,
     SelectionAlgorithm,
     SelectionResult,

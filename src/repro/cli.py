@@ -15,11 +15,12 @@ from __future__ import annotations
 
 import argparse
 import sys
-from typing import Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.environment import BILLING_POLICIES
 from repro.core.scoring import WeightedLogScore
 from repro.engine.backends import BACKEND_NAMES, make_backend
+from repro.lint.cli import add_lint_arguments, run_lint
 from repro.query.executor import QueryEngine
 from repro.query.planner import algorithm_registry
 from repro.runner.experiment import dataset_keys, standard_setup
@@ -110,6 +111,12 @@ def build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("datasets", help="print the Table 1 / Table 2 summaries")
     sub.add_parser("algorithms", help="list selection algorithms")
+
+    lint = sub.add_parser(
+        "lint",
+        help="run the determinism & concurrency static analysis (RPR rules)",
+    )
+    add_lint_arguments(lint)
     return parser
 
 
@@ -220,7 +227,7 @@ def _run_algorithms(args: argparse.Namespace) -> int:
     return 0
 
 
-def main(argv: Optional[Sequence[str]] = None) -> int:
+def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
     handlers = {
@@ -228,6 +235,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         "query": _run_query,
         "datasets": _run_datasets,
         "algorithms": _run_algorithms,
+        "lint": run_lint,
     }
     return handlers[args.command](args)
 

@@ -40,9 +40,9 @@ from repro.core.pareto import (
     profile_ensembles,
 )
 from repro.core.regret import empirical_regret, oracle_scores
-from repro.core.skipping import FrameSkipper, frame_similarity
 from repro.core.scoring import LinearScore, ScoringFunction, WeightedLogScore
 from repro.core.selection import FrameRecord, SelectionAlgorithm, SelectionResult
+from repro.core.skipping import FrameSkipper, frame_similarity
 from repro.core.stats import (
     DiscountedStatistics,
     EnsembleStatistics,

@@ -15,8 +15,8 @@ signature of a logarithmic-regret algorithm on a stationary video.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Sequence
 
 import numpy as np
 

@@ -15,8 +15,7 @@
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence, Tuple
-
+from collections.abc import Sequence
 
 from repro.core.ensembles import EnsembleKey, make_key
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
@@ -49,7 +48,7 @@ class Oracle(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         peek = env.peek(frame, env.all_ensembles)
         best_key = max(
             peek.evaluations,
@@ -65,7 +64,7 @@ class BruteForce(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         return env.full_ensemble, [env.full_ensemble]
 
 
@@ -81,11 +80,11 @@ class SingleBest(IterativeSelection):
     name = "SGL"
     supports_streaming = False  # the calibration pass pre-scans the video
 
-    def __init__(self, calibration_frames: Optional[int] = None) -> None:
+    def __init__(self, calibration_frames: int | None = None) -> None:
         if calibration_frames is not None and calibration_frames < 1:
             raise ValueError("calibration_frames must be positive when given")
         self.calibration_frames = calibration_frames
-        self._best: Optional[EnsembleKey] = None
+        self._best: EnsembleKey | None = None
 
     def _begin(self, env: DetectionEnvironment, frames: Sequence[Frame]) -> None:
         sample: Sequence[Frame] = frames
@@ -105,7 +104,7 @@ class SingleBest(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         assert self._best is not None, "_begin() must run before _choose()"
         return self._best, [self._best]
 
@@ -124,7 +123,7 @@ class RandomSelection(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         index = int(self._rng.integers(len(env.all_ensembles)))
         key = env.all_ensembles[index]
         return key, [key]
@@ -147,7 +146,7 @@ class ExploreFirst(IterativeSelection):
             raise ValueError("delta must be at least 1")
         self.delta = delta
         self._stats = EnsembleStatistics()
-        self._committed: Optional[EnsembleKey] = None
+        self._committed: EnsembleKey | None = None
 
     def _begin(self, env: DetectionEnvironment, frames: Sequence[Frame]) -> None:
         self._stats = EnsembleStatistics()
@@ -155,7 +154,7 @@ class ExploreFirst(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         if t <= self.delta:
             return env.full_ensemble, list(env.all_ensembles)
         if self._committed is None:

@@ -9,8 +9,8 @@ because single-model outputs are materialized (Alg. 1, lines 9–10).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from itertools import combinations
-from typing import Iterable, List, Sequence, Tuple
 
 __all__ = [
     "EnsembleKey",
@@ -21,7 +21,7 @@ __all__ = [
     "is_subset",
 ]
 
-EnsembleKey = Tuple[str, ...]
+EnsembleKey = tuple[str, ...]
 
 
 def make_key(names: Iterable[str]) -> EnsembleKey:
@@ -41,7 +41,7 @@ def make_key(names: Iterable[str]) -> EnsembleKey:
 
 def enumerate_ensembles(
     model_names: Sequence[str], max_size: int | None = None
-) -> List[EnsembleKey]:
+) -> list[EnsembleKey]:
     """All non-empty subsets of the detector pool, canonically ordered.
 
     Ordering is by (size, lexicographic), so singles come first and the full
@@ -60,22 +60,22 @@ def enumerate_ensembles(
     limit = len(names) if max_size is None else min(max_size, len(names))
     if limit < 1:
         raise ValueError("max_size must be at least 1")
-    keys: List[EnsembleKey] = []
+    keys: list[EnsembleKey] = []
     for size in range(1, limit + 1):
         for combo in combinations(names, size):
             keys.append(tuple(combo))
     return keys
 
 
-def proper_subsets(key: EnsembleKey) -> List[EnsembleKey]:
+def proper_subsets(key: EnsembleKey) -> list[EnsembleKey]:
     """All non-empty proper subsets of an ensemble, (size, lex)-ordered."""
-    subsets: List[EnsembleKey] = []
+    subsets: list[EnsembleKey] = []
     for size in range(1, len(key)):
         subsets.extend(combinations(key, size))
     return subsets
 
 
-def subsets_inclusive(key: EnsembleKey) -> List[EnsembleKey]:
+def subsets_inclusive(key: EnsembleKey) -> list[EnsembleKey]:
     """All non-empty subsets of an ensemble, including itself."""
     return proper_subsets(key) + [tuple(key)]
 

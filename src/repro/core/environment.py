@@ -40,8 +40,8 @@ slowest member, modeling a deployment where members run on parallel GPUs.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
 
 from repro.core.ensembles import EnsembleKey, enumerate_ensembles, make_key
 from repro.core.scoring import ScoringFunction, WeightedLogScore
@@ -67,7 +67,7 @@ __all__ = [
 #: Detector billing policies: ``"sum"`` adds the union members' inference
 #: times (Eq. 12/14 — one device runs them back to back); ``"max"`` charges
 #: the slowest member only (members run on parallel devices).
-BILLING_POLICIES: Tuple[str, ...] = ("sum", "max")
+BILLING_POLICIES: tuple[str, ...] = ("sum", "max")
 
 #: Backwards-compatible alias: the old raw-dict ``EvaluationCache`` is gone;
 #: the name now resolves to the bounded, instrumented store.
@@ -120,7 +120,7 @@ class EvaluationBatch:
             this frame's REF output was already paid for).
     """
 
-    evaluations: Dict[EnsembleKey, EnsembleEvaluation]
+    evaluations: dict[EnsembleKey, EnsembleEvaluation]
     detector_ms: float
     ensembling_ms: float
     reference_ms: float
@@ -130,7 +130,7 @@ class EvaluationBatch:
         """Time counted against a TCVI budget for this iteration."""
         return self.detector_ms + self.ensembling_ms
 
-    def observations(self) -> Iterator[Tuple[EnsembleKey, float]]:
+    def observations(self) -> Iterator[tuple[EnsembleKey, float]]:
         """``(ensemble, est_score)`` pairs — what a bandit observes."""
         for key, evaluation in self.evaluations.items():
             yield key, evaluation.est_score
@@ -164,13 +164,13 @@ class DetectionEnvironment:
         self,
         detectors: Sequence[object],
         reference: object,
-        scoring: Optional[ScoringFunction] = None,
-        fusion: Optional[EnsembleMethod] = None,
-        cost_model: Optional[CostModel] = None,
+        scoring: ScoringFunction | None = None,
+        fusion: EnsembleMethod | None = None,
+        cost_model: CostModel | None = None,
         iou_threshold: float = 0.5,
-        cache: Optional[EvaluationStore] = None,
-        clock: Optional[SimulatedClock] = None,
-        backend: Optional[ExecutionBackend] = None,
+        cache: EvaluationStore | None = None,
+        clock: SimulatedClock | None = None,
+        backend: ExecutionBackend | None = None,
         billing: str = "sum",
     ) -> None:
         if not detectors:
@@ -183,7 +183,7 @@ class DetectionEnvironment:
                 f"unknown billing policy {billing!r}; "
                 f"known: {list(BILLING_POLICIES)}"
             )
-        self._detectors: Dict[str, object] = {d.name: d for d in detectors}
+        self._detectors: dict[str, object] = {d.name: d for d in detectors}
         self.reference = reference
         self.scoring: ScoringFunction = (
             scoring if scoring is not None else WeightedLogScore(0.5)
@@ -204,9 +204,9 @@ class DetectionEnvironment:
         )
         self.billing = billing
 
-        self.model_names: Tuple[str, ...] = tuple(sorted(names))
+        self.model_names: tuple[str, ...] = tuple(sorted(names))
         self.full_ensemble: EnsembleKey = make_key(names)
-        self.all_ensembles: List[EnsembleKey] = enumerate_ensembles(names)
+        self.all_ensembles: list[EnsembleKey] = enumerate_ensembles(names)
 
         expected_full = sum(d.expected_time_ms for d in detectors)
         self.c_max_ms = self.cost_model.c_max_ms(expected_full)
@@ -289,8 +289,8 @@ class DetectionEnvironment:
         everything downstream (billing, fusion, AP) reads identical values
         regardless of the backend — wall clock is the only difference.
         """
-        jobs: List[InferenceJob] = []
-        stages: List[Tuple[str, object]] = []
+        jobs: list[InferenceJob] = []
+        stages: list[tuple[str, object]] = []
         for model in models:
             if not self.store.contains("detector", (frame.key, model)):
                 jobs.append(InferenceJob(self._detectors[model], frame))
@@ -300,7 +300,7 @@ class DetectionEnvironment:
             stages.append(("reference", frame.key))
         if not jobs:
             return
-        for (stage, key), result in zip(stages, self.backend.run(jobs)):
+        for (stage, key), result in zip(stages, self.backend.run(jobs), strict=True):
             if not self.store.contains(stage, key):
                 self.store.put(stage, key, result.output, result.wall_ms)
 
@@ -332,8 +332,8 @@ class DetectionEnvironment:
         Returns:
             The per-ensemble evaluations plus this batch's cost components.
         """
-        key_list: List[EnsembleKey] = []
-        seen: Set[EnsembleKey] = set()
+        key_list: list[EnsembleKey] = []
+        seen: set[EnsembleKey] = set()
         for raw in keys:
             key = make_key(raw)
             for member in key:
@@ -366,7 +366,7 @@ class DetectionEnvironment:
         ):
             reference_ms = ref_output.inference_time_ms
 
-        evaluations: Dict[EnsembleKey, EnsembleEvaluation] = {}
+        evaluations: dict[EnsembleKey, EnsembleEvaluation] = {}
         ensembling_ms = 0.0
         for key in key_list:
             fused = self._fused(frame, key)

@@ -17,7 +17,7 @@ The expected regret is ``O(|M| log |V|)`` (Theorem 4.1).
 
 from __future__ import annotations
 
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.ensembles import EnsembleKey, subsets_inclusive
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
@@ -60,7 +60,7 @@ class MES(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         if t <= self.gamma:
             # Initialization: the selection is conventionally the full
             # ensemble M (Eq. 10) and every ensemble is evaluated.

@@ -12,8 +12,8 @@ the extra budget ``B_extra`` required to finish the remaining
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -39,7 +39,7 @@ class MESB(MES):
         self,
         env,
         frames,
-        budget_ms: Optional[float] = None,
+        budget_ms: float | None = None,
         observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
         if budget_ms is None:
@@ -63,7 +63,7 @@ class LRBP:
     num_points: int
 
     @classmethod
-    def fit(cls, points: Sequence[Tuple[int, float]]) -> "LRBP":
+    def fit(cls, points: Sequence[tuple[int, float]]) -> LRBP:
         """Least-squares fit of cumulative cost against iteration number.
 
         Args:
@@ -86,7 +86,7 @@ class LRBP:
         result: SelectionResult,
         skip_initialization: int = 0,
         recent_fraction: float = 0.5,
-    ) -> "LRBP":
+    ) -> LRBP:
         """Fit from a finished (budget-exhausted) run.
 
         Args:

@@ -18,8 +18,8 @@ This module implements that direction:
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence
 
 from repro.core.ensembles import EnsembleKey
 from repro.core.environment import DetectionEnvironment
@@ -60,7 +60,7 @@ def dominates(a: EnsemblePoint, b: EnsemblePoint) -> bool:
     return at_least_as_good and strictly_better
 
 
-def pareto_front(points: Iterable[EnsemblePoint]) -> List[EnsemblePoint]:
+def pareto_front(points: Iterable[EnsemblePoint]) -> list[EnsemblePoint]:
     """The non-dominated subset, sorted by decreasing accuracy.
 
     Uses the standard sort-and-sweep: after sorting by (accuracy desc,
@@ -70,7 +70,7 @@ def pareto_front(points: Iterable[EnsemblePoint]) -> List[EnsemblePoint]:
     ordered = sorted(
         points, key=lambda p: (-p.accuracy, p.cost, p.key)
     )
-    front: List[EnsemblePoint] = []
+    front: list[EnsemblePoint] = []
     best_cost = float("inf")
     for point in ordered:
         if point.cost < best_cost:
@@ -83,8 +83,8 @@ def profile_ensembles(
     env: DetectionEnvironment,
     frames: Sequence[Frame],
     sample_stride: int = 1,
-    keys: Optional[Sequence[EnsembleKey]] = None,
-) -> List[EnsemblePoint]:
+    keys: Sequence[EnsembleKey] | None = None,
+) -> list[EnsemblePoint]:
     """Measure every ensemble's mean true AP and normalized cost.
 
     Args:
@@ -104,7 +104,7 @@ def profile_ensembles(
     sample = frames[::sample_stride]
     if not sample:
         raise ValueError("no frames to profile")
-    totals: Dict[EnsembleKey, List[float]] = {k: [0.0, 0.0] for k in key_list}
+    totals: dict[EnsembleKey, list[float]] = {k: [0.0, 0.0] for k in key_list}
     for frame in sample:
         batch = env.evaluate(frame, key_list, charge=False)
         for key, evaluation in batch.evaluations.items():
@@ -121,7 +121,7 @@ def pareto_ensembles(
     env: DetectionEnvironment,
     frames: Sequence[Frame],
     sample_stride: int = 1,
-) -> List[EnsembleKey]:
+) -> list[EnsembleKey]:
     """Keys of the Pareto-optimal ensembles over a frame sample.
 
     The returned list is ordered from most accurate (and most expensive)

@@ -8,7 +8,7 @@ empirically.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.core.environment import DetectionEnvironment
 from repro.core.selection import SelectionResult
@@ -19,9 +19,9 @@ __all__ = ["oracle_scores", "empirical_regret", "regret_curve"]
 
 def oracle_scores(
     env: DetectionEnvironment, frames: Sequence[Frame]
-) -> List[float]:
+) -> list[float]:
     """``r_{S*_v | v}`` — best true score per frame, by uncharged peek."""
-    best: List[float] = []
+    best: list[float] = []
     for frame in frames:
         batch = env.peek(frame, env.all_ensembles)
         best.append(
@@ -57,11 +57,11 @@ def empirical_regret(
 
 def regret_curve(
     result: SelectionResult, oracle: Sequence[float]
-) -> List[float]:
+) -> list[float]:
     """Cumulative regret after each iteration (for growth-rate checks)."""
     if len(oracle) < len(result.records):
         raise ValueError("oracle shorter than the run")
-    curve: List[float] = []
+    curve: list[float] = []
     total = 0.0
     for i, record in enumerate(result.records):
         total += oracle[i] - record.true_score

@@ -16,7 +16,6 @@ from __future__ import annotations
 
 import abc
 import math
-from typing import Tuple
 
 from repro.utils.validation import check_probability
 
@@ -61,7 +60,7 @@ class _WeightedScore(ScoringFunction):
         self.time_weight = time_weight
 
     @property
-    def weights(self) -> Tuple[float, float]:
+    def weights(self) -> tuple[float, float]:
         """``(w1, w2)`` — accuracy and time weights."""
         return (self.accuracy_weight, self.time_weight)
 

@@ -13,8 +13,8 @@ algorithm only supplies those hooks.
 from __future__ import annotations
 
 import abc
+from collections.abc import Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
 
 from repro.core.ensembles import EnsembleKey
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
@@ -41,8 +41,8 @@ class SelectionResult:
     """
 
     algorithm: str
-    records: List[FrameRecord]
-    budget_ms: Optional[float] = None
+    records: list[FrameRecord]
+    budget_ms: float | None = None
 
     @property
     def frames_processed(self) -> int:
@@ -78,16 +78,16 @@ class SelectionResult:
         """Total billable time ``C`` consumed by the run."""
         return sum(r.charged_ms for r in self.records)
 
-    def selection_counts(self) -> Dict[EnsembleKey, int]:
+    def selection_counts(self) -> dict[EnsembleKey, int]:
         """How many times each ensemble was selected (Figure 10)."""
-        counts: Dict[EnsembleKey, int] = {}
+        counts: dict[EnsembleKey, int] = {}
         for record in self.records:
             counts[record.selected] = counts.get(record.selected, 0) + 1
         return counts
 
-    def cumulative_cost_points(self) -> List[Tuple[int, float]]:
+    def cumulative_cost_points(self) -> list[tuple[int, float]]:
         """``(t, C_t)`` pairs — the LRBP regression input (Section 3.2)."""
-        points: List[Tuple[int, float]] = []
+        points: list[tuple[int, float]] = []
         total = 0.0
         for record in self.records:
             total += record.charged_ms
@@ -106,7 +106,7 @@ class SelectionAlgorithm(abc.ABC):
         self,
         env: DetectionEnvironment,
         frames: Sequence[Frame],
-        budget_ms: Optional[float] = None,
+        budget_ms: float | None = None,
         observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
         """Process frames, selecting one ensemble per frame.
@@ -145,7 +145,7 @@ class IterativeSelection(SelectionAlgorithm):
     @abc.abstractmethod
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         """Hook: return ``(selected, ensembles_to_evaluate)`` for iteration t.
 
         ``ensembles_to_evaluate`` must contain ``selected``.
@@ -168,7 +168,7 @@ class IterativeSelection(SelectionAlgorithm):
     def _pipeline(
         self,
         env: DetectionEnvironment,
-        budget_ms: Optional[float],
+        budget_ms: float | None,
         observers: Sequence[FrameObserver],
     ) -> FramePipeline:
         """The engine pipeline bound to this algorithm's hooks."""
@@ -180,7 +180,7 @@ class IterativeSelection(SelectionAlgorithm):
         self,
         env: DetectionEnvironment,
         frames: Iterable[Frame],
-        budget_ms: Optional[float] = None,
+        budget_ms: float | None = None,
         observers: Sequence[FrameObserver] = (),
     ) -> Iterator[FrameRecord]:
         """Process frames lazily, yielding one record per iteration.
@@ -204,7 +204,7 @@ class IterativeSelection(SelectionAlgorithm):
         self,
         env: DetectionEnvironment,
         frames: Sequence[Frame],
-        budget_ms: Optional[float] = None,
+        budget_ms: float | None = None,
         observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
         pipeline = self._pipeline(env, budget_ms, observers)

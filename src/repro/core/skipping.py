@@ -16,7 +16,7 @@ real difference detector would call similar.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.core.environment import DetectionEnvironment
 from repro.core.selection import (
@@ -52,7 +52,7 @@ def frame_similarity(a: Frame, b: Frame) -> float:
         return 0.0
     ious = iou_matrix(boxes_a, boxes_b)
     # Greedy one-to-one matching by descending IoU.
-    pairs: List[float] = []
+    pairs: list[float] = []
     used_a: set = set()
     used_b: set = set()
     flat = sorted(
@@ -115,7 +115,7 @@ class FrameSkipper(SelectionAlgorithm):
         self,
         env: DetectionEnvironment,
         frames: Sequence[Frame],
-        budget_ms: Optional[float] = None,
+        budget_ms: float | None = None,
         observers: Sequence[FrameObserver] = (),
     ) -> SelectionResult:
         if not isinstance(self.inner, IterativeSelection):
@@ -123,9 +123,9 @@ class FrameSkipper(SelectionAlgorithm):
                 "FrameSkipper requires an IterativeSelection-based algorithm"
             )
         # Phase 1: decide which frames to process vs skip.
-        processed_frames: List[Frame] = []
-        reuse_from: List[Optional[int]] = []  # per frame: processed idx or None
-        last_processed: Optional[Frame] = None
+        processed_frames: list[Frame] = []
+        reuse_from: list[int | None] = []  # per frame: processed idx or None
+        last_processed: Frame | None = None
         consecutive = 0
         for frame in frames:
             skip = (
@@ -152,12 +152,12 @@ class FrameSkipper(SelectionAlgorithm):
 
         # Phase 3: stitch full-coverage records, reusing detections on
         # skipped frames.
-        records: List[FrameRecord] = []
+        records: list[FrameRecord] = []
         inner_by_position = {
             i: record for i, record in enumerate(inner_result.records)
         }
         position = -1
-        for frame, reuse in zip(frames, reuse_from):
+        for frame, reuse in zip(frames, reuse_from, strict=True):
             if reuse is None:
                 position += 1
                 inner_record = inner_by_position.get(position)

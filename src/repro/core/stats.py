@@ -15,7 +15,6 @@ from __future__ import annotations
 
 import math
 from collections import deque
-from typing import Deque, Dict, List, Tuple
 
 from repro.core.ensembles import EnsembleKey
 
@@ -30,8 +29,8 @@ class EnsembleStatistics:
     """Cumulative per-ensemble observation counts and score means."""
 
     def __init__(self) -> None:
-        self._counts: Dict[EnsembleKey, int] = {}
-        self._means: Dict[EnsembleKey, float] = {}
+        self._counts: dict[EnsembleKey, int] = {}
+        self._means: dict[EnsembleKey, float] = {}
 
     def record(self, key: EnsembleKey, reward: float) -> None:
         """Fold one observed score into ``(T_S, mu_S)`` (Eq. 8/9)."""
@@ -59,7 +58,7 @@ class EnsembleStatistics:
         """Upper confidence bound ``U_S`` (Eq. 7)."""
         return self.mean(key) + self.exploration_bonus(key, t)
 
-    def observed_keys(self) -> List[EnsembleKey]:
+    def observed_keys(self) -> list[EnsembleKey]:
         return sorted(self._counts)
 
 
@@ -74,7 +73,7 @@ class SlidingWindowStatistics:
         if window < 1:
             raise ValueError("window must be at least 1")
         self.window = window
-        self._history: Dict[EnsembleKey, Deque[Tuple[int, float]]] = {}
+        self._history: dict[EnsembleKey, deque[tuple[int, float]]] = {}
 
     def record(self, key: EnsembleKey, reward: float, iteration: int) -> None:
         """Record the score observed for ``S`` at iteration ``iteration``."""
@@ -86,7 +85,7 @@ class SlidingWindowStatistics:
         queue.append((iteration, reward))
         self._evict(queue, iteration)
 
-    def _evict(self, queue: Deque[Tuple[int, float]], now: int) -> None:
+    def _evict(self, queue: deque[tuple[int, float]], now: int) -> None:
         horizon = now - self.window
         while queue and queue[0][0] <= horizon:
             queue.popleft()
@@ -134,8 +133,8 @@ class DiscountedStatistics:
         if not 0.0 < discount <= 1.0:
             raise ValueError("discount must be in (0, 1]")
         self.discount = discount
-        self._weights: Dict[EnsembleKey, float] = {}
-        self._weighted_sums: Dict[EnsembleKey, float] = {}
+        self._weights: dict[EnsembleKey, float] = {}
+        self._weighted_sums: dict[EnsembleKey, float] = {}
 
     def advance(self) -> None:
         """Decay all statistics by one iteration."""

@@ -15,7 +15,7 @@ geometrically each iteration.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence, Tuple
+from collections.abc import Sequence
 
 from repro.core.ensembles import EnsembleKey, subsets_inclusive
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
@@ -74,7 +74,7 @@ class SWMES(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         if t <= self.gamma:
             return env.full_ensemble, list(env.all_ensembles)
         best_key = max(
@@ -132,7 +132,7 @@ class DMES(IterativeSelection):
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
-    ) -> Tuple[EnsembleKey, List[EnsembleKey]]:
+    ) -> tuple[EnsembleKey, list[EnsembleKey]]:
         if t <= self.gamma:
             return env.full_ensemble, list(env.all_ensembles)
         best_key = max(

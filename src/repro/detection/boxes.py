@@ -13,8 +13,8 @@ dominate runtime.
 from __future__ import annotations
 
 import math
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -58,13 +58,13 @@ class BBox:
         return self.width * self.height
 
     @property
-    def center(self) -> Tuple[float, float]:
+    def center(self) -> tuple[float, float]:
         return ((self.x1 + self.x2) / 2.0, (self.y1 + self.y2) / 2.0)
 
     @classmethod
     def from_center(
         cls, cx: float, cy: float, width: float, height: float
-    ) -> "BBox":
+    ) -> BBox:
         """Build a box from a center point and side lengths."""
         if width < 0 or height < 0:
             raise ValueError("width and height must be non-negative")
@@ -73,13 +73,13 @@ class BBox:
         return cls(cx - half_w, cy - half_h, cx + half_w, cy + half_h)
 
     @classmethod
-    def from_xywh(cls, x: float, y: float, width: float, height: float) -> "BBox":
+    def from_xywh(cls, x: float, y: float, width: float, height: float) -> BBox:
         """Build a box from its top-left corner and side lengths."""
         if width < 0 or height < 0:
             raise ValueError("width and height must be non-negative")
         return cls(x, y, x + width, y + height)
 
-    def intersection(self, other: "BBox") -> float:
+    def intersection(self, other: BBox) -> float:
         """Area of overlap with ``other`` (zero if disjoint)."""
         iw = min(self.x2, other.x2) - max(self.x1, other.x1)
         ih = min(self.y2, other.y2) - max(self.y1, other.y1)
@@ -87,11 +87,11 @@ class BBox:
             return 0.0
         return iw * ih
 
-    def union_area(self, other: "BBox") -> float:
+    def union_area(self, other: BBox) -> float:
         """Area of the union of the two boxes."""
         return self.area + other.area - self.intersection(other)
 
-    def iou(self, other: "BBox") -> float:
+    def iou(self, other: BBox) -> float:
         """Intersection-over-union with ``other``, in ``[0, 1]``."""
         inter = self.intersection(other)
         if inter == 0.0:
@@ -102,7 +102,7 @@ class BBox:
             return 0.0
         return inter / union
 
-    def enclosing(self, other: "BBox") -> "BBox":
+    def enclosing(self, other: BBox) -> BBox:
         """Smallest box containing both ``self`` and ``other``."""
         return BBox(
             min(self.x1, other.x1),
@@ -111,18 +111,18 @@ class BBox:
             max(self.y2, other.y2),
         )
 
-    def translate(self, dx: float, dy: float) -> "BBox":
+    def translate(self, dx: float, dy: float) -> BBox:
         """Shift the box by ``(dx, dy)``."""
         return BBox(self.x1 + dx, self.y1 + dy, self.x2 + dx, self.y2 + dy)
 
-    def scale(self, factor: float) -> "BBox":
+    def scale(self, factor: float) -> BBox:
         """Scale the box about its center by ``factor`` (> 0)."""
         if factor <= 0:
             raise ValueError("scale factor must be positive")
         cx, cy = self.center
         return BBox.from_center(cx, cy, self.width * factor, self.height * factor)
 
-    def clip(self, frame_width: float, frame_height: float) -> "BBox":
+    def clip(self, frame_width: float, frame_height: float) -> BBox:
         """Clip the box to ``[0, frame_width] x [0, frame_height]``.
 
         Boxes entirely outside the frame collapse onto the nearest edge,
@@ -138,7 +138,7 @@ class BBox:
         """True if ``(x, y)`` lies inside the box (inclusive edges)."""
         return self.x1 <= x <= self.x2 and self.y1 <= y <= self.y2
 
-    def contains_box(self, other: "BBox") -> bool:
+    def contains_box(self, other: BBox) -> bool:
         """True if ``other`` lies entirely inside this box."""
         return (
             self.x1 <= other.x1
@@ -147,7 +147,7 @@ class BBox:
             and self.y2 >= other.y2
         )
 
-    def as_tuple(self) -> Tuple[float, float, float, float]:
+    def as_tuple(self) -> tuple[float, float, float, float]:
         return (self.x1, self.y1, self.x2, self.y2)
 
 
@@ -163,7 +163,7 @@ def boxes_to_array(boxes: Sequence[BBox]) -> np.ndarray:
     return np.asarray([b.as_tuple() for b in boxes], dtype=np.float64)
 
 
-def array_to_boxes(arr: np.ndarray) -> List[BBox]:
+def array_to_boxes(arr: np.ndarray) -> list[BBox]:
     """Convert an ``(n, 4)`` corner-format array back into :class:`BBox` values."""
     arr = np.asarray(arr, dtype=np.float64)
     if arr.ndim != 2 or arr.shape[1] != 4:
@@ -234,7 +234,7 @@ def average_boxes(boxes: Iterable[BBox], weights: Sequence[float] | None = None)
     if total <= 0:
         raise ValueError("weights must not all be zero")
     x1 = y1 = x2 = y2 = 0.0
-    for box, w in zip(box_list, weight_list):
+    for box, w in zip(box_list, weight_list, strict=True):
         x1 += box.x1 * w
         y1 += box.y1 * w
         x2 += box.x2 * w

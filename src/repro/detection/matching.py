@@ -12,8 +12,8 @@ clears the threshold.  The same protocol serves two roles in this repo:
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Sequence, Tuple
 
 import numpy as np
 
@@ -37,10 +37,10 @@ class MatchResult:
         ious: IoU of each matched pair, aligned with ``pairs``.
     """
 
-    pairs: Tuple[Tuple[int, int], ...]
-    unmatched_predictions: Tuple[int, ...]
-    unmatched_references: Tuple[int, ...]
-    ious: Tuple[float, ...]
+    pairs: tuple[tuple[int, int], ...]
+    unmatched_predictions: tuple[int, ...]
+    unmatched_references: tuple[int, ...]
+    ious: tuple[float, ...]
 
     @property
     def true_positives(self) -> int:
@@ -112,9 +112,9 @@ def match_detections(
         range(len(preds)), key=lambda i: preds[i].confidence, reverse=True
     )
     ref_taken = [False] * len(refs)
-    pairs: List[Tuple[int, int]] = []
-    pair_ious: List[float] = []
-    unmatched_preds: List[int] = []
+    pairs: list[tuple[int, int]] = []
+    pair_ious: list[float] = []
+    unmatched_preds: list[int] = []
 
     for pi in order:
         row = ious[pi]

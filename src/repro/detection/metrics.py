@@ -13,8 +13,8 @@ detection sequence.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -31,7 +31,7 @@ __all__ = [
 ]
 
 #: The COCO evaluation IoU thresholds (0.50:0.05:0.95).
-COCO_IOU_THRESHOLDS: Tuple[float, ...] = tuple(
+COCO_IOU_THRESHOLDS: tuple[float, ...] = tuple(
     round(0.5 + 0.05 * i, 2) for i in range(10)
 )
 
@@ -47,12 +47,12 @@ class PRCurve:
         num_references: Number of reference boxes of this class.
     """
 
-    precision: Tuple[float, ...]
-    recall: Tuple[float, ...]
-    confidences: Tuple[float, ...]
+    precision: tuple[float, ...]
+    recall: tuple[float, ...]
+    confidences: tuple[float, ...]
     num_references: int
 
-    def interpolated_precision(self) -> Tuple[float, ...]:
+    def interpolated_precision(self) -> tuple[float, ...]:
         """Precision made monotonically non-increasing in recall order."""
         if not self.precision:
             return ()
@@ -68,7 +68,7 @@ class PRCurve:
         interp = self.interpolated_precision()
         area = 0.0
         prev_recall = 0.0
-        for p, r in zip(interp, self.recall):
+        for p, r in zip(interp, self.recall, strict=True):
             area += (r - prev_recall) * p
             prev_recall = r
         return area
@@ -78,7 +78,7 @@ def _tp_fp_flags(
     predictions: Sequence[Detection],
     references: Sequence[Detection],
     iou_threshold: float,
-) -> Tuple[np.ndarray, np.ndarray]:
+) -> tuple[np.ndarray, np.ndarray]:
     """Per-prediction TP flags and confidences, VOC greedy protocol.
 
     Predictions and references are assumed to already be restricted to a
@@ -121,7 +121,7 @@ def precision_recall_curve(
     predictions: Sequence[Detection] | FrameDetections,
     references: Sequence[Detection] | FrameDetections,
     iou_threshold: float = 0.5,
-    label: Optional[str] = None,
+    label: str | None = None,
 ) -> PRCurve:
     """Precision-recall curve for one class.
 
@@ -156,7 +156,7 @@ def precision_recall_curve(
 
 
 def _fast_ap(
-    preds: List[Detection], refs: List[Detection], iou_threshold: float
+    preds: list[Detection], refs: list[Detection], iou_threshold: float
 ) -> float:
     """All-point-interpolated AP for a single-class pool, pure Python.
 
@@ -173,8 +173,8 @@ def _fast_ap(
     ref_boxes = [r.box for r in refs]
     taken = [False] * len(refs)
     # Greedy matching, then raw precision at each recall step.
-    precisions: List[float] = []
-    recalls: List[float] = []
+    precisions: list[float] = []
+    recalls: list[float] = []
     tp = 0
     for rank, det in enumerate(order, start=1):
         box = det.box
@@ -207,7 +207,7 @@ def _fast_ap(
             precisions[i] = precisions[i + 1]
     area = 0.0
     prev_recall = 0.0
-    for p, r in zip(precisions, recalls):
+    for p, r in zip(precisions, recalls, strict=True):
         area += (r - prev_recall) * p
         prev_recall = r
     return area
@@ -217,7 +217,7 @@ def average_precision(
     predictions: Sequence[Detection] | FrameDetections,
     references: Sequence[Detection] | FrameDetections,
     iou_threshold: float = 0.5,
-    label: Optional[str] = None,
+    label: str | None = None,
 ) -> float:
     """All-point-interpolated AP for one class (or class-agnostic).
 
@@ -234,7 +234,7 @@ def mean_average_precision(
     predictions: Sequence[Detection] | FrameDetections,
     references: Sequence[Detection] | FrameDetections,
     iou_threshold: float = 0.5,
-    labels: Optional[Sequence[str]] = None,
+    labels: Sequence[str] | None = None,
 ) -> float:
     """Mean AP over classes (the paper's mAP for multi-class evaluation).
 
@@ -257,8 +257,8 @@ def mean_average_precision(
     if not label_set:
         return 1.0
     # Group once instead of re-filtering the pools per class.
-    preds_by_label: Dict[str, List[Detection]] = {lbl: [] for lbl in label_set}
-    refs_by_label: Dict[str, List[Detection]] = {lbl: [] for lbl in label_set}
+    preds_by_label: dict[str, list[Detection]] = {lbl: [] for lbl in label_set}
+    refs_by_label: dict[str, list[Detection]] = {lbl: [] for lbl in label_set}
     for det in preds:
         if det.label in preds_by_label:
             preds_by_label[det.label].append(det)
@@ -275,7 +275,7 @@ def coco_map(
     predictions: Sequence[Detection] | FrameDetections,
     references: Sequence[Detection] | FrameDetections,
     thresholds: Sequence[float] = COCO_IOU_THRESHOLDS,
-    labels: Optional[Sequence[str]] = None,
+    labels: Sequence[str] | None = None,
 ) -> float:
     """COCO-style mAP: mean over IoU thresholds 0.50:0.05:0.95.
 

@@ -7,8 +7,8 @@ ensemble) to one frame, i.e. the paper's ``D_{M_i | v}`` / ``D_{S | v}``.
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Iterator
 from dataclasses import dataclass
-from typing import Dict, Iterable, Iterator, List, Optional, Tuple
 
 from repro.detection.boxes import BBox
 
@@ -34,8 +34,8 @@ class Detection:
     box: BBox
     confidence: float
     label: str
-    source: Optional[str] = None
-    object_id: Optional[int] = None
+    source: str | None = None
+    object_id: int | None = None
 
     def __post_init__(self) -> None:
         if not 0.0 <= self.confidence <= 1.0:
@@ -45,7 +45,7 @@ class Detection:
         if not self.label:
             raise ValueError("label must be a non-empty string")
 
-    def with_confidence(self, confidence: float) -> "Detection":
+    def with_confidence(self, confidence: float) -> Detection:
         """Copy of this detection with a replaced confidence."""
         return Detection(
             box=self.box,
@@ -55,7 +55,7 @@ class Detection:
             object_id=self.object_id,
         )
 
-    def with_source(self, source: Optional[str]) -> "Detection":
+    def with_source(self, source: str | None) -> Detection:
         """Copy of this detection attributed to ``source``."""
         return Detection(
             box=self.box,
@@ -79,8 +79,8 @@ class FrameDetections:
     """
 
     frame_index: int
-    detections: Tuple[Detection, ...] = ()
-    source: Optional[str] = None
+    detections: tuple[Detection, ...] = ()
+    source: str | None = None
 
     def __post_init__(self) -> None:
         if self.frame_index < 0:
@@ -98,34 +98,34 @@ class FrameDetections:
         return bool(self.detections)
 
     @property
-    def labels(self) -> Tuple[str, ...]:
+    def labels(self) -> tuple[str, ...]:
         return tuple(d.label for d in self.detections)
 
-    def filter_confidence(self, threshold: float) -> "FrameDetections":
+    def filter_confidence(self, threshold: float) -> FrameDetections:
         """Keep only detections with confidence ``>= threshold``."""
         kept = tuple(d for d in self.detections if d.confidence >= threshold)
         return FrameDetections(self.frame_index, kept, self.source)
 
-    def filter_label(self, label: str) -> "FrameDetections":
+    def filter_label(self, label: str) -> FrameDetections:
         """Keep only detections of class ``label``."""
         kept = tuple(d for d in self.detections if d.label == label)
         return FrameDetections(self.frame_index, kept, self.source)
 
-    def by_label(self) -> Dict[str, List[Detection]]:
+    def by_label(self) -> dict[str, list[Detection]]:
         """Group detections by class label."""
-        groups: Dict[str, List[Detection]] = {}
+        groups: dict[str, list[Detection]] = {}
         for det in self.detections:
             groups.setdefault(det.label, []).append(det)
         return groups
 
-    def sorted_by_confidence(self) -> "FrameDetections":
+    def sorted_by_confidence(self) -> FrameDetections:
         """Detections ordered by decreasing confidence."""
         ordered = tuple(
             sorted(self.detections, key=lambda d: d.confidence, reverse=True)
         )
         return FrameDetections(self.frame_index, ordered, self.source)
 
-    def with_source(self, source: Optional[str]) -> "FrameDetections":
+    def with_source(self, source: str | None) -> FrameDetections:
         """Copy with a replaced source name on the frame and each detection."""
         return FrameDetections(
             self.frame_index,
@@ -133,7 +133,7 @@ class FrameDetections:
             source,
         )
 
-    def merged_with(self, *others: "FrameDetections") -> "FrameDetections":
+    def merged_with(self, *others: FrameDetections) -> FrameDetections:
         """Concatenate detection lists from multiple sources for one frame.
 
         This is the raw pooling step that fusion methods start from; it does
@@ -145,7 +145,7 @@ class FrameDetections:
                     "cannot merge detections from different frames "
                     f"({self.frame_index} vs {other.frame_index})"
                 )
-        pooled: List[Detection] = list(self.detections)
+        pooled: list[Detection] = list(self.detections)
         for other in others:
             pooled.extend(other.detections)
         return FrameDetections(self.frame_index, tuple(pooled), None)
@@ -153,9 +153,9 @@ class FrameDetections:
     @staticmethod
     def pool(
         frame_index: int, parts: Iterable["FrameDetections"]
-    ) -> "FrameDetections":
+    ) -> FrameDetections:
         """Pool any number of per-detector outputs for a frame."""
-        pooled: List[Detection] = []
+        pooled: list[Detection] = []
         for part in parts:
             if part.frame_index != frame_index:
                 raise ValueError(

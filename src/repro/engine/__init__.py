@@ -28,12 +28,7 @@ from repro.engine.pipeline import (
     FrameRecord,
     UpdateHook,
 )
-from repro.engine.store import (
-    DEFAULT_CAPACITY,
-    CacheStats,
-    EvaluationStore,
-    StageStats,
-)
+from repro.engine.store import CacheStats, DEFAULT_CAPACITY, EvaluationStore, StageStats
 
 __all__ = [
     "BACKEND_NAMES",

@@ -22,9 +22,10 @@ SW-MES.  How parallel hardware is *billed* is a separate, explicit knob
 from __future__ import annotations
 
 import time
+from collections.abc import Sequence
 from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import Any, List, Optional, Protocol, Sequence, Tuple, runtime_checkable
+from typing import Any, Protocol, runtime_checkable
 
 __all__ = [
     "InferenceJob",
@@ -65,6 +66,19 @@ class JobResult:
     wall_ms: float
 
 
+def wall_timer() -> float:
+    """The sanctioned wall-clock source for *measurement-only* timing.
+
+    Everything outside this module (and ``benchmarks/``) is barred from
+    reading the wall clock directly (lint rule RPR002); components that
+    legitimately instrument compute time — e.g. the
+    :class:`~repro.engine.store.EvaluationStore` — take an injectable
+    timer defaulting to this function, keeping every wall-clock read
+    behind one auditable seam.
+    """
+    return time.perf_counter()
+
+
 def _execute_job(job: InferenceJob) -> JobResult:
     """Run one job, timing it.  Module-level so process pools can pickle it."""
     start = time.perf_counter()
@@ -85,7 +99,7 @@ class ExecutionBackend(Protocol):
     #: Short identifier (``"serial"``, ``"thread"``, ``"process"``).
     name: str
 
-    def run(self, jobs: Sequence[InferenceJob]) -> List[JobResult]:
+    def run(self, jobs: Sequence[InferenceJob]) -> list[JobResult]:
         """Execute all jobs, returning their results in job order."""
         ...
 
@@ -99,13 +113,13 @@ class SerialBackend:
 
     name = "serial"
 
-    def run(self, jobs: Sequence[InferenceJob]) -> List[JobResult]:
+    def run(self, jobs: Sequence[InferenceJob]) -> list[JobResult]:
         return [_execute_job(job) for job in jobs]
 
     def close(self) -> None:  # nothing to release
         pass
 
-    def __enter__(self) -> "SerialBackend":
+    def __enter__(self) -> SerialBackend:
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -124,7 +138,7 @@ class _PoolBackend:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
-        self._executor: Optional[Executor] = None
+        self._executor: Executor | None = None
 
     def _make_executor(self) -> Executor:
         raise NotImplementedError
@@ -134,7 +148,7 @@ class _PoolBackend:
             self._executor = self._make_executor()
         return self._executor
 
-    def run(self, jobs: Sequence[InferenceJob]) -> List[JobResult]:
+    def run(self, jobs: Sequence[InferenceJob]) -> list[JobResult]:
         if len(jobs) <= 1:
             # Pool dispatch overhead is never worth it for a single job.
             return [_execute_job(job) for job in jobs]
@@ -145,7 +159,7 @@ class _PoolBackend:
             self._executor.shutdown(wait=True)
             self._executor = None
 
-    def __enter__(self) -> "_PoolBackend":
+    def __enter__(self) -> _PoolBackend:
         return self
 
     def __exit__(self, *exc: object) -> None:
@@ -187,7 +201,7 @@ class ProcessPoolBackend(_PoolBackend):
 
 
 #: Backend names accepted by :func:`make_backend` (and ``--backend``).
-BACKEND_NAMES: Tuple[str, ...] = ("serial", "thread", "process")
+BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
 
 
 def make_backend(name: str, workers: int = 4) -> ExecutionBackend:

@@ -25,17 +25,9 @@ Per iteration the pipeline:
 
 from __future__ import annotations
 
+from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
-from typing import (
-    TYPE_CHECKING,
-    Callable,
-    Iterable,
-    Iterator,
-    List,
-    Optional,
-    Sequence,
-    Tuple,
-)
+from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from repro.core.environment import DetectionEnvironment, EvaluationBatch
@@ -66,7 +58,7 @@ class FrameRecord:
 
     iteration: int
     frame_index: int
-    selected: "EnsembleKey"
+    selected: EnsembleKey
     est_score: float
     est_ap: float
     true_score: float
@@ -82,7 +74,7 @@ FrameObserver = Callable[["Frame", "EvaluationBatch", FrameRecord], None]
 #: ``choose(env, t, frame) -> (selected, ensembles_to_evaluate)``.
 ChooseHook = Callable[
     ["DetectionEnvironment", int, "Frame"],
-    Tuple["EnsembleKey", List["EnsembleKey"]],
+    tuple["EnsembleKey", list["EnsembleKey"]],
 ]
 
 #: ``update(env, t, frame, batch)`` — fold the batch into algorithm state.
@@ -103,8 +95,8 @@ class FramePipeline:
 
     def __init__(
         self,
-        env: "DetectionEnvironment",
-        budget_ms: Optional[float] = None,
+        env: DetectionEnvironment,
+        budget_ms: float | None = None,
         observers: Sequence[FrameObserver] = (),
         label: str = "pipeline",
     ) -> None:
@@ -112,14 +104,14 @@ class FramePipeline:
             raise ValueError("budget_ms must be positive when given")
         self.env = env
         self.budget_ms = budget_ms
-        self.observers: Tuple[FrameObserver, ...] = tuple(observers)
+        self.observers: tuple[FrameObserver, ...] = tuple(observers)
         self.label = label
 
     def run(
         self,
         frames: Iterable["Frame"],
         choose: ChooseHook,
-        update: Optional[UpdateHook] = None,
+        update: UpdateHook | None = None,
     ) -> Iterator[FrameRecord]:
         """Process frames lazily, yielding one record per iteration.
 

@@ -23,11 +23,13 @@ caching actually works at scale.
 from __future__ import annotations
 
 import threading
-import time
 from collections import OrderedDict
+from collections.abc import Callable, Hashable, Mapping
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Any, Callable, Dict, Hashable, Mapping, Optional, Tuple
+from typing import Any
+
+from repro.engine.backends import wall_timer
 
 __all__ = ["StageStats", "CacheStats", "EvaluationStore", "DEFAULT_CAPACITY"]
 
@@ -86,7 +88,7 @@ class CacheStats:
     def hit_rate(self) -> float:
         return self.hits / self.lookups if self.lookups else 0.0
 
-    def as_dict(self) -> Dict[str, Any]:
+    def as_dict(self) -> dict[str, Any]:
         """A JSON-serializable view (see :mod:`repro.runner.io`)."""
         return {
             "capacity": self.capacity,
@@ -144,15 +146,25 @@ class EvaluationStore:
 
     Args:
         capacity: Maximum number of entries across all stages (>= 1).
+        timer: Monotonic timer used to measure compute time on misses.
+            Defaults to the sanctioned
+            :func:`~repro.engine.backends.wall_timer`; injectable so
+            tests (and the RPR002 wall-clock lint rule) can keep every
+            direct clock read inside ``engine/backends.py``.
     """
 
-    def __init__(self, capacity: int = DEFAULT_CAPACITY) -> None:
+    def __init__(
+        self,
+        capacity: int = DEFAULT_CAPACITY,
+        timer: Callable[[], float] = wall_timer,
+    ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity
+        self._timer = timer
         self._lock = threading.RLock()
-        self._entries: "OrderedDict[Tuple[str, Hashable], Any]" = OrderedDict()
-        self._stages: Dict[str, _MutableStageStats] = {}
+        self._entries: OrderedDict[tuple[str, Hashable], Any] = OrderedDict()
+        self._stages: dict[str, _MutableStageStats] = {}
         self._evictions = 0
 
     @property
@@ -169,7 +181,7 @@ class EvaluationStore:
             stats = self._stages[stage] = _MutableStageStats()
         return stats
 
-    def get(self, stage: str, key: Hashable) -> Optional[Any]:
+    def get(self, stage: str, key: Hashable) -> Any | None:
         """Look up a value, counting a hit or miss; ``None`` if absent.
 
         Cached values are never ``None`` (:meth:`put` rejects it), so a
@@ -222,9 +234,9 @@ class EvaluationStore:
         value = self.get(stage, key)
         if value is not None:
             return value
-        start = time.perf_counter()
+        start = self._timer()
         value = compute()
-        elapsed_ms = (time.perf_counter() - start) * 1000.0
+        elapsed_ms = (self._timer() - start) * 1000.0
         self.put(stage, key, value, compute_ms=elapsed_ms)
         return value
 

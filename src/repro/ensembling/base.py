@@ -13,7 +13,7 @@ formulation.
 from __future__ import annotations
 
 import abc
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.types import Detection, FrameDetections
 
@@ -54,7 +54,7 @@ class EnsembleMethod(abc.ABC):
         pooled = FrameDetections.pool(frame_index, per_detector)
         num_models = len(per_detector)
 
-        fused: List[Detection] = []
+        fused: list[Detection] = []
         for label, dets in sorted(pooled.by_label().items()):
             fused.extend(self._fuse_class(dets, num_models))
         ordered = tuple(
@@ -65,7 +65,7 @@ class EnsembleMethod(abc.ABC):
     @abc.abstractmethod
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         """Fuse a pool of same-class detections from ``num_models`` models."""
 
     def __repr__(self) -> str:
@@ -79,7 +79,7 @@ class EnsembleMethod(abc.ABC):
 
 def cluster_by_iou(
     detections: Sequence[Detection], iou_threshold: float
-) -> List[List[int]]:
+) -> list[list[int]]:
     """Greedy confidence-ordered clustering used by WBF / NMW / Fusion.
 
     Detections are visited in decreasing confidence order; each joins the
@@ -96,7 +96,7 @@ def cluster_by_iou(
         key=lambda i: detections[i].confidence,
         reverse=True,
     )
-    clusters: List[List[int]] = []
+    clusters: list[list[int]] = []
     for idx in order:
         box = detections[idx].box
         placed = False

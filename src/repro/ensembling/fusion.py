@@ -14,7 +14,7 @@ number of agreeing models.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.boxes import average_boxes
 from repro.detection.types import Detection
@@ -46,13 +46,13 @@ class ConsensusFusion(EnsembleMethod):
 
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         pool = list(detections)
         if not pool:
             return []
         clusters = cluster_by_iou(pool, self.iou_threshold)
 
-        fused: List[Detection] = []
+        fused: list[Detection] = []
         for cluster in clusters:
             members = [pool[i] for i in cluster]
             # One vote per distinct model: the model's most confident member.

@@ -8,7 +8,7 @@ each object is whichever model was most confident about it.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.types import Detection
 from repro.ensembling.base import EnsembleMethod
@@ -40,12 +40,12 @@ class NonMaximumSuppression(EnsembleMethod):
 
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         candidates = [
             d for d in detections if d.confidence >= self.confidence_threshold
         ]
         order = sorted(candidates, key=lambda d: d.confidence, reverse=True)
-        kept: List[Detection] = []
+        kept: list[Detection] = []
         for det in order:
             suppressed = any(
                 det.box.iou(k.box) > self.iou_threshold for k in kept

@@ -9,7 +9,7 @@ confident model more closely than WBF does.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.boxes import average_boxes
 from repro.detection.types import Detection
@@ -40,7 +40,7 @@ class NonMaximumWeighted(EnsembleMethod):
 
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         pool = [
             d for d in detections if d.confidence >= self.confidence_threshold
         ]
@@ -48,7 +48,7 @@ class NonMaximumWeighted(EnsembleMethod):
             return []
         clusters = cluster_by_iou(pool, self.iou_threshold)
 
-        fused: List[Detection] = []
+        fused: list[Detection] = []
         for cluster in clusters:
             members = [pool[i] for i in cluster]
             best = members[0]  # clusters are confidence-ordered

@@ -7,7 +7,8 @@ Section 5.2 comparison table.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List
+from collections.abc import Callable
+from typing import Any
 
 from repro.ensembling.base import EnsembleMethod
 from repro.ensembling.fusion import ConsensusFusion
@@ -19,7 +20,7 @@ from repro.ensembling.wbf import WeightedBoxesFusion
 
 __all__ = ["available_methods", "create_method", "register_method"]
 
-_FACTORIES: Dict[str, Callable[..., EnsembleMethod]] = {
+_FACTORIES: dict[str, Callable[..., EnsembleMethod]] = {
     "nms": NonMaximumSuppression,
     "soft_nms": SoftNMS,
     "softer_nms": SofterNMS,
@@ -29,12 +30,12 @@ _FACTORIES: Dict[str, Callable[..., EnsembleMethod]] = {
 }
 
 
-def available_methods() -> List[str]:
+def available_methods() -> list[str]:
     """Registered fusion-method names, sorted."""
     return sorted(_FACTORIES)
 
 
-def create_method(name: str, **kwargs) -> EnsembleMethod:
+def create_method(name: str, **kwargs: Any) -> EnsembleMethod:
     """Instantiate a fusion method by registry name.
 
     Args:
@@ -59,4 +60,6 @@ def register_method(name: str, factory: Callable[..., EnsembleMethod]) -> None:
     Re-registering an existing name replaces it, which keeps tests and
     notebooks simple; production configurations should use fresh names.
     """
-    _FACTORIES[name.lower()] = factory
+    # Growth is bounded by explicit register_method calls at setup time
+    # (never per-frame), so this is a registry, not a cache.
+    _FACTORIES[name.lower()] = factory  # repro-lint: disable=RPR003 -- bounded registry: grows only via explicit setup-time registration, never per-frame

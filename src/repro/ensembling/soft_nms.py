@@ -12,7 +12,7 @@ below a floor.  Two decay schedules are provided:
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.types import Detection
 from repro.ensembling.base import EnsembleMethod
@@ -61,11 +61,11 @@ class SoftNMS(EnsembleMethod):
 
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         remaining = sorted(
             detections, key=lambda d: d.confidence, reverse=True
         )
-        kept: List[Detection] = []
+        kept: list[Detection] = []
         while remaining:
             # The current maximum is kept as-is; the rest decay toward it.
             best_idx = max(
@@ -75,7 +75,7 @@ class SoftNMS(EnsembleMethod):
             if best.confidence < self.score_threshold:
                 break
             kept.append(best)
-            decayed: List[Detection] = []
+            decayed: list[Detection] = []
             for det in remaining:
                 factor = self._decay(best.box.iou(det.box))
                 new_conf = det.confidence * factor

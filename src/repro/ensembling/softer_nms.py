@@ -11,7 +11,7 @@ slightly different boxes produce one better-localized box.
 from __future__ import annotations
 
 import math
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.boxes import average_boxes
 from repro.detection.types import Detection
@@ -51,18 +51,18 @@ class SofterNMS(EnsembleMethod):
 
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         order = sorted(detections, key=lambda d: d.confidence, reverse=True)
-        survivors: List[Detection] = []
+        survivors: list[Detection] = []
         for det in order:
             if any(det.box.iou(s.box) > self.iou_threshold for s in survivors):
                 continue
             survivors.append(det)
 
-        refined: List[Detection] = []
+        refined: list[Detection] = []
         for survivor in survivors:
-            voters: List[Detection] = []
-            weights: List[float] = []
+            voters: list[Detection] = []
+            weights: list[float] = []
             for det in detections:
                 overlap = survivor.box.iou(det.box)
                 if overlap >= self.vote_iou_threshold:

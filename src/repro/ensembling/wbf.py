@@ -11,7 +11,7 @@ curves.
 
 from __future__ import annotations
 
-from typing import List, Sequence
+from collections.abc import Sequence
 
 from repro.detection.boxes import average_boxes
 from repro.detection.types import Detection
@@ -51,7 +51,7 @@ class WeightedBoxesFusion(EnsembleMethod):
 
     def _fuse_class(
         self, detections: Sequence[Detection], num_models: int
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         pool = [
             d for d in detections if d.confidence >= self.confidence_threshold
         ]
@@ -59,7 +59,7 @@ class WeightedBoxesFusion(EnsembleMethod):
             return []
         clusters = cluster_by_iou(pool, self.iou_threshold)
 
-        fused: List[Detection] = []
+        fused: list[Detection] = []
         for cluster in clusters:
             members = [pool[i] for i in cluster]
             confidences = [m.confidence for m in members]

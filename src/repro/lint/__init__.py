@@ -1,0 +1,48 @@
+"""``repro lint`` — determinism & concurrency static analysis.
+
+The paper's guarantees (MES regret bounds, bitwise-equivalent ensemble
+reuse across backends, Eq. 12/14 billing) hold only while two repo-wide
+invariants do:
+
+* every stochastic draw flows through the derived-RNG discipline of
+  :mod:`repro.utils.rng` (same ``(seed, key)`` → same stream, in any
+  call order); and
+* every "time" that selection or simulation observes is the
+  :class:`~repro.simulation.clock.SimulatedClock`, never the wall clock.
+
+PR 1's parallel backends and shared :class:`~repro.engine.store.EvaluationStore`
+made those invariants easy to violate silently from a worker thread, so
+this package machine-checks them on every change instead of relying on
+re-audits.  Five codebase-specific AST rules (RPR001–RPR005, see
+:mod:`repro.lint.rules` and ``docs/STATIC_ANALYSIS.md``) run over the
+tree via ``repro lint <paths>`` and as a CI gate.
+
+Violations are suppressed line-by-line with a justified comment::
+
+    something_flagged()  # repro-lint: disable=RPR003 -- bounded: <why>
+
+The justification after ``--`` is mandatory; a bare disable is itself a
+violation (RPR005).
+"""
+
+from __future__ import annotations
+
+from repro.lint.base import FileContext, LintError, Rule, Violation
+from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULES, rule_ids
+
+__all__ = [
+    "ALL_RULES",
+    "FileContext",
+    "LintError",
+    "LintResult",
+    "Rule",
+    "Violation",
+    "iter_python_files",
+    "lint_paths",
+    "lint_source",
+    "render_json",
+    "render_text",
+    "rule_ids",
+]

@@ -1,0 +1,89 @@
+"""The ``repro lint`` subcommand (also runnable as ``python -m repro.lint``).
+
+Exit codes: 0 — clean; 1 — violations found; 2 — usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from collections.abc import Sequence
+
+from repro.lint.base import LintError
+from repro.lint.engine import lint_paths
+from repro.lint.report import render_json, render_text
+from repro.lint.rules import ALL_RULES, rule_ids
+
+__all__ = ["add_lint_arguments", "main", "run_lint"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    """Attach the lint flags to ``parser`` (shared with the main CLI)."""
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to lint (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        dest="output_format",
+        default="text",
+        choices=("text", "json"),
+        help="output format (default: text)",
+    )
+    parser.add_argument(
+        "--select",
+        default=None,
+        help="comma-separated rule IDs to run (default: all rules)",
+    )
+    parser.add_argument(
+        "--list-rules",
+        action="store_true",
+        help="print every rule's ID and summary, then exit",
+    )
+
+
+def _list_rules() -> int:
+    for rule in ALL_RULES:
+        print(f"{rule.rule_id}  {rule.summary}")
+    return 0
+
+
+def run_lint(args: argparse.Namespace) -> int:
+    """Execute a lint run from parsed arguments; returns the exit code."""
+    if args.list_rules:
+        return _list_rules()
+    select = None
+    if args.select:
+        select = {part.strip().upper() for part in args.select.split(",") if part.strip()}
+        unknown = select - set(rule_ids())
+        if unknown:
+            print(
+                f"error: unknown rule(s) {', '.join(sorted(unknown))}; "
+                f"known: {', '.join(rule_ids())}",
+                file=sys.stderr,
+            )
+            return 2
+    try:
+        result = lint_paths(args.paths, select=select)
+    except LintError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    renderer = render_json if args.output_format == "json" else render_text
+    print(renderer(result))
+    return 0 if result.ok else 1
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    """Standalone entry point (``python -m repro.lint``)."""
+    parser = argparse.ArgumentParser(
+        prog="repro lint",
+        description="determinism & concurrency static analysis (rules RPR001-RPR005)",
+    )
+    add_lint_arguments(parser)
+    return run_lint(parser.parse_args(argv))
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,201 @@
+"""The lint driver: file discovery, rule dispatch, suppression handling.
+
+:func:`lint_source` is the single-source entry (what the rule tests
+drive, with virtual paths to opt fixtures into path-scoped rules);
+:func:`lint_paths` walks real trees and is what the CLI and CI gate call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Iterator, Sequence
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.lint.base import DISABLE_COMMENT_RE, FileContext, LintError, Rule, Violation
+from repro.lint.rules import ALL_RULES
+
+__all__ = ["LintResult", "iter_python_files", "lint_paths", "lint_source"]
+
+#: Directory names never descended into.
+_SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "node_modules", ".eggs"})
+
+#: Rule ID reserved for files the analyzer cannot parse.
+PARSE_ERROR_ID = "RPR000"
+
+
+@dataclass(frozen=True)
+class LintResult:
+    """Outcome of one lint run.
+
+    Attributes:
+        violations: Surviving (unsuppressed) findings in path/line order.
+        files_checked: Number of files analyzed (parse failures included).
+    """
+
+    violations: tuple[Violation, ...]
+    files_checked: int
+
+    @property
+    def ok(self) -> bool:
+        return not self.violations
+
+    def counts_by_rule(self) -> dict[str, int]:
+        counts: dict[str, int] = {}
+        for violation in self.violations:
+            counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
+        return dict(sorted(counts.items()))
+
+
+@dataclass(frozen=True)
+class _Suppression:
+    rule_ids: frozenset[str]
+    justified: bool
+
+
+def _parse_suppressions(ctx: FileContext) -> dict[int, _Suppression]:
+    """Per-line suppressions from ``# repro-lint: disable=...`` comments."""
+    suppressions: dict[int, _Suppression] = {}
+    for comment in ctx.comments:
+        match = DISABLE_COMMENT_RE.search(comment.text)
+        if match is None:
+            continue
+        ids = frozenset(
+            part.strip().upper()
+            for part in match.group("rules").split(",")
+            if part.strip()
+        )
+        justification = match.group("justification")
+        suppressions[comment.line] = _Suppression(
+            rule_ids=ids,
+            justified=bool(justification and justification.strip()),
+        )
+    return suppressions
+
+
+def _comment_only_lines(ctx: FileContext) -> set[int]:
+    lines = ctx.source.splitlines()
+    only: set[int] = set()
+    for comment in ctx.comments:
+        index = comment.line - 1
+        if 0 <= index < len(lines) and lines[index].strip().startswith("#"):
+            only.add(comment.line)
+    return only
+
+
+def _is_suppressed(
+    violation: Violation,
+    suppressions: dict[int, _Suppression],
+    comment_only: set[int],
+) -> bool:
+    candidates = [violation.line]
+    # An own-line disable comment immediately above the statement also
+    # applies — multi-line statements make same-line comments awkward.
+    if violation.line - 1 in comment_only:
+        candidates.append(violation.line - 1)
+    for line in candidates:
+        supp = suppressions.get(line)
+        if supp is None:
+            continue
+        if "ALL" in supp.rule_ids or violation.rule_id in supp.rule_ids:
+            # An unjustified disable cannot silence the RPR005 finding it
+            # itself produced — otherwise `disable=all` would be a
+            # self-licensing blanket.
+            if violation.rule_id == "RPR005" and not supp.justified:
+                continue
+            return True
+    return False
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory source, returning surviving violations.
+
+    Args:
+        source: Python source text.
+        path: The (possibly virtual) POSIX path the source claims; rule
+            scoping keys off it.
+        rules: Rule instances to run (default: all shipped rules).
+        select: Optional rule-ID filter (e.g. ``{"RPR001"}``).
+    """
+    wanted = {rule_id.upper() for rule_id in select} if select is not None else None
+    try:
+        ctx = FileContext.from_source(source, path)
+    except LintError as exc:
+        return [
+            Violation(
+                path=path, line=0, col=0, rule_id=PARSE_ERROR_ID, message=str(exc)
+            )
+        ]
+    suppressions = _parse_suppressions(ctx)
+    comment_only = _comment_only_lines(ctx)
+    violations: list[Violation] = []
+    for rule in rules:
+        if wanted is not None and rule.rule_id not in wanted:
+            continue
+        if not rule.applies_to(ctx):
+            continue
+        for violation in rule.check(ctx):
+            if not _is_suppressed(violation, suppressions, comment_only):
+                violations.append(violation)
+    return sorted(violations)
+
+
+def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
+    """Yield ``.py`` files under the given files/directories, sorted.
+
+    Raises:
+        LintError: If a named path does not exist.
+    """
+    seen: set[Path] = set()
+    for raw in paths:
+        path = Path(raw)
+        if not path.exists():
+            raise LintError(f"no such file or directory: {path}")
+        if path.is_file():
+            candidates = [path] if path.suffix == ".py" else []
+        else:
+            candidates = [
+                candidate
+                for candidate in sorted(path.rglob("*.py"))
+                if not (
+                    set(candidate.parts) & _SKIP_DIRS
+                    or any(part.startswith(".") for part in candidate.parts[:-1])
+                )
+            ]
+        for candidate in candidates:
+            if candidate not in seen:
+                seen.add(candidate)
+                yield candidate
+
+
+def lint_paths(
+    paths: Iterable[str | Path],
+    rules: Sequence[Rule] = ALL_RULES,
+    select: Iterable[str] | None = None,
+) -> LintResult:
+    """Lint every Python file under ``paths``."""
+    violations: list[Violation] = []
+    files_checked = 0
+    for file_path in iter_python_files(paths):
+        files_checked += 1
+        try:
+            source = file_path.read_text(encoding="utf-8")
+        except OSError as exc:
+            violations.append(
+                Violation(
+                    path=file_path.as_posix(),
+                    line=0,
+                    col=0,
+                    rule_id=PARSE_ERROR_ID,
+                    message=f"cannot read: {exc}",
+                )
+            )
+            continue
+        violations.extend(
+            lint_source(source, file_path.as_posix(), rules=rules, select=select)
+        )
+    return LintResult(violations=tuple(sorted(violations)), files_checked=files_checked)

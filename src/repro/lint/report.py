@@ -1,0 +1,40 @@
+"""Render lint results for humans (``path:line:col``) and machines (JSON)."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+
+__all__ = ["render_json", "render_text"]
+
+
+def render_text(result: LintResult) -> str:
+    """The human format: one ``path:line:col: RULE message`` row per finding."""
+    lines = [
+        f"{v.path}:{v.line}:{v.col}: {v.rule_id} {v.message}"
+        for v in result.violations
+    ]
+    if result.violations:
+        by_rule = ", ".join(
+            f"{rule_id}×{count}" for rule_id, count in result.counts_by_rule().items()
+        )
+        lines.append(
+            f"\n{len(result.violations)} violation"
+            f"{'s' if len(result.violations) != 1 else ''} "
+            f"({by_rule}) in {result.files_checked} files checked"
+        )
+    else:
+        lines.append(f"ok: {result.files_checked} files checked, no violations")
+    return "\n".join(lines)
+
+
+def render_json(result: LintResult) -> str:
+    """The machine format consumed by CI annotations and tooling."""
+    payload = {
+        "ok": result.ok,
+        "files_checked": result.files_checked,
+        "counts_by_rule": result.counts_by_rule(),
+        "violations": [v.as_dict() for v in result.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)

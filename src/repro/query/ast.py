@@ -9,7 +9,6 @@ aggregates (``COUNT`` / ``EXISTS``) and the frame id.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple, Union
 
 __all__ = [
     "CountExpr",
@@ -36,7 +35,7 @@ class CountExpr:
         min_confidence: Only detections at or above this confidence count.
     """
 
-    label: Optional[str] = None
+    label: str | None = None
     min_confidence: float = 0.0
 
 
@@ -44,7 +43,7 @@ class CountExpr:
 class ExistsExpr:
     """``EXISTS('label')`` — true if any matching detection is present."""
 
-    label: Optional[str] = None
+    label: str | None = None
     min_confidence: float = 0.0
 
 
@@ -59,7 +58,7 @@ class FieldRef:
 class Comparison:
     """``left op value`` where left is a count or field reference."""
 
-    left: Union[CountExpr, FieldRef]
+    left: CountExpr | FieldRef
     op: str
     value: float
 
@@ -73,7 +72,7 @@ class LogicalExpr:
     """``AND`` / ``OR`` / ``NOT`` composition of expressions."""
 
     op: str
-    operands: Tuple["Expr", ...]
+    operands: tuple["Expr", ...]
 
     def __post_init__(self) -> None:
         if self.op not in ("and", "or", "not"):
@@ -84,7 +83,7 @@ class LogicalExpr:
             raise ValueError(f"{self.op.upper()} takes at least two operands")
 
 
-Expr = Union[Comparison, ExistsExpr, LogicalExpr]
+Expr = Comparison | ExistsExpr | LogicalExpr
 
 
 @dataclass(frozen=True)
@@ -101,11 +100,11 @@ class ProcessClause:
     """
 
     video: str
-    produce: Tuple[str, ...]
+    produce: tuple[str, ...]
     algorithm: str
-    models: Tuple[str, ...]
-    reference: Optional[str] = None
-    params: Dict[str, float] = field(default_factory=dict)
+    models: tuple[str, ...]
+    reference: str | None = None
+    params: dict[str, float] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if not self.produce:
@@ -127,9 +126,9 @@ class Query:
             matching frames survive.  1 (default) disables the qualifier.
     """
 
-    select: Tuple[str, ...]
+    select: tuple[str, ...]
     process: ProcessClause
-    where: Optional[Expr] = None
+    where: Expr | None = None
     min_duration: int = 1
 
     def __post_init__(self) -> None:

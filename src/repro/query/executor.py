@@ -15,8 +15,8 @@ run, so the executor never re-walks the video in a second loop.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import ScoringFunction, WeightedLogScore
@@ -43,7 +43,7 @@ class Row:
     frame_id: int
     detections: FrameDetections
     score: float
-    ensemble: Tuple[str, ...]
+    ensemble: tuple[str, ...]
 
     def value(self, column: str) -> object:
         """Column accessor by (case-insensitive) name."""
@@ -63,18 +63,18 @@ class Row:
 class QueryResult:
     """Execution output: selected rows plus run statistics."""
 
-    rows: List[Row]
+    rows: list[Row]
     selection: SelectionResult
     query: Query
 
     def __len__(self) -> int:
         return len(self.rows)
 
-    def column(self, name: str) -> List[object]:
+    def column(self, name: str) -> list[object]:
         """All values of one selected column."""
         return [row.value(name) for row in self.rows]
 
-    def frame_ids(self) -> List[int]:
+    def frame_ids(self) -> list[int]:
         return [row.frame_id for row in self.rows]
 
 
@@ -94,18 +94,18 @@ class QueryEngine:
 
     def __init__(
         self,
-        scoring: Optional[ScoringFunction] = None,
-        fusion: Optional[EnsembleMethod] = None,
-        backend: Optional[ExecutionBackend] = None,
-        store: Optional[EvaluationStore] = None,
+        scoring: ScoringFunction | None = None,
+        fusion: EnsembleMethod | None = None,
+        backend: ExecutionBackend | None = None,
+        store: EvaluationStore | None = None,
     ) -> None:
         self.scoring = scoring if scoring is not None else WeightedLogScore(0.5)
         self.fusion = fusion
         self.backend = backend
         self.store = store
-        self._videos: Dict[str, Tuple[Frame, ...]] = {}
-        self._detectors: Dict[str, object] = {}
-        self._references: Dict[str, object] = {}
+        self._videos: dict[str, tuple[Frame, ...]] = {}
+        self._detectors: dict[str, object] = {}
+        self._references: dict[str, object] = {}
 
     # ---- catalog --------------------------------------------------------
 
@@ -133,15 +133,15 @@ class QueryEngine:
         self._references[name] = reference
 
     @property
-    def videos(self) -> List[str]:
+    def videos(self) -> list[str]:
         return sorted(self._videos)
 
     @property
-    def detectors(self) -> List[str]:
+    def detectors(self) -> list[str]:
         return sorted(self._detectors)
 
     @property
-    def references(self) -> List[str]:
+    def references(self) -> list[str]:
         return sorted(self._references)
 
     # ---- execution ------------------------------------------------------
@@ -194,7 +194,7 @@ class QueryEngine:
 
         # A pipeline observer captures the selected ensemble's fused
         # detections as each frame is processed — no second frame loop.
-        detections_by_index: Dict[int, FrameDetections] = {}
+        detections_by_index: dict[int, FrameDetections] = {}
 
         def capture_detections(frame, batch, record) -> None:
             evaluation = batch.evaluations[record.selected]
@@ -207,7 +207,7 @@ class QueryEngine:
             observers=[capture_detections],
         )
 
-        rows: List[Row] = []
+        rows: list[Row] = []
         for record in selection.records:
             detections = detections_by_index[record.frame_index]
             row = Row(
@@ -227,14 +227,14 @@ class QueryEngine:
         return QueryResult(rows=rows, selection=selection, query=plan.query)
 
 
-def _apply_min_duration(rows: List[Row], min_duration: int) -> List[Row]:
+def _apply_min_duration(rows: list[Row], min_duration: int) -> list[Row]:
     """Keep only rows in consecutive-frame runs of at least ``min_duration``.
 
     Implements the temporal qualifier ``FOR AT LEAST n FRAMES``: an event
     counts only if the predicate held on ``n`` or more consecutive frames.
     """
-    kept: List[Row] = []
-    run: List[Row] = []
+    kept: list[Row] = []
+    run: list[Row] = []
     for row in rows:
         if run and row.frame_id == run[-1].frame_id + 1:
             run.append(row)

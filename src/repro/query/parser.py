@@ -23,7 +23,6 @@ from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
 
 from repro.query.ast import (
     Comparison,
@@ -84,13 +83,13 @@ _TOKEN_RE = re.compile(
 )
 
 
-def tokenize(text: str) -> List[Token]:
+def tokenize(text: str) -> list[Token]:
     """Lex a query string into tokens.
 
     Raises:
         ParseError: On any unrecognized character.
     """
-    tokens: List[Token] = []
+    tokens: list[Token] = []
     position = 0
     while position < len(text):
         match = _TOKEN_RE.match(text, position)
@@ -120,7 +119,7 @@ def tokenize(text: str) -> List[Token]:
 class _Parser:
     """Recursive-descent parser over a token list."""
 
-    def __init__(self, tokens: List[Token]) -> None:
+    def __init__(self, tokens: list[Token]) -> None:
         self._tokens = tokens
         self._index = 0
 
@@ -178,7 +177,7 @@ class _Parser:
             return True
         return False
 
-    def _ident_list(self) -> List[str]:
+    def _ident_list(self) -> list[str]:
         names = [self._expect_ident()]
         while self._match_op(","):
             names.append(self._expect_ident())
@@ -193,7 +192,7 @@ class _Parser:
         self._expect_op("(")
         process = self._process()
         self._expect_op(")")
-        where: Optional[Expr] = None
+        where: Expr | None = None
         min_duration = 1
         if self._match_keyword("where"):
             where = self._expr()
@@ -223,7 +222,7 @@ class _Parser:
         models = [self._expect_ident()]
         while self._match_op(","):
             models.append(self._expect_ident())
-        reference: Optional[str] = None
+        reference: str | None = None
         if self._match_op(";"):
             reference = self._expect_ident()
         self._expect_op(")")
@@ -274,9 +273,9 @@ class _Parser:
             return self._advance().value
         raise self._error("expected a comparison operator")
 
-    def _count_args(self) -> Tuple[Optional[str], float]:
+    def _count_args(self) -> tuple[str | None, float]:
         """``'*'`` or ``'label' [, CONF cmp number]``; returns (label, floor)."""
-        label: Optional[str] = None
+        label: str | None = None
         if self._match_op("*"):
             label = None
         elif self._current.kind == "STRING":

@@ -8,8 +8,8 @@ produces an executable plan.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.baselines import (
     BruteForce,
@@ -63,7 +63,7 @@ def _make_rand(params: Mapping[str, float]) -> SelectionAlgorithm:
     return RandomSelection(seed=int(params.get("seed", 0)))
 
 
-_ALGORITHMS: Dict[str, Callable[[Mapping[str, float]], SelectionAlgorithm]] = {
+_ALGORITHMS: dict[str, Callable[[Mapping[str, float]], SelectionAlgorithm]] = {
     "mes": _make_mes,
     "mes-b": _make_mes_b,
     "mes-a": lambda params: MESA(gamma=int(params.get("gamma", 5))),
@@ -77,7 +77,7 @@ _ALGORITHMS: Dict[str, Callable[[Mapping[str, float]], SelectionAlgorithm]] = {
 }
 
 
-def algorithm_registry() -> List[str]:
+def algorithm_registry() -> list[str]:
     """Names accepted in the ``USING`` clause."""
     return sorted(_ALGORITHMS)
 
@@ -94,7 +94,7 @@ class QueryPlan:
 
     query: Query
     algorithm: SelectionAlgorithm
-    budget_ms: Optional[float]
+    budget_ms: float | None
 
 
 def build_plan(

@@ -7,16 +7,10 @@ aggregates and compare scalars.
 
 from __future__ import annotations
 
-from typing import Mapping
+from collections.abc import Mapping
 
 from repro.detection.types import FrameDetections
-from repro.query.ast import (
-    Comparison,
-    CountExpr,
-    ExistsExpr,
-    Expr,
-    LogicalExpr,
-)
+from repro.query.ast import Comparison, CountExpr, ExistsExpr, Expr, LogicalExpr
 
 __all__ = ["evaluate_expr", "count_detections"]
 

@@ -14,8 +14,8 @@ deterministic per frame — only the clocks and selections differ.
 
 from __future__ import annotations
 
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import ScoringFunction, WeightedLogScore
@@ -42,7 +42,7 @@ __all__ = [
 
 #: (architecture, domain) pairs per suite size, ordered so that smaller
 #: suites are prefixes of larger ones.
-_NUSC_SUITE: Tuple[Tuple[str, str], ...] = (
+_NUSC_SUITE: tuple[tuple[str, str], ...] = (
     ("yolov7-tiny", "clear"),
     ("yolov7-tiny", "night"),
     ("yolov7-tiny", "rainy"),
@@ -51,7 +51,7 @@ _NUSC_SUITE: Tuple[Tuple[str, str], ...] = (
     ("faster-rcnn", "all"),
 )
 
-_BDD_SUITE: Tuple[Tuple[str, str], ...] = (
+_BDD_SUITE: tuple[tuple[str, str], ...] = (
     ("yolov7-tiny", "rainy"),
     ("yolov7-tiny", "snow"),
     ("yolov7-tiny", "clear"),
@@ -62,11 +62,11 @@ _BDD_SUITE: Tuple[Tuple[str, str], ...] = (
 
 
 def _build_suite(
-    pairs: Sequence[Tuple[str, str]], m: int, seed: int
-) -> List[SimulatedDetector]:
+    pairs: Sequence[tuple[str, str]], m: int, seed: int
+) -> list[SimulatedDetector]:
     if not 1 <= m <= len(pairs):
         raise ValueError(f"m must be in [1, {len(pairs)}], got {m}")
-    detectors: List[SimulatedDetector] = []
+    detectors: list[SimulatedDetector] = []
     for arch, domain in pairs[:m]:
         profile = make_profile(arch, domain)
         detectors.append(
@@ -75,12 +75,12 @@ def _build_suite(
     return detectors
 
 
-def nuscenes_detector_suite(m: int = 5, seed: int = 0) -> List[SimulatedDetector]:
+def nuscenes_detector_suite(m: int = 5, seed: int = 0) -> list[SimulatedDetector]:
     """The nuScenes experiment detector pool (m in 1..6)."""
     return _build_suite(_NUSC_SUITE, m, seed)
 
 
-def bdd_detector_suite(m: int = 5, seed: int = 0) -> List[SimulatedDetector]:
+def bdd_detector_suite(m: int = 5, seed: int = 0) -> list[SimulatedDetector]:
     """The BDD experiment detector pool (m in 1..6)."""
     return _build_suite(_BDD_SUITE, m, seed)
 
@@ -96,15 +96,15 @@ class TrialSetup:
         label: Human-readable dataset label (e.g. ``"nusc-night"``).
     """
 
-    frames: Tuple[Frame, ...]
-    detectors: Tuple[SimulatedDetector, ...]
+    frames: tuple[Frame, ...]
+    detectors: tuple[SimulatedDetector, ...]
     reference: SimulatedLidar
     label: str
 
 
 #: Dataset keys accepted by :func:`standard_setup`, mapped to
 #: (builder, group, suite) triples.  ``None`` group means the whole dataset.
-_DATASET_REGISTRY: Dict[str, Tuple[Callable[..., Dataset], Optional[str], str]] = {
+_DATASET_REGISTRY: dict[str, tuple[Callable[..., Dataset], str | None, str]] = {
     "nusc": (build_nuscenes_like, None, "nusc"),
     "nusc-clear": (build_nuscenes_like, "nusc-clear", "nusc"),
     "nusc-night": (build_nuscenes_like, "nusc-night", "nusc"),
@@ -115,7 +115,7 @@ _DATASET_REGISTRY: Dict[str, Tuple[Callable[..., Dataset], Optional[str], str]] 
 }
 
 
-def dataset_keys() -> List[str]:
+def dataset_keys() -> list[str]:
     """The dataset labels accepted by :func:`standard_setup`."""
     return sorted(_DATASET_REGISTRY)
 
@@ -125,7 +125,7 @@ def standard_setup(
     trial: int = 0,
     scale: float = 0.01,
     m: int = 5,
-    max_frames: Optional[int] = None,
+    max_frames: int | None = None,
     seed: int = 0,
 ) -> TrialSetup:
     """Build a trial: resampled dataset + detector suite + LiDAR REF.
@@ -146,7 +146,7 @@ def standard_setup(
     builder, group, suite = _DATASET_REGISTRY[dataset]
     data = builder(seed=derive_seed(seed, "data", dataset, trial), scale=scale)
     video = data.as_video(group)
-    frames: Tuple[Frame, ...] = video.frames
+    frames: tuple[Frame, ...] = video.frames
     if max_frames is not None:
         frames = frames[:max_frames]
 
@@ -166,11 +166,11 @@ def standard_setup(
 
 def make_environment(
     setup: TrialSetup,
-    scoring: Optional[ScoringFunction] = None,
-    fusion: Optional[EnsembleMethod] = None,
-    cost_model: Optional[CostModel] = None,
-    cache: Optional[EvaluationStore] = None,
-    backend: Optional[ExecutionBackend] = None,
+    scoring: ScoringFunction | None = None,
+    fusion: EnsembleMethod | None = None,
+    cost_model: CostModel | None = None,
+    cache: EvaluationStore | None = None,
+    backend: ExecutionBackend | None = None,
     billing: str = "sum",
 ) -> DetectionEnvironment:
     """A fresh environment over a trial setup (optionally sharing a store).
@@ -199,13 +199,13 @@ def make_environment(
 def run_algorithms(
     setup: TrialSetup,
     algorithms: Mapping[str, Callable[[], SelectionAlgorithm]],
-    scoring: Optional[ScoringFunction] = None,
-    budget_ms: Optional[float] = None,
-    fusion: Optional[EnsembleMethod] = None,
-    cache: Optional[EvaluationStore] = None,
-    backend: Optional[ExecutionBackend] = None,
+    scoring: ScoringFunction | None = None,
+    budget_ms: float | None = None,
+    fusion: EnsembleMethod | None = None,
+    cache: EvaluationStore | None = None,
+    backend: ExecutionBackend | None = None,
     billing: str = "sum",
-) -> Dict[str, SelectionResult]:
+) -> dict[str, SelectionResult]:
     """Run several algorithms on one trial with a shared evaluation store.
 
     Args:
@@ -227,7 +227,7 @@ def run_algorithms(
     """
     if cache is None:
         cache = EvaluationStore()
-    results: Dict[str, SelectionResult] = {}
+    results: dict[str, SelectionResult] = {}
     for name, factory in algorithms.items():
         env = make_environment(
             setup,

@@ -11,8 +11,8 @@ max summaries — exactly the boxes-and-whiskers content of Figure 4.
 from __future__ import annotations
 
 import math
+from collections.abc import Callable, Mapping, Sequence
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Mapping, Optional, Sequence
 
 from repro.core.scoring import ScoringFunction
 from repro.core.selection import SelectionAlgorithm, SelectionResult
@@ -30,7 +30,7 @@ class MetricStats:
     values: tuple
 
     @classmethod
-    def from_values(cls, values: Sequence[float]) -> "MetricStats":
+    def from_values(cls, values: Sequence[float]) -> MetricStats:
         if not values:
             raise ValueError("MetricStats needs at least one value")
         return cls(values=tuple(float(v) for v in values))
@@ -56,7 +56,7 @@ class MetricStats:
     def max(self) -> float:
         return max(self.values)
 
-    def summary(self) -> Dict[str, float]:
+    def summary(self) -> dict[str, float]:
         return {
             "mean": self.mean,
             "std": self.std,
@@ -70,10 +70,10 @@ class TrialOutcome:
     """All per-trial metrics for one algorithm."""
 
     algorithm: str
-    s_sum: List[float] = field(default_factory=list)
-    mean_ap: List[float] = field(default_factory=list)
-    mean_cost: List[float] = field(default_factory=list)
-    frames_processed: List[int] = field(default_factory=list)
+    s_sum: list[float] = field(default_factory=list)
+    mean_ap: list[float] = field(default_factory=list)
+    mean_cost: list[float] = field(default_factory=list)
+    frames_processed: list[int] = field(default_factory=list)
 
     def add(self, result: SelectionResult) -> None:
         self.s_sum.append(result.s_sum)
@@ -98,12 +98,12 @@ def compare_algorithms(
     setup_factory: Callable[[int], TrialSetup],
     algorithms: Mapping[str, Callable[[], SelectionAlgorithm]],
     num_trials: int = 10,
-    scoring: Optional[ScoringFunction] = None,
-    budget_ms: Optional[float] = None,
-    cache_by_trial: Optional[Dict[int, EvaluationStore]] = None,
-    backend: Optional[ExecutionBackend] = None,
+    scoring: ScoringFunction | None = None,
+    budget_ms: float | None = None,
+    cache_by_trial: dict[int, EvaluationStore] | None = None,
+    backend: ExecutionBackend | None = None,
     billing: str = "sum",
-) -> Dict[str, TrialOutcome]:
+) -> dict[str, TrialOutcome]:
     """Run the multi-trial comparison protocol.
 
     Every per-algorithm run inside a trial drives the engine's single
@@ -129,7 +129,7 @@ def compare_algorithms(
     """
     if num_trials < 1:
         raise ValueError("num_trials must be positive")
-    outcomes: Dict[str, TrialOutcome] = {
+    outcomes: dict[str, TrialOutcome] = {
         name: TrialOutcome(algorithm=name) for name in algorithms
     }
     for trial in range(num_trials):

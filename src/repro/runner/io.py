@@ -9,8 +9,8 @@ from __future__ import annotations
 
 import csv
 import json
+from collections.abc import Mapping
 from pathlib import Path
-from typing import Dict, List, Mapping, Union
 
 from repro.core.selection import FrameRecord, SelectionResult
 from repro.engine.store import CacheStats
@@ -27,7 +27,7 @@ __all__ = [
     "save_cache_stats_json",
 ]
 
-_PathLike = Union[str, Path]
+_PathLike = str | Path
 
 
 def result_to_dict(result: SelectionResult) -> Dict:
@@ -67,7 +67,7 @@ def save_result_json(result: SelectionResult, path: _PathLike) -> None:
 
 def load_result_json(path: _PathLike) -> SelectionResult:
     """Load a run previously written by :func:`save_result_json`."""
-    with open(path, "r", encoding="utf-8") as handle:
+    with open(path, encoding="utf-8") as handle:
         payload = json.load(handle)
     records = [
         FrameRecord(
@@ -127,9 +127,9 @@ def save_records_csv(result: SelectionResult, path: _PathLike) -> None:
             )
 
 
-def outcomes_to_rows(outcomes: Mapping[str, TrialOutcome]) -> List[Dict]:
+def outcomes_to_rows(outcomes: Mapping[str, TrialOutcome]) -> list[Dict]:
     """Flatten a harness comparison into per-(algorithm, trial) rows."""
-    rows: List[Dict] = []
+    rows: list[Dict] = []
     for name, outcome in outcomes.items():
         for trial, s_sum in enumerate(outcome.s_sum):
             rows.append(

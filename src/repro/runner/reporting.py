@@ -6,7 +6,7 @@ series on stdout; these helpers keep that output consistent and readable.
 
 from __future__ import annotations
 
-from typing import Dict, List, Mapping, Optional, Sequence
+from collections.abc import Mapping, Sequence
 
 __all__ = ["format_table", "normalize_by", "format_series"]
 
@@ -19,9 +19,9 @@ def _format_cell(value: object, precision: int) -> str:
 
 def format_table(
     rows: Sequence[Mapping[str, object]],
-    columns: Optional[Sequence[str]] = None,
+    columns: Sequence[str] | None = None,
     precision: int = 3,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render rows of dicts as an aligned text table.
 
@@ -41,19 +41,19 @@ def format_table(
     widths = [
         max(len(header[i]), *(len(r[i]) for r in body)) for i in range(len(cols))
     ]
-    lines: List[str] = []
+    lines: list[str] = []
     if title:
         lines.append(title)
-    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths)))
+    lines.append("  ".join(h.ljust(w) for h, w in zip(header, widths, strict=True)))
     lines.append("  ".join("-" * w for w in widths))
     for r in body:
-        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths)))
+        lines.append("  ".join(cell.ljust(w) for cell, w in zip(r, widths, strict=True)))
     return "\n".join(lines)
 
 
 def normalize_by(
     values: Mapping[str, float], reference_key: str
-) -> Dict[str, float]:
+) -> dict[str, float]:
     """Scale a metric mapping so that ``reference_key`` maps to 1.0.
 
     Used for Figure 8's "normalized by the score of MES" presentation.
@@ -75,12 +75,12 @@ def format_series(
     x_values: Sequence[object],
     series: Mapping[str, Sequence[float]],
     precision: int = 3,
-    title: Optional[str] = None,
+    title: str | None = None,
 ) -> str:
     """Render one-x-many-y series (a figure's line chart) as a table."""
-    rows: List[Dict[str, object]] = []
+    rows: list[dict[str, object]] = []
     for i, x in enumerate(x_values):
-        row: Dict[str, object] = {x_label: x}
+        row: dict[str, object] = {x_label: x}
         for name, ys in series.items():
             row[name] = ys[i] if i < len(ys) else ""
         rows.append(row)

@@ -8,7 +8,7 @@ TrialOutcome}}`` structures the benchmarks format into the paper's series.
 
 from __future__ import annotations
 
-from typing import Callable, Dict, Mapping, Optional, Sequence
+from collections.abc import Callable, Mapping, Sequence
 
 from repro.core.scoring import WeightedLogScore
 from repro.core.selection import SelectionAlgorithm
@@ -23,16 +23,16 @@ def weight_sweep(
     algorithms: Mapping[str, Callable[[], SelectionAlgorithm]],
     accuracy_weights: Sequence[float] = (0.1, 0.3, 0.5, 0.7, 0.9),
     num_trials: int = 5,
-    budget_ms: Optional[float] = None,
-) -> Dict[float, Dict[str, TrialOutcome]]:
+    budget_ms: float | None = None,
+) -> dict[float, dict[str, TrialOutcome]]:
     """Re-run the comparison at several ``(w1, w2)`` combinations.
 
     Figure 5 / Figure 9: ``w1`` is the accuracy weight; ``w2 = 1 - w1``.
     """
-    results: Dict[float, Dict[str, TrialOutcome]] = {}
+    results: dict[float, dict[str, TrialOutcome]] = {}
     # Weight points share per-trial caches: detector outputs and AP values
     # are scoring-independent (scores are recomputed from cached AP).
-    cache_by_trial: Dict[int, object] = {}
+    cache_by_trial: dict[int, object] = {}
     for w1 in accuracy_weights:
         scoring = WeightedLogScore(accuracy_weight=w1)
         results[w1] = compare_algorithms(
@@ -52,15 +52,15 @@ def budget_sweep(
     budgets_ms: Sequence[float],
     num_trials: int = 3,
     accuracy_weight: float = 0.5,
-) -> Dict[float, Dict[str, TrialOutcome]]:
+) -> dict[float, dict[str, TrialOutcome]]:
     """Re-run the comparison at several TCVI budgets (Figure 6)."""
     if not budgets_ms:
         raise ValueError("budgets_ms must be non-empty")
     scoring = WeightedLogScore(accuracy_weight=accuracy_weight)
-    results: Dict[float, Dict[str, TrialOutcome]] = {}
+    results: dict[float, dict[str, TrialOutcome]] = {}
     # Budget points re-run identical trials; sharing per-trial caches means
     # each frame is inferred once across the entire sweep.
-    cache_by_trial: Dict[int, object] = {}
+    cache_by_trial: dict[int, object] = {}
     for budget in budgets_ms:
         results[budget] = compare_algorithms(
             setup_factory,
@@ -79,8 +79,8 @@ def gamma_sweep(
     gammas: Sequence[int],
     num_trials: int = 3,
     accuracy_weight: float = 0.5,
-    budget_ms: Optional[float] = None,
-) -> Dict[int, TrialOutcome]:
+    budget_ms: float | None = None,
+) -> dict[int, TrialOutcome]:
     """Sweep the initialization length gamma for one algorithm (Figure 12).
 
     Args:
@@ -94,7 +94,7 @@ def gamma_sweep(
             video is short relative to the exploration cost.
     """
     scoring = WeightedLogScore(accuracy_weight=accuracy_weight)
-    results: Dict[int, TrialOutcome] = {}
+    results: dict[int, TrialOutcome] = {}
     for gamma in gammas:
         outcome = compare_algorithms(
             setup_factory,

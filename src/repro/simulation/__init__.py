@@ -29,11 +29,7 @@ from repro.simulation.calibration import (
     rank_by_recall,
 )
 from repro.simulation.clock import CostModel, SimulatedClock
-from repro.simulation.datasets import (
-    Dataset,
-    build_bdd_like,
-    build_nuscenes_like,
-)
+from repro.simulation.datasets import Dataset, build_bdd_like, build_nuscenes_like
 from repro.simulation.detectors import SimulatedDetector
 from repro.simulation.drift import (
     compose_drifting_video,

@@ -13,8 +13,8 @@ the profile it was built from (tested in ``tests/test_calibration.py``).
 
 from __future__ import annotations
 
+from collections.abc import Iterable, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.detection.matching import match_detections
 from repro.simulation.video import Frame
@@ -62,7 +62,7 @@ class EstimatedProfile:
     """
 
     detector_name: str
-    by_category: Dict[str, CategoryStats]
+    by_category: dict[str, CategoryStats]
     mean_inference_ms: float
     frames_profiled: int
 
@@ -76,7 +76,7 @@ class EstimatedProfile:
         total = sum(s.gt_objects for s in self.by_category.values())
         return matched / total if total else 0.0
 
-    def best_category(self) -> Optional[str]:
+    def best_category(self) -> str | None:
         """The category this detector handles best (ties broken by name)."""
         observed = {
             name: stats
@@ -105,7 +105,7 @@ def estimate_profile(
         frames: Labeled frames to profile over (must be non-empty).
         iou_threshold: Match threshold.
     """
-    by_category: Dict[str, CategoryStats] = {}
+    by_category: dict[str, CategoryStats] = {}
     total_ms = 0.0
     frames_profiled = 0
     for frame in frames:
@@ -143,7 +143,7 @@ def rank_by_recall(
     detectors: Sequence,
     frames: Sequence[Frame],
     iou_threshold: float = 0.5,
-) -> List[Tuple[str, float]]:
+) -> list[tuple[str, float]]:
     """Rank detectors by overall recall on a frame sample, best first."""
     ranked = [
         (detector.name, estimate_profile(detector, frames, iou_threshold).overall_recall())

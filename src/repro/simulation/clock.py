@@ -13,8 +13,8 @@ ensembling, selection overhead) to reproduce the Figure 13 breakdown.
 from __future__ import annotations
 
 from collections import OrderedDict
+from collections.abc import Hashable
 from dataclasses import dataclass, field
-from typing import Dict, Hashable, Tuple
 
 from repro.utils.validation import check_non_negative
 
@@ -118,7 +118,7 @@ class SimulatedClock:
     #: :meth:`charge_once`).  Bounded so unbounded frame streams cannot
     #: grow the clock's memory without limit.
     charge_once_window: int = 4096
-    _charged_keys: "OrderedDict[Tuple[str, Hashable], None]" = field(
+    _charged_keys: "OrderedDict[tuple[str, Hashable], None]" = field(
         default_factory=OrderedDict, repr=False, compare=False
     )
 
@@ -184,7 +184,7 @@ class SimulatedClock:
             + self.overhead_ms
         )
 
-    def breakdown(self) -> Dict[str, float]:
+    def breakdown(self) -> dict[str, float]:
         """Fraction of total time per component (Figure 13)."""
         total = self.total_ms
         if total <= 0:
@@ -196,7 +196,7 @@ class SimulatedClock:
             "overhead": self.overhead_ms / total,
         }
 
-    def snapshot(self) -> Dict[str, float]:
+    def snapshot(self) -> dict[str, float]:
         """Absolute per-component times in ms."""
         return {
             "detector": self.detector_ms,

@@ -17,7 +17,6 @@ seconds.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
 
 import numpy as np
 
@@ -51,7 +50,7 @@ class GroupSpec:
     """
 
     name: str
-    categories: Tuple[Tuple[str, float], ...]
+    categories: tuple[tuple[str, float], ...]
     num_scenes: int
     samples_per_scene: int
 
@@ -72,7 +71,7 @@ class GroupSpec:
     def num_samples(self) -> int:
         return self.num_scenes * self.samples_per_scene
 
-    def scaled(self, scale: float) -> "GroupSpec":
+    def scaled(self, scale: float) -> GroupSpec:
         """Shrink/grow the group's scene count by ``scale`` (at least 1)."""
         check_positive(scale, "scale")
         return GroupSpec(
@@ -96,7 +95,7 @@ class DatasetSpec:
     """
 
     name: str
-    groups: Tuple[GroupSpec, ...]
+    groups: tuple[GroupSpec, ...]
     frame_rate_hz: float = 2.0
     world: WorldConfig = field(default_factory=WorldConfig)
 
@@ -108,7 +107,7 @@ class DatasetSpec:
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate group names in {names}")
 
-    def scaled(self, scale: float) -> "DatasetSpec":
+    def scaled(self, scale: float) -> DatasetSpec:
         return DatasetSpec(
             name=self.name,
             groups=tuple(g.scaled(scale) for g in self.groups),
@@ -116,9 +115,9 @@ class DatasetSpec:
             world=self.world,
         )
 
-    def build(self, seed: int = 0) -> "Dataset":
+    def build(self, seed: int = 0) -> Dataset:
         """Materialize the dataset deterministically from ``seed``."""
-        videos: Dict[str, Tuple[Video, ...]] = {}
+        videos: dict[str, tuple[Video, ...]] = {}
         for group in self.groups:
             cat_names = [c for c, _ in group.categories]
             weights = np.asarray(
@@ -126,7 +125,7 @@ class DatasetSpec:
             )
             probs = weights / weights.sum()
             rng = derive_rng(seed, "group", self.name, group.name)
-            group_videos: List[Video] = []
+            group_videos: list[Video] = []
             for scene_idx in range(group.num_scenes):
                 category = cat_names[int(rng.choice(len(cat_names), p=probs))]
                 video_name = f"{self.name}/{group.name}/scene{scene_idx:04d}"
@@ -156,16 +155,16 @@ class Dataset:
 
     spec: DatasetSpec
     seed: int
-    videos: Dict[str, Tuple[Video, ...]]
+    videos: dict[str, tuple[Video, ...]]
 
     @property
     def name(self) -> str:
         return self.spec.name
 
-    def group_names(self) -> List[str]:
+    def group_names(self) -> list[str]:
         return [g.name for g in self.spec.groups]
 
-    def scenes(self, group: Optional[str] = None) -> List[Video]:
+    def scenes(self, group: str | None = None) -> list[Video]:
         """All scene videos, optionally restricted to one group."""
         if group is not None:
             if group not in self.videos:
@@ -173,12 +172,12 @@ class Dataset:
                     f"unknown group {group!r}; known: {self.group_names()}"
                 )
             return list(self.videos[group])
-        result: List[Video] = []
+        result: list[Video] = []
         for group_spec in self.spec.groups:
             result.extend(self.videos[group_spec.name])
         return result
 
-    def as_video(self, group: Optional[str] = None, name: Optional[str] = None) -> Video:
+    def as_video(self, group: str | None = None, name: str | None = None) -> Video:
         """Concatenate scenes into one frame sequence for ingestion.
 
         Within a dataset group the underlying distribution is stationary, so
@@ -191,15 +190,15 @@ class Dataset:
         )
         return Video.concatenate(video_name, scenes, mark_breakpoints=False)
 
-    def num_samples(self, group: Optional[str] = None) -> int:
+    def num_samples(self, group: str | None = None) -> int:
         return sum(len(v) for v in self.scenes(group))
 
-    def duration_minutes(self, group: Optional[str] = None) -> float:
+    def duration_minutes(self, group: str | None = None) -> float:
         return self.num_samples(group) / self.spec.frame_rate_hz / 60.0
 
-    def summary(self) -> List[Dict[str, object]]:
+    def summary(self) -> list[dict[str, object]]:
         """Rows equivalent to Table 1 / Table 2 of the paper."""
-        rows: List[Dict[str, object]] = []
+        rows: list[dict[str, object]] = []
         for group in self.spec.groups:
             rows.append(
                 {
@@ -211,7 +210,7 @@ class Dataset:
             )
         return rows
 
-    def resample(self, trial: int) -> "Dataset":
+    def resample(self, trial: int) -> Dataset:
         """An independently re-generated copy for experiment trial ``trial``."""
         return self.spec.build(derive_seed(self.seed, "resample", trial))
 
@@ -256,7 +255,7 @@ BDD_SPEC = DatasetSpec(
 
 
 def build_nuscenes_like(
-    seed: int = 0, scale: float = 1.0, world: Optional[WorldConfig] = None
+    seed: int = 0, scale: float = 1.0, world: WorldConfig | None = None
 ) -> Dataset:
     """Build the nuScenes-like dataset (Table 1 geometry).
 
@@ -278,7 +277,7 @@ def build_nuscenes_like(
 
 
 def build_bdd_like(
-    seed: int = 0, scale: float = 1.0, world: Optional[WorldConfig] = None
+    seed: int = 0, scale: float = 1.0, world: WorldConfig | None = None
 ) -> Dataset:
     """Build the BDD-like dataset (Table 2 geometry)."""
     spec = BDD_SPEC if world is None else DatasetSpec(

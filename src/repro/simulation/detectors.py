@@ -23,7 +23,6 @@ with fixed weights), and downstream caches are sound.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
 
 import numpy as np
 
@@ -36,7 +35,7 @@ from repro.utils.rng import derive_rng
 
 __all__ = ["DetectorOutput", "SimulatedDetector"]
 
-_FP_LABELS: Tuple[str, ...] = tuple(spec.label for spec in DEFAULT_CLASSES)
+_FP_LABELS: tuple[str, ...] = tuple(spec.label for spec in DEFAULT_CLASSES)
 
 
 @dataclass(frozen=True)
@@ -101,7 +100,7 @@ class SimulatedDetector:
             category.contrast, 0.1
         )
 
-        detections: List[Detection] = []
+        detections: list[Detection] = []
         for obj in frame.objects:
             # The exponent softens the visibility penalty so that even hard
             # scenes retain a usable detection signal.
@@ -159,13 +158,13 @@ class SimulatedDetector:
 
     def _false_positives(
         self, rng: np.random.Generator, frame: Frame, transfer: float
-    ) -> List[Detection]:
+    ) -> list[Detection]:
         arch = self.profile.architecture
         rate = arch.false_positive_rate * frame.category.clutter * (
             2.0 - transfer
         ) / 2.0
         count = int(rng.poisson(rate))
-        fps: List[Detection] = []
+        fps: list[Detection] = []
         for _ in range(count):
             width = float(rng.uniform(30.0, 0.25 * frame.width))
             height = float(rng.uniform(30.0, 0.35 * frame.height))

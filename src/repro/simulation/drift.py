@@ -11,7 +11,7 @@ the drift count ``xi`` and regret bounds can be checked.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from collections.abc import Sequence
 
 from repro.simulation.video import Video
 from repro.utils.rng import derive_rng
@@ -19,7 +19,7 @@ from repro.utils.rng import derive_rng
 __all__ = ["split_segments", "compose_drifting_video"]
 
 
-def split_segments(video: Video, num_segments: int) -> List[Video]:
+def split_segments(video: Video, num_segments: int) -> list[Video]:
     """Cut a video into ``num_segments`` contiguous, nearly equal pieces.
 
     Raises:
@@ -31,7 +31,7 @@ def split_segments(video: Video, num_segments: int) -> List[Video]:
         raise ValueError(
             f"cannot cut a {len(video)}-frame video into {num_segments} segments"
         )
-    segments: List[Video] = []
+    segments: list[Video] = []
     base = len(video) // num_segments
     remainder = len(video) % num_segments
     start = 0
@@ -47,7 +47,7 @@ def compose_drifting_video(
     sources: Sequence[Video],
     num_segments: int = 10,
     seed: int = 0,
-    source_labels: Optional[Sequence[str]] = None,
+    source_labels: Sequence[str] | None = None,
 ) -> Video:
     """Build a drifting video by shuffling segments of several sources.
 
@@ -78,7 +78,7 @@ def compose_drifting_video(
     if len(labels) != len(sources):
         raise ValueError("source_labels must match sources in length")
 
-    tagged: List[tuple] = []
+    tagged: list[tuple] = []
     for src_idx, video in enumerate(sources):
         for segment in split_segments(video, num_segments):
             tagged.append((src_idx, segment))
@@ -91,7 +91,7 @@ def compose_drifting_video(
     composed = Video.concatenate(name, parts, mark_breakpoints=False)
 
     # Record a breakpoint only where the source category actually changes.
-    breakpoints: List[int] = []
+    breakpoints: list[int] = []
     position = 0
     for k, (src_idx, segment) in enumerate(shuffled):
         if k > 0 and src_idx != shuffled[k - 1][0]:
@@ -105,8 +105,8 @@ def compose_drifting_video(
 
 
 def interpolate_category(
-    start: "SceneCategory", end: "SceneCategory", alpha: float
-) -> "SceneCategory":
+    start: SceneCategory, end: SceneCategory, alpha: float
+) -> SceneCategory:
     """Linear interpolation between two scene categories.
 
     Args:

@@ -23,8 +23,6 @@ paper's Section 2.3 observation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
-
 
 from repro.detection.boxes import BBox
 from repro.detection.types import Detection, FrameDetections
@@ -52,7 +50,7 @@ class PinholeCamera:
     def __post_init__(self) -> None:
         check_positive(self.focal_length, "focal_length")
 
-    def project_point(self, x: float, y: float, z: float) -> Tuple[float, float]:
+    def project_point(self, x: float, y: float, z: float) -> tuple[float, float]:
         """Project a camera-frame 3-D point (z forward) to pixels."""
         if z <= 0:
             raise ValueError("cannot project a point at or behind the camera")
@@ -62,7 +60,7 @@ class PinholeCamera:
 
     def back_project(
         self, u: float, v: float, depth: float
-    ) -> Tuple[float, float, float]:
+    ) -> tuple[float, float, float]:
         """Lift a pixel at a known depth to a camera-frame 3-D point."""
         check_positive(depth, "depth")
         x = (u - self.cx) * depth / self.focal_length
@@ -91,7 +89,7 @@ class LidarBox3D:
     depth_extent: float
     label: str
     score: float
-    object_id: Optional[int] = None
+    object_id: int | None = None
 
     def __post_init__(self) -> None:
         check_positive(self.z, "z")
@@ -100,7 +98,7 @@ class LidarBox3D:
         check_positive(self.depth_extent, "depth_extent")
         check_probability(self.score, "score")
 
-    def project(self, camera: PinholeCamera, frame: Frame) -> Optional[BBox]:
+    def project(self, camera: PinholeCamera, frame: Frame) -> BBox | None:
         """Project the 3-D box onto the image plane as a 2-D box.
 
         The eight corners are projected and their axis-aligned hull taken;
@@ -176,7 +174,7 @@ class SimulatedLidar:
         false_positive_rate: float = 0.10,
         base_time_ms: float = 4.0,
         label_accuracy: float = 0.96,
-        camera: Optional[PinholeCamera] = None,
+        camera: PinholeCamera | None = None,
     ) -> None:
         check_probability(detection_skill, "detection_skill")
         check_positive(position_noise_m, "position_noise_m")
@@ -203,11 +201,11 @@ class SimulatedLidar:
     def expected_time_ms(self) -> float:
         return self.base_time_ms
 
-    def detect3d(self, frame: Frame) -> List[LidarBox3D]:
+    def detect3d(self, frame: Frame) -> list[LidarBox3D]:
         """Produce noisy 3-D detections for one frame's LiDAR sweep."""
         rng = derive_rng(self.seed, "lidar3d", frame.key)
         lidar_vis = frame.category.lidar_visibility
-        boxes: List[LidarBox3D] = []
+        boxes: list[LidarBox3D] = []
         for obj in frame.objects:
             # Range-dependent sparsity: detection probability decays with
             # distance but not with darkness.
@@ -266,7 +264,7 @@ class SimulatedLidar:
         """Full REF pipeline: 3-D detection, then projection to 2-D boxes."""
         rng = derive_rng(self.seed, "lidar-time", frame.key)
         boxes3d = self.detect3d(frame)
-        detections: List[Detection] = []
+        detections: list[Detection] = []
         for box3d in boxes3d:
             box2d = box3d.project(self.camera, frame)
             if box2d is None:

@@ -17,7 +17,6 @@ the per-dataset ensemble rankings of Figures 2–4.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Optional
 
 from repro.utils.validation import check_positive, check_probability
 
@@ -68,7 +67,7 @@ class ModelArchitecture:
 
 #: Table 3 of the paper, with skill levels following its accuracy ordering
 #: (YOLOv7 > YOLOv7-tiny > YOLOv7-micro > Faster R-CNN).
-ARCHITECTURES: Dict[str, ModelArchitecture] = {
+ARCHITECTURES: dict[str, ModelArchitecture] = {
     "yolov7": ModelArchitecture(
         name="yolov7",
         num_params_millions=37.2,
@@ -112,7 +111,7 @@ ARCHITECTURES: Dict[str, ModelArchitecture] = {
 #: a detector trained on ``train_domain`` retains on frames of
 #: ``scene_category``.  Diagonal entries are 1.0 (in-domain); a generalist
 #: "all" domain trades peak skill for uniform coverage.
-TRANSFER_MATRIX: Dict[str, Dict[str, float]] = {
+TRANSFER_MATRIX: dict[str, dict[str, float]] = {
     "clear": {
         "clear": 1.00,
         "night": 0.22,
@@ -193,7 +192,7 @@ class DetectorProfile:
 def make_profile(
     architecture: str,
     training_domain: str,
-    name: Optional[str] = None,
+    name: str | None = None,
     label_accuracy: float = 0.96,
 ) -> DetectorProfile:
     """Construct a detector profile from zoo names.

@@ -11,7 +11,6 @@ lighting, which is exactly why the paper can use it as REF.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict
 
 from repro.utils.validation import check_positive, check_probability
 
@@ -56,7 +55,7 @@ class SceneCategory:
 
 #: The categories used by the datasets in Tables 1–2, plus "overcast" for
 #: nuScenes scenes outside the three labeled groups.
-SCENE_CATEGORIES: Dict[str, SceneCategory] = {
+SCENE_CATEGORIES: dict[str, SceneCategory] = {
     "clear": SceneCategory(
         name="clear",
         visibility=0.95,

@@ -9,8 +9,8 @@ time, so streaming works without a dedicated class.
 
 from __future__ import annotations
 
+from collections.abc import Iterator, Sequence
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.detection.boxes import BBox
 from repro.detection.types import Detection
@@ -77,7 +77,7 @@ class Frame:
 
     index: int
     category: SceneCategory
-    objects: Tuple[GroundTruthObject, ...] = ()
+    objects: tuple[GroundTruthObject, ...] = ()
     video_name: str = "video"
     width: float = FRAME_WIDTH
     height: float = FRAME_HEIGHT
@@ -95,11 +95,11 @@ class Frame:
         """Deterministic identity used to derive per-frame RNG streams."""
         return f"{self.video_name}#{self.index}"
 
-    def ground_truth_detections(self) -> List[Detection]:
+    def ground_truth_detections(self) -> list[Detection]:
         """Ground truth as confidence-1 detections for metric computation."""
         return [obj.as_detection() for obj in self.objects]
 
-    def with_index(self, index: int, video_name: Optional[str] = None) -> "Frame":
+    def with_index(self, index: int, video_name: str | None = None) -> Frame:
         """Copy of this frame re-addressed within another video."""
         return Frame(
             index=index,
@@ -123,8 +123,8 @@ class Video:
     """
 
     name: str
-    frames: Tuple[Frame, ...]
-    breakpoints: Tuple[int, ...] = ()
+    frames: tuple[Frame, ...]
+    breakpoints: tuple[int, ...] = ()
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -153,14 +153,14 @@ class Video:
     def num_breakpoints(self) -> int:
         return len(self.breakpoints)
 
-    def categories(self) -> Dict[str, int]:
+    def categories(self) -> dict[str, int]:
         """Frame counts per scene-category name."""
-        counts: Dict[str, int] = {}
+        counts: dict[str, int] = {}
         for frame in self.frames:
             counts[frame.category.name] = counts.get(frame.category.name, 0) + 1
         return counts
 
-    def slice(self, start: int, stop: int, name: Optional[str] = None) -> "Video":
+    def slice(self, start: int, stop: int, name: str | None = None) -> Video:
         """A re-indexed sub-video covering ``frames[start:stop]``."""
         sub_name = name if name is not None else f"{self.name}[{start}:{stop}]"
         frames = tuple(
@@ -172,15 +172,15 @@ class Video:
     @staticmethod
     def concatenate(
         name: str, parts: Sequence["Video"], mark_breakpoints: bool = True
-    ) -> "Video":
+    ) -> Video:
         """Concatenate videos, optionally recording junctions as breakpoints.
 
         Frame RNG identity is preserved: each frame keeps its original
         ``video_name``-derived noise stream even after re-indexing, so a
         detector sees the same frame content wherever the segment lands.
         """
-        frames: List[Frame] = []
-        breakpoints: List[int] = []
+        frames: list[Frame] = []
+        breakpoints: list[int] = []
         for part in parts:
             if frames and mark_breakpoints:
                 breakpoints.append(len(frames))

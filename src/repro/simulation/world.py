@@ -12,8 +12,8 @@ per-dataset ranking differences.
 from __future__ import annotations
 
 import math
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -57,7 +57,7 @@ class ObjectClassSpec:
 
 
 #: Driving-scene class mix loosely modeled on nuScenes/BDD label statistics.
-DEFAULT_CLASSES: Tuple[ObjectClassSpec, ...] = (
+DEFAULT_CLASSES: tuple[ObjectClassSpec, ...] = (
     ObjectClassSpec("car", 420.0, 260.0, 10.0, 16.0),
     ObjectClassSpec("truck", 520.0, 340.0, 2.5, 12.0),
     ObjectClassSpec("bus", 560.0, 380.0, 1.0, 10.0),
@@ -85,7 +85,7 @@ class WorldConfig:
 
     mean_objects: float = 6.0
     mean_track_length: float = 40.0
-    classes: Tuple[ObjectClassSpec, ...] = DEFAULT_CLASSES
+    classes: tuple[ObjectClassSpec, ...] = DEFAULT_CLASSES
     min_distance: float = 5.0
     max_distance: float = 60.0
     occlusion_rate: float = 0.25
@@ -118,7 +118,7 @@ class _Track:
     remaining: int
     occlusion: float
 
-    def apparent_size(self) -> Tuple[float, float]:
+    def apparent_size(self) -> tuple[float, float]:
         """Apparent (width, height) given the track's current distance."""
         scale = 10.0 / self.distance
         return self.spec.base_width * scale, self.spec.base_height * scale
@@ -161,7 +161,7 @@ def _spawn_track(
 
 def _track_to_object(
     track: _Track, category: SceneCategory, config: WorldConfig
-) -> Optional[GroundTruthObject]:
+) -> GroundTruthObject | None:
     width, height = track.apparent_size()
     box = BBox.from_center(track.cx, track.cy, width, height).clip(
         config.frame_width, config.frame_height
@@ -198,8 +198,8 @@ def generate_video(
     num_frames: int,
     category: str | SceneCategory,
     seed: int,
-    config: Optional[WorldConfig] = None,
-    category_schedule: Optional[Sequence[SceneCategory]] = None,
+    config: WorldConfig | None = None,
+    category_schedule: Sequence[SceneCategory] | None = None,
 ) -> Video:
     """Generate one synthetic video of a given scene category.
 
@@ -243,7 +243,7 @@ def generate_video(
     # given geometrically distributed track lifetimes.
     birth_rate = target_density / cfg.mean_track_length
 
-    tracks: List[_Track] = []
+    tracks: list[_Track] = []
     next_id = 0
     # Warm-up: start from the stationary population rather than empty.
     initial = rng.poisson(target_density)
@@ -251,7 +251,7 @@ def generate_video(
         tracks.append(_spawn_track(rng, cfg, next_id, class_probs))
         next_id += 1
 
-    frames: List[Frame] = []
+    frames: list[Frame] = []
     for t in range(num_frames):
         births = rng.poisson(birth_rate)
         for _ in range(int(births)):
@@ -261,7 +261,7 @@ def generate_video(
         frame_cat = (
             category_schedule[t] if category_schedule is not None else cat
         )
-        objects: List[GroundTruthObject] = []
+        objects: list[GroundTruthObject] = []
         for track in tracks:
             obj = _track_to_object(track, frame_cat, cfg)
             if obj is not None:

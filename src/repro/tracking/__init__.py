@@ -11,7 +11,7 @@ computed against the simulator's ground-truth identities
 """
 
 from repro.tracking.metrics import TrackingQuality, evaluate_tracking
-from repro.tracking.tracker import IoUTracker, TrackedObject, TrackState
+from repro.tracking.tracker import IoUTracker, TrackState, TrackedObject
 
 __all__ = [
     "IoUTracker",

@@ -10,8 +10,8 @@ fragmentation (mean number of distinct track ids per GT object).
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, Sequence, Set
 
 from repro.detection.boxes import iou_matrix
 from repro.simulation.video import Frame
@@ -69,13 +69,13 @@ def evaluate_tracking(
     matched_gt_frames = 0
     track_frames = 0
     matched_track_frames = 0
-    last_track_of_object: Dict[int, int] = {}
-    tracks_of_object: Dict[int, Set[int]] = {}
-    all_track_ids: Set[int] = set()
-    all_object_ids: Set[int] = set()
+    last_track_of_object: dict[int, int] = {}
+    tracks_of_object: dict[int, set[int]] = {}
+    all_track_ids: set[int] = set()
+    all_object_ids: set[int] = set()
     switches = 0
 
-    for frame, tracks in zip(frames, outputs):
+    for frame, tracks in zip(frames, outputs, strict=True):
         gt_frames += len(frame.objects)
         track_frames += len(tracks)
         all_track_ids.update(t.track_id for t in tracks)
@@ -93,8 +93,8 @@ def evaluate_tracking(
             ),
             reverse=True,
         )
-        used_tracks: Set[int] = set()
-        used_objects: Set[int] = set()
+        used_tracks: set[int] = set()
+        used_objects: set[int] = set()
         for value, ti, oi in candidates:
             if value < iou_threshold:
                 break

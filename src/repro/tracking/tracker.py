@@ -12,8 +12,8 @@ which IoU gating makes unnecessary at simulation fidelity).
 from __future__ import annotations
 
 import enum
+from collections.abc import Sequence
 from dataclasses import dataclass
-from typing import Dict, List, Sequence, Tuple
 
 from repro.detection.boxes import BBox, iou_matrix
 from repro.detection.types import Detection, FrameDetections
@@ -58,9 +58,9 @@ class TrackedObject:
 class _Track:
     track_id: int
     box: BBox
-    label_votes: Dict[str, int]
+    label_votes: dict[str, int]
     confidence: float
-    velocity: Tuple[float, float]
+    velocity: tuple[float, float]
     hits: int = 1
     age: int = 1
     consecutive_misses: int = 0
@@ -127,7 +127,7 @@ class IoUTracker:
         self.min_hits = min_hits
         self.min_confidence = min_confidence
         self.velocity_smoothing = velocity_smoothing
-        self._tracks: List[_Track] = []
+        self._tracks: list[_Track] = []
         self._next_id = 1
 
     @property
@@ -141,7 +141,7 @@ class IoUTracker:
 
     def update(
         self, detections: FrameDetections | Sequence[Detection]
-    ) -> List[TrackedObject]:
+    ) -> list[TrackedObject]:
         """Consume one frame's detections and emit current track states.
 
         Returns:
@@ -155,7 +155,7 @@ class IoUTracker:
             track.age += 1
 
         # Associate predictions to detections greedily by IoU, class-aware.
-        matched: Dict[int, Detection] = {}
+        matched: dict[int, Detection] = {}
         if dets and self._tracks:
             predictions = [t.predict() for t in self._tracks]
             ious = iou_matrix(predictions, [d.box for d in dets])
@@ -215,7 +215,7 @@ class IoUTracker:
             t for t in self._tracks if t.consecutive_misses <= self.max_age
         ]
 
-        outputs: List[TrackedObject] = []
+        outputs: list[TrackedObject] = []
         for ti, track in enumerate(self._tracks):
             if not track.confirmed:
                 continue

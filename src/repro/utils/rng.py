@@ -15,13 +15,12 @@ Keys are hashed with SHA-256, so arbitrary strings and integers are safe.
 from __future__ import annotations
 
 import hashlib
-from typing import List, Union
 
 import numpy as np
 
 __all__ = ["derive_seed", "derive_rng", "spawn_seeds"]
 
-_KeyPart = Union[str, int]
+_KeyPart = str | int
 
 
 def derive_seed(root_seed: int, *key_parts: _KeyPart) -> int:
@@ -39,7 +38,7 @@ def derive_rng(root_seed: int, *key_parts: _KeyPart) -> np.random.Generator:
     return np.random.default_rng(derive_seed(root_seed, *key_parts))
 
 
-def spawn_seeds(root_seed: int, count: int, namespace: str = "trial") -> List[int]:
+def spawn_seeds(root_seed: int, count: int, namespace: str = "trial") -> list[int]:
     """``count`` independent child seeds, e.g. one per experiment trial."""
     if count < 0:
         raise ValueError("count must be non-negative")

@@ -4,11 +4,7 @@ import math
 
 import pytest
 
-from repro.core.analysis import (
-    fit_log_growth,
-    fit_power_growth,
-    halves_ratio,
-)
+from repro.core.analysis import fit_log_growth, fit_power_growth, halves_ratio
 
 
 def log_curve(n, a=5.0, b=2.0):

@@ -4,9 +4,9 @@ import pytest
 
 from repro.simulation.datasets import (
     BDD_SPEC,
-    NUSCENES_SPEC,
     DatasetSpec,
     GroupSpec,
+    NUSCENES_SPEC,
     build_bdd_like,
     build_nuscenes_like,
 )
@@ -79,9 +79,9 @@ class TestBuild:
     def test_deterministic_build(self):
         a = build_nuscenes_like(seed=1, scale=0.01)
         b = build_nuscenes_like(seed=1, scale=0.01)
-        for va, vb in zip(a.scenes(), b.scenes()):
+        for va, vb in zip(a.scenes(), b.scenes(), strict=True):
             assert va.name == vb.name
-            assert all(fa.objects == fb.objects for fa, fb in zip(va, vb))
+            assert all(fa.objects == fb.objects for fa, fb in zip(va, vb, strict=True))
 
     def test_resample_changes_content(self, tiny_nusc):
         resampled = tiny_nusc.resample(trial=3)
@@ -89,7 +89,7 @@ class TestBuild:
         original = tiny_nusc.scenes()[0]
         changed = resampled.scenes()[0]
         assert any(
-            fa.objects != fb.objects for fa, fb in zip(original, changed)
+            fa.objects != fb.objects for fa, fb in zip(original, changed, strict=True)
         )
 
     def test_as_video_concatenates_group(self, tiny_nusc):

@@ -138,7 +138,7 @@ class TestGradualDrift:
         assert visibilities[0] == visibilities[10]
         assert visibilities[-1] == visibilities[-10]
         assert all(
-            b <= a + 1e-12 for a, b in zip(visibilities, visibilities[1:])
+            b <= a + 1e-12 for a, b in zip(visibilities, visibilities[1:], strict=False)
         )
         assert visibilities[0] > visibilities[-1]
 
@@ -147,7 +147,7 @@ class TestGradualDrift:
 
         a = generate_gradual_drift_video("grad/x", 40, "clear", "rainy", seed=7)
         b = generate_gradual_drift_video("grad/x", 40, "clear", "rainy", seed=7)
-        assert all(fa.objects == fb.objects for fa, fb in zip(a, b))
+        assert all(fa.objects == fb.objects for fa, fb in zip(a, b, strict=True))
 
     def test_invalid_hold_fraction(self):
         from repro.simulation.drift import generate_gradual_drift_video

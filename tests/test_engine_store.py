@@ -7,7 +7,7 @@ import threading
 import pytest
 
 from repro.core.environment import DetectionEnvironment
-from repro.engine.store import DEFAULT_CAPACITY, CacheStats, EvaluationStore
+from repro.engine.store import CacheStats, DEFAULT_CAPACITY, EvaluationStore
 
 
 class TestBasics:

@@ -81,7 +81,7 @@ class TestEndToEnd:
 
         opt = run(Oracle())
         mes = run(MES(gamma=3))
-        for opt_rec, mes_rec in zip(opt.records, mes.records):
+        for opt_rec, mes_rec in zip(opt.records, mes.records, strict=True):
             assert opt_rec.true_score >= mes_rec.true_score - 1e-9
 
     def test_domain_specialization_visible_in_selection(self):

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.detection.boxes import BBox
-from repro.simulation.lidar import LidarBox3D, PinholeCamera, SimulatedLidar, lift_object
+from repro.simulation.lidar import (
+    LidarBox3D,
+    PinholeCamera,
+    SimulatedLidar,
+    lift_object,
+)
 from repro.simulation.video import Frame, GroundTruthObject
 from repro.simulation.world import generate_video
 

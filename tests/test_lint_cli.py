@@ -1,0 +1,134 @@
+"""End-to-end tests for the ``repro lint`` CLI subcommand.
+
+Covers the exit-code contract (0 clean / 1 violations / 2 usage error),
+both output formats, rule listing and selection, and — the acceptance
+gate — that the shipped tree itself lints clean.
+"""
+
+from __future__ import annotations
+
+import json
+import textwrap
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as repro_main
+from repro.lint.cli import main as lint_main
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def write_offender(tmp_path: Path) -> Path:
+    # Path fragments opt the file into the path-scoped rules.
+    target = tmp_path / "src" / "repro" / "core" / "offender.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        textwrap.dedent(
+            """
+            import numpy as np
+
+            _CACHE = {}
+
+            def draw(key):
+                _CACHE[key] = np.random.rand(3)
+            """
+        ),
+        encoding="utf-8",
+    )
+    return target
+
+
+def test_shipped_tree_is_clean(capsys):
+    exit_code = repro_main(["lint", str(REPO_ROOT / "src")])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "no violations" in captured.out
+
+
+def test_seeded_violations_exit_nonzero(tmp_path, capsys):
+    target = write_offender(tmp_path)
+    exit_code = repro_main(["lint", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "RPR001" in captured.out
+    assert "RPR003" in captured.out
+    # Findings are reported as path:line:col.
+    assert f"{target}:7" in captured.out
+
+
+def test_json_format(tmp_path, capsys):
+    write_offender(tmp_path)
+    exit_code = repro_main(["lint", "--format", "json", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    payload = json.loads(captured.out)
+    assert payload["ok"] is False
+    assert payload["files_checked"] == 1
+    assert payload["counts_by_rule"]["RPR001"] == 1
+    rule_ids = {v["rule"] for v in payload["violations"]}
+    assert rule_ids == {"RPR001", "RPR003"}
+    assert all({"path", "line", "col", "message"} <= v.keys() for v in payload["violations"])
+
+
+def test_select_limits_rules(tmp_path, capsys):
+    write_offender(tmp_path)
+    exit_code = repro_main(["lint", "--select", "RPR001", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "RPR001" in captured.out
+    assert "RPR003" not in captured.out
+
+
+def test_unknown_select_is_usage_error(tmp_path, capsys):
+    exit_code = repro_main(["lint", "--select", "RPR999", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "RPR999" in captured.err
+
+
+def test_missing_path_is_usage_error(tmp_path, capsys):
+    exit_code = repro_main(["lint", str(tmp_path / "nope")])
+    captured = capsys.readouterr()
+    assert exit_code == 2
+    assert "nope" in captured.err
+
+
+def test_list_rules(capsys):
+    exit_code = repro_main(["lint", "--list-rules"])
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+        assert rule_id in captured.out
+
+
+def test_standalone_module_entrypoint(tmp_path, capsys):
+    # ``python -m repro.lint`` shares the implementation with the
+    # subcommand; exercise its main() directly.
+    write_offender(tmp_path)
+    assert lint_main([str(tmp_path)]) == 1
+    assert "RPR001" in capsys.readouterr().out
+
+
+def test_suppressed_file_is_clean(tmp_path, capsys):
+    target = tmp_path / "src" / "repro" / "core" / "justified.py"
+    target.parent.mkdir(parents=True)
+    target.write_text(
+        "_REGISTRY = {}\n"
+        "\n"
+        "def register(name, factory):\n"
+        "    # repro-lint: disable=RPR003 -- bounded: setup-time registration only\n"
+        "    _REGISTRY[name] = factory\n",
+        encoding="utf-8",
+    )
+    assert repro_main(["lint", str(tmp_path)]) == 0
+    assert "no violations" in capsys.readouterr().out
+
+
+@pytest.mark.parametrize("fmt", ["text", "json"])
+def test_clean_dir_both_formats(tmp_path, capsys, fmt):
+    (tmp_path / "clean.py").write_text("VALUE = 3\n", encoding="utf-8")
+    assert repro_main(["lint", "--format", fmt, str(tmp_path)]) == 0
+    out = capsys.readouterr().out
+    if fmt == "json":
+        assert json.loads(out)["ok"] is True

@@ -2,11 +2,7 @@
 
 import pytest
 
-from repro.simulation.profiles import (
-    ARCHITECTURES,
-    TRANSFER_MATRIX,
-    make_profile,
-)
+from repro.simulation.profiles import ARCHITECTURES, TRANSFER_MATRIX, make_profile
 
 
 class TestArchitectures:

@@ -1,12 +1,12 @@
 """Integration tests for the query engine."""
 
 import pytest
+from tests.conftest import make_detection
 
+from repro.detection.types import FrameDetections
 from repro.query.executor import QueryEngine, Row
 from repro.query.parser import ParseError
 from repro.query.planner import PlanError
-from repro.detection.types import FrameDetections
-from tests.conftest import make_detection
 
 
 @pytest.fixture

@@ -1,17 +1,11 @@
 """Unit tests for WHERE-expression evaluation."""
 
 import pytest
+from tests.conftest import make_detection
 
 from repro.detection.types import FrameDetections
-from repro.query.ast import (
-    Comparison,
-    CountExpr,
-    ExistsExpr,
-    FieldRef,
-    LogicalExpr,
-)
+from repro.query.ast import Comparison, CountExpr, ExistsExpr, FieldRef, LogicalExpr
 from repro.query.predicates import count_detections, evaluate_expr
-from tests.conftest import make_detection
 
 
 @pytest.fixture

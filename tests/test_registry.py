@@ -3,11 +3,7 @@
 import pytest
 
 from repro.ensembling.base import EnsembleMethod
-from repro.ensembling.registry import (
-    available_methods,
-    create_method,
-    register_method,
-)
+from repro.ensembling.registry import available_methods, create_method, register_method
 from repro.ensembling.wbf import WeightedBoxesFusion
 
 

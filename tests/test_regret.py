@@ -2,9 +2,9 @@
 
 import pytest
 
+from repro.core.baselines import Oracle, RandomSelection
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.mes import MES
-from repro.core.baselines import Oracle, RandomSelection
 from repro.core.regret import empirical_regret, oracle_scores, regret_curve
 from repro.core.scoring import WeightedLogScore
 from repro.simulation.world import generate_video
@@ -49,7 +49,7 @@ class TestEmpiricalRegret:
         assert len(curve) == result.frames_processed
         assert curve[-1] == pytest.approx(empirical_regret(result, oracle))
         # Per-frame regret is non-negative so the curve never decreases.
-        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:]))
+        assert all(b >= a - 1e-9 for a, b in zip(curve, curve[1:], strict=False))
 
 
 class TestMESRegretGrowth:

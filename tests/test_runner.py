@@ -60,7 +60,7 @@ class TestStandardSetup:
         a = standard_setup("nusc-clear", trial=0, scale=0.02, max_frames=10)
         b = standard_setup("nusc-clear", trial=1, scale=0.02, max_frames=10)
         assert any(
-            fa.objects != fb.objects for fa, fb in zip(a.frames, b.frames)
+            fa.objects != fb.objects for fa, fb in zip(a.frames, b.frames, strict=True)
         )
 
     def test_unknown_dataset(self):

@@ -1,10 +1,10 @@
 """Unit tests for Detection / FrameDetections value types."""
 
 import pytest
+from tests.conftest import make_detection
 
 from repro.detection.boxes import BBox
 from repro.detection.types import Detection, FrameDetections
-from tests.conftest import make_detection
 
 
 class TestDetection:

@@ -24,13 +24,13 @@ class TestGenerateVideo:
     def test_deterministic(self):
         a = generate_video("v", 20, "clear", seed=3)
         b = generate_video("v", 20, "clear", seed=3)
-        for fa, fb in zip(a, b):
+        for fa, fb in zip(a, b, strict=True):
             assert fa.objects == fb.objects
 
     def test_different_seeds_differ(self):
         a = generate_video("v", 20, "clear", seed=3)
         b = generate_video("v", 20, "clear", seed=4)
-        assert any(fa.objects != fb.objects for fa, fb in zip(a, b))
+        assert any(fa.objects != fb.objects for fa, fb in zip(a, b, strict=True))
 
     def test_frame_count_and_indices(self):
         video = generate_video("v", 15, "clear", seed=0)
@@ -114,11 +114,11 @@ class TestCategorySchedule:
             "sched/w", 12, "clear", seed=4,
             category_schedule=[SCENE_CATEGORIES["night"]] * 12,
         )
-        for a, b in zip(plain, night_sched):
+        for a, b in zip(plain, night_sched, strict=True):
             # Same objects (ids and boxes), different visibility.
             assert [o.object_id for o in a.objects] == [
                 o.object_id for o in b.objects
             ]
-            for oa, ob in zip(a.objects, b.objects):
+            for oa, ob in zip(a.objects, b.objects, strict=True):
                 assert oa.box == ob.box
                 assert ob.visibility <= oa.visibility
