@@ -19,7 +19,8 @@ from collections.abc import Sequence
 
 from repro.core.environment import BILLING_POLICIES
 from repro.core.scoring import WeightedLogScore
-from repro.engine.backends import BACKEND_NAMES, make_backend
+from repro.engine.backends import BACKEND_NAMES, ExecutionBackend, make_backend
+from repro.engine.resilience import BreakerPolicy, ResilientBackend, RetryPolicy
 from repro.lint.cli import add_lint_arguments, run_lint
 from repro.query.executor import QueryEngine
 from repro.query.planner import algorithm_registry
@@ -28,6 +29,7 @@ from repro.runner.harness import compare_algorithms
 from repro.runner.io import save_outcomes_csv
 from repro.runner.reporting import format_table
 from repro.simulation.datasets import build_bdd_like, build_nuscenes_like
+from repro.simulation.faults import FAULT_PROFILE_NAMES
 
 __all__ = ["main", "build_parser"]
 
@@ -48,6 +50,72 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
         type=int,
         default=4,
         help="worker count for the thread / process backends",
+    )
+    parser.add_argument(
+        "--fault-profile",
+        default="none",
+        choices=FAULT_PROFILE_NAMES,
+        help=(
+            "inject seeded detector faults (transients, outages, latency "
+            "spikes, degraded outputs); runs through the resilient "
+            "execution layer and degrades gracefully"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=None,
+        help="root seed of the fault streams (derived per trial by default)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=3,
+        help="total attempts per inference job under faults (1 disables)",
+    )
+    parser.add_argument(
+        "--timeout-ms",
+        type=float,
+        default=None,
+        help=(
+            "per-job simulated-latency timeout; over-latency outputs are "
+            "discarded like a serving system cancelling stragglers"
+        ),
+    )
+
+
+def _open_backend(args: argparse.Namespace) -> ExecutionBackend:
+    """Build the (possibly resilient) backend the run will own.
+
+    Fault injection implies the resilient wrapper; so does an explicit
+    timeout.  Faulty detectors keep per-frame attempt state and are
+    deliberately unpicklable, so the process backend is rejected for
+    fault-injected runs up front rather than failing deep in a pool.
+    """
+    resilient = args.fault_profile != "none" or args.timeout_ms is not None
+    if resilient and args.backend == "process":
+        raise SystemExit(
+            "--fault-profile/--timeout-ms require --backend serial or "
+            "thread (faulty detectors are not picklable)"
+        )
+    backend = make_backend(args.backend, workers=args.workers)
+    if not resilient:
+        return backend
+    return ResilientBackend(
+        backend,
+        retry=RetryPolicy(max_attempts=max(args.retries, 1)),
+        breaker=BreakerPolicy(),
+        timeout_ms=args.timeout_ms,
+    )
+
+
+def _print_fault_stats(backend: ExecutionBackend) -> None:
+    if not isinstance(backend, ResilientBackend):
+        return
+    stats = backend.stats()
+    print(
+        "fault stats: "
+        + ", ".join(f"{k}={v}" for k, v in stats.as_dict().items() if v)
     )
 
 
@@ -138,8 +206,8 @@ def _run_compare(args: argparse.Namespace) -> int:
         "EF": ExploreFirst,
         "MES": MES,
     }
-    backend = make_backend(args.backend, workers=args.workers)
-    try:
+    # The with-statement guarantees pool shutdown on every error path.
+    with _open_backend(args) as backend:
         outcomes = compare_algorithms(
             lambda trial: standard_setup(
                 args.dataset,
@@ -147,6 +215,8 @@ def _run_compare(args: argparse.Namespace) -> int:
                 scale=args.scale,
                 m=args.m,
                 max_frames=args.frames,
+                fault_profile=args.fault_profile,
+                fault_seed=args.fault_seed,
             ),
             algorithms,
             num_trials=args.trials,
@@ -155,8 +225,7 @@ def _run_compare(args: argparse.Namespace) -> int:
             backend=backend,
             billing=args.billing,
         )
-    finally:
-        backend.close()
+        _print_fault_stats(backend)
     rows = []
     for name, outcome in outcomes.items():
         stats = outcome.stats("s_sum")
@@ -190,17 +259,17 @@ def _run_query(args: argparse.Namespace) -> int:
     setup = standard_setup(
         args.dataset, trial=0, scale=args.scale, m=args.m,
         max_frames=args.frames,
+        fault_profile=args.fault_profile,
+        fault_seed=args.fault_seed,
     )
-    backend = make_backend(args.backend, workers=args.workers)
-    try:
+    with _open_backend(args) as backend:
         engine = QueryEngine(backend=backend)
         engine.register_video(args.video_name, setup.frames)
         for detector in setup.detectors:
             engine.register_detector(detector)
         engine.register_reference(setup.reference)
         result = engine.execute(args.text)
-    finally:
-        backend.close()
+        _print_fault_stats(backend)
     print(
         f"{len(result)} of {result.selection.frames_processed} processed "
         f"frames match"

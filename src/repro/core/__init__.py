@@ -29,8 +29,14 @@ from repro.core.ensembles import (
     make_key,
     proper_subsets,
     subsets_inclusive,
+    with_member,
 )
-from repro.core.environment import DetectionEnvironment, EnsembleEvaluation
+from repro.core.environment import (
+    DetectionEnvironment,
+    EnsembleEvaluation,
+    FaultStats,
+    FrameEvaluationError,
+)
 from repro.core.mes import MES
 from repro.core.mes_b import LRBP, MESB
 from repro.core.pareto import (
@@ -60,6 +66,8 @@ __all__ = [
     "EnsemblePoint",
     "EnsembleStatistics",
     "ExploreFirst",
+    "FaultStats",
+    "FrameEvaluationError",
     "FrameRecord",
     "FrameSkipper",
     "LRBP",
@@ -86,4 +94,5 @@ __all__ = [
     "profile_ensembles",
     "proper_subsets",
     "subsets_inclusive",
+    "with_member",
 ]

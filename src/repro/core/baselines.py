@@ -18,7 +18,11 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 from repro.core.ensembles import EnsembleKey, make_key
-from repro.core.environment import DetectionEnvironment, EvaluationBatch
+from repro.core.environment import (
+    DetectionEnvironment,
+    EvaluationBatch,
+    FrameEvaluationError,
+)
 from repro.core.mes import MES
 from repro.core.selection import IterativeSelection
 from repro.core.stats import EnsembleStatistics
@@ -97,9 +101,16 @@ class SingleBest(IterativeSelection):
         singles = [make_key([name]) for name in env.model_names]
         totals = {key: 0.0 for key in singles}
         for frame in sample:
-            batch = env.peek(frame, singles)
+            try:
+                batch = env.peek(frame, singles)
+            except FrameEvaluationError:
+                continue  # nothing usable on this frame; skip it
             for key in singles:
-                totals[key] += batch.evaluations[key].true_ap
+                evaluation = batch.evaluations.get(key)
+                if evaluation is not None:
+                    # A detector that fails on a frame simply contributes
+                    # nothing here — operationally it *is* worse.
+                    totals[key] += evaluation.true_ap
         self._best = max(singles, key=lambda key: (totals[key], key))
 
     def _choose(

@@ -19,6 +19,7 @@ __all__ = [
     "proper_subsets",
     "subsets_inclusive",
     "is_subset",
+    "with_member",
 ]
 
 EnsembleKey = tuple[str, ...]
@@ -83,3 +84,17 @@ def subsets_inclusive(key: EnsembleKey) -> list[EnsembleKey]:
 def is_subset(candidate: EnsembleKey, of: EnsembleKey) -> bool:
     """True if ``candidate``'s members are all members of ``of``."""
     return set(candidate).issubset(of)
+
+
+def with_member(keys: Sequence[EnsembleKey], key: EnsembleKey) -> list[EnsembleKey]:
+    """``keys`` as a list, with ``key`` appended when absent.
+
+    Selection hooks must return an evaluation list containing their
+    selected ensemble; this keeps that invariant when the selection
+    (e.g. the conventional full-ensemble pick during initialization) has
+    been masked out of the candidate list by an open circuit.
+    """
+    as_list = list(keys)
+    if key not in as_list:
+        as_list.append(key)
+    return as_list

@@ -36,18 +36,30 @@ How parallel hardware is *billed* is an explicit policy, not a backend
 side effect: with ``billing="sum"`` (the paper's Eq. 12/14) the union
 members' inference times add up; ``billing="max"`` charges only the
 slowest member, modeling a deployment where members run on parallel GPUs.
+
+Execution is also allowed to *fail*: backends report per-job statuses
+instead of raising, and :meth:`DetectionEnvironment.evaluate` degrades
+gracefully when members are down — each requested ensemble is *realized*
+as its healthy subset (fusion recomputed over the surviving members,
+billed accordingly), requested ensembles with no healthy member are
+dropped, and a frame with nothing left to score raises
+:class:`~repro.engine.pipeline.FrameEvaluationError` for the pipeline to
+abandon.  Fault-free runs are bit-for-bit unaffected: every realized
+ensemble equals its requested one and all charges are identical.
 """
 
 from __future__ import annotations
 
 from collections.abc import Iterable, Iterator, Sequence
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 
 from repro.core.ensembles import EnsembleKey, enumerate_ensembles, make_key
 from repro.core.scoring import ScoringFunction, WeightedLogScore
 from repro.detection.metrics import mean_average_precision
 from repro.detection.types import FrameDetections
 from repro.engine.backends import ExecutionBackend, InferenceJob, SerialBackend
+from repro.engine.pipeline import FrameEvaluationError
+from repro.engine.resilience import FaultStats
 from repro.engine.store import CacheStats, EvaluationStore
 from repro.ensembling.base import EnsembleMethod
 from repro.ensembling.wbf import WeightedBoxesFusion
@@ -60,6 +72,8 @@ __all__ = [
     "EvaluationStore",
     "EvaluationCache",
     "CacheStats",
+    "FaultStats",
+    "FrameEvaluationError",
     "BILLING_POLICIES",
     "DetectionEnvironment",
 ]
@@ -90,6 +104,10 @@ class EnsembleEvaluation:
         est_score: Score from estimated AP — what the bandit observes.
         true_ap: AP against ground truth (Eq. 2).
         true_score: Score from true AP — what experiments report.
+        realized: The healthy subset that actually ran.  Empty (the
+            default) means the full requested ensemble ran; when members
+            failed, every detection/cost/score field describes this
+            subset instead of ``key``.
     """
 
     key: EnsembleKey
@@ -102,6 +120,17 @@ class EnsembleEvaluation:
     est_score: float
     true_ap: float
     true_score: float
+    realized: EnsembleKey = ()
+
+    @property
+    def realized_key(self) -> EnsembleKey:
+        """The ensemble whose output this evaluation describes."""
+        return self.realized if self.realized else self.key
+
+    @property
+    def degraded(self) -> bool:
+        """True when faults forced a proper subset of the request."""
+        return bool(self.realized) and self.realized != self.key
 
 
 @dataclass(frozen=True)
@@ -118,22 +147,45 @@ class EvaluationBatch:
             ensemble).
         reference_ms: REF inference time incurred by this batch (zero if
             this frame's REF output was already paid for).
+        failed_models: Union members that produced no output this frame
+            (job failed, timed out, or was skipped by an open circuit).
+        ensembles_dropped: Requested ensembles with no healthy member,
+            absent from ``evaluations``.
     """
 
     evaluations: dict[EnsembleKey, EnsembleEvaluation]
     detector_ms: float
     ensembling_ms: float
     reference_ms: float
+    failed_models: tuple[str, ...] = ()
+    ensembles_dropped: int = 0
 
     @property
     def billable_ms(self) -> float:
         """Time counted against a TCVI budget for this iteration."""
         return self.detector_ms + self.ensembling_ms
 
+    @property
+    def degraded(self) -> bool:
+        """True when any union member failed this frame."""
+        return bool(self.failed_models)
+
     def observations(self) -> Iterator[tuple[EnsembleKey, float]]:
-        """``(ensemble, est_score)`` pairs — what a bandit observes."""
-        for key, evaluation in self.evaluations.items():
-            yield key, evaluation.est_score
+        """``(ensemble, est_score)`` pairs — what a bandit observes.
+
+        Observations are keyed by the *realized* ensemble — the subset
+        that actually produced the score — and deduplicated, so under
+        degradation the bandit credits the arm that ran rather than the
+        arm it asked for.  Fault-free, realized equals requested and
+        this yields exactly one pair per evaluation, as before.
+        """
+        seen: set[EnsembleKey] = set()
+        for evaluation in self.evaluations.values():
+            realized = evaluation.realized_key
+            if realized in seen:
+                continue
+            seen.add(realized)
+            yield realized, evaluation.est_score
 
 
 class DetectionEnvironment:
@@ -204,6 +256,12 @@ class DetectionEnvironment:
         )
         self.billing = billing
 
+        # Frame-level degradation counters (bounded scalars, merged with
+        # the backend's job-level counters by :meth:`fault_stats`).
+        self._frames_degraded = 0
+        self._frames_abandoned = 0
+        self._ensembles_dropped = 0
+
         self.model_names: tuple[str, ...] = tuple(sorted(names))
         self.full_ensemble: EnsembleKey = make_key(names)
         self.all_ensembles: list[EnsembleKey] = enumerate_ensembles(names)
@@ -233,6 +291,63 @@ class DetectionEnvironment:
         if cost_ms < 0:
             raise ValueError("cost_ms must be non-negative")
         return min(cost_ms / self.c_max_ms, 1.0)
+
+    # ---- fault-tolerance surface ---------------------------------------
+
+    def unavailable_detectors(self) -> frozenset[str]:
+        """Pool members whose circuit is currently open.
+
+        Empty unless the backend is a
+        :class:`~repro.engine.resilience.ResilientBackend` with open
+        circuits; half-open circuits are not reported (their next job is
+        the probe that may heal them).
+        """
+        open_detectors = getattr(self.backend, "open_detectors", None)
+        if open_detectors is None:
+            return frozenset()
+        return frozenset(open_detectors()) & frozenset(self.model_names)
+
+    def available_ensembles(self) -> list[EnsembleKey]:
+        """Ensembles with no known-unavailable member.
+
+        The drop-in replacement for :attr:`all_ensembles` in selection
+        loops: algorithms mask arms containing open-circuit detectors and
+        spend their pulls on ensembles that can actually run.  Fails
+        open — if *every* detector is down, the full list is returned so
+        the pipeline still probes (and abandons) rather than deadlocks.
+        """
+        down = self.unavailable_detectors()
+        if not down:
+            return list(self.all_ensembles)
+        healthy = [
+            key for key in self.all_ensembles if not down.intersection(key)
+        ]
+        return healthy if healthy else list(self.all_ensembles)
+
+    def note_frame_degraded(self) -> None:
+        """Record one frame whose realized ensemble shrank (pipeline use)."""
+        self._frames_degraded += 1
+
+    def note_frame_abandoned(self) -> None:
+        """Record one frame that yielded no evaluation (pipeline use)."""
+        self._frames_abandoned += 1
+
+    def fault_stats(self) -> FaultStats:
+        """Job-level backend counters merged with frame-level degradation.
+
+        Works with any backend: non-resilient backends contribute zero
+        job-level counters.
+        """
+        stats_fn = getattr(self.backend, "stats", None)
+        base = stats_fn() if callable(stats_fn) else None
+        if not isinstance(base, FaultStats):
+            base = FaultStats()
+        return replace(
+            base,
+            frames_degraded=self._frames_degraded,
+            frames_abandoned=self._frames_abandoned,
+            ensembles_dropped=self._ensembles_dropped,
+        )
 
     # ---- engine-backed memoized stages ---------------------------------
 
@@ -288,6 +403,11 @@ class DetectionEnvironment:
         backend may run them concurrently.  Outputs land in the store, so
         everything downstream (billing, fusion, AP) reads identical values
         regardless of the backend — wall clock is the only difference.
+
+        Unsuccessful jobs (failed, timed out, or skipped by an open
+        circuit) simply leave no store entry: downstream realization
+        treats the model as unhealthy for this frame, and the next frame
+        naturally re-attempts it — failures are never negatively cached.
         """
         jobs: list[InferenceJob] = []
         stages: list[tuple[str, object]] = []
@@ -301,7 +421,7 @@ class DetectionEnvironment:
         if not jobs:
             return
         for (stage, key), result in zip(stages, self.backend.run(jobs), strict=True):
-            if not self.store.contains(stage, key):
+            if result.ok and not self.store.contains(stage, key):
                 self.store.put(stage, key, result.output, result.wall_ms)
 
     # ---- evaluation -----------------------------------------------------
@@ -331,6 +451,12 @@ class DetectionEnvironment:
 
         Returns:
             The per-ensemble evaluations plus this batch's cost components.
+
+        Raises:
+            FrameEvaluationError: When nothing can be scored — the
+                reference inference failed, or no requested ensemble has
+                a single healthy member.  The pipeline catches this and
+                abandons the frame.
         """
         key_list: list[EnsembleKey] = []
         seen: set[EnsembleKey] = set()
@@ -350,9 +476,45 @@ class DetectionEnvironment:
         union_models = sorted({m for key in key_list for m in key})
         self._materialize_outputs(frame, union_models)
 
+        # Members whose inference produced no stored output are unhealthy
+        # for this frame; each requested ensemble realizes as its healthy
+        # subset.  Fault-free, everything below reduces to the identity.
+        healthy = [
+            m
+            for m in union_models
+            if self.store.contains("detector", (frame.key, m))
+        ]
+        healthy_set = frozenset(healthy)
+        failed_models = tuple(m for m in union_models if m not in healthy_set)
+
+        if not self.store.contains("reference", frame.key):
+            raise FrameEvaluationError(
+                f"reference inference failed for frame {frame.key!r}"
+            )
+
+        realized_of: dict[EnsembleKey, EnsembleKey] = {}
+        dropped = 0
+        for key in key_list:
+            realized = (
+                tuple(m for m in key if m in healthy_set)
+                if failed_models
+                else key
+            )
+            if realized:
+                realized_of[key] = realized
+            else:
+                dropped += 1
+        if charge:
+            self._ensembles_dropped += dropped
+        if not realized_of:
+            raise FrameEvaluationError(
+                f"no requested ensemble has a healthy member for frame "
+                f"{frame.key!r} (failed: {list(failed_models)})"
+            )
+
         member_times = [
             self._single_output(frame, model).inference_time_ms
-            for model in union_models
+            for model in healthy
         ]
         if self.billing == "max":
             detector_ms = max(member_times)
@@ -368,17 +530,25 @@ class DetectionEnvironment:
 
         evaluations: dict[EnsembleKey, EnsembleEvaluation] = {}
         ensembling_ms = 0.0
+        fusions_billed: set[EnsembleKey] = set()
         for key in key_list:
-            fused = self._fused(frame, key)
-            member_outputs = [self._single_output(frame, m) for m in key]
+            realized = realized_of.get(key)
+            if realized is None:
+                continue
+            fused = self._fused(frame, realized)
+            member_outputs = [self._single_output(frame, m) for m in realized]
             inference_ms = sum(o.inference_time_ms for o in member_outputs)
             pooled_boxes = sum(len(o.detections) for o in member_outputs)
             fusion_ms = self.cost_model.ensembling_cost_ms(pooled_boxes)
-            ensembling_ms += fusion_ms
+            if realized not in fusions_billed:
+                # Distinct requested ensembles can collapse onto one
+                # realized subset; its fusion runs (and bills) once.
+                fusions_billed.add(realized)
+                ensembling_ms += fusion_ms
             cost_ms = inference_ms + fusion_ms
             c_hat = self.normalized_cost(cost_ms)
-            est_ap = self._estimated_ap(frame, key)
-            true_ap = self._true_ap(frame, key)
+            est_ap = self._estimated_ap(frame, realized)
+            true_ap = self._true_ap(frame, realized)
             evaluations[key] = EnsembleEvaluation(
                 key=key,
                 detections=fused,
@@ -390,6 +560,7 @@ class DetectionEnvironment:
                 est_score=self.scoring(est_ap, c_hat),
                 true_ap=true_ap,
                 true_score=self.scoring(true_ap, c_hat),
+                realized=realized,
             )
 
         if charge:
@@ -401,6 +572,8 @@ class DetectionEnvironment:
             detector_ms=detector_ms,
             ensembling_ms=ensembling_ms,
             reference_ms=reference_ms,
+            failed_models=failed_models,
+            ensembles_dropped=dropped,
         )
 
     def charge_overhead(self, num_candidates: int) -> None:

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-from repro.core.ensembles import EnsembleKey, subsets_inclusive
+from repro.core.ensembles import EnsembleKey, subsets_inclusive, with_member
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
 from repro.core.selection import IterativeSelection
 from repro.core.stats import EnsembleStatistics
@@ -61,12 +61,19 @@ class MES(IterativeSelection):
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
     ) -> tuple[EnsembleKey, list[EnsembleKey]]:
+        # Arms containing a detector with an open circuit are masked:
+        # pulling them can only realize a subset that is itself an arm.
+        # Fault-free, available_ensembles() is exactly all_ensembles.
+        candidates = env.available_ensembles()
         if t <= self.gamma:
             # Initialization: the selection is conventionally the full
-            # ensemble M (Eq. 10) and every ensemble is evaluated.
-            return env.full_ensemble, list(env.all_ensembles)
+            # ensemble M (Eq. 10) and every available ensemble is
+            # evaluated.
+            return env.full_ensemble, with_member(
+                candidates, env.full_ensemble
+            )
         best_key = max(
-            env.all_ensembles,
+            candidates,
             key=lambda key: (self._stats.ucb(key, t - 1), key),
         )
         if self.evaluate_subsets:

@@ -60,6 +60,11 @@ class SelectionResult:
         return sum(r.est_score for r in self.records)
 
     @property
+    def frames_degraded(self) -> int:
+        """Frames where faults forced a subset of the selected ensemble."""
+        return sum(1 for r in self.records if r.degraded)
+
+    @property
     def mean_true_ap(self) -> float:
         """``a_bar`` — average true AP of selected ensembles."""
         if not self.records:

@@ -17,7 +17,7 @@ from __future__ import annotations
 import math
 from collections.abc import Sequence
 
-from repro.core.ensembles import EnsembleKey, subsets_inclusive
+from repro.core.ensembles import EnsembleKey, subsets_inclusive, with_member
 from repro.core.environment import DetectionEnvironment, EvaluationBatch
 from repro.core.selection import IterativeSelection
 from repro.core.stats import DiscountedStatistics, SlidingWindowStatistics
@@ -75,10 +75,11 @@ class SWMES(IterativeSelection):
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
     ) -> tuple[EnsembleKey, list[EnsembleKey]]:
+        candidates = env.available_ensembles()
         if t <= self.gamma:
-            return env.full_ensemble, list(env.all_ensembles)
+            return env.full_ensemble, with_member(candidates, env.full_ensemble)
         best_key = max(
-            env.all_ensembles,
+            candidates,
             key=lambda key: (self._stats.ucb(key, t), key),
         )
         if self.evaluate_subsets:
@@ -133,10 +134,11 @@ class DMES(IterativeSelection):
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
     ) -> tuple[EnsembleKey, list[EnsembleKey]]:
+        candidates = env.available_ensembles()
         if t <= self.gamma:
-            return env.full_ensemble, list(env.all_ensembles)
+            return env.full_ensemble, with_member(candidates, env.full_ensemble)
         best_key = max(
-            env.all_ensembles,
+            candidates,
             key=lambda key: (self._stats.ucb(key), key),
         )
         if self.evaluate_subsets:

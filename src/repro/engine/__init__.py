@@ -8,11 +8,15 @@ and the detector models:
 * :mod:`repro.engine.store` — the bounded, LRU-evicting, thread-safe
   :class:`EvaluationStore` with :class:`CacheStats` instrumentation;
 * :mod:`repro.engine.pipeline` — the single
-  frame → evaluate → observe → record loop (:class:`FramePipeline`).
+  frame → evaluate → observe → record loop (:class:`FramePipeline`);
+* :mod:`repro.engine.resilience` — retries with deterministic backoff,
+  simulated-latency timeouts and per-detector circuit breakers
+  (:class:`ResilientBackend`), with :class:`FaultStats` instrumentation.
 """
 
 from repro.engine.backends import (
     BACKEND_NAMES,
+    JOB_STATUSES,
     ExecutionBackend,
     InferenceJob,
     JobResult,
@@ -23,23 +27,38 @@ from repro.engine.backends import (
 )
 from repro.engine.pipeline import (
     ChooseHook,
+    FrameEvaluationError,
     FrameObserver,
     FramePipeline,
     FrameRecord,
     UpdateHook,
 )
+from repro.engine.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultStats,
+    ResilientBackend,
+    RetryPolicy,
+)
 from repro.engine.store import CacheStats, DEFAULT_CAPACITY, EvaluationStore, StageStats
 
 __all__ = [
     "BACKEND_NAMES",
+    "JOB_STATUSES",
     "ExecutionBackend",
     "InferenceJob",
     "JobResult",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FaultStats",
+    "ResilientBackend",
+    "RetryPolicy",
     "SerialBackend",
     "ThreadPoolBackend",
     "ProcessPoolBackend",
     "make_backend",
     "ChooseHook",
+    "FrameEvaluationError",
     "FrameObserver",
     "FramePipeline",
     "FrameRecord",

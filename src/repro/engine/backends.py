@@ -30,6 +30,7 @@ from typing import Any, Protocol, runtime_checkable
 __all__ = [
     "InferenceJob",
     "JobResult",
+    "JOB_STATUSES",
     "ExecutionBackend",
     "SerialBackend",
     "ThreadPoolBackend",
@@ -53,17 +54,50 @@ class InferenceJob:
     frame: Any
 
 
+#: Job outcome classifications.  ``"ok"`` carries an output; the other
+#: statuses carry ``output=None`` and (except for skips) an ``error``.
+JOB_STATUSES: tuple[str, ...] = (
+    "ok",
+    "failed",
+    "timeout",
+    "skipped-open-circuit",
+)
+
+
 @dataclass(frozen=True)
 class JobResult:
-    """A job's output plus the wall-clock time it took to produce.
+    """A job's outcome: output (when successful), status and timing.
 
     ``wall_ms`` is measurement-only instrumentation (fed to the
     :class:`~repro.engine.store.EvaluationStore` timing counters); the
     simulated billing time lives inside ``output.inference_time_ms``.
+
+    A raised exception inside ``model.detect`` never propagates out of a
+    backend: it is captured as a ``"failed"`` result so one bad inference
+    cannot abort a whole video run.  The
+    :class:`~repro.engine.resilience.ResilientBackend` layers retries,
+    timeouts and circuit breaking on top of these statuses.
+
+    Attributes:
+        output: The model output for ``"ok"`` results, ``None`` otherwise.
+        wall_ms: Wall-clock milliseconds spent producing this result
+            (across all attempts, for resilient execution).
+        status: One of :data:`JOB_STATUSES`.
+        attempts: How many times the job was executed (0 for jobs skipped
+            by an open circuit).
+        error: ``"ExcType: message"`` of the last failure, if any.
     """
 
     output: Any
     wall_ms: float
+    status: str = "ok"
+    attempts: int = 1
+    error: str | None = None
+
+    @property
+    def ok(self) -> bool:
+        """True when the job produced a usable output."""
+        return self.status == "ok"
 
 
 def wall_timer() -> float:
@@ -80,12 +114,24 @@ def wall_timer() -> float:
 
 
 def _execute_job(job: InferenceJob) -> JobResult:
-    """Run one job, timing it.  Module-level so process pools can pickle it."""
-    start = time.perf_counter()
-    output = job.model.detect(job.frame)
-    return JobResult(
-        output=output, wall_ms=(time.perf_counter() - start) * 1000.0
-    )
+    """Run one job, timing it.  Module-level so process pools can pickle it.
+
+    Exceptions raised by ``model.detect`` are captured as ``"failed"``
+    results rather than propagated: a single bad inference must degrade
+    the frame, not abort the run (the environment and the resilience
+    layer decide what failure means).
+    """
+    start = wall_timer()
+    try:
+        output = job.model.detect(job.frame)
+    except Exception as exc:  # any model error is a job failure, not a crash
+        return JobResult(
+            output=None,
+            wall_ms=(wall_timer() - start) * 1000.0,
+            status="failed",
+            error=f"{type(exc).__name__}: {exc}",
+        )
+    return JobResult(output=output, wall_ms=(wall_timer() - start) * 1000.0)
 
 
 @runtime_checkable
@@ -105,6 +151,13 @@ class ExecutionBackend(Protocol):
 
     def close(self) -> None:
         """Release any worker resources; idempotent."""
+        ...
+
+    def __enter__(self) -> ExecutionBackend:
+        """Context-manager entry; backends close their pools on exit."""
+        ...
+
+    def __exit__(self, *exc: object) -> None:
         ...
 
 

@@ -21,6 +21,15 @@ Per iteration the pipeline:
    notifies any registered observers (e.g. the query executor capturing
    fused detections for row materialization);
 5. yields the :class:`FrameRecord`.
+
+Under fault injection an evaluation can *degrade*: failed members drop
+out and the environment realizes each requested ensemble as its best
+healthy subset.  The pipeline then records both the selected and the
+realized ensemble.  A frame with no usable evaluation at all (REF down,
+or every member of every requested ensemble failed) raises
+:class:`FrameEvaluationError` inside the environment; the pipeline
+*abandons* that frame — counts it, yields no record — and continues with
+the next one instead of aborting the run.
 """
 
 from __future__ import annotations
@@ -34,7 +43,25 @@ if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from repro.core.ensembles import EnsembleKey
     from repro.simulation.video import Frame
 
-__all__ = ["FrameRecord", "FrameObserver", "ChooseHook", "UpdateHook", "FramePipeline"]
+__all__ = [
+    "FrameEvaluationError",
+    "FrameRecord",
+    "FrameObserver",
+    "ChooseHook",
+    "UpdateHook",
+    "FramePipeline",
+]
+
+
+class FrameEvaluationError(RuntimeError):
+    """A frame produced no usable evaluation (REF or all members failed).
+
+    Raised by
+    :meth:`~repro.core.environment.DetectionEnvironment.evaluate` when
+    fault injection leaves nothing to score; :class:`FramePipeline`
+    catches it, abandons the frame and moves on.  Defined in the engine
+    layer so the pipeline never imports :mod:`repro.core` at runtime.
+    """
 
 
 @dataclass(frozen=True)
@@ -54,6 +81,11 @@ class FrameRecord:
         normalized_cost: ``c_hat`` of the selected ensemble.
         charged_ms: Billable time actually spent this iteration (includes
             piggyback subset fusions; Eq. 12/14).
+        realized: The ensemble that actually ran.  ``None`` (the default,
+            and the value on every fault-free run) means the selected
+            ensemble ran as requested; under fault injection it is the
+            healthy subset the frame fell back to, and all score/cost
+            fields describe *it*.
     """
 
     iteration: int
@@ -66,6 +98,17 @@ class FrameRecord:
     cost_ms: float
     normalized_cost: float
     charged_ms: float
+    realized: EnsembleKey | None = None
+
+    @property
+    def realized_key(self) -> EnsembleKey:
+        """The ensemble whose output this record describes."""
+        return self.realized if self.realized is not None else self.selected
+
+    @property
+    def degraded(self) -> bool:
+        """True when faults forced a proper subset of the selection."""
+        return self.realized is not None and self.realized != self.selected
 
 
 #: Callback fired after each processed frame, before the record is yielded.
@@ -127,17 +170,39 @@ class FramePipeline:
         for t, frame in enumerate(frames, start=1):
             if self.budget_ms is not None and spent_ms > self.budget_ms:
                 break
-            selected, eval_keys = choose(env, t, frame)
-            if selected not in eval_keys:
-                raise RuntimeError(
-                    f"{self.label}: selected ensemble {selected} missing "
-                    "from its evaluation list"
-                )
-            env.charge_overhead(len(eval_keys))
-            batch = env.evaluate(frame, eval_keys, charge=True)
+            try:
+                # choose() is inside the guard too: oracle-style hooks
+                # peek through the environment and can hit the same
+                # failures as the charged evaluation below.
+                selected, eval_keys = choose(env, t, frame)
+                if selected not in eval_keys:
+                    raise RuntimeError(
+                        f"{self.label}: selected ensemble {selected} missing "
+                        "from its evaluation list"
+                    )
+                env.charge_overhead(len(eval_keys))
+                batch = env.evaluate(frame, eval_keys, charge=True)
+            except FrameEvaluationError:
+                # Nothing usable came back (REF down or every member of
+                # every requested ensemble failed): abandon this frame,
+                # keep the run alive.  Failed inferences produce no
+                # simulated output, hence nothing billable.
+                env.note_frame_abandoned()
+                continue
             if update is not None:
                 update(env, t, frame, batch)
-            chosen = batch.evaluations[selected]
+            chosen = batch.evaluations.get(selected)
+            if chosen is None:
+                # The selection itself realized empty; fall back to the
+                # best healthy evaluation of the batch (deterministic
+                # tie-break on the key).
+                chosen = max(
+                    batch.evaluations.values(),
+                    key=lambda e: (e.est_score, e.key),
+                )
+            realized = chosen.realized_key
+            if realized != selected:
+                env.note_frame_degraded()
             spent_ms += batch.billable_ms
             record = FrameRecord(
                 iteration=t,
@@ -150,6 +215,7 @@ class FramePipeline:
                 cost_ms=chosen.cost_ms,
                 normalized_cost=chosen.normalized_cost,
                 charged_ms=batch.billable_ms,
+                realized=realized if realized != selected else None,
             )
             for observer in self.observers:
                 observer(frame, batch, record)

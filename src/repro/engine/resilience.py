@@ -1,0 +1,429 @@
+"""Resilient execution: retries, timeouts and per-detector circuit breakers.
+
+:class:`ResilientBackend` wraps any :class:`~repro.engine.backends.ExecutionBackend`
+and turns raw job failures into a managed fault-tolerance policy:
+
+* **Retry with deterministic exponential backoff.**  Failed and timed-out
+  jobs are re-executed up to :attr:`RetryPolicy.max_attempts` times.
+  Backoff delays are ``base * multiplier^(attempt-1)`` plus jitter drawn
+  from :func:`repro.utils.rng.derive_rng` keyed by (model, frame, attempt),
+  so the delay schedule — like everything else in this repo — is a pure
+  function of the seed.  Sleeping goes through an injected ``sleep`` seam
+  (no-op by default: the simulator has no reason to actually wait), so the
+  module never reads the wall clock (lint rule RPR002).
+
+* **Per-job timeout.**  Jobs whose *simulated* latency
+  (``output.inference_time_ms``) exceeds ``timeout_ms`` are classified
+  ``"timeout"`` and their output discarded, exactly as a serving system
+  would cancel a straggler.  Basing the timeout on simulated latency keeps
+  runs bit-for-bit reproducible across backends — a wall-clock timeout
+  would make the fault trace scheduling-dependent.
+
+* **Per-detector circuit breaker.**  After
+  :attr:`BreakerPolicy.failure_threshold` consecutive failures a model's
+  circuit opens: its jobs are skipped (``"skipped-open-circuit"``) without
+  touching the model.  After :attr:`BreakerPolicy.cooldown_batches` calls
+  to :meth:`ResilientBackend.run` the circuit goes half-open and admits a
+  single probe job; success closes it, failure re-opens it.  Cooldown is
+  counted in batches (one batch per processed frame), not wall time, so
+  breaker traces are deterministic.
+
+All breaker and retry bookkeeping runs on the *calling* thread — jobs are
+dispatched to the inner backend, but their outcomes are folded into
+breaker state in job order after the batch returns.  Serial and thread
+backends therefore produce identical fault traces (the property
+``tests/test_engine_backends.py`` pins for faulty runs).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Sequence
+from dataclasses import dataclass, replace
+
+from repro.engine.backends import ExecutionBackend, InferenceJob, JobResult
+from repro.utils.rng import derive_rng
+
+__all__ = [
+    "RetryPolicy",
+    "BreakerPolicy",
+    "CircuitBreaker",
+    "FaultStats",
+    "ResilientBackend",
+]
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Deterministic retry schedule for failed / timed-out jobs.
+
+    Attributes:
+        max_attempts: Total execution attempts per job (>= 1; 1 disables
+            retries).
+        backoff_base_ms: Delay before the first retry.
+        backoff_multiplier: Growth factor per further retry (>= 1).
+        jitter_ms: Upper bound of the uniform jitter added to each delay,
+            drawn deterministically per (model, frame, attempt).
+        seed: Root seed of the jitter stream.
+    """
+
+    max_attempts: int = 3
+    backoff_base_ms: float = 1.0
+    backoff_multiplier: float = 2.0
+    jitter_ms: float = 0.5
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+        if self.backoff_base_ms < 0:
+            raise ValueError("backoff_base_ms must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be >= 1")
+        if self.jitter_ms < 0:
+            raise ValueError("jitter_ms must be non-negative")
+
+    def delay_ms(self, model: str, frame_key: object, attempt: int) -> float:
+        """Backoff delay before retry number ``attempt`` (1-based).
+
+        Deterministic for fixed (seed, model, frame, attempt): the base
+        grows exponentially with the attempt number and the jitter is a
+        seeded uniform draw, never global randomness (RPR001).
+        """
+        if attempt < 1:
+            raise ValueError("attempt numbering starts at 1")
+        base = self.backoff_base_ms * self.backoff_multiplier ** (attempt - 1)
+        if self.jitter_ms <= 0:
+            return base
+        rng = derive_rng(self.seed, "backoff", model, str(frame_key), attempt)
+        return base + float(rng.uniform(0.0, self.jitter_ms))
+
+
+@dataclass(frozen=True)
+class BreakerPolicy:
+    """Circuit-breaker thresholds.
+
+    Attributes:
+        failure_threshold: Consecutive failures that open the circuit.
+        cooldown_batches: ``run()`` batches an open circuit waits before
+            going half-open and admitting one probe job.
+    """
+
+    failure_threshold: int = 3
+    cooldown_batches: int = 5
+
+    def __post_init__(self) -> None:
+        if self.failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if self.cooldown_batches < 1:
+            raise ValueError("cooldown_batches must be at least 1")
+
+
+class CircuitBreaker:
+    """Closed / open / half-open failure gate for one model.
+
+    Driven entirely from the calling thread; no locking needed.  The
+    lifecycle is the classic one: consecutive failures open the circuit,
+    a cooldown (counted in batches via :meth:`tick`) half-opens it, a
+    probe success closes it and a probe failure re-opens it.
+    """
+
+    def __init__(self, policy: BreakerPolicy) -> None:
+        self.policy = policy
+        self._consecutive_failures = 0
+        self._state = "closed"
+        self._cooldown_remaining = 0
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        """``"closed"``, ``"open"`` or ``"half-open"``."""
+        return self._state
+
+    def tick(self) -> None:
+        """Advance logical time by one batch (one ``run()`` call)."""
+        if self._state == "open":
+            self._cooldown_remaining -= 1
+            if self._cooldown_remaining <= 0:
+                self._state = "half-open"
+
+    def allows(self) -> bool:
+        """Whether a job for this model may execute right now."""
+        return self._state != "open"
+
+    def record_success(self) -> None:
+        self._consecutive_failures = 0
+        self._state = "closed"
+
+    def record_failure(self) -> None:
+        self._consecutive_failures += 1
+        if (
+            self._state == "half-open"
+            or self._consecutive_failures >= self.policy.failure_threshold
+        ):
+            self._open()
+
+    def _open(self) -> None:
+        self._state = "open"
+        self._cooldown_remaining = self.policy.cooldown_batches
+        self.opens += 1
+
+    def __repr__(self) -> str:
+        return (
+            f"CircuitBreaker(state={self._state!r}, "
+            f"consecutive_failures={self._consecutive_failures})"
+        )
+
+
+@dataclass(frozen=True)
+class FaultStats:
+    """Immutable fault-tolerance counters (the peer of ``CacheStats``).
+
+    Job-level counters come from a :class:`ResilientBackend`; the frame
+    counters are zero there and filled in by
+    :meth:`repro.core.environment.DetectionEnvironment.fault_stats`, which
+    merges the execution view with the degradation view.
+
+    Attributes:
+        attempts: Job executions, including retries.
+        failures: Attempts that raised (status ``"failed"``).
+        timeouts: Attempts whose simulated latency exceeded the timeout.
+        retries: Re-executions after a failed/timed-out attempt.
+        recoveries: Jobs that failed at least once but ultimately
+            succeeded within their attempt budget.
+        breaker_opens: Circuit-open transitions across all models.
+        breaker_skips: Jobs skipped because a circuit was open.
+        frames_degraded: Frames where the realized ensemble was a proper
+            subset of the selected one.
+        frames_abandoned: Frames yielding no usable evaluation at all.
+        ensembles_dropped: Requested ensemble evaluations with no healthy
+            member.
+    """
+
+    attempts: int = 0
+    failures: int = 0
+    timeouts: int = 0
+    retries: int = 0
+    recoveries: int = 0
+    breaker_opens: int = 0
+    breaker_skips: int = 0
+    frames_degraded: int = 0
+    frames_abandoned: int = 0
+    ensembles_dropped: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        """A JSON-serializable view."""
+        return {
+            "attempts": self.attempts,
+            "failures": self.failures,
+            "timeouts": self.timeouts,
+            "retries": self.retries,
+            "recoveries": self.recoveries,
+            "breaker_opens": self.breaker_opens,
+            "breaker_skips": self.breaker_skips,
+            "frames_degraded": self.frames_degraded,
+            "frames_abandoned": self.frames_abandoned,
+            "ensembles_dropped": self.ensembles_dropped,
+        }
+
+
+def _no_sleep(_delay_s: float) -> None:
+    """Default sleep seam: backoff is logical, not wall-clock."""
+
+
+class ResilientBackend:
+    """Fault-tolerant decorator over any execution backend.
+
+    Implements the :class:`~repro.engine.backends.ExecutionBackend`
+    protocol, so it drops into every place a backend goes — the
+    environment, the CLI, the harness.  The first attempt of a batch is
+    dispatched to the inner backend as one batch (parallelism preserved);
+    retries are re-dispatched job by job from the calling thread.
+
+    Args:
+        inner: The wrapped backend (owned: ``close()`` closes it).
+        retry: Retry/backoff policy (default: 3 attempts).
+        breaker: Circuit-breaker thresholds (``None`` disables breaking).
+        timeout_ms: Optional per-job simulated-latency timeout.
+        sleep: Seam receiving each backoff delay in *seconds*; defaults to
+            a no-op so simulated runs never stall.  Inject ``time.sleep``
+            for a live deployment, or a recorder in tests.
+    """
+
+    def __init__(
+        self,
+        inner: ExecutionBackend,
+        retry: RetryPolicy | None = None,
+        breaker: BreakerPolicy | None = None,
+        timeout_ms: float | None = None,
+        sleep: Callable[[float], None] = _no_sleep,
+    ) -> None:
+        if timeout_ms is not None and timeout_ms <= 0:
+            raise ValueError("timeout_ms must be positive when given")
+        self.inner = inner
+        self.retry = retry if retry is not None else RetryPolicy()
+        self.breaker_policy = (
+            breaker if breaker is not None else BreakerPolicy()
+        )
+        self.timeout_ms = timeout_ms
+        self._sleep = sleep
+        self._breakers: dict[str, CircuitBreaker] = {}
+        self._stats = FaultStats()
+
+    @property
+    def name(self) -> str:
+        return f"resilient-{self.inner.name}"
+
+    # ---- breaker registry ----------------------------------------------
+
+    def _breaker_for(self, model_name: str) -> CircuitBreaker:
+        breaker = self._breakers.get(model_name)
+        if breaker is None:
+            breaker = self._breakers[model_name] = CircuitBreaker(
+                self.breaker_policy
+            )
+        return breaker
+
+    def open_detectors(self) -> frozenset[str]:
+        """Names whose circuit is currently open (jobs would be skipped).
+
+        The environment exposes this to the selection algorithms so they
+        can mask arms containing unavailable detectors; half-open circuits
+        are *not* reported, because their next job is the probe that may
+        heal them.
+        """
+        return frozenset(
+            name
+            for name, breaker in self._breakers.items()
+            if breaker.state == "open"
+        )
+
+    def breaker_state(self, model_name: str) -> str:
+        """The named model's circuit state (``"closed"`` if never seen)."""
+        breaker = self._breakers.get(model_name)
+        return breaker.state if breaker is not None else "closed"
+
+    def stats(self) -> FaultStats:
+        """Snapshot of the job-level fault counters."""
+        return self._stats
+
+    # ---- execution ------------------------------------------------------
+
+    @staticmethod
+    def _model_name(job: InferenceJob) -> str:
+        return str(getattr(job.model, "name", repr(job.model)))
+
+    def _classify(self, result: JobResult) -> JobResult:
+        """Downgrade over-latency successes to ``"timeout"`` results."""
+        if not result.ok or self.timeout_ms is None:
+            return result
+        latency = getattr(result.output, "inference_time_ms", None)
+        if latency is not None and latency > self.timeout_ms:
+            return replace(
+                result,
+                output=None,
+                status="timeout",
+                error=(
+                    f"inference took {latency:.1f} ms "
+                    f"(timeout {self.timeout_ms:.1f} ms)"
+                ),
+            )
+        return result
+
+    def _resolve(self, job: InferenceJob, first: JobResult) -> JobResult:
+        """Apply the retry policy to one job's first-attempt result."""
+        result = self._classify(first)
+        stats = self._stats
+        attempts = 1
+        stats = replace(stats, attempts=stats.attempts + 1)
+        name = self._model_name(job)
+        frame_key = getattr(job.frame, "key", None)
+        wall_ms = result.wall_ms
+        had_failure = not result.ok
+        while not result.ok and attempts < self.retry.max_attempts:
+            if result.status == "timeout":
+                stats = replace(stats, timeouts=stats.timeouts + 1)
+            else:
+                stats = replace(stats, failures=stats.failures + 1)
+            self._sleep(self.retry.delay_ms(name, frame_key, attempts) / 1000.0)
+            attempts += 1
+            stats = replace(
+                stats,
+                attempts=stats.attempts + 1,
+                retries=stats.retries + 1,
+            )
+            result = self._classify(self.inner.run([job])[0])
+            wall_ms += result.wall_ms
+        if not result.ok:
+            if result.status == "timeout":
+                stats = replace(stats, timeouts=stats.timeouts + 1)
+            else:
+                stats = replace(stats, failures=stats.failures + 1)
+        elif had_failure:
+            stats = replace(stats, recoveries=stats.recoveries + 1)
+        self._stats = stats
+        return replace(result, wall_ms=wall_ms, attempts=attempts)
+
+    def run(self, jobs: Sequence[InferenceJob]) -> list[JobResult]:
+        """Execute a batch under the retry / timeout / breaker policy.
+
+        Breaker decisions are taken on the batch snapshot (jobs within one
+        batch do not open each other's circuits — a batch is one frame's
+        independent inferences); outcomes are folded into breaker state in
+        job order afterwards.  Results come back in job order with
+        ``"skipped-open-circuit"`` placeholders for skipped jobs.
+        """
+        for breaker in self._breakers.values():
+            breaker.tick()
+        admitted: list[tuple[int, InferenceJob]] = []
+        results: list[JobResult | None] = [None] * len(jobs)
+        for index, job in enumerate(jobs):
+            breaker = self._breaker_for(self._model_name(job))
+            if breaker.allows():
+                admitted.append((index, job))
+            else:
+                self._stats = replace(
+                    self._stats, breaker_skips=self._stats.breaker_skips + 1
+                )
+                results[index] = JobResult(
+                    output=None,
+                    wall_ms=0.0,
+                    status="skipped-open-circuit",
+                    attempts=0,
+                    error="circuit open",
+                )
+        if admitted:
+            first_attempts = self.inner.run([job for _, job in admitted])
+            for (index, job), first in zip(
+                admitted, first_attempts, strict=True
+            ):
+                final = self._resolve(job, first)
+                breaker = self._breaker_for(self._model_name(job))
+                opens_before = breaker.opens
+                if final.ok:
+                    breaker.record_success()
+                else:
+                    breaker.record_failure()
+                if breaker.opens > opens_before:
+                    self._stats = replace(
+                        self._stats,
+                        breaker_opens=self._stats.breaker_opens + 1,
+                    )
+                results[index] = final
+        return [result for result in results if result is not None]
+
+    def close(self) -> None:
+        """Close the wrapped backend; idempotent."""
+        self.inner.close()
+
+    def __enter__(self) -> ResilientBackend:
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (
+            f"ResilientBackend(inner={self.inner!r}, "
+            f"max_attempts={self.retry.max_attempts}, "
+            f"timeout_ms={self.timeout_ms})"
+        )

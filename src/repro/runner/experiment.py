@@ -26,6 +26,7 @@ from repro.ensembling.wbf import WeightedBoxesFusion
 from repro.simulation.clock import CostModel
 from repro.simulation.datasets import Dataset, build_bdd_like, build_nuscenes_like
 from repro.simulation.detectors import SimulatedDetector
+from repro.simulation.faults import apply_fault_profile
 from repro.simulation.lidar import SimulatedLidar
 from repro.simulation.profiles import make_profile
 from repro.simulation.video import Frame
@@ -91,13 +92,15 @@ class TrialSetup:
 
     Attributes:
         frames: The frame sequence ``V``.
-        detectors: The pool ``M``.
+        detectors: The pool ``M`` — plain :class:`SimulatedDetector`
+            instances, or :class:`~repro.simulation.faults.FaultyDetector`
+            wrappers when the setup injects faults.
         reference: The REF model.
         label: Human-readable dataset label (e.g. ``"nusc-night"``).
     """
 
     frames: tuple[Frame, ...]
-    detectors: tuple[SimulatedDetector, ...]
+    detectors: tuple[object, ...]
     reference: SimulatedLidar
     label: str
 
@@ -127,6 +130,8 @@ def standard_setup(
     m: int = 5,
     max_frames: int | None = None,
     seed: int = 0,
+    fault_profile: str = "none",
+    fault_seed: int | None = None,
 ) -> TrialSetup:
     """Build a trial: resampled dataset + detector suite + LiDAR REF.
 
@@ -138,6 +143,13 @@ def standard_setup(
         m: Detector-pool size.
         max_frames: Optional cap on the frame-sequence length.
         seed: Base seed of the whole experiment family.
+        fault_profile: One of
+            :data:`~repro.simulation.faults.FAULT_PROFILE_NAMES`;
+            anything but ``"none"`` wraps the suite in seeded
+            :class:`~repro.simulation.faults.FaultyDetector` instances.
+        fault_seed: Root seed of the fault streams; derived from ``seed``
+            and the trial when omitted, so trials fail differently but
+            reproducibly.
     """
     if dataset not in _DATASET_REGISTRY:
         raise KeyError(
@@ -152,9 +164,15 @@ def standard_setup(
 
     suite_seed = derive_seed(seed, "suite", dataset, trial)
     if suite == "nusc":
-        detectors = nuscenes_detector_suite(m, seed=suite_seed)
+        detectors: list[object] = list(nuscenes_detector_suite(m, seed=suite_seed))
     else:
-        detectors = bdd_detector_suite(m, seed=suite_seed)
+        detectors = list(bdd_detector_suite(m, seed=suite_seed))
+    if fault_profile != "none":
+        if fault_seed is None:
+            fault_seed = derive_seed(seed, "faults", dataset, trial)
+        detectors = apply_fault_profile(
+            detectors, fault_profile, seed=fault_seed
+        )
     reference = SimulatedLidar(seed=derive_seed(seed, "lidar", dataset, trial))
     return TrialSetup(
         frames=tuple(frames),

@@ -13,6 +13,7 @@ from collections.abc import Mapping
 from pathlib import Path
 
 from repro.core.selection import FrameRecord, SelectionResult
+from repro.engine.resilience import FaultStats
 from repro.engine.store import CacheStats
 from repro.runner.harness import TrialOutcome
 
@@ -25,6 +26,8 @@ __all__ = [
     "save_outcomes_csv",
     "cache_stats_to_dict",
     "save_cache_stats_json",
+    "fault_stats_to_dict",
+    "save_fault_stats_json",
 ]
 
 _PathLike = str | Path
@@ -53,6 +56,7 @@ def result_to_dict(result: SelectionResult) -> Dict:
                 "cost_ms": r.cost_ms,
                 "normalized_cost": r.normalized_cost,
                 "charged_ms": r.charged_ms,
+                "realized": list(r.realized) if r.realized is not None else None,
             }
             for r in result.records
         ],
@@ -81,6 +85,9 @@ def load_result_json(path: _PathLike) -> SelectionResult:
             cost_ms=r["cost_ms"],
             normalized_cost=r["normalized_cost"],
             charged_ms=r["charged_ms"],
+            realized=(
+                tuple(r["realized"]) if r.get("realized") is not None else None
+            ),
         )
         for r in payload["records"]
     ]
@@ -102,6 +109,7 @@ _RECORD_COLUMNS = (
     "cost_ms",
     "normalized_cost",
     "charged_ms",
+    "realized",
 )
 
 
@@ -123,6 +131,7 @@ def save_records_csv(result: SelectionResult, path: _PathLike) -> None:
                     r.cost_ms,
                     r.normalized_cost,
                     r.charged_ms,
+                    "+".join(r.realized_key),
                 ]
             )
 
@@ -173,3 +182,14 @@ def save_cache_stats_json(stats: CacheStats, path: _PathLike) -> None:
     """Write a store's :class:`CacheStats` snapshot to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
         json.dump(cache_stats_to_dict(stats), handle, indent=2)
+
+
+def fault_stats_to_dict(stats: FaultStats) -> Dict:
+    """A JSON-serializable view of a run's :class:`FaultStats`."""
+    return stats.as_dict()
+
+
+def save_fault_stats_json(stats: FaultStats, path: _PathLike) -> None:
+    """Write a :class:`FaultStats` snapshot to a JSON file."""
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(fault_stats_to_dict(stats), handle, indent=2)

@@ -20,7 +20,9 @@ subpackage provides a faithful synthetic stand-in (see DESIGN.md §2):
 * :mod:`repro.simulation.datasets` — nuScenes-like and BDD-like dataset
   builders matching Tables 1–2;
 * :mod:`repro.simulation.drift` — concept-drift composition by segment
-  shuffling (the paper's V_c&n / V_n&r / V_c&n&r construction).
+  shuffling (the paper's V_c&n / V_n&r / V_c&n&r construction);
+* :mod:`repro.simulation.faults` — seeded fault injection (transients,
+  outages, latency spikes, degraded outputs) wrapping any detector.
 """
 
 from repro.simulation.calibration import (
@@ -35,6 +37,16 @@ from repro.simulation.drift import (
     compose_drifting_video,
     generate_gradual_drift_video,
     interpolate_category,
+)
+from repro.simulation.faults import (
+    FAULT_PROFILE_NAMES,
+    DetectorFaultError,
+    DetectorOutageError,
+    FaultSpec,
+    FaultyDetector,
+    TransientDetectorError,
+    apply_fault_profile,
+    fault_profile_specs,
 )
 from repro.simulation.lidar import PinholeCamera, SimulatedLidar
 from repro.simulation.profiles import (
@@ -51,8 +63,13 @@ __all__ = [
     "ARCHITECTURES",
     "CostModel",
     "Dataset",
+    "DetectorFaultError",
+    "DetectorOutageError",
     "DetectorProfile",
     "EstimatedProfile",
+    "FAULT_PROFILE_NAMES",
+    "FaultSpec",
+    "FaultyDetector",
     "Frame",
     "GroundTruthObject",
     "ModelArchitecture",
@@ -62,12 +79,15 @@ __all__ = [
     "SimulatedClock",
     "SimulatedDetector",
     "SimulatedLidar",
+    "TransientDetectorError",
     "Video",
     "WorldConfig",
+    "apply_fault_profile",
     "build_bdd_like",
     "build_nuscenes_like",
     "compose_drifting_video",
     "estimate_profile",
+    "fault_profile_specs",
     "generate_gradual_drift_video",
     "generate_video",
     "interpolate_category",

@@ -40,6 +40,38 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args([])
 
+    def test_fault_defaults(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.fault_profile == "none"
+        assert args.fault_seed is None
+        assert args.retries == 3
+        assert args.timeout_ms is None
+
+    def test_fault_options(self):
+        args = build_parser().parse_args(
+            [
+                "compare",
+                "--fault-profile",
+                "outage-first",
+                "--fault-seed",
+                "9",
+                "--retries",
+                "2",
+                "--timeout-ms",
+                "500",
+            ]
+        )
+        assert args.fault_profile == "outage-first"
+        assert args.fault_seed == 9
+        assert args.retries == 2
+        assert args.timeout_ms == 500.0
+
+    def test_unknown_fault_profile_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--fault-profile", "meltdown"]
+            )
+
 
 class TestCommands:
     def test_algorithms_lists_registry(self, capsys):
@@ -72,6 +104,47 @@ class TestCommands:
         assert "MES" in out and "OPT" in out
         assert csv_path.exists()
         assert "algorithm,trial" in csv_path.read_text()
+
+    def test_compare_with_fault_profile(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "nusc-clear",
+                "--frames",
+                "20",
+                "--trials",
+                "1",
+                "--m",
+                "2",
+                "--scale",
+                "0.02",
+                "--fault-profile",
+                "flaky-first",
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "MES" in out
+        assert "fault stats:" in out
+
+    def test_process_backend_rejected_with_faults(self):
+        with pytest.raises(SystemExit):
+            main(
+                [
+                    "compare",
+                    "--dataset",
+                    "nusc-clear",
+                    "--frames",
+                    "10",
+                    "--m",
+                    "2",
+                    "--backend",
+                    "process",
+                    "--fault-profile",
+                    "chaos",
+                ]
+            )
 
     def test_query_runs_small(self, capsys):
         code = main(

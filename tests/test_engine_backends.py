@@ -83,6 +83,72 @@ class TestBackendEquivalence:
             assert env.clock.snapshot() == serial_clock
 
 
+class TestFaultedBackendEquivalence:
+    """Fault-injected runs must stay backend-independent: the resilient
+    layer does all breaker/retry bookkeeping on the calling thread, so
+    serial and threaded execution see the same fault trace."""
+
+    @pytest.mark.parametrize("profile", ["flaky-first", "outage-first"])
+    def test_faulty_serial_matches_faulty_thread(
+        self, profile, detector_pool, lidar, small_video
+    ):
+        from repro.engine.resilience import (
+            BreakerPolicy,
+            ResilientBackend,
+            RetryPolicy,
+        )
+        from repro.simulation.faults import apply_fault_profile
+
+        frames = small_video.frames[:12]
+
+        def faulty_run(inner):
+            # Fresh wrappers per run: FaultyDetector keeps per-frame
+            # attempt counters, so the pools must not be shared.
+            pool = apply_fault_profile(detector_pool, profile, seed=5)
+            backend = ResilientBackend(
+                inner,
+                retry=RetryPolicy(max_attempts=2, seed=5),
+                breaker=BreakerPolicy(failure_threshold=2, cooldown_batches=3),
+            )
+            with backend:
+                env = DetectionEnvironment(pool, lidar, backend=backend)
+                result = MES(gamma=3).run(env, frames)
+                return result, env.clock.snapshot(), env.fault_stats()
+
+        serial = faulty_run(SerialBackend())
+        threaded = faulty_run(ThreadPoolBackend(workers=4))
+        serial_result, serial_clock, serial_stats = serial
+        thread_result, thread_clock, thread_stats = threaded
+        assert thread_result.records == serial_result.records
+        assert thread_result.s_sum == serial_result.s_sum
+        assert thread_clock == serial_clock
+        assert thread_stats.as_dict() == serial_stats.as_dict()
+        if profile == "outage-first":
+            assert serial_stats.failures > 0
+
+    def test_faulty_runs_are_reproducible(
+        self, detector_pool, lidar, small_video
+    ):
+        from repro.engine.resilience import ResilientBackend, RetryPolicy
+        from repro.simulation.faults import apply_fault_profile
+
+        frames = small_video.frames[:10]
+
+        def run_once():
+            pool = apply_fault_profile(detector_pool, "chaos", seed=11)
+            backend = ResilientBackend(
+                SerialBackend(), retry=RetryPolicy(max_attempts=2, seed=11)
+            )
+            env = DetectionEnvironment(pool, lidar, backend=backend)
+            result = MES(gamma=3).run(env, frames)
+            return result.records, env.fault_stats()
+
+        first_records, first_stats = run_once()
+        second_records, second_stats = run_once()
+        assert first_records == second_records
+        assert first_stats == second_stats
+
+
 class TestBillingPolicy:
     def test_max_charges_slowest_member_only(
         self, detector_pool, lidar, simple_frame

@@ -51,6 +51,51 @@ class TestPipeline:
         # the run was still within budget.
         assert spent - records[-1].charged_ms <= budget
 
+    def test_budget_landing_exactly_on_b_admits_next_iteration(self):
+        """Alg. 2 line 6 is ``<= B``: when cumulative spend lands exactly
+        on the budget, the next iteration still starts (and may overshoot);
+        only spend strictly above B stops the loop."""
+        from types import SimpleNamespace
+
+        per_frame_ms = 100.0
+
+        class _StubEnv:
+            def charge_overhead(self, count):
+                pass
+
+            def note_frame_abandoned(self):
+                pass
+
+            def note_frame_degraded(self):
+                pass
+
+            def evaluate(self, frame, keys, charge=True):
+                evaluation = SimpleNamespace(
+                    key=keys[0],
+                    realized_key=keys[0],
+                    est_score=1.0,
+                    est_ap=1.0,
+                    true_score=1.0,
+                    true_ap=1.0,
+                    cost_ms=per_frame_ms,
+                    normalized_cost=1.0,
+                )
+                return SimpleNamespace(
+                    evaluations={keys[0]: evaluation},
+                    billable_ms=per_frame_ms,
+                )
+
+        def choose(env, t, frame):
+            return ("a",), [("a",)]
+
+        frames = [SimpleNamespace(index=i) for i in range(10)]
+        pipeline = FramePipeline(_StubEnv(), budget_ms=3 * per_frame_ms)
+        records = list(pipeline.run(frames, choose))
+        # Frames 1–3 spend exactly B=300; frame 4 is admitted because the
+        # guard is strict (>), and its charge ends the run at 400.
+        assert len(records) == 4
+        assert sum(r.charged_ms for r in records) == 4 * per_frame_ms
+
     def test_invalid_budget_rejected(self, environment):
         with pytest.raises(ValueError, match="budget_ms"):
             FramePipeline(environment, budget_ms=0.0)

@@ -1,0 +1,284 @@
+"""Tests for the resilient execution layer (retry, timeout, breaker)."""
+
+from __future__ import annotations
+
+from types import SimpleNamespace
+
+import pytest
+
+from repro.engine.backends import InferenceJob, SerialBackend
+from repro.engine.resilience import (
+    BreakerPolicy,
+    CircuitBreaker,
+    FaultStats,
+    ResilientBackend,
+    RetryPolicy,
+)
+
+
+class _Model:
+    """A scriptable model: fails the first ``fail_times`` calls."""
+
+    def __init__(self, name="m", fail_times=0, latency_ms=5.0):
+        self.name = name
+        self.fail_times = fail_times
+        self.latency_ms = latency_ms
+        self.calls = 0
+
+    def detect(self, frame):
+        self.calls += 1
+        if self.calls <= self.fail_times:
+            raise RuntimeError(f"{self.name} scripted failure {self.calls}")
+        return SimpleNamespace(inference_time_ms=self.latency_ms)
+
+
+def _frame(index=0):
+    return SimpleNamespace(index=index, key=f"frame-{index}")
+
+
+def _job(model, index=0):
+    return InferenceJob(model, _frame(index))
+
+
+def _backend(**kwargs):
+    kwargs.setdefault("retry", RetryPolicy(max_attempts=3, jitter_ms=0.0))
+    return ResilientBackend(SerialBackend(), **kwargs)
+
+
+class TestRetryPolicy:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RetryPolicy(max_attempts=0)
+        with pytest.raises(ValueError):
+            RetryPolicy(backoff_multiplier=0.5)
+        with pytest.raises(ValueError):
+            RetryPolicy(jitter_ms=-1.0)
+        with pytest.raises(ValueError):
+            RetryPolicy().delay_ms("m", "f", 0)
+
+    def test_exponential_backoff_without_jitter(self):
+        policy = RetryPolicy(
+            backoff_base_ms=2.0, backoff_multiplier=3.0, jitter_ms=0.0
+        )
+        assert policy.delay_ms("m", "f", 1) == 2.0
+        assert policy.delay_ms("m", "f", 2) == 6.0
+        assert policy.delay_ms("m", "f", 3) == 18.0
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = RetryPolicy(backoff_base_ms=1.0, jitter_ms=0.5, seed=11)
+        first = policy.delay_ms("m", "frame-0", 1)
+        assert first == policy.delay_ms("m", "frame-0", 1)
+        assert 1.0 <= first <= 1.5
+        # Distinct (model, frame, attempt) keys draw distinct jitter.
+        others = {
+            policy.delay_ms("m", "frame-0", 2) - 2.0,
+            policy.delay_ms("m", "frame-1", 1) - 1.0,
+            policy.delay_ms("n", "frame-0", 1) - 1.0,
+        }
+        assert len(others | {first - 1.0}) == 4
+
+
+class TestRetryExecution:
+    def test_transient_failure_recovers(self):
+        model = _Model(fail_times=2)
+        backend = _backend()
+        [result] = backend.run([_job(model)])
+        assert result.ok
+        assert result.attempts == 3
+        assert model.calls == 3
+        stats = backend.stats()
+        assert stats.retries == 2
+        assert stats.recoveries == 1
+        assert stats.failures == 2
+
+    def test_attempt_budget_exhausted(self):
+        model = _Model(fail_times=10)
+        backend = _backend()
+        [result] = backend.run([_job(model)])
+        assert not result.ok
+        assert result.status == "failed"
+        assert result.attempts == 3
+        assert "scripted failure" in result.error
+        assert backend.stats().recoveries == 0
+
+    def test_single_attempt_disables_retry(self):
+        model = _Model(fail_times=1)
+        backend = _backend(retry=RetryPolicy(max_attempts=1))
+        [result] = backend.run([_job(model)])
+        assert result.status == "failed"
+        assert model.calls == 1
+
+    def test_backoff_goes_through_sleep_seam(self):
+        delays = []
+        policy = RetryPolicy(
+            max_attempts=3,
+            backoff_base_ms=4.0,
+            backoff_multiplier=2.0,
+            jitter_ms=0.0,
+        )
+        backend = ResilientBackend(
+            SerialBackend(), retry=policy, sleep=delays.append
+        )
+        backend.run([_job(_Model(fail_times=2))])
+        assert delays == [0.004, 0.008]  # seconds
+
+    def test_ok_results_pass_through_unchanged(self):
+        model = _Model()
+        backend = _backend()
+        [result] = backend.run([_job(model)])
+        assert result.ok
+        assert result.attempts == 1
+        assert result.output.inference_time_ms == 5.0
+        assert backend.stats().attempts == 1
+
+
+class TestTimeout:
+    def test_simulated_latency_timeout(self):
+        backend = _backend(timeout_ms=10.0)
+        [result] = backend.run([_job(_Model(latency_ms=50.0))])
+        assert result.status == "timeout"
+        assert result.output is None
+        assert result.attempts == 3  # each over-latency attempt retried
+        assert backend.stats().timeouts == 3
+
+    def test_latency_under_timeout_is_ok(self):
+        backend = _backend(timeout_ms=10.0)
+        [result] = backend.run([_job(_Model(latency_ms=9.0))])
+        assert result.ok
+
+    def test_timeout_validation(self):
+        with pytest.raises(ValueError, match="timeout_ms"):
+            _backend(timeout_ms=0.0)
+
+
+class TestCircuitBreaker:
+    def test_lifecycle(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=2, cooldown_batches=2)
+        )
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "closed"
+        breaker.record_failure()
+        assert breaker.state == "open"
+        assert not breaker.allows()
+        breaker.tick()
+        assert breaker.state == "open"
+        breaker.tick()
+        assert breaker.state == "half-open"
+        assert breaker.allows()
+        breaker.record_failure()  # failed probe re-opens immediately
+        assert breaker.state == "open"
+        breaker.tick()
+        breaker.tick()
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.opens == 2
+
+    def test_policy_validation(self):
+        with pytest.raises(ValueError):
+            BreakerPolicy(failure_threshold=0)
+        with pytest.raises(ValueError):
+            BreakerPolicy(cooldown_batches=0)
+
+    def test_success_resets_consecutive_count(self):
+        breaker = CircuitBreaker(BreakerPolicy(failure_threshold=2))
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        assert breaker.state == "closed"
+
+
+class TestBreakerExecution:
+    def _failing_backend(self):
+        return ResilientBackend(
+            SerialBackend(),
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_batches=2),
+        )
+
+    def test_open_circuit_skips_jobs(self):
+        model = _Model(fail_times=10**6)
+        backend = self._failing_backend()
+        backend.run([_job(model, 0)])
+        backend.run([_job(model, 1)])  # second consecutive failure: opens
+        assert backend.breaker_state("m") == "open"
+        assert backend.open_detectors() == frozenset({"m"})
+        calls_before = model.calls
+        [skipped] = backend.run([_job(model, 2)])
+        assert skipped.status == "skipped-open-circuit"
+        assert skipped.attempts == 0
+        assert model.calls == calls_before  # the model was never touched
+        assert backend.stats().breaker_skips == 1
+        assert backend.stats().breaker_opens == 1
+
+    def test_half_open_probe_heals(self):
+        model = _Model(fail_times=2)
+        backend = self._failing_backend()
+        backend.run([_job(model, 0)])
+        backend.run([_job(model, 1)])
+        assert backend.breaker_state("m") == "open"
+        [skipped] = backend.run([_job(model, 2)])  # tick 1: still open
+        assert skipped.status == "skipped-open-circuit"
+        assert backend.breaker_state("m") == "open"
+        [probe] = backend.run([_job(model, 3)])  # tick 2: probe admitted
+        assert probe.ok
+        assert backend.breaker_state("m") == "closed"
+        assert backend.open_detectors() == frozenset()
+
+    def test_half_open_not_reported_as_open(self):
+        model = _Model(fail_times=10**6)
+        backend = self._failing_backend()
+        backend.run([_job(model, 0)])
+        backend.run([_job(model, 1)])
+        backend.run([_job(model, 2)])  # cooldown tick 1
+        backend.run([_job(model, 3)])  # tick 2 → half-open probe (fails)
+        # After the failed probe the circuit is open again.
+        assert backend.breaker_state("m") == "open"
+        assert backend.stats().breaker_opens == 2
+
+    def test_batch_snapshot_isolates_jobs_within_one_batch(self):
+        """Failures inside a batch must not skip later jobs of the same
+        batch — breaker decisions are taken on the batch snapshot."""
+        model = _Model(fail_times=10**6)
+        backend = ResilientBackend(
+            SerialBackend(),
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerPolicy(failure_threshold=1, cooldown_batches=5),
+        )
+        results = backend.run([_job(model, 0), _job(model, 1)])
+        assert [r.status for r in results] == ["failed", "failed"]
+        assert backend.stats().breaker_skips == 0
+
+    def test_results_keep_job_order_with_skips(self):
+        bad = _Model(name="bad", fail_times=10**6)
+        good = _Model(name="good")
+        backend = self._failing_backend()
+        backend.run([_job(bad, 0)])
+        backend.run([_job(bad, 1)])
+        results = backend.run([_job(good, 2), _job(bad, 2), _job(good, 2)])
+        assert [r.status for r in results] == [
+            "ok",
+            "skipped-open-circuit",
+            "ok",
+        ]
+
+
+class TestBackendSurface:
+    def test_name_and_context_manager(self):
+        with _backend() as backend:
+            assert backend.name == "resilient-serial"
+
+    def test_stats_snapshot_is_immutable(self):
+        backend = _backend()
+        snapshot = backend.stats()
+        assert snapshot == FaultStats()
+        backend.run([_job(_Model(fail_times=1))])
+        assert snapshot == FaultStats()  # old snapshot unchanged
+        assert backend.stats().retries == 1
+
+    def test_as_dict_round_trip(self):
+        stats = FaultStats(attempts=3, failures=1, retries=1, recoveries=1)
+        payload = stats.as_dict()
+        assert payload["attempts"] == 3
+        assert FaultStats(**payload) == stats
