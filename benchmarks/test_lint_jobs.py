@@ -1,0 +1,90 @@
+"""Lint parallelism: wall-clock per ``--jobs`` value over a synthetic tree.
+
+The per-file lint phase is embarrassingly parallel; ``--jobs N`` fans it
+out over N worker processes while the whole-program phase runs
+concurrently in the parent.  This benchmark generates a synthetic tree
+large enough that per-file work dominates process overhead, then times
+``jobs=1`` against ``jobs=4``.
+
+Asserted properties:
+
+* findings are identical for every ``jobs`` value — parallelism never
+  changes a result (asserted unconditionally);
+* with at least 2 CPUs, ``jobs=4`` beats ``jobs=1`` on wall clock (the
+  speedup floor is asserted only when the hardware can express it — on a
+  single-core container fan-out is pure overhead by construction).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from benchmarks.common import banner, scaled
+
+from repro.lint import lint_paths
+
+#: Worker count under test (the acceptance criterion's 4).
+JOBS = 4
+
+#: Lines of generated code per synthetic module.
+_FUNCS_PER_MODULE = 40
+
+
+def _write_tree(root, num_modules: int) -> None:
+    """A synthetic package big enough for per-file work to dominate."""
+    package = root / "src" / "repro" / "detection"
+    package.mkdir(parents=True)
+    body = "\n".join(
+        f"def helper_{index}(x):\n"
+        f"    y = x + {index}\n"
+        f"    return [y * k for k in range({index % 7} + 1)]\n"
+        for index in range(_FUNCS_PER_MODULE)
+    )
+    for module in range(num_modules):
+        (package / f"gen_{module:03d}.py").write_text(body, encoding="utf-8")
+
+
+def _time_lint(paths, jobs: int):
+    start = time.perf_counter()
+    result = lint_paths(paths, jobs=jobs)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_jobs(tmp_path):
+    num_modules = scaled(60)
+    _write_tree(tmp_path, num_modules)
+    paths = [str(tmp_path / "src")]
+
+    serial_result, serial_s = _time_lint(paths, jobs=1)
+    parallel_result, parallel_s = _time_lint(paths, jobs=JOBS)
+    speedup = serial_s / parallel_s
+
+    payload = {
+        "benchmark": "lint_jobs",
+        "modules": num_modules,
+        "cpus": os.cpu_count(),
+        "jobs": {
+            "1": {"seconds": round(serial_s, 4)},
+            str(JOBS): {"seconds": round(parallel_s, 4)},
+        },
+        "speedup": round(speedup, 2),
+    }
+    print(banner("Lint wall-clock per --jobs value"))
+    print(json.dumps(payload, indent=2))
+
+    # Parallelism must never change the findings or the file count.
+    assert parallel_result == serial_result
+
+    cpus = os.cpu_count() or 1
+    if cpus >= 2:
+        print(f"jobs={JOBS} speedup over jobs=1: {speedup:.2f}x")
+        assert speedup >= 1.1, (
+            f"jobs={JOBS} speedup {speedup:.2f}x below the 1.1x floor on "
+            f"{cpus} CPUs (serial {serial_s:.3f}s, parallel {parallel_s:.3f}s)"
+        )
+    else:
+        print(f"single CPU: speedup assertion skipped ({speedup:.2f}x)")

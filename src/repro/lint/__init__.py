@@ -13,9 +13,17 @@ invariants do:
 PR 1's parallel backends and shared :class:`~repro.engine.store.EvaluationStore`
 made those invariants easy to violate silently from a worker thread, so
 this package machine-checks them on every change instead of relying on
-re-audits.  Five codebase-specific AST rules (RPR001–RPR005, see
-:mod:`repro.lint.rules` and ``docs/STATIC_ANALYSIS.md``) run over the
-tree via ``repro lint <paths>`` and as a CI gate.
+re-audits.  Five per-file AST rules (RPR001–RPR005, see
+:mod:`repro.lint.rules`) check each file in isolation; four
+whole-program rules (RPR006–RPR009, see :mod:`repro.lint.project_rules`)
+run over a cross-module project model — symbol table, import resolution
+and interprocedural call graph (:mod:`repro.lint.project` /
+:mod:`repro.lint.callgraph`) plus a taint-dataflow core
+(:mod:`repro.lint.dataflow`) — catching seed laundering, races deeper
+than one call hop, leaked handles and layering violations that no
+single-file pass can see.  Everything runs via ``repro lint <paths>``
+(``--jobs N`` fans the per-file phase out across processes without
+changing findings) and as a CI gate; see ``docs/STATIC_ANALYSIS.md``.
 
 Violations are suppressed line-by-line with a justified comment::
 
@@ -28,21 +36,65 @@ violation (RPR005).
 from __future__ import annotations
 
 from repro.lint.base import FileContext, LintError, Rule, Violation
-from repro.lint.engine import LintResult, iter_python_files, lint_paths, lint_source
-from repro.lint.report import render_json, render_text
+from repro.lint.baseline import (
+    apply_baseline,
+    load_baseline,
+    violation_fingerprint,
+    write_baseline,
+)
+from repro.lint.callgraph import CallGraph, CallSite
+from repro.lint.dataflow import TaintFinding, TaintOrigin, analyze_rng_taint
+from repro.lint.engine import (
+    LintResult,
+    iter_python_files,
+    known_rule_ids,
+    lint_paths,
+    lint_project,
+    lint_source,
+)
+from repro.lint.project import (
+    DEFAULT_LAYERS,
+    LintConfig,
+    Project,
+    ProjectRule,
+    load_config,
+    module_name_for_path,
+)
+from repro.lint.project_rules import ALL_PROJECT_RULES, project_rule_ids
+from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES, rule_ids
 
 __all__ = [
+    "ALL_PROJECT_RULES",
     "ALL_RULES",
+    "CallGraph",
+    "CallSite",
+    "DEFAULT_LAYERS",
     "FileContext",
+    "LintConfig",
     "LintError",
     "LintResult",
+    "Project",
+    "ProjectRule",
     "Rule",
+    "TaintFinding",
+    "TaintOrigin",
     "Violation",
+    "analyze_rng_taint",
+    "apply_baseline",
     "iter_python_files",
+    "known_rule_ids",
     "lint_paths",
+    "lint_project",
     "lint_source",
+    "load_baseline",
+    "load_config",
+    "module_name_for_path",
+    "project_rule_ids",
     "render_json",
+    "render_sarif",
     "render_text",
     "rule_ids",
+    "violation_fingerprint",
+    "write_baseline",
 ]

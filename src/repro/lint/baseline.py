@@ -1,0 +1,81 @@
+"""Baseline files: snapshot known findings, fail only on new ones.
+
+Enables incremental adoption of new rules on a tree with pre-existing
+findings: ``repro lint --write-baseline lint-baseline.json`` records the
+current findings as fingerprints; subsequent runs with
+``--baseline lint-baseline.json`` drop every finding whose fingerprint
+is in the file and report only regressions.  Fingerprints are
+``path:rule:line:col`` — line-precise on purpose, so a baselined finding
+that *moves* resurfaces for a fresh look instead of being silently
+grandfathered forever.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from repro.lint.base import LintError, Violation
+
+__all__ = [
+    "apply_baseline",
+    "load_baseline",
+    "violation_fingerprint",
+    "write_baseline",
+]
+
+_BASELINE_VERSION = 1
+
+
+def violation_fingerprint(violation: Violation) -> str:
+    """The stable identity of one finding."""
+    return (
+        f"{violation.path}:{violation.rule_id}:"
+        f"{violation.line}:{violation.col}"
+    )
+
+
+def write_baseline(
+    path: str | Path, violations: tuple[Violation, ...] | list[Violation]
+) -> int:
+    """Snapshot the findings to ``path``; returns the count recorded."""
+    fingerprints = sorted({violation_fingerprint(v) for v in violations})
+    payload = {"version": _BASELINE_VERSION, "fingerprints": fingerprints}
+    Path(path).write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+    return len(fingerprints)
+
+
+def load_baseline(path: str | Path) -> frozenset[str]:
+    """Load a baseline file.
+
+    Raises:
+        LintError: On a missing, unreadable or malformed file.
+    """
+    try:
+        raw = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        raise LintError(f"cannot read baseline {path}: {exc}") from exc
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise LintError(f"malformed baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or not isinstance(
+        payload.get("fingerprints"), list
+    ):
+        raise LintError(
+            f"malformed baseline {path}: expected "
+            '{"version": 1, "fingerprints": [...]}'
+        )
+    return frozenset(str(item) for item in payload["fingerprints"])
+
+
+def apply_baseline(
+    violations: tuple[Violation, ...], fingerprints: frozenset[str]
+) -> tuple[tuple[Violation, ...], int]:
+    """Drop baselined findings; returns ``(surviving, suppressed_count)``."""
+    surviving = tuple(
+        v for v in violations if violation_fingerprint(v) not in fingerprints
+    )
+    return surviving, len(violations) - len(surviving)

@@ -1,0 +1,180 @@
+"""The interprocedural call graph over a :class:`~repro.lint.project.Project`.
+
+One directed edge per resolved call site: caller function → callee
+function, both identified by qualified name.  Resolution handles the
+shapes this codebase actually uses:
+
+* bare names — nested defs (walking the enclosing-function chain first),
+  then module globals, then imports (aliased or not);
+* dotted names through module aliases and ``__init__`` re-exports
+  (``import repro.core.mes as m; m.MES(...)``);
+* ``self.method(...)`` and ``cls.method(...)`` inside methods, following
+  project-resolved base classes;
+* ``obj.method(...)`` where ``obj`` is a local constructed from a
+  project class in the same function (one-level flow-insensitive type
+  inference: ``store = EvaluationStore(...); store.put(...)``);
+* constructor calls, which resolve to the class's ``__init__`` when one
+  is defined in the project.
+
+Unresolvable targets (builtins, third-party calls, dynamic dispatch)
+produce no edge — rules treat missing edges as "analysis cannot follow",
+the conservative-for-false-positives direction.  Cycles are allowed;
+traversals guard with visited sets.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.lint.project import (
+    FunctionInfo,
+    Project,
+    iter_owned_nodes,
+)
+
+__all__ = ["CallGraph", "CallSite"]
+
+
+@dataclass(frozen=True)
+class CallSite:
+    """One resolved call edge, pinned to its source location."""
+
+    caller: str
+    callee: str
+    line: int
+    col: int
+    node: ast.Call = field(compare=False, repr=False)
+
+
+class CallGraph:
+    """Resolved call edges, queryable in both directions."""
+
+    def __init__(self) -> None:
+        self._edges: dict[str, list[CallSite]] = {}
+        self._reverse: dict[str, list[CallSite]] = {}
+
+    @classmethod
+    def build(cls, project: Project) -> CallGraph:
+        graph = cls()
+        for qname in sorted(project.functions):
+            fn = project.functions[qname]
+            local_types = _infer_local_types(project, fn)
+            for node in iter_owned_nodes(fn.node):
+                if not isinstance(node, ast.Call):
+                    continue
+                callee = resolve_call_target(project, fn, node, local_types)
+                if callee is None:
+                    continue
+                graph._add(
+                    CallSite(
+                        caller=qname,
+                        callee=callee,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        node=node,
+                    )
+                )
+        return graph
+
+    def _add(self, site: CallSite) -> None:
+        self._edges.setdefault(site.caller, []).append(site)
+        self._reverse.setdefault(site.callee, []).append(site)
+
+    def callees(self, qname: str) -> tuple[CallSite, ...]:
+        """Call sites made from inside ``qname``, in source order."""
+        return tuple(self._edges.get(qname, ()))
+
+    def callers(self, qname: str) -> tuple[CallSite, ...]:
+        """Call sites that target ``qname``."""
+        return tuple(self._reverse.get(qname, ()))
+
+
+def _lookup_nested(project: Project, fn: FunctionInfo, name: str) -> str | None:
+    """Resolve a bare name against the enclosing-function def chain."""
+    current: FunctionInfo | None = fn
+    while current is not None:
+        found = current.nested.get(name)
+        if found is not None:
+            return found
+        current = (
+            project.functions.get(current.parent)
+            if current.parent is not None
+            else None
+        )
+    return None
+
+
+def _infer_local_types(project: Project, fn: FunctionInfo) -> dict[str, str]:
+    """Locals assigned from a project-class constructor → class qname."""
+    types: dict[str, str] = {}
+    for node in iter_owned_nodes(fn.node):
+        if not (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Call)
+        ):
+            continue
+        dotted = _dotted(node.value.func)
+        if dotted is None:
+            continue
+        resolved = project.resolve(fn.module, dotted)
+        if resolved is not None and resolved.kind == "class":
+            types[node.targets[0].id] = resolved.target
+        else:
+            # Reassignment to something we can't type kills the binding.
+            types.pop(node.targets[0].id, None)
+    return types
+
+
+def resolve_call_target(
+    project: Project,
+    fn: FunctionInfo,
+    call: ast.Call,
+    local_types: dict[str, str] | None = None,
+) -> str | None:
+    """The qualified name of the project function a call dispatches to.
+
+    Returns ``None`` when the target is external, builtin, or dynamic.
+    """
+    func = call.func
+    if isinstance(func, ast.Name):
+        nested = _lookup_nested(project, fn, func.id)
+        if nested is not None:
+            return nested
+        return _as_callable(project, fn, func.id)
+    if isinstance(func, ast.Attribute):
+        if isinstance(func.value, ast.Name):
+            root = func.value.id
+            if root in ("self", "cls") and fn.class_qname is not None:
+                return project.method(fn.class_qname, func.attr)
+            if local_types and root in local_types:
+                return project.method(local_types[root], func.attr)
+        dotted = _dotted(func)
+        if dotted is not None:
+            return _as_callable(project, fn, dotted)
+    return None
+
+
+def _as_callable(project: Project, fn: FunctionInfo, dotted: str) -> str | None:
+    resolved = project.resolve(fn.module, dotted)
+    if resolved is None:
+        return None
+    if resolved.kind == "function":
+        return resolved.target
+    if resolved.kind == "class":
+        return project.method(resolved.target, "__init__")
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

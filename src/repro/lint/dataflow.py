@@ -1,0 +1,494 @@
+"""Seed-flow taint analysis: the dataflow core behind RPR006.
+
+The reproducibility contract says every random stream reaching the
+selection/simulation/engine/ensembling layers derives from the single
+seam ``repro.utils.rng.derive_rng(seed, *key)`` (or is constructed from
+a seed threaded in explicitly as a parameter).  RPR001 catches direct
+construction *inside* those layers; what it cannot see is **seed
+laundering** — an ambient generator built elsewhere
+(``default_rng()`` with no seed in a helper module) and handed across
+module boundaries into the scoped layers through arguments, return
+values or ``self`` fields.
+
+This module implements a context-insensitive interprocedural taint
+analysis over the :class:`~repro.lint.project.Project` call graph:
+
+* **sources** — calls resolving to ``numpy.random.default_rng`` /
+  ``RandomState`` / ``Generator`` / stdlib ``random.Random`` whose seed
+  argument is missing, entropy-seeded (``Generator(PCG64())``), or a
+  hardcoded literal inside ``repro.*`` (literal seeds in tests and
+  benchmarks are explicitly fine);
+* **sanitizers** — ``repro.utils.rng.derive_rng`` / ``spawn_seeds``
+  results are clean, seeds from ``derive_seed`` or any project function
+  are clean, and everything inside ``repro.utils.rng`` itself is exempt;
+* **propagation** — through local assignments, argument binding at
+  resolved call sites (methods included), return values and
+  ``self.<attr>`` fields, iterated to a fixpoint with first-wins
+  summaries (which guarantees termination on recursive call cycles);
+* **sinks** — a tainted value entering a function whose module lives in
+  a scoped layer from *another* module.  Same-module origins are left to
+  RPR001, which already flags the construction itself.
+
+Each finding carries the full evidencing chain — origin construction
+site, every call hop, and the entry point — so the report can name the
+untainted origin verbatim.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from dataclasses import dataclass
+
+from repro.lint.callgraph import CallGraph, resolve_call_target
+from repro.lint.project import (
+    FunctionInfo,
+    Project,
+    iter_owned_statements,
+)
+
+__all__ = [
+    "RNG_CONSTRUCTORS",
+    "SANCTIONED_RNG",
+    "SANCTIONED_SEED",
+    "SCOPED_SEGMENTS",
+    "Taint",
+    "TaintFinding",
+    "TaintOrigin",
+    "analyze_rng_taint",
+]
+
+#: Package segments forming the scoped layers RPR006 protects.
+SCOPED_SEGMENTS = frozenset({"core", "simulation", "engine", "ensembling"})
+
+#: External constructors that mint a random stream.
+RNG_CONSTRUCTORS = frozenset(
+    {
+        "numpy.random.default_rng",
+        "numpy.random.RandomState",
+        "numpy.random.Generator",
+        "random.Random",
+    }
+)
+
+#: The sanctioned generator seam — results are always clean.
+SANCTIONED_RNG = frozenset(
+    {"repro.utils.rng.derive_rng", "repro.utils.rng.spawn_seeds"}
+)
+
+#: Sanctioned seed derivation — using these as a seed argument is clean.
+SANCTIONED_SEED = frozenset({"repro.utils.rng.derive_seed"})
+
+#: Modules exempt from source detection (the seam's own internals).
+EXEMPT_MODULES = frozenset({"repro.utils.rng"})
+
+_MAX_CHAIN_HOPS = 10
+
+
+@dataclass(frozen=True)
+class TaintOrigin:
+    """Where an untainted (ambient) RNG was constructed."""
+
+    module: str
+    path: str
+    line: int
+    construct: str
+    reason: str
+
+    def describe(self) -> str:
+        return f"{self.construct} ({self.reason}) at {self.path}:{self.line}"
+
+
+@dataclass(frozen=True)
+class Taint:
+    """A tainted value: its origin plus the call hops it travelled."""
+
+    origin: TaintOrigin
+    chain: tuple[str, ...]
+
+    def extend(self, hop: str) -> Taint:
+        if len(self.chain) >= _MAX_CHAIN_HOPS:
+            return self
+        return Taint(origin=self.origin, chain=(*self.chain, hop))
+
+
+@dataclass(frozen=True)
+class TaintFinding:
+    """An ambient RNG reaching a scoped-layer function."""
+
+    entry: str
+    module: str
+    path: str
+    line: int
+    col: int
+    origin: TaintOrigin
+    chain: tuple[str, ...]
+
+
+def module_is_scoped(module_name: str) -> bool:
+    """True for modules in the protected layers (repro.core.*, ...)."""
+    parts = module_name.split(".")
+    return len(parts) >= 2 and parts[0] == "repro" and parts[1] in SCOPED_SEGMENTS
+
+
+def analyze_rng_taint(project: Project, graph: CallGraph) -> list[TaintFinding]:
+    """Run the taint fixpoint; returns findings in path/line order."""
+    return _Analysis(project, graph).run()
+
+
+class _Analysis:
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self._param_taint: dict[str, dict[str, Taint]] = {}
+        self._returns: dict[str, Taint] = {}
+        self._fields: dict[str, dict[str, Taint]] = {}
+        self._findings: dict[tuple[str, str, int], TaintFinding] = {}
+
+    def run(self) -> list[TaintFinding]:
+        pending: deque[str] = deque(sorted(self.project.functions))
+        queued = set(pending)
+        while pending:
+            qname = pending.popleft()
+            queued.discard(qname)
+            fn = self.project.functions.get(qname)
+            if fn is None or fn.module in EXEMPT_MODULES:
+                continue
+            touched = self._analyze(fn)
+            for dependent in touched:
+                if dependent not in queued and dependent in self.project.functions:
+                    queued.add(dependent)
+                    pending.append(dependent)
+        return sorted(
+            self._findings.values(),
+            key=lambda f: (f.path, f.line, f.col, f.entry),
+        )
+
+    # ---- per-function transfer ------------------------------------------
+
+    def _analyze(self, fn: FunctionInfo) -> list[str]:
+        """Analyze one function; returns qnames needing (re)analysis."""
+        touched: list[str] = []
+        env: dict[str, Taint] = dict(self._param_taint.get(fn.qname, {}))
+        module = self.project.modules.get(fn.module)
+        path = module.path if module is not None else fn.module
+        scoped = module_is_scoped(fn.module)
+
+        def visit_calls(stmt: ast.stmt) -> None:
+            for node in _stmt_nodes(stmt):
+                if isinstance(node, ast.Call):
+                    touched.extend(self._bind_call_args(fn, node, env, path))
+                    if scoped:
+                        self._note_return_entry(fn, node, env, path)
+
+        for stmt in _owned_statements(fn):
+            visit_calls(stmt)
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if taint is not None:
+                        env[target.id] = taint
+                    else:
+                        env.pop(target.id, None)
+                elif taint is not None:
+                    attr = _self_attr(target)
+                    if attr is not None and fn.class_qname is not None:
+                        fields = self._fields.setdefault(fn.class_qname, {})
+                        if attr not in fields:
+                            fields[attr] = taint
+                            touched.extend(self._class_methods(fn.class_qname))
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                if isinstance(stmt.target, ast.Name):
+                    if taint is not None:
+                        env[stmt.target.id] = taint
+                    else:
+                        env.pop(stmt.target.id, None)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                if taint is not None and fn.qname not in self._returns:
+                    self._returns[fn.qname] = taint.extend(
+                        f"returned by {fn.qname} ({path}:{stmt.lineno})"
+                    )
+                    touched.extend(
+                        site.caller for site in self.graph.callers(fn.qname)
+                    )
+        return touched
+
+    def _class_methods(self, class_qname: str) -> list[str]:
+        info = self.project.classes.get(class_qname)
+        return sorted(info.methods.values()) if info is not None else []
+
+    # ---- taint of expressions -------------------------------------------
+
+    def _expr_taint(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: dict[str, Taint],
+        path: str,
+    ) -> Taint | None:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            attr = _self_attr(expr)
+            if attr is not None and fn.class_qname is not None:
+                return self._fields.get(fn.class_qname, {}).get(attr)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_taint(fn, expr, env, path)
+        if isinstance(expr, ast.IfExp):
+            return self._expr_taint(fn, expr.body, env, path) or self._expr_taint(
+                fn, expr.orelse, env, path
+            )
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                taint = self._expr_taint(fn, value, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            return self._expr_taint(fn, expr.value, env, path)
+        return None
+
+    def _call_taint(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, Taint],
+        path: str,
+    ) -> Taint | None:
+        callee = resolve_call_target(self.project, fn, call)
+        if callee is not None:
+            return self._returns.get(callee)
+        external = self._external_target(fn, call)
+        if external is None:
+            return None
+        if external in SANCTIONED_RNG:
+            return None
+        if external in RNG_CONSTRUCTORS:
+            reason = self._ambient_reason(fn, call)
+            if reason is None:
+                return None
+            origin = TaintOrigin(
+                module=fn.module,
+                path=path,
+                line=call.lineno,
+                construct=f"{external}()",
+                reason=reason,
+            )
+            return Taint(
+                origin=origin,
+                chain=(f"constructed in {fn.qname} ({path}:{call.lineno})",),
+            )
+        return None
+
+    def _external_target(self, fn: FunctionInfo, call: ast.Call) -> str | None:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        resolved = self.project.resolve(fn.module, dotted)
+        if resolved is None:
+            return None
+        if resolved.kind == "external":
+            return resolved.target
+        if resolved.kind == "function":
+            # The sanctioned seam may itself be a project function when
+            # utils/rng.py is part of the analyzed tree.
+            return resolved.target
+        return None
+
+    def _ambient_reason(self, fn: FunctionInfo, call: ast.Call) -> str | None:
+        """Why this constructor call is ambient; ``None`` when clean."""
+        seed = _seed_argument(call)
+        return self._seed_problem(fn, seed)
+
+    def _seed_problem(self, fn: FunctionInfo, seed: ast.expr | None) -> str | None:
+        if seed is None:
+            return "no seed argument"
+        if isinstance(seed, ast.Constant):
+            if fn.module.startswith("repro."):
+                return f"hardcoded seed {seed.value!r}"
+            return None
+        if isinstance(seed, ast.Call):
+            target = self._external_target(fn, seed)
+            if target is not None:
+                if target in SANCTIONED_SEED or target in SANCTIONED_RNG:
+                    return None
+                if target.startswith("repro."):
+                    return None
+                # External constructor (e.g. PCG64): clean iff *its*
+                # seed is.
+                inner = _seed_argument(seed)
+                if inner is None:
+                    return f"entropy-seeded {target}()"
+                return self._seed_problem(fn, inner)
+            if resolve_call_target(self.project, fn, seed) is not None:
+                return None
+            inner = _seed_argument(seed)
+            if inner is not None:
+                return self._seed_problem(fn, inner)
+            return None
+        # Names, attributes, arithmetic: an explicitly threaded seed.
+        return None
+
+    # ---- sinks ----------------------------------------------------------
+
+    def _bind_call_args(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, Taint],
+        path: str,
+    ) -> list[str]:
+        callee_q = resolve_call_target(self.project, fn, call)
+        if callee_q is None:
+            return []
+        callee = self.project.functions.get(callee_q)
+        if callee is None:
+            return []
+        touched: list[str] = []
+        offset = 1 if callee.is_method else 0
+        bound: list[tuple[str, Taint]] = []
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            slot = index + offset
+            if slot >= len(callee.params):
+                break
+            taint = self._expr_taint(fn, arg, env, path)
+            if taint is not None:
+                bound.append((callee.params[slot], taint))
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg not in callee.params:
+                continue
+            taint = self._expr_taint(fn, keyword.value, env, path)
+            if taint is not None:
+                bound.append((keyword.arg, taint))
+        if not bound:
+            return []
+        hop = f"passed to {callee_q} ({path}:{call.lineno})"
+        params = self._param_taint.setdefault(callee_q, {})
+        for name, taint in bound:
+            if name not in params:
+                params[name] = taint.extend(hop)
+                touched.append(callee_q)
+            if module_is_scoped(callee.module) and taint.origin.module != callee.module:
+                self._record(
+                    entry=callee_q,
+                    module=fn.module,
+                    path=path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    taint=taint.extend(hop),
+                )
+        return touched
+
+    def _note_return_entry(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, Taint],
+        path: str,
+    ) -> None:
+        """Tainted return value materializing inside a scoped function."""
+        callee = resolve_call_target(self.project, fn, call)
+        if callee is None:
+            return
+        taint = self._returns.get(callee)
+        if taint is None or taint.origin.module == fn.module:
+            return
+        self._record(
+            entry=fn.qname,
+            module=fn.module,
+            path=path,
+            line=call.lineno,
+            col=call.col_offset,
+            taint=taint.extend(f"received in {fn.qname} ({path}:{call.lineno})"),
+        )
+
+    def _record(
+        self,
+        entry: str,
+        module: str,
+        path: str,
+        line: int,
+        col: int,
+        taint: Taint,
+    ) -> None:
+        key = (entry, taint.origin.path, taint.origin.line)
+        if key in self._findings:
+            return
+        self._findings[key] = TaintFinding(
+            entry=entry,
+            module=module,
+            path=path,
+            line=line,
+            col=col,
+            origin=taint.origin,
+            chain=taint.chain,
+        )
+
+
+def _owned_statements(fn: FunctionInfo) -> list[ast.stmt]:
+    if isinstance(fn.node, ast.Lambda):
+        return []
+    return list(iter_owned_statements(fn.node))
+
+
+def _stmt_nodes(stmt: ast.stmt) -> list[ast.AST]:
+    """The expression nodes of one statement, excluding nested
+    function/lambda/class subtrees (each is its own analysis unit) and
+    the bodies of compound statements (visited as their own statements)."""
+    nodes: list[ast.AST] = []
+    stack: list[ast.AST] = [stmt]
+    while stack:
+        node = stack.pop()
+        nodes.append(node)
+        for child in ast.iter_child_nodes(node):
+            if isinstance(
+                child,
+                (
+                    ast.FunctionDef,
+                    ast.AsyncFunctionDef,
+                    ast.Lambda,
+                    ast.ClassDef,
+                    ast.stmt,
+                ),
+            ):
+                continue
+            stack.append(child)
+    return nodes
+
+
+def _seed_argument(call: ast.Call) -> ast.expr | None:
+    if call.args:
+        first = call.args[0]
+        return None if isinstance(first, ast.Starred) else first
+    for keyword in call.keywords:
+        if keyword.arg == "seed":
+            return keyword.value
+    return None
+
+
+def _self_attr(node: ast.expr) -> str | None:
+    if (
+        isinstance(node, ast.Attribute)
+        and isinstance(node.value, ast.Name)
+        and node.value.id == "self"
+    ):
+        return node.attr
+    return None
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))

@@ -1,20 +1,41 @@
 """The lint driver: file discovery, rule dispatch, suppression handling.
 
-:func:`lint_source` is the single-source entry (what the rule tests
-drive, with virtual paths to opt fixtures into path-scoped rules);
-:func:`lint_paths` walks real trees and is what the CLI and CI gate call.
+:func:`lint_source` is the single-source entry (what the per-file rule
+tests drive, with virtual paths to opt fixtures into path-scoped rules);
+:func:`lint_project` is its whole-program analogue over an in-memory
+``{path: source}`` tree; :func:`lint_paths` walks real trees — per-file
+rules first (optionally fanned out across processes with ``jobs``), then
+the whole-program rules over the combined project — and is what the CLI
+and CI gate call.
+
+Parallelism contract: the per-file phase is embarrassingly parallel and
+each worker returns plain :class:`~repro.lint.base.Violation` values, so
+``jobs=N`` changes wall-clock time only — the final, sorted violation
+list is byte-identical to a ``jobs=1`` run.  The project phase always
+runs in the parent (it needs every file's AST at once).
 """
 
 from __future__ import annotations
 
-from collections.abc import Iterable, Iterator, Sequence
+from collections.abc import Iterable, Iterator, Mapping, Sequence
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
 
 from repro.lint.base import DISABLE_COMMENT_RE, FileContext, LintError, Rule, Violation
+from repro.lint.callgraph import CallGraph
+from repro.lint.project import LintConfig, Project, ProjectRule, load_config
+from repro.lint.project_rules import ALL_PROJECT_RULES
 from repro.lint.rules import ALL_RULES
 
-__all__ = ["LintResult", "iter_python_files", "lint_paths", "lint_source"]
+__all__ = [
+    "LintResult",
+    "iter_python_files",
+    "known_rule_ids",
+    "lint_paths",
+    "lint_project",
+    "lint_source",
+]
 
 #: Directory names never descended into.
 _SKIP_DIRS = frozenset({"__pycache__", ".git", ".venv", "venv", "node_modules", ".eggs"})
@@ -44,6 +65,13 @@ class LintResult:
         for violation in self.violations:
             counts[violation.rule_id] = counts.get(violation.rule_id, 0) + 1
         return dict(sorted(counts.items()))
+
+
+def known_rule_ids() -> list[str]:
+    """Every shipped rule ID — per-file and whole-program — in order."""
+    return [rule.rule_id for rule in ALL_RULES] + [
+        rule.rule_id for rule in ALL_PROJECT_RULES
+    ]
 
 
 @dataclass(frozen=True)
@@ -106,30 +134,10 @@ def _is_suppressed(
     return False
 
 
-def lint_source(
-    source: str,
-    path: str,
-    rules: Sequence[Rule] = ALL_RULES,
-    select: Iterable[str] | None = None,
+def _file_violations(
+    ctx: FileContext, rules: Sequence[Rule], wanted: set[str] | None
 ) -> list[Violation]:
-    """Lint one in-memory source, returning surviving violations.
-
-    Args:
-        source: Python source text.
-        path: The (possibly virtual) POSIX path the source claims; rule
-            scoping keys off it.
-        rules: Rule instances to run (default: all shipped rules).
-        select: Optional rule-ID filter (e.g. ``{"RPR001"}``).
-    """
-    wanted = {rule_id.upper() for rule_id in select} if select is not None else None
-    try:
-        ctx = FileContext.from_source(source, path)
-    except LintError as exc:
-        return [
-            Violation(
-                path=path, line=0, col=0, rule_id=PARSE_ERROR_ID, message=str(exc)
-            )
-        ]
+    """Run the per-file rules on one parsed context, suppressions applied."""
     suppressions = _parse_suppressions(ctx)
     comment_only = _comment_only_lines(ctx)
     violations: list[Violation] = []
@@ -141,6 +149,97 @@ def lint_source(
         for violation in rule.check(ctx):
             if not _is_suppressed(violation, suppressions, comment_only):
                 violations.append(violation)
+    return violations
+
+
+def lint_source(
+    source: str,
+    path: str,
+    rules: Sequence[Rule] = ALL_RULES,
+    select: Iterable[str] | None = None,
+) -> list[Violation]:
+    """Lint one in-memory source with the per-file rules.
+
+    Args:
+        source: Python source text.
+        path: The (possibly virtual) POSIX path the source claims; rule
+            scoping keys off it.
+        rules: Rule instances to run (default: all shipped per-file rules).
+        select: Optional rule-ID filter (e.g. ``{"RPR001"}``).
+    """
+    wanted = {rule_id.upper() for rule_id in select} if select is not None else None
+    try:
+        ctx = FileContext.from_source(source, path)
+    except LintError as exc:
+        return [
+            Violation(
+                path=path, line=0, col=0, rule_id=PARSE_ERROR_ID, message=str(exc)
+            )
+        ]
+    return sorted(_file_violations(ctx, rules, wanted))
+
+
+def _project_violations(
+    contexts: Mapping[str, FileContext],
+    project_rules: Sequence[ProjectRule],
+    config: LintConfig,
+) -> list[Violation]:
+    """Run the whole-program rules over parsed contexts."""
+    project = Project.from_contexts(contexts, config=config)
+    graph = CallGraph.build(project)
+    suppression_maps = {
+        path: (_parse_suppressions(ctx), _comment_only_lines(ctx))
+        for path, ctx in contexts.items()
+    }
+    violations: list[Violation] = []
+    for rule in project_rules:
+        for violation in rule.check_project(project, graph):
+            maps = suppression_maps.get(violation.path)
+            if maps is not None and _is_suppressed(violation, maps[0], maps[1]):
+                continue
+            violations.append(violation)
+    return violations
+
+
+def lint_project(
+    sources: Mapping[str, str],
+    rules: Sequence[Rule] = ALL_RULES,
+    project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
+    select: Iterable[str] | None = None,
+    config: LintConfig | None = None,
+) -> list[Violation]:
+    """Lint an in-memory ``{path: source}`` tree, per-file + project rules.
+
+    The whole-program fixture-test entry point: virtual paths determine
+    module names exactly as on disk (``src/repro/core/x.py`` →
+    ``repro.core.x``), so multi-file fixtures exercise import
+    resolution, the call graph and the layer DAG without touching the
+    filesystem.
+    """
+    wanted = {rule_id.upper() for rule_id in select} if select is not None else None
+    violations: list[Violation] = []
+    contexts: dict[str, FileContext] = {}
+    for path in sorted(sources):
+        try:
+            ctx = FileContext.from_source(sources[path], path)
+        except LintError as exc:
+            violations.append(
+                Violation(
+                    path=path, line=0, col=0, rule_id=PARSE_ERROR_ID,
+                    message=str(exc),
+                )
+            )
+            continue
+        contexts[ctx.path] = ctx
+        violations.extend(_file_violations(ctx, rules, wanted))
+    active = [
+        rule
+        for rule in project_rules
+        if wanted is None or rule.rule_id in wanted
+    ]
+    if active and contexts:
+        effective = config if config is not None else LintConfig()
+        violations.extend(_project_violations(contexts, active, effective))
     return sorted(violations)
 
 
@@ -172,30 +271,122 @@ def iter_python_files(paths: Iterable[str | Path]) -> Iterator[Path]:
                 yield candidate
 
 
+def _read_error(path: Path, exc: OSError) -> Violation:
+    return Violation(
+        path=path.as_posix(),
+        line=0,
+        col=0,
+        rule_id=PARSE_ERROR_ID,
+        message=f"cannot read: {exc}",
+    )
+
+
+def _lint_file_job(
+    job: tuple[str, tuple[str, ...] | None]
+) -> list[Violation]:
+    """Process-pool worker: per-file rules for one path.
+
+    Module-level (and returning plain frozen dataclasses) so it pickles;
+    each worker re-parses its file, which is what makes the fan-out
+    share-nothing and the output order-independent.
+    """
+    path_str, select = job
+    path = Path(path_str)
+    try:
+        source = path.read_text(encoding="utf-8")
+    except OSError as exc:
+        return [_read_error(path, exc)]
+    return lint_source(source, path.as_posix(), select=select)
+
+
 def lint_paths(
     paths: Iterable[str | Path],
     rules: Sequence[Rule] = ALL_RULES,
     select: Iterable[str] | None = None,
+    *,
+    jobs: int = 1,
+    project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
+    config: LintConfig | None = None,
 ) -> LintResult:
-    """Lint every Python file under ``paths``."""
+    """Lint every Python file under ``paths``.
+
+    Args:
+        paths: Files or directories to walk.
+        rules: Per-file rules to run.
+        select: Optional rule-ID filter spanning both rule kinds.
+        jobs: Worker processes for the per-file phase; ``1`` runs
+            in-process.  Findings are identical for any value.
+        project_rules: Whole-program rules to run after the per-file
+            phase (skipped entirely when ``select`` excludes them all).
+        config: Analysis configuration; discovered from the nearest
+            ``pyproject.toml`` when omitted.
+    """
+    wanted = {rule_id.upper() for rule_id in select} if select is not None else None
+    files = list(iter_python_files(paths))
     violations: list[Violation] = []
-    files_checked = 0
-    for file_path in iter_python_files(paths):
-        files_checked += 1
-        try:
-            source = file_path.read_text(encoding="utf-8")
-        except OSError as exc:
-            violations.append(
-                Violation(
-                    path=file_path.as_posix(),
-                    line=0,
-                    col=0,
-                    rule_id=PARSE_ERROR_ID,
-                    message=f"cannot read: {exc}",
-                )
+    contexts: dict[str, FileContext] = {}
+    active_project_rules = [
+        rule
+        for rule in project_rules
+        if wanted is None or rule.rule_id in wanted
+    ]
+    if jobs > 1 and len(files) > 1:
+        select_arg = tuple(sorted(wanted)) if wanted is not None else None
+        chunksize = max(1, len(files) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            mapped = executor.map(
+                _lint_file_job,
+                [(str(path), select_arg) for path in files],
+                chunksize=chunksize,
             )
-            continue
-        violations.extend(
-            lint_source(source, file_path.as_posix(), rules=rules, select=select)
+            if active_project_rules:
+                # Overlap: while the workers run the per-file rules, the
+                # parent re-parses and runs the whole-program phase — the
+                # two phases are independent, so jobs-mode wall clock is
+                # max(), not sum(), of them.  Reads/parses that fail here
+                # were already reported by the workers.
+                for path in files:
+                    try:
+                        source = path.read_text(encoding="utf-8")
+                        ctx = FileContext.from_source(source, path.as_posix())
+                    except (OSError, LintError):
+                        continue
+                    contexts[ctx.path] = ctx
+                if contexts:
+                    effective = config if config is not None else load_config(files[0])
+                    violations.extend(
+                        _project_violations(contexts, active_project_rules, effective)
+                    )
+            for file_violations in mapped:
+                violations.extend(file_violations)
+        return LintResult(
+            violations=tuple(sorted(violations)), files_checked=len(files)
         )
-    return LintResult(violations=tuple(sorted(violations)), files_checked=files_checked)
+    else:
+        for path in files:
+            try:
+                source = path.read_text(encoding="utf-8")
+            except OSError as exc:
+                violations.append(_read_error(path, exc))
+                continue
+            try:
+                ctx = FileContext.from_source(source, path.as_posix())
+            except LintError as exc:
+                violations.append(
+                    Violation(
+                        path=path.as_posix(),
+                        line=0,
+                        col=0,
+                        rule_id=PARSE_ERROR_ID,
+                        message=str(exc),
+                    )
+                )
+                continue
+            contexts[ctx.path] = ctx
+            violations.extend(_file_violations(ctx, rules, wanted))
+    if active_project_rules and contexts:
+        effective = config if config is not None else load_config(files[0])
+        violations.extend(
+            _project_violations(contexts, active_project_rules, effective)
+        )
+    return LintResult(violations=tuple(sorted(violations)), files_checked=len(files))

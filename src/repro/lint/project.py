@@ -1,0 +1,771 @@
+"""The whole-program layer: modules, symbols, imports and layer config.
+
+A :class:`Project` is the multi-file analogue of
+:class:`~repro.lint.base.FileContext`: it maps every analyzed file to a
+dotted module name, builds a per-module symbol table (top-level functions,
+classes, methods, nested functions and lambdas, each with a stable
+qualified name), resolves imports *across* modules — including aliased
+imports, ``from package import member``, relative imports and
+``__init__`` re-export chains — and records the import edges the layering
+rule (RPR009) checks against the declared layer DAG.
+
+The call graph (:mod:`repro.lint.callgraph`) and the taint engine
+(:mod:`repro.lint.dataflow`) are built on top of this model; the
+whole-program rules RPR006–RPR009 live in
+:mod:`repro.lint.project_rules`.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import TYPE_CHECKING
+
+from repro.lint.base import FileContext, Violation
+
+if TYPE_CHECKING:  # runtime import would cycle: callgraph builds on this
+    from repro.lint.callgraph import CallGraph
+
+__all__ = [
+    "DEFAULT_LAYERS",
+    "ClassInfo",
+    "FunctionInfo",
+    "ImportEdge",
+    "LintConfig",
+    "ModuleInfo",
+    "Project",
+    "ProjectRule",
+    "Resolved",
+    "iter_owned_nodes",
+    "iter_owned_statements",
+    "load_config",
+    "module_name_for_path",
+]
+
+#: Path anchors: the last occurrence of one of these path segments marks
+#: the import root, so ``/repo/src/repro/core/mes.py`` →  ``repro.core.mes``
+#: and ``/repo/tests/test_mes.py`` → ``tests.test_mes``.
+_ROOT_MARKERS = ("src",)
+_TOP_LEVEL_PACKAGES = ("repro", "tests", "benchmarks", "examples")
+
+#: The shipped layer DAG — kept in sync with ``[tool.repro-lint.layers]``
+#: in ``pyproject.toml`` (which overrides this when present).  Each layer
+#: lists the layers it may import; enforcement uses the transitive
+#: closure, and intra-layer imports are always allowed.  ``engine`` is
+#: execution infrastructure below ``core`` (its only runtime dependency
+#: is ``utils``; its references to core types are TYPE_CHECKING-only).
+DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
+    "utils": (),
+    "lint": (),
+    "detection": ("utils",),
+    "engine": ("utils",),
+    "ensembling": ("detection", "utils"),
+    "simulation": ("detection", "utils"),
+    "core": ("engine", "simulation", "ensembling", "detection", "utils"),
+    "tracking": ("simulation", "detection", "utils"),
+    "query": ("core", "engine", "simulation", "ensembling", "detection", "utils"),
+    "runner": ("core", "engine", "simulation", "ensembling", "detection", "utils"),
+    "cli": (
+        "runner",
+        "query",
+        "core",
+        "tracking",
+        "engine",
+        "simulation",
+        "ensembling",
+        "detection",
+        "utils",
+        "lint",
+    ),
+    "root": (
+        "cli",
+        "runner",
+        "query",
+        "core",
+        "tracking",
+        "engine",
+        "simulation",
+        "ensembling",
+        "detection",
+        "utils",
+        "lint",
+    ),
+}
+
+
+@dataclass(frozen=True)
+class LintConfig:
+    """Project-level analysis configuration.
+
+    Attributes:
+        layers: The layer DAG for RPR009 — layer name → layers it may
+            import (closure applied at check time).  ``None`` falls back
+            to :data:`DEFAULT_LAYERS`.
+    """
+
+    layers: Mapping[str, tuple[str, ...]] | None = None
+
+    def layer_dag(self) -> Mapping[str, tuple[str, ...]]:
+        return self.layers if self.layers is not None else DEFAULT_LAYERS
+
+
+def _parse_layer_table(text: str) -> dict[str, tuple[str, ...]] | None:
+    """Extract ``[tool.repro-lint.layers]`` from pyproject text.
+
+    Uses :mod:`tomllib` when available (3.11+); on 3.10 falls back to a
+    minimal line parser that understands exactly the shape this section
+    uses (``name = ["a", "b"]``, lists possibly spanning lines).
+    """
+    try:
+        import tomllib
+    except ImportError:  # Python 3.10: no stdlib TOML reader
+        return _parse_layer_table_fallback(text)
+    try:
+        data = tomllib.loads(text)
+    except tomllib.TOMLDecodeError:
+        return None
+    table = data.get("tool", {}).get("repro-lint", {}).get("layers")
+    if not isinstance(table, dict):
+        return None
+    layers: dict[str, tuple[str, ...]] = {}
+    for name, allowed in table.items():
+        if isinstance(allowed, list):
+            layers[str(name)] = tuple(str(item) for item in allowed)
+    return layers or None
+
+
+def _parse_layer_table_fallback(text: str) -> dict[str, tuple[str, ...]] | None:
+    layers: dict[str, tuple[str, ...]] = {}
+    in_section = False
+    pending_key: str | None = None
+    pending_value = ""
+    for raw_line in text.splitlines():
+        line = raw_line.strip()
+        if line.startswith("["):
+            in_section = line == "[tool.repro-lint.layers]"
+            pending_key = None
+            continue
+        if not in_section or not line or line.startswith("#"):
+            continue
+        if pending_key is None:
+            key, sep, value = line.partition("=")
+            if not sep:
+                continue
+            pending_key, pending_value = key.strip().strip('"'), value.strip()
+        else:
+            pending_value += " " + line
+        if pending_value.startswith("[") and pending_value.endswith("]"):
+            try:
+                parsed = ast.literal_eval(pending_value)
+            except (SyntaxError, ValueError):
+                parsed = None
+            if isinstance(parsed, list):
+                layers[pending_key] = tuple(str(item) for item in parsed)
+            pending_key = None
+    return layers or None
+
+
+def load_config(start: Path | str) -> LintConfig:
+    """Load the lint config from the nearest ``pyproject.toml``.
+
+    Walks upward from ``start`` (a file or directory); missing file or
+    missing ``[tool.repro-lint]`` section falls back to the built-in
+    defaults, so fixture trees without a pyproject analyze identically.
+    """
+    directory = Path(start).resolve()
+    if directory.is_file():
+        directory = directory.parent
+    for candidate in (directory, *directory.parents):
+        pyproject = candidate / "pyproject.toml"
+        if pyproject.is_file():
+            try:
+                text = pyproject.read_text(encoding="utf-8")
+            except OSError:
+                return LintConfig()
+            return LintConfig(layers=_parse_layer_table(text))
+    return LintConfig()
+
+
+def module_name_for_path(path: str) -> str:
+    """Derive the dotted module name a POSIX path would import as.
+
+    ``src/repro/core/mes.py`` → ``repro.core.mes`` (anchored at the last
+    ``src`` segment); ``tests/test_mes.py`` → ``tests.test_mes``
+    (anchored at a known top-level package name); package ``__init__.py``
+    files name the package itself.  Paths that match no anchor fall back
+    to their stem, which keeps single-file fixture projects working.
+    """
+    parts = list(PurePosixPath(path).parts)
+    if parts and parts[-1].endswith(".py"):
+        parts[-1] = parts[-1][: -len(".py")]
+    if parts and parts[-1] == "__init__":
+        parts.pop()
+    anchor = 0
+    for index, part in enumerate(parts):
+        if part in _ROOT_MARKERS:
+            anchor = index + 1
+        elif part in _TOP_LEVEL_PACKAGES and anchor == 0:
+            anchor = index
+    tail = [part for part in parts[anchor:] if part not in ("/", "")]
+    if not tail:
+        tail = [parts[-1]] if parts else ["<unknown>"]
+    return ".".join(tail)
+
+
+@dataclass(frozen=True)
+class ImportEdge:
+    """One import recorded for the layering check.
+
+    Attributes:
+        target: Dotted module imported (``repro.engine.store``).
+        line / col: Location of the import statement.
+        type_checking: Inside an ``if TYPE_CHECKING:`` block — erased at
+            runtime, so RPR009 exempts it.
+        function_level: Imported lazily inside a function body.
+    """
+
+    target: str
+    line: int
+    col: int
+    type_checking: bool = False
+    function_level: bool = False
+
+
+@dataclass(frozen=True)
+class Resolved:
+    """Outcome of resolving a dotted name against the project.
+
+    ``kind`` is ``"function"`` / ``"class"`` (project symbols, ``target``
+    is the qualified name), ``"module"`` (a module path that may or may
+    not be in the project), or ``"external"`` (a dotted path rooted
+    outside the project, e.g. ``numpy.random.default_rng``).
+    """
+
+    kind: str
+    target: str
+
+
+@dataclass
+class FunctionInfo:
+    """One function-like node: module function, method, nested def, lambda.
+
+    Qualified names follow CPython's ``__qualname__`` convention:
+    ``repro.core.mes.MES.choose`` for methods,
+    ``pkg.mod.outer.<locals>.inner`` for nested defs and
+    ``...<locals>.<lambda:LINE:COL>`` for lambdas.
+    """
+
+    qname: str
+    module: str
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    class_qname: str | None = None
+    parent: str | None = None
+    params: tuple[str, ...] = ()
+    is_method: bool = False
+    decorators: tuple[str, ...] = ()
+    nested: dict[str, str] = field(default_factory=dict)
+
+    @property
+    def name(self) -> str:
+        return self.qname.rsplit(".", 1)[-1]
+
+
+@dataclass
+class ClassInfo:
+    """One class definition with its method table and resolved bases."""
+
+    qname: str
+    module: str
+    node: ast.ClassDef
+    methods: dict[str, str] = field(default_factory=dict)
+    bases: tuple[str, ...] = ()
+
+
+@dataclass
+class ModuleInfo:
+    """One analyzed file as a module: context, namespace, import edges."""
+
+    name: str
+    context: FileContext
+    is_package: bool
+    env: dict[str, tuple[str, str]] = field(default_factory=dict)
+    imports: list[ImportEdge] = field(default_factory=list)
+
+    @property
+    def path(self) -> str:
+        return self.context.path
+
+
+def _function_params(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> tuple[str, ...]:
+    args = node.args
+    names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+    if args.vararg is not None:
+        names.append(args.vararg.arg)
+    if args.kwarg is not None:
+        names.append(args.kwarg.arg)
+    return tuple(names)
+
+
+def iter_owned_statements(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> Iterator[ast.stmt]:
+    """The statements of a function in source order, excluding nested
+    function/class bodies (those belong to their own symbol)."""
+    if isinstance(node, ast.Lambda):
+        return
+    stack: list[ast.stmt] = list(reversed(node.body))
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        yield stmt
+        blocks: list[list[ast.stmt]] = []
+        for attr in ("body", "orelse", "finalbody"):
+            blocks.append(getattr(stmt, attr, []) or [])
+        for handler in getattr(stmt, "handlers", []) or []:
+            blocks.append(handler.body)
+        for block in reversed(blocks):
+            stack.extend(reversed(block))
+
+
+def iter_owned_nodes(
+    node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda,
+) -> Iterator[ast.AST]:
+    """All AST nodes belonging to a function, excluding nested
+    function/class/lambda subtrees (each of those is its own node in the
+    project symbol table)."""
+    roots: list[ast.AST]
+    if isinstance(node, ast.Lambda):
+        roots = [node.body]
+    else:
+        roots = list(node.body)
+    stack = list(roots)
+    while stack:
+        current = stack.pop()
+        yield current
+        for child in ast.iter_child_nodes(current):
+            if isinstance(
+                child,
+                (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda, ast.ClassDef),
+            ):
+                continue
+            stack.append(child)
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+class Project:
+    """The analyzed program: modules, symbols and cross-module resolution.
+
+    Build one with :meth:`from_contexts`; modules are keyed by dotted
+    name, functions and classes by qualified name.  All resolution
+    helpers are cycle-safe — mutually importing modules and mutually
+    recursive calls are first-class citizens of this analysis, not error
+    cases.
+    """
+
+    def __init__(self, config: LintConfig | None = None) -> None:
+        self.config = config if config is not None else LintConfig()
+        self.modules: dict[str, ModuleInfo] = {}
+        self.functions: dict[str, FunctionInfo] = {}
+        self.classes: dict[str, ClassInfo] = {}
+        self._function_qname_by_node_id: dict[int, str] = {}
+
+    # ---- construction ---------------------------------------------------
+
+    @classmethod
+    def from_contexts(
+        cls,
+        contexts: Mapping[str, FileContext],
+        config: LintConfig | None = None,
+    ) -> Project:
+        project = cls(config=config)
+        for path in sorted(contexts):
+            project._add_module(contexts[path])
+        for module in project.modules.values():
+            project._resolve_class_bases(module)
+        return project
+
+    def _add_module(self, ctx: FileContext) -> None:
+        name = module_name_for_path(ctx.path)
+        is_package = PurePosixPath(ctx.path).name == "__init__.py"
+        module = ModuleInfo(name=name, context=ctx, is_package=is_package)
+        # Later files win on (pathological) duplicate module names; the
+        # sorted insertion order keeps even that deterministic.
+        self.modules[name] = module
+        self._scan_imports(module)
+        self._collect_definitions(module)
+
+    def _scan_imports(self, module: ModuleInfo) -> None:
+        def record(node: ast.stmt, type_checking: bool, function_level: bool) -> None:
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    module.imports.append(
+                        ImportEdge(
+                            target=alias.name,
+                            line=node.lineno,
+                            col=node.col_offset,
+                            type_checking=type_checking,
+                            function_level=function_level,
+                        )
+                    )
+                    if not function_level:
+                        if alias.asname is not None:
+                            module.env[alias.asname] = ("module", alias.name)
+                        else:
+                            root = alias.name.split(".")[0]
+                            module.env[root] = ("module", root)
+            elif isinstance(node, ast.ImportFrom):
+                target = self._absolute_import_base(module, node)
+                if target is None:
+                    return
+                module.imports.append(
+                    ImportEdge(
+                        target=target,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        type_checking=type_checking,
+                        function_level=function_level,
+                    )
+                )
+                if function_level:
+                    return
+                for alias in node.names:
+                    if alias.name == "*":
+                        continue
+                    local = alias.asname or alias.name
+                    module.env[local] = ("member", f"{target}.{alias.name}")
+
+        def visit(
+            body: list[ast.stmt], type_checking: bool, function_level: bool
+        ) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.Import, ast.ImportFrom)):
+                    record(stmt, type_checking, function_level)
+                elif isinstance(stmt, ast.If):
+                    inner_tc = type_checking or _is_type_checking_test(stmt.test)
+                    visit(stmt.body, inner_tc, function_level)
+                    visit(stmt.orelse, type_checking, function_level)
+                elif isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    visit(stmt.body, type_checking, True)
+                elif isinstance(stmt, ast.ClassDef):
+                    visit(stmt.body, type_checking, function_level)
+                else:
+                    for attr in ("body", "orelse", "finalbody"):
+                        block = getattr(stmt, attr, None)
+                        if block:
+                            visit(block, type_checking, function_level)
+                    for handler in getattr(stmt, "handlers", []) or []:
+                        visit(handler.body, type_checking, function_level)
+
+        visit(module.context.tree.body, False, False)
+
+    @staticmethod
+    def _absolute_import_base(
+        module: ModuleInfo, node: ast.ImportFrom
+    ) -> str | None:
+        if node.level == 0:
+            return node.module
+        base_parts = module.name.split(".")
+        if not module.is_package:
+            base_parts = base_parts[:-1]
+        hops_up = node.level - 1
+        if hops_up > len(base_parts):
+            return None
+        if hops_up:
+            base_parts = base_parts[:-hops_up]
+        if node.module:
+            base_parts = base_parts + node.module.split(".")
+        return ".".join(base_parts) if base_parts else None
+
+    def _collect_definitions(self, module: ModuleInfo) -> None:
+        def register_function(
+            node: ast.FunctionDef | ast.AsyncFunctionDef,
+            qname: str,
+            class_qname: str | None,
+            parent: FunctionInfo | None,
+        ) -> FunctionInfo:
+            decorators = tuple(
+                decorator_name
+                for decorator in node.decorator_list
+                if (decorator_name := _decorator_name(decorator)) is not None
+            )
+            info = FunctionInfo(
+                qname=qname,
+                module=module.name,
+                node=node,
+                class_qname=class_qname,
+                parent=parent.qname if parent is not None else None,
+                params=_function_params(node),
+                is_method=class_qname is not None
+                and "staticmethod" not in decorators,
+                decorators=decorators,
+            )
+            self.functions[qname] = info
+            self._function_qname_by_node_id[id(node)] = qname
+            if parent is not None:
+                parent.nested[node.name] = qname
+            return info
+
+        def register_lambdas(owner: FunctionInfo) -> None:
+            for node in iter_owned_nodes(owner.node):
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.Lambda):
+                        self._register_lambda(module, child, owner)
+
+        def visit_body(
+            body: list[ast.stmt],
+            prefix: str,
+            class_qname: str | None,
+            parent: FunctionInfo | None,
+        ) -> None:
+            for stmt in body:
+                if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qname = f"{prefix}.{stmt.name}"
+                    info = register_function(stmt, qname, class_qname, parent)
+                    if class_qname is not None:
+                        owner_class = self.classes.get(class_qname)
+                        if owner_class is not None:
+                            owner_class.methods.setdefault(stmt.name, qname)
+                    register_lambdas(info)
+                    visit_body(stmt.body, f"{qname}.<locals>", None, info)
+                elif isinstance(stmt, ast.ClassDef):
+                    qname = f"{prefix}.{stmt.name}"
+                    self.classes[qname] = ClassInfo(
+                        qname=qname, module=module.name, node=stmt
+                    )
+                    if class_qname is None and parent is None:
+                        module.env[stmt.name] = ("class", qname)
+                    visit_body(stmt.body, qname, qname, None)
+
+        for stmt in module.context.tree.body:
+            if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                module.env[stmt.name] = ("function", f"{module.name}.{stmt.name}")
+        visit_body(module.context.tree.body, module.name, None, None)
+
+    def _register_lambda(
+        self, module: ModuleInfo, node: ast.Lambda, parent: FunctionInfo
+    ) -> None:
+        if id(node) in self._function_qname_by_node_id:
+            return
+        qname = (
+            f"{parent.qname}.<locals>.<lambda:{node.lineno}:{node.col_offset}>"
+        )
+        info = FunctionInfo(
+            qname=qname,
+            module=module.name,
+            node=node,
+            class_qname=parent.class_qname,
+            parent=parent.qname,
+            params=_function_params(node),
+        )
+        self.functions[qname] = info
+        self._function_qname_by_node_id[id(node)] = qname
+        for inner in iter_owned_nodes(node):
+            for child in ast.iter_child_nodes(inner):
+                if isinstance(child, ast.Lambda):
+                    self._register_lambda(module, child, info)
+
+    def _resolve_class_bases(self, module: ModuleInfo) -> None:
+        for class_info in self.classes.values():
+            if class_info.module != module.name:
+                continue
+            bases: list[str] = []
+            for base in class_info.node.bases:
+                dotted = _dotted(base)
+                if dotted is None:
+                    continue
+                resolved = self.resolve(module.name, dotted)
+                if resolved is not None and resolved.kind == "class":
+                    bases.append(resolved.target)
+            class_info.bases = tuple(bases)
+
+    # ---- resolution -----------------------------------------------------
+
+    def function_for_node(self, node: ast.AST) -> FunctionInfo | None:
+        """The :class:`FunctionInfo` registered for an AST def/lambda node."""
+        qname = self._function_qname_by_node_id.get(id(node))
+        return self.functions.get(qname) if qname is not None else None
+
+    def resolve(self, module_name: str, dotted: str) -> Resolved | None:
+        """Resolve a dotted name used inside ``module_name``.
+
+        Follows import aliases, package attribute access and ``__init__``
+        re-export chains; returns ``None`` for names rooted at locals or
+        builtins (the caller's false-positive guard).
+        """
+        module = self.modules.get(module_name)
+        if module is None:
+            return None
+        head, _, rest = dotted.partition(".")
+        binding = module.env.get(head)
+        if binding is None:
+            return None
+        resolved = self._resolve_binding(binding, set())
+        if resolved is None:
+            return None
+        return self._descend(resolved, rest.split(".") if rest else [], set())
+
+    def _resolve_binding(
+        self, binding: tuple[str, str], seen: set[tuple[str, str]]
+    ) -> Resolved | None:
+        kind, target = binding
+        if kind in ("function", "class", "module"):
+            return Resolved(kind, target)
+        if kind == "member":
+            return self._resolve_member(target, seen)
+        return Resolved("external", target)
+
+    def _resolve_member(
+        self, dotted: str, seen: set[tuple[str, str]]
+    ) -> Resolved | None:
+        """Resolve ``package.name`` from a ``from package import name``."""
+        if dotted in self.modules:
+            return Resolved("module", dotted)
+        owner, _, name = dotted.rpartition(".")
+        if owner in self.modules:
+            exported = self.resolve_export(owner, name, seen)
+            if exported is not None:
+                return exported
+            return Resolved("external", dotted)
+        return Resolved("external", dotted)
+
+    def resolve_export(
+        self, module_name: str, name: str, seen: set[tuple[str, str]] | None = None
+    ) -> Resolved | None:
+        """What ``from module_name import name`` would bind, following
+        re-export chains (``__init__`` files importing from submodules)
+        with a cycle guard."""
+        if seen is None:
+            seen = set()
+        key = (module_name, name)
+        if key in seen:
+            return None
+        seen.add(key)
+        module = self.modules.get(module_name)
+        if module is None:
+            return None
+        binding = module.env.get(name)
+        if binding is None:
+            submodule = f"{module_name}.{name}"
+            if submodule in self.modules:
+                return Resolved("module", submodule)
+            return None
+        return self._resolve_binding(binding, seen)
+
+    def _descend(
+        self, resolved: Resolved, rest: list[str], seen: set[tuple[str, str]]
+    ) -> Resolved | None:
+        current = resolved
+        remaining = list(rest)
+        while remaining:
+            head = remaining.pop(0)
+            if current.kind == "module":
+                submodule = f"{current.target}.{head}"
+                if submodule in self.modules:
+                    current = Resolved("module", submodule)
+                    continue
+                if current.target in self.modules:
+                    inner = self.resolve_export(current.target, head, seen)
+                    if inner is None:
+                        return None
+                    current = inner
+                    continue
+                current = Resolved("external", submodule)
+            elif current.kind == "class":
+                method = self.method(current.target, head)
+                if method is None:
+                    return None
+                current = Resolved("function", method)
+            elif current.kind == "external":
+                current = Resolved("external", f"{current.target}.{head}")
+            else:  # attribute access on a function — nothing to resolve
+                return None
+        return current
+
+    def method(
+        self, class_qname: str, name: str, _seen: frozenset[str] = frozenset()
+    ) -> str | None:
+        """Look a method up on a class, following project-resolved bases."""
+        if class_qname in _seen:
+            return None
+        class_info = self.classes.get(class_qname)
+        if class_info is None:
+            return None
+        if name in class_info.methods:
+            return class_info.methods[name]
+        for base in class_info.bases:
+            found = self.method(base, name, _seen | {class_qname})
+            if found is not None:
+                return found
+        return None
+
+    # ---- layering -------------------------------------------------------
+
+    def layer_of(self, module_name: str) -> str | None:
+        """The layer a module belongs to; ``None`` outside the package."""
+        if module_name == "repro":
+            return "root"
+        if not module_name.startswith("repro."):
+            return None
+        segment = module_name.split(".")[1]
+        if segment in ("__main__", "__init__"):
+            return "root"
+        return segment
+
+
+def _decorator_name(decorator: ast.expr) -> str | None:
+    target = decorator.func if isinstance(decorator, ast.Call) else decorator
+    return _dotted(target)
+
+
+def _dotted(node: ast.expr) -> str | None:
+    parts: list[str] = []
+    current: ast.expr = node
+    while isinstance(current, ast.Attribute):
+        parts.append(current.attr)
+        current = current.value
+    if not isinstance(current, ast.Name):
+        return None
+    parts.append(current.id)
+    return ".".join(reversed(parts))
+
+
+class ProjectRule:
+    """Base class for one whole-program rule (RPR006+).
+
+    Unlike :class:`~repro.lint.base.Rule`, which sees one file, a project
+    rule sees the whole :class:`Project` plus its call graph and reports
+    violations against any file in it.  Suppression comments work
+    identically — the engine matches each finding against the suppression
+    map of the file it lands in.
+    """
+
+    rule_id: str = "RPR000"
+    summary: str = ""
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        raise NotImplementedError
+
+    def violation(
+        self, path: str, node: ast.AST, message: str
+    ) -> Violation:
+        return Violation(
+            path=path,
+            line=int(getattr(node, "lineno", 0) or 0),
+            col=int(getattr(node, "col_offset", 0) or 0),
+            rule_id=self.rule_id,
+            message=message,
+        )

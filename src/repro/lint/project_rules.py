@@ -1,0 +1,649 @@
+"""The whole-program rules RPR006–RPR009.
+
+These run after the per-file pass, over the :class:`~repro.lint.project.Project`
+model and its call graph (see ``docs/STATIC_ANALYSIS.md`` for the
+pipeline architecture).  Findings land in whichever file the offending
+node lives in and are suppressed with the same justified
+``# repro-lint: disable=...`` comments as the per-file rules.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections.abc import Iterator, Mapping
+
+from repro.lint.base import Violation, dotted_name
+from repro.lint.callgraph import CallGraph, CallSite
+from repro.lint.dataflow import analyze_rng_taint
+from repro.lint.project import (
+    FunctionInfo,
+    ModuleInfo,
+    Project,
+    ProjectRule,
+    iter_owned_nodes,
+    iter_owned_statements,
+)
+from repro.lint.rules import (
+    DISPATCH_METHODS,
+    function_params,
+    locked_lines,
+    receiver_is_backend,
+    shared_writes,
+)
+
+__all__ = [
+    "ALL_PROJECT_RULES",
+    "SeedFlowTaintRule",
+    "InterprocLocksetRule",
+    "ResourceSafetyRule",
+    "ImportLayeringRule",
+    "project_rule_ids",
+]
+
+_MAX_CHAIN_DEPTH = 20
+
+
+class SeedFlowTaintRule(ProjectRule):
+    """RPR006 — no ambient RNG flowing into core/simulation/engine/ensembling.
+
+    RPR001 bans constructing global RNGs *inside* the scoped layers; this
+    rule closes the laundering loophole: a generator minted elsewhere
+    without a sanctioned seed (``numpy.random.default_rng()`` with no
+    argument, ``RandomState()``, ``Generator(PCG64())``,
+    ``random.Random()``, or a hardcoded literal seed anywhere under
+    ``repro.*``) and handed into a scoped-layer function through
+    arguments, return values or ``self`` fields.  Every RNG reaching
+    those layers must trace back to ``repro.utils.rng.derive_rng`` or to
+    a seed threaded in explicitly.  Each finding names the untainted
+    origin (construct, reason, site) and the full call chain that
+    carried it.
+    """
+
+    rule_id = "RPR006"
+    summary = (
+        "ambient (unseeded/hardcoded-seed) RNG reaches core/, simulation/, "
+        "engine/ or ensembling/ through the call graph instead of "
+        "repro.utils.rng.derive_rng"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for finding in analyze_rng_taint(project, graph):
+            flow = " -> ".join(finding.chain)
+            yield Violation(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"RNG reaching {finding.entry} originates from ambient "
+                    f"{finding.origin.describe()}; flow: {flow}. Derive the "
+                    "generator via repro.utils.rng.derive_rng(seed, *key) "
+                    "or thread the seed in as an explicit parameter"
+                ),
+            )
+
+
+class InterprocLocksetRule(ProjectRule):
+    """RPR007 — interprocedural unlocked-shared-write detection.
+
+    RPR004 inspects backend-submitted callables one call hop deep within
+    a single file.  This rule follows the *whole* call graph from every
+    submission site (``backend.run`` / ``executor.submit`` /
+    ``pool.map`` / ``apply_async`` on a backend-looking receiver) to any
+    transitively reachable function — across modules, through methods,
+    aliased imports and re-exports — and flags writes to shared state
+    (``self.*`` containers, closure/module globals) that no lock in the
+    chain protects.  A lock held by a *caller* around the call site
+    propagates down the chain, so helpers invoked under
+    ``with self._lock:`` are correctly treated as protected.  Findings
+    that RPR004 already reports (the write at most one hop from the
+    submitted callable, all within the submission's own module) are
+    skipped, so the two rules never double-report; each RPR007 finding
+    carries the full call chain from the submission site to the
+    unlocked mutation.
+    """
+
+    rule_id = "RPR007"
+    summary = (
+        "unlocked shared-state write transitively reachable (cross-module "
+        "or deeper than one call hop) from a backend-submitted callable"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        reported: set[tuple[str, int, str, str, int]] = set()
+        for module_name in sorted(project.modules):
+            module = project.modules[module_name]
+            for fn in self._functions_of(project, module_name):
+                for node in iter_owned_nodes(fn.node):
+                    if not (
+                        isinstance(node, ast.Call)
+                        and isinstance(node.func, ast.Attribute)
+                        and node.func.attr in DISPATCH_METHODS
+                        and receiver_is_backend(node.func.value)
+                    ):
+                        continue
+                    for submitted in self._submitted(project, fn, node):
+                        yield from self._trace(
+                            project,
+                            graph,
+                            module,
+                            node,
+                            submitted,
+                            reported,
+                        )
+
+    @staticmethod
+    def _functions_of(project: Project, module_name: str) -> list[FunctionInfo]:
+        return [
+            project.functions[qname]
+            for qname in sorted(project.functions)
+            if project.functions[qname].module == module_name
+        ]
+
+    def _submitted(
+        self, project: Project, fn: FunctionInfo, call: ast.Call
+    ) -> list[FunctionInfo]:
+        """Resolve the callables handed over at a dispatch site."""
+        submitted: list[FunctionInfo] = []
+        for arg in list(call.args) + [kw.value for kw in call.keywords]:
+            target: FunctionInfo | None = None
+            if isinstance(arg, ast.Lambda):
+                target = project.function_for_node(arg)
+            elif isinstance(arg, (ast.Name, ast.Attribute)):
+                qname = self._callable_qname(project, fn, arg)
+                if qname is not None:
+                    target = project.functions.get(qname)
+            if target is not None:
+                submitted.append(target)
+        return submitted
+
+    @staticmethod
+    def _callable_qname(
+        project: Project, fn: FunctionInfo, expr: ast.expr
+    ) -> str | None:
+        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+            if expr.value.id in ("self", "cls") and fn.class_qname is not None:
+                return project.method(fn.class_qname, expr.attr)
+        dotted = dotted_name(expr)
+        if dotted is None:
+            return None
+        if isinstance(expr, ast.Name):
+            current: FunctionInfo | None = fn
+            while current is not None:
+                nested = current.nested.get(dotted)
+                if nested is not None:
+                    return nested
+                current = (
+                    project.functions.get(current.parent)
+                    if current.parent is not None
+                    else None
+                )
+        resolved = project.resolve(fn.module, dotted)
+        if resolved is not None and resolved.kind == "function":
+            return resolved.target
+        return None
+
+    def _trace(
+        self,
+        project: Project,
+        graph: CallGraph,
+        submission_module: ModuleInfo,
+        submission: ast.Call,
+        submitted: FunctionInfo,
+        reported: set[tuple[str, int, str, str, int]],
+    ) -> Iterator[Violation]:
+        visited: set[tuple[str, bool]] = {(submitted.qname, False)}
+
+        def walk(
+            fn: FunctionInfo, chain: tuple[CallSite, ...], under_lock: bool
+        ) -> Iterator[Violation]:
+            locked = locked_lines(fn.node)
+            params = function_params(fn.node)
+            fn_module = project.modules.get(fn.module)
+            fn_path = fn_module.path if fn_module is not None else fn.module
+            for write, label in shared_writes(fn.node, params):
+                line = getattr(write, "lineno", 0)
+                if under_lock or line in locked:
+                    continue
+                if self._rpr004_covers(
+                    submission_module, submitted, fn, len(chain)
+                ):
+                    continue
+                key = (
+                    fn_path,
+                    line,
+                    label,
+                    submission_module.path,
+                    submission.lineno,
+                )
+                if key in reported:
+                    continue
+                reported.add(key)
+                hops = " -> ".join(
+                    [
+                        f"submitted {submitted.qname} "
+                        f"({submission_module.path}:{submission.lineno})"
+                    ]
+                    + [
+                        f"{site.callee} (called at "
+                        f"{self._path_of(project, site.caller)}:{site.line})"
+                        for site in chain
+                    ]
+                )
+                yield Violation(
+                    path=fn_path,
+                    line=int(line),
+                    col=int(getattr(write, "col_offset", 0)),
+                    rule_id=self.rule_id,
+                    message=(
+                        f"write to shared {label!r} in {fn.qname} is "
+                        "reachable from a backend submission without any "
+                        f"lock held; chain: {hops}. Hold the owning lock "
+                        "across the mutation or return results and fold "
+                        "them on the caller"
+                    ),
+                )
+            if len(chain) >= _MAX_CHAIN_DEPTH:
+                return
+            for site in graph.callees(fn.qname):
+                callee = project.functions.get(site.callee)
+                if callee is None:
+                    continue
+                next_lock = under_lock or site.line in locked
+                state = (site.callee, next_lock)
+                if state in visited:
+                    continue
+                visited.add(state)
+                yield from walk(callee, (*chain, site), next_lock)
+
+        yield from walk(submitted, (), False)
+
+    @staticmethod
+    def _rpr004_covers(
+        submission_module: ModuleInfo,
+        submitted: FunctionInfo,
+        write_fn: FunctionInfo,
+        depth: int,
+    ) -> bool:
+        """True when the intra-file rule already reports this write."""
+        return (
+            depth <= 1
+            and write_fn.module == submission_module.name
+            and submitted.module == submission_module.name
+        )
+
+    @staticmethod
+    def _path_of(project: Project, qname: str) -> str:
+        fn = project.functions.get(qname)
+        if fn is None:
+            return "<unknown>"
+        module = project.modules.get(fn.module)
+        return module.path if module is not None else fn.module
+
+
+class ResourceSafetyRule(ProjectRule):
+    """RPR008 — resources released on all paths; JobResult contract holds.
+
+    Two checks over ``repro.*`` modules:
+
+    **(a) handle lifetime** — a backend / executor pool / file handle
+    acquired into a local (``backend = make_backend(...)``,
+    ``pool = ThreadPoolExecutor(...)``, ``f = open(...)``) must be
+    released on *every* path: either used as a context manager
+    (``with ... as x:``) or closed in a ``try/finally``.  Handles that
+    escape the function — returned, yielded, stored on ``self`` or in a
+    container, passed to another call — transfer ownership and are not
+    flagged (the new owner is checked wherever *it* lives).
+
+    **(b) JobResult contract** — a function annotated to return
+    ``JobResult`` is the failure boundary of the execution engine: it
+    must not let detector exceptions escape.  Any ``*.detect(...)`` call
+    in such a function must sit inside a ``try`` whose handlers catch
+    ``Exception`` (so the failure becomes a ``"failed"`` JobResult
+    instead of killing the worker).
+    """
+
+    rule_id = "RPR008"
+    summary = (
+        "acquired backend/pool/file handle not released on all paths, or "
+        "a JobResult-returning function letting detect() exceptions escape"
+    )
+
+    #: Dotted targets whose call acquires a closable handle.
+    _ACQUIRERS = frozenset(
+        {
+            "open",
+            "repro.engine.backends.make_backend",
+            "repro.engine.backends.ThreadPoolBackend",
+            "repro.engine.backends.ProcessPoolBackend",
+            "repro.engine.resilience.ResilientBackend",
+            "concurrent.futures.ThreadPoolExecutor",
+            "concurrent.futures.ProcessPoolExecutor",
+            "multiprocessing.Pool",
+        }
+    )
+
+    _RELEASE_METHODS = frozenset({"close", "shutdown", "terminate"})
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for module_name in sorted(project.modules):
+            if not (
+                module_name == "repro" or module_name.startswith("repro.")
+            ):
+                continue
+            module = project.modules[module_name]
+            for qname in sorted(project.functions):
+                fn = project.functions[qname]
+                if fn.module != module_name or isinstance(fn.node, ast.Lambda):
+                    continue
+                yield from self._check_handles(project, module, fn)
+                yield from self._check_job_result_contract(module, fn)
+
+    # ---- (a) handle lifetime --------------------------------------------
+
+    def _check_handles(
+        self, project: Project, module: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        for stmt in iter_owned_statements(fn.node):
+            if not (
+                isinstance(stmt, ast.Assign)
+                and len(stmt.targets) == 1
+                and isinstance(stmt.targets[0], ast.Name)
+                and isinstance(stmt.value, ast.Call)
+            ):
+                continue
+            label = self._acquisition(project, fn, stmt.value)
+            if label is None:
+                continue
+            name = stmt.targets[0].id
+            verdict = self._release_verdict(fn, name, stmt)
+            if verdict is None:
+                continue
+            yield Violation(
+                path=module.path,
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"handle {name!r} acquired from {label} is {verdict}; "
+                    f"use `with ... as {name}:` or release it in a "
+                    "try/finally so every path closes it"
+                ),
+            )
+
+    def _acquisition(
+        self, project: Project, fn: FunctionInfo, call: ast.Call
+    ) -> str | None:
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            return None
+        resolved = project.resolve(fn.module, dotted)
+        if resolved is None:
+            return dotted if dotted in self._ACQUIRERS else None
+        if resolved.target in self._ACQUIRERS:
+            return resolved.target
+        return None
+
+    def _release_verdict(
+        self, fn: FunctionInfo, name: str, acquiring: ast.stmt
+    ) -> str | None:
+        """``None`` when the handle is safe; else a problem description."""
+        release_nodes: list[ast.Call] = []
+        finally_releases = False
+        for node in iter_owned_nodes(fn.node):
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                for item in node.items:
+                    expr = item.context_expr
+                    if isinstance(expr, ast.Name) and expr.id == name:
+                        return None  # context-managed
+            elif isinstance(node, (ast.Yield, ast.YieldFrom)):
+                if node.value is not None and _escapes_via(node.value, name):
+                    return None  # yielded out: ownership transferred
+            elif isinstance(node, ast.Return):
+                if node.value is not None and _escapes_via(node.value, name):
+                    return None  # returned: ownership transferred
+            elif isinstance(node, ast.Assign) and node is not acquiring:
+                if _escapes_via(node.value, name):
+                    return None  # aliased or stored: tracked elsewhere
+            elif isinstance(node, ast.Call):
+                release = self._release_target(node, name)
+                if release is not None:
+                    release_nodes.append(node)
+                    continue
+                for arg in list(node.args) + [kw.value for kw in node.keywords]:
+                    if _escapes_via(arg, name):
+                        return None  # handed to another call
+            elif isinstance(node, ast.Try):
+                for final_stmt in node.finalbody:
+                    for inner in ast.walk(final_stmt):
+                        if isinstance(inner, ast.Call) and self._release_target(
+                            inner, name
+                        ):
+                            finally_releases = True
+        if finally_releases:
+            return None
+        if release_nodes:
+            return (
+                "released only on the fall-through path (an exception "
+                "before the release leaks it)"
+            )
+        return "never released"
+
+    def _release_target(self, call: ast.Call, name: str) -> str | None:
+        func = call.func
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._RELEASE_METHODS
+            and isinstance(func.value, ast.Name)
+            and func.value.id == name
+        ):
+            return func.attr
+        return None
+
+    # ---- (b) the JobResult contract -------------------------------------
+
+    def _check_job_result_contract(
+        self, module: ModuleInfo, fn: FunctionInfo
+    ) -> Iterator[Violation]:
+        node = fn.node
+        if isinstance(node, ast.Lambda) or node.returns is None:
+            return
+        try:
+            annotation = ast.unparse(node.returns)
+        except ValueError:  # pragma: no cover - malformed annotation
+            return
+        if "JobResult" not in annotation:
+            return
+        protected = self._protected_ranges(node)
+        for inner in iter_owned_nodes(node):
+            if not (
+                isinstance(inner, ast.Call)
+                and isinstance(inner.func, ast.Attribute)
+                and inner.func.attr == "detect"
+            ):
+                continue
+            line = inner.lineno
+            if any(start <= line <= end for start, end in protected):
+                continue
+            yield Violation(
+                path=module.path,
+                line=line,
+                col=inner.col_offset,
+                rule_id=self.rule_id,
+                message=(
+                    f"{fn.qname} returns JobResult but calls detect() "
+                    "outside a try/except Exception; a raised detector "
+                    "error would escape the JobResult contract — catch it "
+                    "and return a failed JobResult"
+                ),
+            )
+
+    @staticmethod
+    def _protected_ranges(
+        node: ast.FunctionDef | ast.AsyncFunctionDef,
+    ) -> list[tuple[int, int]]:
+        ranges: list[tuple[int, int]] = []
+        for inner in iter_owned_nodes(node):
+            if not isinstance(inner, ast.Try):
+                continue
+            if not any(_catches_exception(h) for h in inner.handlers):
+                continue
+            if not inner.body:
+                continue
+            start = inner.body[0].lineno
+            end = inner.body[-1].end_lineno or start
+            ranges.append((start, end))
+        return ranges
+
+
+class ImportLayeringRule(ProjectRule):
+    """RPR009 — the declared layer DAG is enforced against real imports.
+
+    ``[tool.repro-lint.layers]`` in ``pyproject.toml`` declares, per
+    layer (= top-level package under ``repro``), which layers it may
+    import; enforcement uses the transitive closure, intra-layer imports
+    are always legal, and imports under ``if TYPE_CHECKING:`` are exempt
+    (they are erased at runtime — the sanctioned way to annotate against
+    a higher layer).  Function-level (lazy) imports are *not* exempt:
+    they are real runtime dependencies.  Modules belonging to no
+    declared layer are themselves flagged, so the DAG can never silently
+    rot as packages are added.
+    """
+
+    rule_id = "RPR009"
+    summary = (
+        "runtime import violating the layer DAG declared in "
+        "[tool.repro-lint.layers] (TYPE_CHECKING imports exempt)"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        layers = project.config.layer_dag()
+        closure = _transitive_closure(layers)
+        for module_name in sorted(project.modules):
+            layer = project.layer_of(module_name)
+            if layer is None:
+                continue
+            module = project.modules[module_name]
+            if layer not in layers:
+                yield Violation(
+                    path=module.path,
+                    line=1,
+                    col=0,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"module {module_name} belongs to layer {layer!r}, "
+                        "which is not declared in [tool.repro-lint.layers]; "
+                        "add it to the DAG with its allowed imports"
+                    ),
+                )
+                continue
+            allowed = closure[layer]
+            for edge in module.imports:
+                if edge.type_checking:
+                    continue
+                target_layer = project.layer_of(edge.target)
+                if target_layer is None or target_layer == layer:
+                    continue
+                if target_layer in allowed:
+                    continue
+                permitted = ", ".join(sorted(allowed)) or "nothing"
+                yield Violation(
+                    path=module.path,
+                    line=edge.line,
+                    col=edge.col,
+                    rule_id=self.rule_id,
+                    message=(
+                        f"layer {layer!r} must not import layer "
+                        f"{target_layer!r} ({module_name} imports "
+                        f"{edge.target}); allowed: {permitted}. Move the "
+                        "dependency down the DAG or gate it under "
+                        "TYPE_CHECKING if only annotations need it"
+                    ),
+                )
+
+
+def _transitive_closure(
+    layers: Mapping[str, tuple[str, ...]]
+) -> dict[str, frozenset[str]]:
+    closure: dict[str, frozenset[str]] = {}
+
+    def visit(layer: str, trail: frozenset[str]) -> frozenset[str]:
+        cached = closure.get(layer)
+        if cached is not None:
+            return cached
+        if layer in trail or layer not in layers:
+            return frozenset()
+        reachable: set[str] = set()
+        for dep in layers[layer]:
+            reachable.add(dep)
+            reachable |= visit(dep, trail | {layer})
+        result = frozenset(reachable)
+        closure[layer] = result
+        return result
+
+    for layer in layers:
+        visit(layer, frozenset())
+    return closure
+
+
+def _escapes_via(expr: ast.expr, name: str) -> bool:
+    """True when the expression transfers ownership of ``name``.
+
+    A direct reference (bare name, or nested in a container literal,
+    conditional or starred expression) is an escape; the name appearing
+    *inside* a call or attribute chain (``backend.run(j)``) is mere
+    usage and is not.
+    """
+    if isinstance(expr, ast.Name):
+        return expr.id == name
+    if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+        return any(_escapes_via(el, name) for el in expr.elts)
+    if isinstance(expr, ast.Dict):
+        parts = [k for k in expr.keys if k is not None] + list(expr.values)
+        return any(_escapes_via(el, name) for el in parts)
+    if isinstance(expr, ast.IfExp):
+        return _escapes_via(expr.body, name) or _escapes_via(expr.orelse, name)
+    if isinstance(expr, ast.Starred):
+        return _escapes_via(expr.value, name)
+    if isinstance(expr, ast.NamedExpr):
+        return _escapes_via(expr.value, name)
+    if isinstance(expr, ast.Await):
+        return _escapes_via(expr.value, name)
+    return False
+
+
+def _catches_exception(handler: ast.ExceptHandler) -> bool:
+    if handler.type is None:
+        return True
+    candidates: list[ast.expr] = (
+        list(handler.type.elts)
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    for candidate in candidates:
+        dotted = dotted_name(candidate) or ""
+        if dotted.rsplit(".", 1)[-1] in ("Exception", "BaseException"):
+            return True
+    return False
+
+
+#: Every shipped whole-program rule, in ID order.
+ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
+    SeedFlowTaintRule(),
+    InterprocLocksetRule(),
+    ResourceSafetyRule(),
+    ImportLayeringRule(),
+)
+
+
+def project_rule_ids() -> list[str]:
+    """The shipped whole-program rule IDs, in order."""
+    return [rule.rule_id for rule in ALL_PROJECT_RULES]

@@ -1,12 +1,19 @@
-"""Render lint results for humans (``path:line:col``) and machines (JSON)."""
+"""Render lint results: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF output is what CI uploads to GitHub code scanning so findings
+annotate PRs inline; it carries the full rule metadata (ID + summary)
+and one result per violation with a 1-based physical location.
+"""
 
 from __future__ import annotations
 
 import json
 
-from repro.lint.engine import LintResult
+from repro.lint.engine import PARSE_ERROR_ID, LintResult
+from repro.lint.project_rules import ALL_PROJECT_RULES
+from repro.lint.rules import ALL_RULES
 
-__all__ = ["render_json", "render_text"]
+__all__ = ["render_json", "render_sarif", "render_text"]
 
 
 def render_text(result: LintResult) -> str:
@@ -36,5 +43,70 @@ def render_json(result: LintResult) -> str:
         "files_checked": result.files_checked,
         "counts_by_rule": result.counts_by_rule(),
         "violations": [v.as_dict() for v in result.violations],
+    }
+    return json.dumps(payload, indent=2, sort_keys=True)
+
+
+def _sarif_rules() -> list[dict[str, object]]:
+    entries: list[dict[str, object]] = [
+        {
+            "id": PARSE_ERROR_ID,
+            "shortDescription": {"text": "file cannot be read or parsed"},
+        }
+    ]
+    for rule in (*ALL_RULES, *ALL_PROJECT_RULES):
+        entries.append(
+            {
+                "id": rule.rule_id,
+                "shortDescription": {"text": rule.summary},
+            }
+        )
+    return entries
+
+
+def render_sarif(result: LintResult) -> str:
+    """SARIF 2.1.0 — the format GitHub code scanning ingests."""
+    rules = _sarif_rules()
+    rule_index = {
+        str(entry["id"]): index for index, entry in enumerate(rules)
+    }
+    results: list[dict[str, object]] = []
+    for violation in result.violations:
+        results.append(
+            {
+                "ruleId": violation.rule_id,
+                "ruleIndex": rule_index.get(violation.rule_id, 0),
+                "level": "error",
+                "message": {"text": violation.message},
+                "locations": [
+                    {
+                        "physicalLocation": {
+                            "artifactLocation": {
+                                "uri": violation.path,
+                                "uriBaseId": "%SRCROOT%",
+                            },
+                            "region": {
+                                "startLine": max(violation.line, 1),
+                                "startColumn": violation.col + 1,
+                            },
+                        }
+                    }
+                ],
+            }
+        )
+    payload = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "rules": rules,
+                    }
+                },
+                "results": results,
+            }
+        ],
     }
     return json.dumps(payload, indent=2, sort_keys=True)

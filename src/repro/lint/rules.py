@@ -24,12 +24,18 @@ from repro.lint.base import (
 
 __all__ = [
     "ALL_RULES",
+    "DISPATCH_METHODS",
+    "RECEIVER_HINTS",
     "GlobalRngRule",
     "WallClockRule",
     "UnboundedCacheRule",
     "UnlockedSharedMutationRule",
     "BlanketSuppressionRule",
+    "function_params",
+    "locked_lines",
+    "receiver_is_backend",
     "rule_ids",
+    "shared_writes",
 ]
 
 #: Container-mutating method names (growth or in-place rewrite).
@@ -58,6 +64,109 @@ _MUTABLE_FACTORIES = frozenset(
         "collections.deque",
     }
 )
+
+
+#: Dispatch method names that hand a callable to an execution backend.
+#: Shared between RPR004 (intra-file) and RPR007 (interprocedural).
+DISPATCH_METHODS = frozenset({"run", "submit", "map", "apply_async"})
+
+#: Receiver-name fragments that mark a dispatch receiver as a backend.
+RECEIVER_HINTS = ("backend", "executor", "pool", "worker")
+
+
+def receiver_is_backend(receiver: ast.expr) -> bool:
+    """True when a dispatch receiver looks like an execution backend."""
+    if isinstance(receiver, ast.Call):
+        receiver = receiver.func
+    dotted = dotted_name(receiver)
+    if dotted is None:
+        return False
+    lowered = dotted.lower()
+    return any(hint in lowered for hint in RECEIVER_HINTS)
+
+
+def locked_lines(func: ast.AST) -> set[int]:
+    """Line numbers covered by a ``with <something lock-ish>:`` block."""
+    locked: set[int] = set()
+    for node in ast.walk(func):
+        if not isinstance(node, (ast.With, ast.AsyncWith)):
+            continue
+        for item in node.items:
+            expr = item.context_expr
+            if isinstance(expr, ast.Call):
+                expr = expr.func
+            dotted = dotted_name(expr) or ""
+            if "lock" in dotted.lower():
+                end = getattr(node, "end_lineno", node.lineno)
+                locked.update(range(node.lineno, (end or node.lineno) + 1))
+                break
+    return locked
+
+
+def function_params(func: ast.AST) -> set[str]:
+    """Parameter names of a function/lambda node (else empty)."""
+    if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
+        args = func.args
+        names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
+        if args.vararg:
+            names.append(args.vararg.arg)
+        if args.kwarg:
+            names.append(args.kwarg.arg)
+        return set(names)
+    return set()
+
+
+def shared_writes(func: ast.AST, params: set[str]) -> Iterator[tuple[ast.AST, str]]:
+    """Mutations of non-local state inside ``func``.
+
+    Yields ``(node, label)`` where ``label`` is ``self.<attr>`` for
+    instance-state writes or the bare name of a closure/global target.
+    Names bound locally (assignments, loop targets, parameters) are not
+    shared.
+    """
+    local_names: set[str] = set(params)
+    for node in ast.walk(func):
+        if isinstance(node, ast.Assign):
+            for tgt in node.targets:
+                if isinstance(tgt, ast.Name):
+                    local_names.add(tgt.id)
+        elif isinstance(node, ast.AnnAssign):
+            if isinstance(node.target, ast.Name):
+                local_names.add(node.target.id)
+        elif isinstance(node, ast.NamedExpr):
+            if isinstance(node.target, ast.Name):
+                local_names.add(node.target.id)
+        elif isinstance(node, (ast.With, ast.AsyncWith)):
+            for item in node.items:
+                if isinstance(item.optional_vars, ast.Name):
+                    local_names.add(item.optional_vars.id)
+        elif isinstance(node, (ast.For, ast.AsyncFor)):
+            tgt = node.target
+            if isinstance(tgt, ast.Name):
+                local_names.add(tgt.id)
+            elif isinstance(tgt, ast.Tuple):
+                local_names.update(
+                    el.id for el in tgt.elts if isinstance(el, ast.Name)
+                )
+    for node in ast.walk(func):
+        exprs: list[ast.expr] = []
+        if isinstance(node, ast.Assign):
+            exprs = [t for t in node.targets if isinstance(t, ast.Subscript)]
+        elif isinstance(node, ast.AugAssign) and isinstance(
+            node.target, (ast.Subscript, ast.Attribute)
+        ):
+            exprs = [node.target]
+        elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+            if node.func.attr in _MUTATING_METHODS:
+                exprs = [node.func.value]
+        for expr in exprs:
+            attr = _self_write_attr(expr)
+            if attr is not None:
+                yield node, f"self.{attr}"
+                continue
+            root = _assign_root(expr)
+            if isinstance(root, ast.Name) and root.id not in local_names:
+                yield node, root.id
 
 
 def _assign_root(node: ast.expr) -> ast.expr:
@@ -418,17 +527,11 @@ class UnlockedSharedMutationRule(Rule):
         "callable without holding a lock"
     )
 
-    _DISPATCH_METHODS = frozenset({"run", "submit", "map", "apply_async"})
-    _RECEIVER_HINTS = ("backend", "executor", "pool", "worker")
+    _DISPATCH_METHODS = DISPATCH_METHODS
+    _RECEIVER_HINTS = RECEIVER_HINTS
 
     def _receiver_is_backend(self, receiver: ast.expr) -> bool:
-        if isinstance(receiver, ast.Call):
-            receiver = receiver.func
-        dotted = dotted_name(receiver)
-        if dotted is None:
-            return False
-        lowered = dotted.lower()
-        return any(hint in lowered for hint in self._RECEIVER_HINTS)
+        return receiver_is_backend(receiver)
 
     def _local_functions(
         self, ctx: FileContext
@@ -440,70 +543,15 @@ class UnlockedSharedMutationRule(Rule):
         return functions
 
     def _locked_lines(self, func: ast.AST) -> set[int]:
-        """Line numbers covered by a ``with <something lock-ish>:`` block."""
-        locked: set[int] = set()
-        for node in ast.walk(func):
-            if not isinstance(node, (ast.With, ast.AsyncWith)):
-                continue
-            for item in node.items:
-                expr = item.context_expr
-                if isinstance(expr, ast.Call):
-                    expr = expr.func
-                dotted = dotted_name(expr) or ""
-                if "lock" in dotted.lower():
-                    end = getattr(node, "end_lineno", node.lineno)
-                    locked.update(range(node.lineno, (end or node.lineno) + 1))
-                    break
-        return locked
+        return locked_lines(func)
 
     def _shared_writes(
         self, func: ast.AST, params: set[str]
     ) -> Iterator[tuple[ast.AST, str]]:
-        """Mutations of non-local state inside ``func``."""
-        local_names: set[str] = set(params)
-        for node in ast.walk(func):
-            if isinstance(node, ast.Assign):
-                for tgt in node.targets:
-                    if isinstance(tgt, ast.Name):
-                        local_names.add(tgt.id)
-            elif isinstance(node, (ast.For, ast.AsyncFor)):
-                tgt = node.target
-                if isinstance(tgt, ast.Name):
-                    local_names.add(tgt.id)
-                elif isinstance(tgt, ast.Tuple):
-                    local_names.update(
-                        el.id for el in tgt.elts if isinstance(el, ast.Name)
-                    )
-        for node in ast.walk(func):
-            exprs: list[ast.expr] = []
-            if isinstance(node, ast.Assign):
-                exprs = [t for t in node.targets if isinstance(t, ast.Subscript)]
-            elif isinstance(node, ast.AugAssign) and isinstance(
-                node.target, (ast.Subscript, ast.Attribute)
-            ):
-                exprs = [node.target]
-            elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
-                if node.func.attr in _MUTATING_METHODS:
-                    exprs = [node.func.value]
-            for expr in exprs:
-                attr = _self_write_attr(expr)
-                if attr is not None:
-                    yield node, f"self.{attr}"
-                    continue
-                root = _assign_root(expr)
-                if isinstance(root, ast.Name) and root.id not in local_names:
-                    yield node, root.id
+        return shared_writes(func, params)
 
     def _function_params(self, func: ast.AST) -> set[str]:
-        if isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)):
-            args = func.args
-            names = [a.arg for a in args.posonlyargs + args.args + args.kwonlyargs]
-            if args.vararg:
-                names.append(args.vararg.arg)
-            if args.kwarg:
-                names.append(args.kwarg.arg)
-            return set(names)
-        return set()
+        return function_params(func)
 
     def _callees(
         self,

@@ -98,7 +98,17 @@ def test_list_rules(capsys):
     exit_code = repro_main(["lint", "--list-rules"])
     captured = capsys.readouterr()
     assert exit_code == 0
-    for rule_id in ("RPR001", "RPR002", "RPR003", "RPR004", "RPR005"):
+    for rule_id in (
+        "RPR001",
+        "RPR002",
+        "RPR003",
+        "RPR004",
+        "RPR005",
+        "RPR006",
+        "RPR007",
+        "RPR008",
+        "RPR009",
+    ):
         assert rule_id in captured.out
 
 
@@ -132,3 +142,174 @@ def test_clean_dir_both_formats(tmp_path, capsys, fmt):
     out = capsys.readouterr().out
     if fmt == "json":
         assert json.loads(out)["ok"] is True
+
+
+# ---------------------------------------------------------------------------
+# --jobs
+
+
+def test_jobs_output_identical_to_serial(tmp_path, capsys):
+    write_offender(tmp_path)
+    for index in range(4):
+        (tmp_path / f"clean_{index}.py").write_text(
+            f"VALUE_{index} = {index}\n", encoding="utf-8"
+        )
+    assert repro_main(["lint", "--format", "json", str(tmp_path)]) == 1
+    serial = capsys.readouterr().out
+    exit_code = repro_main(
+        ["lint", "--format", "json", "--jobs", "4", str(tmp_path)]
+    )
+    parallel = capsys.readouterr().out
+    assert exit_code == 1
+    # Byte-identical output, not merely equivalent findings.
+    assert parallel == serial
+
+
+def test_jobs_negative_is_usage_error(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 3\n", encoding="utf-8")
+    assert repro_main(["lint", "--jobs", "-2", str(tmp_path)]) == 2
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_jobs_zero_means_cpu_count(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 3\n", encoding="utf-8")
+    assert repro_main(["lint", "--jobs", "0", str(tmp_path)]) == 0
+    assert "no violations" in capsys.readouterr().out
+
+
+# ---------------------------------------------------------------------------
+# --format sarif
+
+
+def test_sarif_format_shape(tmp_path, capsys):
+    target = write_offender(tmp_path)
+    exit_code = repro_main(["lint", "--format", "sarif", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    sarif = json.loads(captured.out)
+    assert sarif["version"] == "2.1.0"
+    assert "sarif-2.1.0" in sarif["$schema"]
+    run = sarif["runs"][0]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+    declared = {rule["id"] for rule in run["tool"]["driver"]["rules"]}
+    assert {"RPR000", "RPR001", "RPR006", "RPR009"} <= declared
+    results = run["results"]
+    assert {r["ruleId"] for r in results} == {"RPR001", "RPR003"}
+    for result in results:
+        location = result["locations"][0]["physicalLocation"]
+        assert location["artifactLocation"]["uri"] == str(target)
+        region = location["region"]
+        # SARIF is 1-based in both dimensions.
+        assert region["startLine"] >= 1
+        assert region["startColumn"] >= 1
+        index = result["ruleIndex"]
+        assert run["tool"]["driver"]["rules"][index]["id"] == result["ruleId"]
+
+
+def test_sarif_clean_run_has_empty_results(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 3\n", encoding="utf-8")
+    assert repro_main(["lint", "--format", "sarif", str(tmp_path)]) == 0
+    sarif = json.loads(capsys.readouterr().out)
+    assert sarif["runs"][0]["results"] == []
+
+
+def test_output_flag_writes_report_file(tmp_path, capsys):
+    write_offender(tmp_path)
+    report_path = tmp_path / "lint.sarif"
+    exit_code = repro_main(
+        [
+            "lint",
+            "--format",
+            "sarif",
+            "--output",
+            str(report_path),
+            str(tmp_path),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    sarif = json.loads(report_path.read_text(encoding="utf-8"))
+    assert sarif["version"] == "2.1.0"
+    # stdout carries the summary, not the report.
+    assert "violation" in captured.out
+    assert str(report_path) in captured.out
+
+
+# ---------------------------------------------------------------------------
+# --baseline / --write-baseline
+
+
+def test_baseline_roundtrip_suppresses_known_findings(tmp_path, capsys):
+    write_offender(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    exit_code = repro_main(
+        ["lint", "--write-baseline", str(baseline), str(tmp_path)]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "2 findings recorded" in captured.out
+    payload = json.loads(baseline.read_text(encoding="utf-8"))
+    assert payload["version"] == 1
+    assert len(payload["fingerprints"]) == 2
+
+    # Same tree + baseline: clean.
+    exit_code = repro_main(
+        ["lint", "--baseline", str(baseline), str(tmp_path)]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 0
+    assert "no violations" in captured.out
+    assert "2 known findings suppressed" in captured.out
+
+
+def test_baseline_new_finding_still_fails(tmp_path, capsys):
+    write_offender(tmp_path)
+    baseline = tmp_path / "baseline.json"
+    assert (
+        repro_main(["lint", "--write-baseline", str(baseline), str(tmp_path)])
+        == 0
+    )
+    capsys.readouterr()
+    fresh = tmp_path / "src" / "repro" / "core" / "fresh.py"
+    fresh.write_text(
+        "import numpy as np\n\n\ndef draw():\n    return np.random.rand(3)\n",
+        encoding="utf-8",
+    )
+    exit_code = repro_main(
+        ["lint", "--baseline", str(baseline), str(tmp_path)]
+    )
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "fresh.py" in captured.out
+    # The baselined offender stays suppressed; only the new file reports.
+    assert "offender.py" not in captured.out
+
+
+def test_missing_baseline_is_usage_error(tmp_path, capsys):
+    (tmp_path / "clean.py").write_text("VALUE = 3\n", encoding="utf-8")
+    exit_code = repro_main(
+        ["lint", "--baseline", str(tmp_path / "nope.json"), str(tmp_path)]
+    )
+    assert exit_code == 2
+    assert "nope.json" in capsys.readouterr().err
+
+
+# ---------------------------------------------------------------------------
+# whole-program rules through the CLI
+
+
+def test_project_rule_finding_reported_by_cli(tmp_path, capsys):
+    package = tmp_path / "src" / "repro"
+    (package / "engine").mkdir(parents=True)
+    (package / "core").mkdir(parents=True)
+    (package / "engine" / "pipe.py").write_text(
+        "from repro.core.mes import choose\n", encoding="utf-8"
+    )
+    (package / "core" / "mes.py").write_text(
+        "def choose():\n    return 1\n", encoding="utf-8"
+    )
+    exit_code = repro_main(["lint", "--select", "RPR009", str(tmp_path)])
+    captured = capsys.readouterr()
+    assert exit_code == 1
+    assert "RPR009" in captured.out
+    assert "must not import" in captured.out

@@ -1,0 +1,565 @@
+"""Fixture tests for the whole-program rules RPR006–RPR009.
+
+Each rule gets true-positive fixtures (the violation fires, with the
+evidence the rule promises: RPR006 names the untainted origin, RPR007
+carries the full call chain) and false-positive fixtures (the sanctioned
+idiom stays clean).  Fixtures are in-memory ``{path: source}`` trees fed
+through :func:`repro.lint.lint_project`; virtual paths determine module
+names exactly as on disk.
+"""
+
+from __future__ import annotations
+
+import textwrap
+
+from repro.lint import LintConfig, Violation, lint_project
+
+
+def run(
+    sources: dict[str, str],
+    select: set[str],
+    config: LintConfig | None = None,
+) -> list[Violation]:
+    dedented = {path: textwrap.dedent(src) for path, src in sources.items()}
+    return lint_project(dedented, select=select, config=config)
+
+
+# ---------------------------------------------------------------------------
+# RPR006 — seed-flow taint
+
+
+def test_rpr006_ambient_rng_crossing_into_core_fires() -> None:
+    violations = run(
+        {
+            "src/repro/runner/helpers.py": """
+            import numpy as np
+
+            from repro.core.mes import choose
+
+            def make_rng():
+                return np.random.default_rng()
+
+            def drive():
+                rng = make_rng()
+                return choose(rng)
+            """,
+            "src/repro/core/mes.py": """
+            def choose(rng):
+                return rng.integers(0, 4)
+            """,
+        },
+        select={"RPR006"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR006"]
+    message = violations[0].message
+    # The finding names the untainted origin: construct, reason, site.
+    assert "numpy.random.default_rng()" in message
+    assert "no seed argument" in message
+    assert "src/repro/runner/helpers.py:7" in message
+    # ... the entry point it reached ...
+    assert "repro.core.mes.choose" in message
+    # ... and the flow that carried it there.
+    assert "constructed in repro.runner.helpers.make_rng" in message
+    assert "derive_rng" in message  # the suggested fix
+
+
+def test_rpr006_hardcoded_seed_is_still_ambient() -> None:
+    violations = run(
+        {
+            "src/repro/runner/helpers.py": """
+            import numpy as np
+
+            from repro.simulation.world import step
+
+            def drive():
+                rng = np.random.default_rng(42)
+                return step(rng)
+            """,
+            "src/repro/simulation/world.py": """
+            def step(rng):
+                return rng.random()
+            """,
+        },
+        select={"RPR006"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR006"]
+    assert "hardcoded seed 42" in violations[0].message
+
+
+def test_rpr006_derived_rng_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/utils/rng.py": """
+            import numpy as np
+
+            def derive_rng(seed, *key):
+                return np.random.default_rng(seed)
+            """,
+            "src/repro/runner/helpers.py": """
+            from repro.core.mes import choose
+            from repro.utils.rng import derive_rng
+
+            def drive(seed):
+                rng = derive_rng(seed, "mes")
+                return choose(rng)
+            """,
+            "src/repro/core/mes.py": """
+            def choose(rng):
+                return rng.integers(0, 4)
+            """,
+        },
+        select={"RPR006"},
+    )
+    assert violations == []
+
+
+def test_rpr006_explicit_seed_parameter_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/runner/helpers.py": """
+            import numpy as np
+
+            from repro.core.mes import choose
+
+            def drive(seed):
+                rng = np.random.default_rng(seed)
+                return choose(rng)
+            """,
+            "src/repro/core/mes.py": """
+            def choose(rng):
+                return rng.integers(0, 4)
+            """,
+        },
+        select={"RPR006"},
+    )
+    assert violations == []
+
+
+def test_rpr006_unscoped_layers_are_not_sinks() -> None:
+    # tracking/ is not one of the protected layers; ambient RNG flowing
+    # there is not this rule's business.
+    violations = run(
+        {
+            "src/repro/runner/helpers.py": """
+            import numpy as np
+
+            from repro.tracking.sort import track
+
+            def drive():
+                return track(np.random.default_rng())
+            """,
+            "src/repro/tracking/sort.py": """
+            def track(rng):
+                return rng.random()
+            """,
+        },
+        select={"RPR006"},
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RPR007 — interprocedural lockset
+
+
+RPR007_TP = {
+    "src/repro/runner/dispatch.py": """
+    from repro.engine.work import record
+
+    def job(key):
+        return record(key)
+
+    def drive(backend, jobs):
+        return [backend.run(job) for _ in jobs]
+    """,
+    "src/repro/engine/work.py": """
+    _RESULTS = {}
+
+    def record(key):
+        _RESULTS[key] = key
+        return key
+    """,
+}
+
+
+def test_rpr007_cross_module_unlocked_write_fires_with_chain() -> None:
+    violations = run(RPR007_TP, select={"RPR007"})
+    assert [v.rule_id for v in violations] == ["RPR007"]
+    violation = violations[0]
+    # The finding lands on the mutation, in the module that owns it.
+    assert violation.path == "src/repro/engine/work.py"
+    assert "_RESULTS" in violation.message
+    # ... and carries the full chain from the submission site.
+    assert (
+        "submitted repro.runner.dispatch.job (src/repro/runner/dispatch.py:8)"
+        in violation.message
+    )
+    assert (
+        "repro.engine.work.record (called at src/repro/runner/dispatch.py:5)"
+        in violation.message
+    )
+
+
+def test_rpr007_lock_held_by_caller_propagates_down() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            import threading
+
+            from repro.engine.work import record
+
+            _LOCK = threading.Lock()
+
+            def job(key):
+                with _LOCK:
+                    return record(key)
+
+            def drive(backend, jobs):
+                return [backend.run(job) for _ in jobs]
+            """,
+            "src/repro/engine/work.py": RPR007_TP["src/repro/engine/work.py"],
+        },
+        select={"RPR007"},
+    )
+    assert violations == []
+
+
+def test_rpr007_lock_held_at_mutation_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": RPR007_TP[
+                "src/repro/runner/dispatch.py"
+            ],
+            "src/repro/engine/work.py": """
+            import threading
+
+            _RESULTS = {}
+            _LOCK = threading.Lock()
+
+            def record(key):
+                with _LOCK:
+                    _RESULTS[key] = key
+                return key
+            """,
+        },
+        select={"RPR007"},
+    )
+    assert violations == []
+
+
+def test_rpr007_depth_one_same_module_left_to_rpr004() -> None:
+    # The one-hop, single-module shape is RPR004's finding; RPR007 must
+    # not double-report it.
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            _RESULTS = {}
+
+            def job(key):
+                _RESULTS[key] = key
+
+            def drive(backend, jobs):
+                return [backend.run(job) for _ in jobs]
+            """,
+        },
+        select={"RPR007"},
+    )
+    assert violations == []
+
+
+def test_rpr007_two_hop_chain_lists_every_hop() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            from repro.engine.work import outer
+
+            def drive(backend, jobs):
+                return [backend.submit(outer) for _ in jobs]
+            """,
+            "src/repro/engine/work.py": """
+            from repro.engine.store import stash
+
+            def outer(key):
+                return stash(key)
+            """,
+            "src/repro/engine/store.py": """
+            _STORE = {}
+
+            def stash(key):
+                _STORE[key] = key
+            """,
+        },
+        select={"RPR007"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR007"]
+    message = violations[0].message
+    assert "submitted repro.engine.work.outer" in message
+    assert "repro.engine.store.stash" in message
+    assert violations[0].path == "src/repro/engine/store.py"
+
+
+# ---------------------------------------------------------------------------
+# RPR008 — resource / exception safety
+
+
+def test_rpr008_unreleased_backend_fires() -> None:
+    violations = run(
+        {
+            "src/repro/runner/exec.py": """
+            from repro.engine.backends import make_backend
+
+            def drive(jobs):
+                backend = make_backend("thread")
+                return [backend.run(j) for j in jobs]
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR008"]
+    assert "never released" in violations[0].message
+    assert "'backend'" in violations[0].message
+
+
+def test_rpr008_fallthrough_only_release_fires() -> None:
+    violations = run(
+        {
+            "src/repro/runner/exec.py": """
+            from repro.engine.backends import make_backend
+
+            def drive(jobs):
+                backend = make_backend("thread")
+                results = [backend.run(j) for j in jobs]
+                backend.close()
+                return results
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR008"]
+    assert "fall-through path" in violations[0].message
+
+
+def test_rpr008_with_statement_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/runner/exec.py": """
+            from repro.engine.backends import make_backend
+
+            def drive(jobs):
+                backend = make_backend("thread")
+                with backend:
+                    return [backend.run(j) for j in jobs]
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert violations == []
+
+
+def test_rpr008_try_finally_release_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/runner/exec.py": """
+            from repro.engine.backends import make_backend
+
+            def drive(jobs):
+                backend = make_backend("thread")
+                try:
+                    return [backend.run(j) for j in jobs]
+                finally:
+                    backend.close()
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert violations == []
+
+
+def test_rpr008_returned_handle_transfers_ownership() -> None:
+    violations = run(
+        {
+            "src/repro/runner/exec.py": """
+            from repro.engine.backends import make_backend
+
+            def open_backend(kind):
+                backend = make_backend(kind)
+                return backend
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert violations == []
+
+
+def test_rpr008_detect_outside_try_in_jobresult_fn_fires() -> None:
+    violations = run(
+        {
+            "src/repro/engine/worker.py": """
+            from repro.engine.types import JobResult
+
+            def run_job(detector, frame) -> JobResult:
+                boxes = detector.detect(frame)
+                return JobResult(status="ok", boxes=boxes)
+            """,
+            "src/repro/engine/types.py": """
+            class JobResult:
+                def __init__(self, status, boxes=None):
+                    self.status = status
+                    self.boxes = boxes
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR008"]
+    assert "JobResult" in violations[0].message
+    assert "detect()" in violations[0].message
+
+
+def test_rpr008_detect_inside_try_except_exception_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/engine/worker.py": """
+            from repro.engine.types import JobResult
+
+            def run_job(detector, frame) -> JobResult:
+                try:
+                    boxes = detector.detect(frame)
+                except Exception as exc:
+                    return JobResult(status="failed", boxes=None)
+                return JobResult(status="ok", boxes=boxes)
+            """,
+            "src/repro/engine/types.py": """
+            class JobResult:
+                def __init__(self, status, boxes=None):
+                    self.status = status
+                    self.boxes = boxes
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert violations == []
+
+
+def test_rpr008_suppression_with_justification_works() -> None:
+    violations = run(
+        {
+            "src/repro/runner/exec.py": """
+            from repro.engine.backends import make_backend
+
+            def drive(jobs):
+                # repro-lint: disable=RPR008 -- process-lifetime backend, reaped at exit
+                backend = make_backend("thread")
+                return [backend.run(j) for j in jobs]
+            """,
+        },
+        select={"RPR008"},
+    )
+    assert violations == []
+
+
+# ---------------------------------------------------------------------------
+# RPR009 — import layering
+
+
+def test_rpr009_upward_import_fires() -> None:
+    violations = run(
+        {
+            "src/repro/engine/pipe.py": """
+            from repro.core.mes import choose
+
+            def go():
+                return choose()
+            """,
+            "src/repro/core/mes.py": "def choose():\n    return 1\n",
+        },
+        select={"RPR009"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR009"]
+    violation = violations[0]
+    assert violation.path == "src/repro/engine/pipe.py"
+    assert "layer 'engine' must not import layer 'core'" in violation.message
+
+
+def test_rpr009_type_checking_import_is_exempt() -> None:
+    violations = run(
+        {
+            "src/repro/engine/pipe.py": """
+            from typing import TYPE_CHECKING
+
+            if TYPE_CHECKING:
+                from repro.core.mes import MES
+
+            def go(mes: "MES"):
+                return mes
+            """,
+            "src/repro/core/mes.py": "class MES:\n    pass\n",
+        },
+        select={"RPR009"},
+    )
+    assert violations == []
+
+
+def test_rpr009_function_level_import_still_enforced() -> None:
+    violations = run(
+        {
+            "src/repro/engine/pipe.py": """
+            def go():
+                from repro.core.mes import choose
+                return choose()
+            """,
+            "src/repro/core/mes.py": "def choose():\n    return 1\n",
+        },
+        select={"RPR009"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR009"]
+
+
+def test_rpr009_transitive_closure_admits_indirect_layers() -> None:
+    # cli may import runner, runner may import core: the closure lets
+    # cli import core directly too.
+    violations = run(
+        {
+            "src/repro/cli.py": """
+            from repro.core.mes import choose
+
+            def main():
+                return choose()
+            """,
+            "src/repro/core/mes.py": "def choose():\n    return 1\n",
+        },
+        select={"RPR009"},
+    )
+    assert violations == []
+
+
+def test_rpr009_undeclared_layer_is_flagged() -> None:
+    config = LintConfig(layers={"utils": ()})
+    violations = run(
+        {
+            "src/repro/mystery/new.py": "X = 1\n",
+        },
+        select={"RPR009"},
+        config=config,
+    )
+    assert [v.rule_id for v in violations] == ["RPR009"]
+    assert "not declared" in violations[0].message
+    assert violations[0].line == 1
+
+
+def test_rpr009_custom_dag_overrides_default() -> None:
+    # The shipped default allows core -> engine; a stricter custom DAG
+    # can forbid it.
+    sources = {
+        "src/repro/core/exec.py": """
+        from repro.engine.store import Store
+
+        def go():
+            return Store()
+        """,
+        "src/repro/engine/store.py": "class Store:\n    pass\n",
+    }
+    assert run(sources, select={"RPR009"}) == []
+    strict = LintConfig(layers={"core": (), "engine": ()})
+    violations = run(sources, select={"RPR009"}, config=strict)
+    assert [v.rule_id for v in violations] == ["RPR009"]
+    assert "allowed: nothing" in violations[0].message
