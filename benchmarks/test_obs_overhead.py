@@ -1,0 +1,132 @@
+"""Observability overhead gate: ``off`` is free, ``trace`` is < 10%.
+
+The acceptance criteria of the observability layer:
+
+* ``--obs-level off`` must be zero-cost — the null facade allocates
+  nothing per frame (asserted structurally: the shared singletons are
+  returned, no registries exist);
+* ``--obs-level trace`` — full spans, metrics and events — must cost
+  less than 10% of throughput on a CPU-bound selection run.  Pure-Python
+  simulated detectors are the *worst case* for relative overhead: real
+  detectors block on accelerators, shrinking the instrumented fraction
+  of wall time further.
+
+Timing uses best-of-N interleaved repetitions so a single scheduler
+hiccup cannot fail the gate.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+from benchmarks.common import banner, scaled
+
+from repro.core.environment import DetectionEnvironment
+from repro.core.mes import MES
+from repro.engine.backends import wall_timer
+from repro.obs import NULL_OBS, NULL_SPAN, Observability
+from repro.simulation.detectors import SimulatedDetector
+from repro.simulation.lidar import SimulatedLidar
+from repro.simulation.profiles import make_profile
+from repro.simulation.world import generate_video
+
+#: Interleaved repetitions per level; the best (fastest) one is compared.
+REPETITIONS = 7
+
+#: Allowed throughput cost of full tracing (the "< 10%" acceptance bar).
+MAX_TRACE_OVERHEAD = 0.10
+
+
+def _make_models():
+    detectors = [
+        SimulatedDetector(make_profile("yolov7-tiny", domain), seed=seed)
+        for seed, domain in enumerate(("clear", "night", "rainy"), start=1)
+    ]
+    return detectors, SimulatedLidar(seed=42)
+
+
+def _run_once(frames, level: str):
+    detectors, reference = _make_models()
+    if level == "off":
+        obs = NULL_OBS
+    else:
+        obs = Observability(level=level, timer=wall_timer)
+    env = DetectionEnvironment(detectors, reference, obs=obs)
+    start = time.perf_counter()
+    result = MES(gamma=3).run(env, frames)
+    elapsed = time.perf_counter() - start
+    return result, elapsed, obs
+
+
+@pytest.mark.benchmark(group="obs")
+def test_null_facade_is_structurally_zero_cost():
+    """The off level keeps no state and returns shared singletons, so the
+    hot path pays one attribute check per call site and allocates nothing."""
+    assert NULL_OBS.metrics is None
+    assert NULL_OBS.events is None
+    assert NULL_OBS.tracer is None
+    # Every span() call at off level returns the same context object and
+    # the same inert span — no per-frame allocation whatsoever.
+    context_a = NULL_OBS.span("frame", iteration=1)
+    context_b = NULL_OBS.span("detect")
+    assert context_a is context_b
+    with context_a as span:
+        assert span is NULL_SPAN
+    fresh_off = Observability(level="off")
+    assert fresh_off.span("x") is context_a
+
+
+@pytest.mark.benchmark(group="obs")
+def test_trace_overhead_below_ten_percent():
+    num_frames = scaled(40)
+    frames = generate_video(
+        "bench/obs", num_frames=num_frames, category="clear", seed=7
+    ).frames
+
+    best = {"off": float("inf"), "trace": float("inf")}
+    results = {}
+    metrics_obs = None
+    # Interleave the levels so drift (thermal, page cache) hits both.
+    for _ in range(REPETITIONS):
+        for level in ("off", "trace"):
+            result, elapsed, obs = _run_once(frames, level)
+            best[level] = min(best[level], elapsed)
+            results[level] = result
+            if level == "trace":
+                metrics_obs = obs
+
+    # Observability must never change the selection itself.
+    assert results["trace"].records == results["off"].records
+
+    # The traced run recorded what it should have.
+    snapshot = metrics_obs.snapshot()
+    assert snapshot.counter_value(
+        "repro_frames_total", algorithm=results["trace"].algorithm
+    ) == len(results["trace"].records)
+    span_names = {s.name for s in metrics_obs.tracer.finished()}
+    assert {"frame", "select", "detect", "fuse", "score", "update"} <= span_names
+
+    off_fps = num_frames / best["off"]
+    trace_fps = num_frames / best["trace"]
+    overhead = 1.0 - trace_fps / off_fps
+
+    payload = {
+        "benchmark": "obs_overhead",
+        "frames": num_frames,
+        "repetitions": REPETITIONS,
+        "off": {"seconds": round(best["off"], 4),
+                "frames_per_sec": round(off_fps, 2)},
+        "trace": {"seconds": round(best["trace"], 4),
+                  "frames_per_sec": round(trace_fps, 2)},
+        "overhead_fraction": round(overhead, 4),
+    }
+    print(banner("Observability overhead (off vs trace)"))
+    print(json.dumps(payload, indent=2))
+
+    assert overhead < MAX_TRACE_OVERHEAD, (
+        f"trace-level observability costs {overhead:.1%} of throughput "
+        f"(off {off_fps:.1f} fps, trace {trace_fps:.1f} fps); the gate "
+        f"allows {MAX_TRACE_OVERHEAD:.0%}"
+    )

@@ -19,9 +19,22 @@ from collections.abc import Sequence
 
 from repro.core.environment import BILLING_POLICIES
 from repro.core.scoring import WeightedLogScore
-from repro.engine.backends import BACKEND_NAMES, ExecutionBackend, make_backend
+from repro.engine.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    make_backend,
+    wall_timer,
+)
 from repro.engine.resilience import BreakerPolicy, ResilientBackend, RetryPolicy
 from repro.lint.cli import add_lint_arguments, run_lint
+from repro.obs import (
+    NULL_OBS,
+    OBS_LEVELS,
+    Observability,
+    write_events_jsonl,
+    write_metrics,
+    write_trace_json,
+)
 from repro.query.executor import QueryEngine
 from repro.query.planner import algorithm_registry
 from repro.runner.experiment import dataset_keys, standard_setup
@@ -32,6 +45,21 @@ from repro.simulation.datasets import build_bdd_like, build_nuscenes_like
 from repro.simulation.faults import FAULT_PROFILE_NAMES
 
 __all__ = ["main", "build_parser"]
+
+
+def _positive_int(text: str) -> int:
+    """Argparse type for counts that must be >= 1 (e.g. ``--workers``)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}") from None
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be a positive integer, got {value}")
+    return value
+
+
+#: Default pool size for the parallel backends when ``--workers`` is absent.
+_DEFAULT_WORKERS = 4
 
 
 def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
@@ -47,9 +75,12 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument(
         "--workers",
-        type=int,
-        default=4,
-        help="worker count for the thread / process backends",
+        type=_positive_int,
+        default=None,
+        help=(
+            "worker count for the thread / process backends "
+            f"(default {_DEFAULT_WORKERS}); rejected with --backend serial"
+        ),
     )
     parser.add_argument(
         "--fault-profile",
@@ -82,9 +113,87 @@ def _add_backend_arguments(parser: argparse.ArgumentParser) -> None:
             "discarded like a serving system cancelling stragglers"
         ),
     )
+    parser.add_argument(
+        "--obs-level",
+        default="off",
+        choices=OBS_LEVELS,
+        help=(
+            "observability level: 'metrics' records counters/histograms "
+            "and structured events, 'trace' adds nested per-frame spans; "
+            "'off' (default) is zero-cost"
+        ),
+    )
+    parser.add_argument(
+        "--metrics-out",
+        default=None,
+        help=(
+            "write the final metrics snapshot here (.prom/.txt for "
+            "Prometheus text format, anything else for JSON); requires "
+            "--obs-level metrics or trace"
+        ),
+    )
+    parser.add_argument(
+        "--trace-out",
+        default=None,
+        help="write finished spans as JSON; requires --obs-level trace",
+    )
+    parser.add_argument(
+        "--events-out",
+        default=None,
+        help=(
+            "write structured run events as JSONL; requires --obs-level "
+            "metrics or trace"
+        ),
+    )
 
 
-def _open_backend(args: argparse.Namespace) -> ExecutionBackend:
+def _validate_backend_arguments(
+    parser: argparse.ArgumentParser, args: argparse.Namespace
+) -> None:
+    """Reject inconsistent backend/observability flags at parse time.
+
+    ``--workers 0`` never reaches pool construction (the argparse type
+    rejects it), and ``--workers`` with the serial backend errors instead
+    of being silently ignored.
+    """
+    if args.workers is not None and args.backend == "serial":
+        parser.error(
+            "--workers requires --backend thread or process "
+            "(the serial backend runs in-process)"
+        )
+    if args.workers is None:
+        args.workers = _DEFAULT_WORKERS
+    if args.trace_out is not None and args.obs_level != "trace":
+        parser.error("--trace-out requires --obs-level trace")
+    if args.metrics_out is not None and args.obs_level == "off":
+        parser.error("--metrics-out requires --obs-level metrics or trace")
+    if args.events_out is not None and args.obs_level == "off":
+        parser.error("--events-out requires --obs-level metrics or trace")
+
+
+def _make_obs(args: argparse.Namespace) -> Observability:
+    """The run's observability facade, per ``--obs-level``."""
+    if args.obs_level == "off":
+        return NULL_OBS
+    return Observability(level=args.obs_level, timer=wall_timer)
+
+
+def _write_obs_outputs(args: argparse.Namespace, obs: Observability) -> None:
+    """Export metrics / trace / events to the requested files."""
+    if args.metrics_out:
+        write_metrics(args.metrics_out, obs.snapshot())
+        print(f"metrics written to {args.metrics_out}")
+    if args.trace_out and obs.tracer is not None:
+        write_trace_json(args.trace_out, obs.tracer)
+        print(f"trace written to {args.trace_out}")
+    if args.events_out and obs.events is not None:
+        write_events_jsonl(args.events_out, obs.events)
+        print(f"events written to {args.events_out}")
+
+
+def _open_backend(
+    args: argparse.Namespace, obs: Observability = NULL_OBS
+) -> ExecutionBackend:
     """Build the (possibly resilient) backend the run will own.
 
     Fault injection implies the resilient wrapper; so does an explicit
@@ -98,7 +207,7 @@ def _open_backend(args: argparse.Namespace) -> ExecutionBackend:
             "--fault-profile/--timeout-ms require --backend serial or "
             "thread (faulty detectors are not picklable)"
         )
-    backend = make_backend(args.backend, workers=args.workers)
+    backend = make_backend(args.backend, workers=args.workers, obs=obs)
     if not resilient:
         return backend
     return ResilientBackend(
@@ -106,6 +215,7 @@ def _open_backend(args: argparse.Namespace) -> ExecutionBackend:
         retry=RetryPolicy(max_attempts=max(args.retries, 1)),
         breaker=BreakerPolicy(),
         timeout_ms=args.timeout_ms,
+        obs=obs,
     )
 
 
@@ -206,8 +316,9 @@ def _run_compare(args: argparse.Namespace) -> int:
         "EF": ExploreFirst,
         "MES": MES,
     }
+    obs = _make_obs(args)
     # The with-statement guarantees pool shutdown on every error path.
-    with _open_backend(args) as backend:
+    with _open_backend(args, obs) as backend:
         outcomes = compare_algorithms(
             lambda trial: standard_setup(
                 args.dataset,
@@ -224,6 +335,7 @@ def _run_compare(args: argparse.Namespace) -> int:
             budget_ms=args.budget,
             backend=backend,
             billing=args.billing,
+            obs=obs,
         )
         _print_fault_stats(backend)
     rows = []
@@ -252,6 +364,7 @@ def _run_compare(args: argparse.Namespace) -> int:
     if args.csv:
         save_outcomes_csv(outcomes, args.csv)
         print(f"\nper-trial rows written to {args.csv}")
+    _write_obs_outputs(args, obs)
     return 0
 
 
@@ -262,8 +375,9 @@ def _run_query(args: argparse.Namespace) -> int:
         fault_profile=args.fault_profile,
         fault_seed=args.fault_seed,
     )
-    with _open_backend(args) as backend:
-        engine = QueryEngine(backend=backend)
+    obs = _make_obs(args)
+    with _open_backend(args, obs) as backend:
+        engine = QueryEngine(backend=backend, obs=obs)
         engine.register_video(args.video_name, setup.frames)
         for detector in setup.detectors:
             engine.register_detector(detector)
@@ -275,6 +389,7 @@ def _run_query(args: argparse.Namespace) -> int:
         f"frames match"
     )
     print("frame ids:", result.frame_ids())
+    _write_obs_outputs(args, obs)
     return 0
 
 
@@ -298,7 +413,10 @@ def _run_algorithms(args: argparse.Namespace) -> int:
 
 def main(argv: Sequence[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
-    args = build_parser().parse_args(argv)
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.command in ("compare", "query"):
+        _validate_backend_arguments(parser, args)
     handlers = {
         "compare": _run_compare,
         "query": _run_query,

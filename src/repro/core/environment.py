@@ -63,6 +63,7 @@ from repro.engine.resilience import FaultStats
 from repro.engine.store import CacheStats, EvaluationStore
 from repro.ensembling.base import EnsembleMethod
 from repro.ensembling.wbf import WeightedBoxesFusion
+from repro.obs import NULL_OBS, Observability
 from repro.simulation.clock import CostModel, SimulatedClock
 from repro.simulation.video import Frame
 
@@ -210,6 +211,10 @@ class DetectionEnvironment:
             :class:`~repro.engine.backends.SerialBackend`.  Backends
             affect wall-clock time only, never results or charges.
         billing: Detector billing policy, one of :data:`BILLING_POLICIES`.
+        obs: Observability facade shared by the pipeline and this
+            environment; spans (detect / per-model / fuse / score) and
+            evaluation counters flow through it.  The default no-op
+            facade keeps uninstrumented runs zero-cost.
     """
 
     def __init__(
@@ -224,6 +229,7 @@ class DetectionEnvironment:
         clock: SimulatedClock | None = None,
         backend: ExecutionBackend | None = None,
         billing: str = "sum",
+        obs: Observability = NULL_OBS,
     ) -> None:
         if not detectors:
             raise ValueError("the detector pool must be non-empty")
@@ -255,6 +261,7 @@ class DetectionEnvironment:
             backend if backend is not None else SerialBackend()
         )
         self.billing = billing
+        self.obs = obs
 
         # Frame-level degradation counters (bounded scalars, merged with
         # the backend's job-level counters by :meth:`fault_stats`).
@@ -420,7 +427,27 @@ class DetectionEnvironment:
             stages.append(("reference", frame.key))
         if not jobs:
             return
-        for (stage, key), result in zip(stages, self.backend.run(jobs), strict=True):
+        with self.obs.span("detect", jobs=len(jobs)) as detect_span:
+            results = self.backend.run(jobs)
+            if self.obs.trace_on:
+                sim_ms = 0.0
+                for (stage, key), result in zip(stages, results, strict=True):
+                    job_sim = (
+                        float(getattr(result.output, "inference_time_ms", 0.0))
+                        if result.ok
+                        else 0.0
+                    )
+                    sim_ms += job_sim
+                    self.obs.add_span(
+                        "detect-model",
+                        wall_ms=result.wall_ms,
+                        sim_ms=job_sim,
+                        status=result.status,
+                        model=key[1] if stage == "detector" else "REF",
+                        attempts=result.attempts,
+                    )
+                detect_span.set_sim_ms(sim_ms)
+        for (stage, key), result in zip(stages, results, strict=True):
             if result.ok and not self.store.contains(stage, key):
                 self.store.put(stage, key, result.output, result.wall_ms)
 
@@ -528,44 +555,70 @@ class DetectionEnvironment:
         ):
             reference_ms = ref_output.inference_time_ms
 
+        # Pass 1 ("fuse"): materialize every realized ensemble's fused
+        # detections and its cost components.  Pass 2 ("score"): APs and
+        # scores.  The split exists so the two phases are separately
+        # spanned; lookup totals are identical to the single-loop form.
         evaluations: dict[EnsembleKey, EnsembleEvaluation] = {}
         ensembling_ms = 0.0
         fusions_billed: set[EnsembleKey] = set()
-        for key in key_list:
-            realized = realized_of.get(key)
-            if realized is None:
-                continue
-            fused = self._fused(frame, realized)
-            member_outputs = [self._single_output(frame, m) for m in realized]
-            inference_ms = sum(o.inference_time_ms for o in member_outputs)
-            pooled_boxes = sum(len(o.detections) for o in member_outputs)
-            fusion_ms = self.cost_model.ensembling_cost_ms(pooled_boxes)
-            if realized not in fusions_billed:
-                # Distinct requested ensembles can collapse onto one
-                # realized subset; its fusion runs (and bills) once.
-                fusions_billed.add(realized)
-                ensembling_ms += fusion_ms
-            cost_ms = inference_ms + fusion_ms
-            c_hat = self.normalized_cost(cost_ms)
-            est_ap = self._estimated_ap(frame, realized)
-            true_ap = self._true_ap(frame, realized)
-            evaluations[key] = EnsembleEvaluation(
-                key=key,
-                detections=fused,
-                inference_ms=inference_ms,
-                ensembling_ms=fusion_ms,
-                cost_ms=cost_ms,
-                normalized_cost=c_hat,
-                est_ap=est_ap,
-                est_score=self.scoring(est_ap, c_hat),
-                true_ap=true_ap,
-                true_score=self.scoring(true_ap, c_hat),
-                realized=realized,
-            )
+        prepared: list[
+            tuple[EnsembleKey, EnsembleKey, FrameDetections, float, float]
+        ] = []
+        with self.obs.span("fuse") as fuse_span:
+            for key in key_list:
+                realized = realized_of.get(key)
+                if realized is None:
+                    continue
+                fused = self._fused(frame, realized)
+                member_outputs = [
+                    self._single_output(frame, m) for m in realized
+                ]
+                inference_ms = sum(o.inference_time_ms for o in member_outputs)
+                pooled_boxes = sum(len(o.detections) for o in member_outputs)
+                fusion_ms = self.cost_model.ensembling_cost_ms(pooled_boxes)
+                if realized not in fusions_billed:
+                    # Distinct requested ensembles can collapse onto one
+                    # realized subset; its fusion runs (and bills) once.
+                    fusions_billed.add(realized)
+                    ensembling_ms += fusion_ms
+                prepared.append((key, realized, fused, inference_ms, fusion_ms))
+            fuse_span.set_sim_ms(ensembling_ms)
+        with self.obs.span("score"):
+            for key, realized, fused, inference_ms, fusion_ms in prepared:
+                cost_ms = inference_ms + fusion_ms
+                c_hat = self.normalized_cost(cost_ms)
+                est_ap = self._estimated_ap(frame, realized)
+                true_ap = self._true_ap(frame, realized)
+                evaluations[key] = EnsembleEvaluation(
+                    key=key,
+                    detections=fused,
+                    inference_ms=inference_ms,
+                    ensembling_ms=fusion_ms,
+                    cost_ms=cost_ms,
+                    normalized_cost=c_hat,
+                    est_ap=est_ap,
+                    est_score=self.scoring(est_ap, c_hat),
+                    true_ap=true_ap,
+                    true_score=self.scoring(true_ap, c_hat),
+                    realized=realized,
+                )
 
         if charge:
             self.clock.charge("detector", detector_ms)
             self.clock.charge("ensembling", ensembling_ms)
+            if self.obs.metrics_on:
+                self.obs.count(
+                    "repro_evaluations_total",
+                    amount=float(len(evaluations)),
+                    description="Charged ensemble evaluations",
+                )
+                if dropped:
+                    self.obs.count(
+                        "repro_ensembles_dropped_total",
+                        amount=float(dropped),
+                        description="Requested ensembles with no healthy member",
+                    )
 
         return EvaluationBatch(
             evaluations=evaluations,

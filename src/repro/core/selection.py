@@ -215,6 +215,13 @@ class IterativeSelection(SelectionAlgorithm):
         pipeline = self._pipeline(env, budget_ms, observers)
         self._begin(env, frames)
         records = list(pipeline.run(frames, self._choose, self._update))
-        return SelectionResult(
+        result = SelectionResult(
             algorithm=self.name, records=records, budget_ms=budget_ms
         )
+        env.obs.set_gauge(
+            "repro_run_s_sum",
+            result.s_sum,
+            description="Final s_sum (sum of true scores) of the run",
+            algorithm=self.name,
+        )
+        return result

@@ -27,6 +27,8 @@ from concurrent.futures import Executor, ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass
 from typing import Any, Protocol, runtime_checkable
 
+from repro.obs import NULL_OBS, Counter, Histogram, Observability
+
 __all__ = [
     "InferenceJob",
     "JobResult",
@@ -161,13 +163,59 @@ class ExecutionBackend(Protocol):
         ...
 
 
+class _BatchMetrics:
+    """Folds batches into the jobs/batch-size metrics with cached handles.
+
+    Only *logical* facts are recorded (statuses, counts — both
+    deterministic for a seeded run), never wall times, so serial and
+    parallel backends produce identical metric snapshots.  Handles are
+    resolved through the registry once per (metric, status) rather than
+    per job — this runs for every inference of every frame.
+    """
+
+    __slots__ = ("_obs", "_batch_jobs", "_job_counters")
+
+    def __init__(self, obs: Observability) -> None:
+        self._obs = obs
+        self._batch_jobs: Histogram | None = None
+        self._job_counters: dict[str, Counter] = {}
+
+    def record(self, results: Sequence[JobResult]) -> None:
+        registry = self._obs.metrics
+        assert registry is not None  # guarded by metrics_on at call sites
+        batch_jobs = self._batch_jobs
+        if batch_jobs is None:
+            batch_jobs = self._batch_jobs = registry.histogram(
+                "repro_engine_batch_jobs",
+                description="Inference jobs per backend batch",
+            )
+        batch_jobs.observe(float(len(results)))
+        counters = self._job_counters
+        for result in results:
+            counter = counters.get(result.status)
+            if counter is None:
+                counter = counters[result.status] = registry.counter(
+                    "repro_engine_jobs_total",
+                    "Inference jobs executed, by outcome status",
+                    status=result.status,
+                )
+            counter.inc()
+
+
 class SerialBackend:
     """Run jobs sequentially on the calling thread (the default)."""
 
     name = "serial"
 
+    def __init__(self, obs: Observability = NULL_OBS) -> None:
+        self.obs = obs
+        self._metrics = _BatchMetrics(obs)
+
     def run(self, jobs: Sequence[InferenceJob]) -> list[JobResult]:
-        return [_execute_job(job) for job in jobs]
+        results = [_execute_job(job) for job in jobs]
+        if self.obs.metrics_on:
+            self._metrics.record(results)
+        return results
 
     def close(self) -> None:  # nothing to release
         pass
@@ -187,10 +235,12 @@ class _PoolBackend:
 
     name = "pool"
 
-    def __init__(self, workers: int = 4) -> None:
+    def __init__(self, workers: int = 4, obs: Observability = NULL_OBS) -> None:
         if workers < 1:
             raise ValueError("workers must be at least 1")
         self.workers = workers
+        self.obs = obs
+        self._metrics = _BatchMetrics(obs)
         self._executor: Executor | None = None
 
     def _make_executor(self) -> Executor:
@@ -204,8 +254,12 @@ class _PoolBackend:
     def run(self, jobs: Sequence[InferenceJob]) -> list[JobResult]:
         if len(jobs) <= 1:
             # Pool dispatch overhead is never worth it for a single job.
-            return [_execute_job(job) for job in jobs]
-        return list(self._pool().map(_execute_job, jobs))
+            results = [_execute_job(job) for job in jobs]
+        else:
+            results = list(self._pool().map(_execute_job, jobs))
+        if self.obs.metrics_on:
+            self._metrics.record(results)
+        return results
 
     def close(self) -> None:
         if self._executor is not None:
@@ -257,17 +311,21 @@ class ProcessPoolBackend(_PoolBackend):
 BACKEND_NAMES: tuple[str, ...] = ("serial", "thread", "process")
 
 
-def make_backend(name: str, workers: int = 4) -> ExecutionBackend:
+def make_backend(
+    name: str, workers: int = 4, obs: Observability = NULL_OBS
+) -> ExecutionBackend:
     """Construct a backend by name.
 
     Args:
         name: One of :data:`BACKEND_NAMES`.
         workers: Pool size for the parallel backends (ignored by serial).
+        obs: Observability facade recording job/batch metrics; the default
+            no-op facade keeps uninstrumented runs zero-cost.
     """
     if name == "serial":
-        return SerialBackend()
+        return SerialBackend(obs=obs)
     if name == "thread":
-        return ThreadPoolBackend(workers=workers)
+        return ThreadPoolBackend(workers=workers, obs=obs)
     if name == "process":
-        return ProcessPoolBackend(workers=workers)
+        return ProcessPoolBackend(workers=workers, obs=obs)
     raise ValueError(f"unknown backend {name!r}; known: {list(BACKEND_NAMES)}")

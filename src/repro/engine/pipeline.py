@@ -38,6 +38,8 @@ from collections.abc import Callable, Iterable, Iterator, Sequence
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+from repro.obs import NULL_OBS, Counter, Histogram
+
 if TYPE_CHECKING:  # imported lazily to avoid a package import cycle
     from repro.core.environment import DetectionEnvironment, EvaluationBatch
     from repro.core.ensembles import EnsembleKey
@@ -149,6 +151,10 @@ class FramePipeline:
         self.budget_ms = budget_ms
         self.observers: tuple[FrameObserver, ...] = tuple(observers)
         self.label = label
+        # Per-frame metric handles, resolved once on first use: going
+        # through the registry (label normalization + a lock) every frame
+        # is measurable against the trace-overhead gate.
+        self._frame_handles: tuple[Counter, Histogram, Histogram] | None = None
 
     def run(
         self,
@@ -166,57 +172,175 @@ class FramePipeline:
                 is missing from its own evaluation list.
         """
         env = self.env
+        obs = getattr(env, "obs", NULL_OBS)
         spent_ms = 0.0
+        frames_done = 0
         for t, frame in enumerate(frames, start=1):
             if self.budget_ms is not None and spent_ms > self.budget_ms:
                 break
-            try:
-                # choose() is inside the guard too: oracle-style hooks
-                # peek through the environment and can hit the same
-                # failures as the charged evaluation below.
-                selected, eval_keys = choose(env, t, frame)
-                if selected not in eval_keys:
-                    raise RuntimeError(
-                        f"{self.label}: selected ensemble {selected} missing "
-                        "from its evaluation list"
-                    )
-                env.charge_overhead(len(eval_keys))
-                batch = env.evaluate(frame, eval_keys, charge=True)
-            except FrameEvaluationError:
-                # Nothing usable came back (REF down or every member of
-                # every requested ensemble failed): abandon this frame,
-                # keep the run alive.  Failed inferences produce no
-                # simulated output, hence nothing billable.
-                env.note_frame_abandoned()
-                continue
-            if update is not None:
-                update(env, t, frame, batch)
-            chosen = batch.evaluations.get(selected)
-            if chosen is None:
-                # The selection itself realized empty; fall back to the
-                # best healthy evaluation of the batch (deterministic
-                # tie-break on the key).
-                chosen = max(
-                    batch.evaluations.values(),
-                    key=lambda e: (e.est_score, e.key),
-                )
-            realized = chosen.realized_key
-            if realized != selected:
-                env.note_frame_degraded()
-            spent_ms += batch.billable_ms
-            record = FrameRecord(
+            with obs.span(
+                "frame",
+                algorithm=self.label,
                 iteration=t,
                 frame_index=frame.index,
-                selected=selected,
-                est_score=chosen.est_score,
-                est_ap=chosen.est_ap,
-                true_score=chosen.true_score,
-                true_ap=chosen.true_ap,
-                cost_ms=chosen.cost_ms,
-                normalized_cost=chosen.normalized_cost,
-                charged_ms=batch.billable_ms,
-                realized=realized if realized != selected else None,
-            )
-            for observer in self.observers:
-                observer(frame, batch, record)
+            ) as frame_span:
+                try:
+                    # choose() is inside the guard too: oracle-style hooks
+                    # peek through the environment and can hit the same
+                    # failures as the charged evaluation below.
+                    with obs.span("select"):
+                        selected, eval_keys = choose(env, t, frame)
+                        if selected not in eval_keys:
+                            raise RuntimeError(
+                                f"{self.label}: selected ensemble {selected} "
+                                "missing from its evaluation list"
+                            )
+                        env.charge_overhead(len(eval_keys))
+                    batch = env.evaluate(frame, eval_keys, charge=True)
+                except FrameEvaluationError:
+                    # Nothing usable came back (REF down or every member of
+                    # every requested ensemble failed): abandon this frame,
+                    # keep the run alive.  Failed inferences produce no
+                    # simulated output, hence nothing billable.
+                    env.note_frame_abandoned()
+                    frame_span.set_status("abandoned")
+                    if obs.metrics_on:
+                        obs.count(
+                            "repro_frames_abandoned_total",
+                            description="Frames with no usable evaluation",
+                            algorithm=self.label,
+                        )
+                        obs.event(
+                            "degradation",
+                            algorithm=self.label,
+                            iteration=t,
+                            frame_index=frame.index,
+                            kind="abandoned",
+                            selected=None,
+                            realized=None,
+                            failed_models=[],
+                        )
+                    continue
+                if update is not None:
+                    with obs.span("update"):
+                        update(env, t, frame, batch)
+                chosen = batch.evaluations.get(selected)
+                if chosen is None:
+                    # The selection itself realized empty; fall back to the
+                    # best healthy evaluation of the batch (deterministic
+                    # tie-break on the key).
+                    chosen = max(
+                        batch.evaluations.values(),
+                        key=lambda e: (e.est_score, e.key),
+                    )
+                realized = chosen.realized_key
+                degraded = realized != selected
+                if degraded:
+                    env.note_frame_degraded()
+                spent_ms += batch.billable_ms
+                frames_done += 1
+                frame_span.set_sim_ms(batch.billable_ms)
+                record = FrameRecord(
+                    iteration=t,
+                    frame_index=frame.index,
+                    selected=selected,
+                    est_score=chosen.est_score,
+                    est_ap=chosen.est_ap,
+                    true_score=chosen.true_score,
+                    true_ap=chosen.true_ap,
+                    cost_ms=chosen.cost_ms,
+                    normalized_cost=chosen.normalized_cost,
+                    charged_ms=batch.billable_ms,
+                    realized=realized if degraded else None,
+                )
+                if obs.metrics_on:
+                    self._record_frame_obs(t, frame, batch, record)
+                for observer in self.observers:
+                    observer(frame, batch, record)
             yield record
+        if obs.metrics_on:
+            obs.set_gauge(
+                "repro_budget_spent_ms",
+                spent_ms,
+                description="Billable milliseconds consumed by the run",
+                algorithm=self.label,
+            )
+            if self.budget_ms is not None:
+                obs.event(
+                    "budget",
+                    algorithm=self.label,
+                    budget_ms=self.budget_ms,
+                    spent_ms=spent_ms,
+                    frames=frames_done,
+                    exhausted=spent_ms > self.budget_ms,
+                )
+
+    def _record_frame_obs(
+        self,
+        t: int,
+        frame: "Frame",
+        batch: "EvaluationBatch",
+        record: FrameRecord,
+    ) -> None:
+        """Fold one completed frame into metrics and the event log.
+
+        Everything recorded here is *logical* (simulated costs, counts) —
+        identical for serial and parallel backends on the same seed.
+        """
+        obs = getattr(self.env, "obs", NULL_OBS)
+        handles = self._frame_handles
+        if handles is None:
+            registry = obs.metrics
+            assert registry is not None  # guarded by metrics_on at call site
+            handles = self._frame_handles = (
+                registry.counter(
+                    "repro_frames_total",
+                    "Frames completing the select/evaluate/update loop",
+                    algorithm=self.label,
+                ),
+                registry.histogram(
+                    "repro_frame_charged_ms",
+                    description="Billable (simulated) milliseconds per frame",
+                ),
+                registry.histogram(
+                    "repro_ensemble_size",
+                    buckets=(1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 8.0),
+                    description="Members in the realized selected ensemble",
+                ),
+            )
+        frames_total, charged_ms, ensemble_size = handles
+        frames_total.inc()
+        charged_ms.observe(record.charged_ms)
+        ensemble_size.observe(float(len(record.realized_key)))
+        selected_label = "+".join(record.selected)
+        realized_label = (
+            "+".join(record.realized) if record.realized is not None else None
+        )
+        if record.degraded:
+            obs.count(
+                "repro_frames_degraded_total",
+                description="Frames served by a degraded (subset) ensemble",
+                algorithm=self.label,
+            )
+            obs.event(
+                "degradation",
+                algorithm=self.label,
+                iteration=t,
+                frame_index=frame.index,
+                kind="degraded",
+                selected=selected_label,
+                realized=realized_label,
+                failed_models=list(batch.failed_models),
+            )
+        obs.event(
+            "frame-completed",
+            algorithm=self.label,
+            iteration=t,
+            frame_index=frame.index,
+            selected=selected_label,
+            realized=realized_label,
+            charged_ms=record.charged_ms,
+            est_score=record.est_score,
+            true_score=record.true_score,
+            degraded=record.degraded,
+        )

@@ -37,10 +37,12 @@ backends therefore produce identical fault traces (the property
 
 from __future__ import annotations
 
+import threading
 from collections.abc import Callable, Sequence
 from dataclasses import dataclass, replace
 
 from repro.engine.backends import ExecutionBackend, InferenceJob, JobResult
+from repro.obs import NULL_OBS, Observability
 from repro.utils.rng import derive_rng
 
 __all__ = [
@@ -121,17 +123,35 @@ class BreakerPolicy:
 class CircuitBreaker:
     """Closed / open / half-open failure gate for one model.
 
-    Driven entirely from the calling thread; no locking needed.  The
-    lifecycle is the classic one: consecutive failures open the circuit,
-    a cooldown (counted in batches via :meth:`tick`) half-opens it, a
-    probe success closes it and a probe failure re-opens it.
+    The lifecycle is the classic one: consecutive failures open the
+    circuit, a cooldown (counted in batches via :meth:`tick`) half-opens
+    it, a probe success closes it and a probe failure re-opens it.
+
+    The half-open state guarantees a *single* probe: :meth:`try_admit`
+    admits exactly one job until its outcome is recorded, so two jobs for
+    the same model in one batch (or two racing batches sharing this
+    breaker) can never both probe a recovering model.  The breaker itself
+    is not locked — callers serialize access (see
+    :attr:`ResilientBackend._lock`), keeping state transitions and their
+    ``on_transition`` notifications atomic.
+
+    Args:
+        policy: Open/cooldown thresholds.
+        on_transition: Optional ``(old_state, new_state)`` callback fired
+            on every state change (used for circuit-transition events).
     """
 
-    def __init__(self, policy: BreakerPolicy) -> None:
+    def __init__(
+        self,
+        policy: BreakerPolicy,
+        on_transition: Callable[[str, str], None] | None = None,
+    ) -> None:
         self.policy = policy
+        self.on_transition = on_transition
         self._consecutive_failures = 0
         self._state = "closed"
         self._cooldown_remaining = 0
+        self._probe_inflight = False
         self.opens = 0
 
     @property
@@ -139,22 +159,53 @@ class CircuitBreaker:
         """``"closed"``, ``"open"`` or ``"half-open"``."""
         return self._state
 
+    def _set_state(self, new_state: str) -> None:
+        old_state = self._state
+        if new_state == old_state:
+            return
+        self._state = new_state
+        if self.on_transition is not None:
+            self.on_transition(old_state, new_state)
+
     def tick(self) -> None:
         """Advance logical time by one batch (one ``run()`` call)."""
         if self._state == "open":
             self._cooldown_remaining -= 1
             if self._cooldown_remaining <= 0:
-                self._state = "half-open"
+                self._set_state("half-open")
 
     def allows(self) -> bool:
-        """Whether a job for this model may execute right now."""
+        """Whether a job for this model *could* execute right now.
+
+        Read-only: does not reserve the half-open probe slot.  Admission
+        decisions must go through :meth:`try_admit`.
+        """
         return self._state != "open"
 
+    def try_admit(self) -> bool:
+        """Admit one job, reserving the single half-open probe slot.
+
+        Closed circuits admit everything; open circuits admit nothing; a
+        half-open circuit admits exactly one probe until its outcome is
+        recorded — further requests are refused (and should be skipped
+        like open-circuit jobs).
+        """
+        if self._state == "closed":
+            return True
+        if self._state == "open":
+            return False
+        if self._probe_inflight:
+            return False
+        self._probe_inflight = True
+        return True
+
     def record_success(self) -> None:
+        self._probe_inflight = False
         self._consecutive_failures = 0
-        self._state = "closed"
+        self._set_state("closed")
 
     def record_failure(self) -> None:
+        self._probe_inflight = False
         self._consecutive_failures += 1
         if (
             self._state == "half-open"
@@ -163,9 +214,9 @@ class CircuitBreaker:
             self._open()
 
     def _open(self) -> None:
-        self._state = "open"
         self._cooldown_remaining = self.policy.cooldown_batches
         self.opens += 1
+        self._set_state("open")
 
     def __repr__(self) -> str:
         return (
@@ -247,6 +298,9 @@ class ResilientBackend:
         sleep: Seam receiving each backoff delay in *seconds*; defaults to
             a no-op so simulated runs never stall.  Inject ``time.sleep``
             for a live deployment, or a recorder in tests.
+        obs: Observability facade; records retry/timeout/skip counters,
+            circuit-transition events and retry spans.  The default no-op
+            facade keeps uninstrumented runs zero-cost.
     """
 
     def __init__(
@@ -256,6 +310,7 @@ class ResilientBackend:
         breaker: BreakerPolicy | None = None,
         timeout_ms: float | None = None,
         sleep: Callable[[float], None] = _no_sleep,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if timeout_ms is not None and timeout_ms <= 0:
             raise ValueError("timeout_ms must be positive when given")
@@ -266,8 +321,16 @@ class ResilientBackend:
         )
         self.timeout_ms = timeout_ms
         self._sleep = sleep
+        self.obs = obs
+        # Serializes breaker admission, outcome folding and stats updates:
+        # concurrent run() calls (e.g. two harness threads sharing one
+        # resilient backend) must see atomic breaker state, or a half-open
+        # circuit could admit two probes.  First-attempt batches still
+        # execute outside the lock, preserving inner-backend parallelism.
+        self._lock = threading.RLock()
         self._breakers: dict[str, CircuitBreaker] = {}
         self._stats = FaultStats()
+        self._batches = 0
 
     @property
     def name(self) -> str:
@@ -278,10 +341,34 @@ class ResilientBackend:
     def _breaker_for(self, model_name: str) -> CircuitBreaker:
         breaker = self._breakers.get(model_name)
         if breaker is None:
+
+            def note(old_state: str, new_state: str, name: str = model_name) -> None:
+                self._note_transition(name, old_state, new_state)
+
             breaker = self._breakers[model_name] = CircuitBreaker(
-                self.breaker_policy
+                self.breaker_policy, on_transition=note
             )
         return breaker
+
+    def _note_transition(
+        self, model_name: str, old_state: str, new_state: str
+    ) -> None:
+        """Record one circuit state change (event + counter)."""
+        if not self.obs.metrics_on:
+            return
+        self.obs.event(
+            "circuit-transition",
+            model=model_name,
+            from_state=old_state,
+            to_state=new_state,
+            batch=self._batches,
+        )
+        self.obs.count(
+            "repro_breaker_transitions_total",
+            description="Circuit-breaker state transitions",
+            model=model_name,
+            to_state=new_state,
+        )
 
     def open_detectors(self) -> frozenset[str]:
         """Names whose circuit is currently open (jobs would be skipped).
@@ -291,20 +378,23 @@ class ResilientBackend:
         are *not* reported, because their next job is the probe that may
         heal them.
         """
-        return frozenset(
-            name
-            for name, breaker in self._breakers.items()
-            if breaker.state == "open"
-        )
+        with self._lock:
+            return frozenset(
+                name
+                for name, breaker in self._breakers.items()
+                if breaker.state == "open"
+            )
 
     def breaker_state(self, model_name: str) -> str:
         """The named model's circuit state (``"closed"`` if never seen)."""
-        breaker = self._breakers.get(model_name)
-        return breaker.state if breaker is not None else "closed"
+        with self._lock:
+            breaker = self._breakers.get(model_name)
+            return breaker.state if breaker is not None else "closed"
 
     def stats(self) -> FaultStats:
         """Snapshot of the job-level fault counters."""
-        return self._stats
+        with self._lock:
+            return self._stats
 
     # ---- execution ------------------------------------------------------
 
@@ -342,20 +432,45 @@ class ResilientBackend:
         while not result.ok and attempts < self.retry.max_attempts:
             if result.status == "timeout":
                 stats = replace(stats, timeouts=stats.timeouts + 1)
+                self.obs.count(
+                    "repro_timeouts_total",
+                    description="Inference attempts over the latency timeout",
+                    model=name,
+                )
             else:
                 stats = replace(stats, failures=stats.failures + 1)
-            self._sleep(self.retry.delay_ms(name, frame_key, attempts) / 1000.0)
+            delay_ms = self.retry.delay_ms(name, frame_key, attempts)
+            self._sleep(delay_ms / 1000.0)
             attempts += 1
             stats = replace(
                 stats,
                 attempts=stats.attempts + 1,
                 retries=stats.retries + 1,
             )
+            self.obs.count(
+                "repro_retries_total",
+                description="Inference job re-executions after a failure",
+                model=name,
+            )
             result = self._classify(self.inner.run([job])[0])
             wall_ms += result.wall_ms
+            if self.obs.trace_on:
+                self.obs.add_span(
+                    "retry",
+                    wall_ms=result.wall_ms,
+                    status=result.status,
+                    model=name,
+                    attempt=attempts,
+                    delay_ms=delay_ms,
+                )
         if not result.ok:
             if result.status == "timeout":
                 stats = replace(stats, timeouts=stats.timeouts + 1)
+                self.obs.count(
+                    "repro_timeouts_total",
+                    description="Inference attempts over the latency timeout",
+                    model=name,
+                )
             else:
                 stats = replace(stats, failures=stats.failures + 1)
         elif had_failure:
@@ -371,44 +486,61 @@ class ResilientBackend:
         independent inferences); outcomes are folded into breaker state in
         job order afterwards.  Results come back in job order with
         ``"skipped-open-circuit"`` placeholders for skipped jobs.
+
+        Admission goes through :meth:`CircuitBreaker.try_admit`, so a
+        half-open circuit admits exactly one probe per model — the other
+        jobs of the batch (and of any concurrently running batch; the
+        internal lock serializes breaker access) are skipped until the
+        probe's outcome is known.
         """
-        for breaker in self._breakers.values():
-            breaker.tick()
         admitted: list[tuple[int, InferenceJob]] = []
         results: list[JobResult | None] = [None] * len(jobs)
-        for index, job in enumerate(jobs):
-            breaker = self._breaker_for(self._model_name(job))
-            if breaker.allows():
-                admitted.append((index, job))
-            else:
-                self._stats = replace(
-                    self._stats, breaker_skips=self._stats.breaker_skips + 1
-                )
-                results[index] = JobResult(
-                    output=None,
-                    wall_ms=0.0,
-                    status="skipped-open-circuit",
-                    attempts=0,
-                    error="circuit open",
-                )
-        if admitted:
-            first_attempts = self.inner.run([job for _, job in admitted])
-            for (index, job), first in zip(
-                admitted, first_attempts, strict=True
-            ):
-                final = self._resolve(job, first)
+        with self._lock:
+            self._batches += 1
+            for breaker in self._breakers.values():
+                breaker.tick()
+            for index, job in enumerate(jobs):
                 breaker = self._breaker_for(self._model_name(job))
-                opens_before = breaker.opens
-                if final.ok:
-                    breaker.record_success()
+                if breaker.try_admit():
+                    admitted.append((index, job))
                 else:
-                    breaker.record_failure()
-                if breaker.opens > opens_before:
                     self._stats = replace(
                         self._stats,
-                        breaker_opens=self._stats.breaker_opens + 1,
+                        breaker_skips=self._stats.breaker_skips + 1,
                     )
-                results[index] = final
+                    self.obs.count(
+                        "repro_breaker_skips_total",
+                        description="Jobs skipped by a non-closed circuit",
+                        model=self._model_name(job),
+                    )
+                    results[index] = JobResult(
+                        output=None,
+                        wall_ms=0.0,
+                        status="skipped-open-circuit",
+                        attempts=0,
+                        error="circuit open",
+                    )
+        if admitted:
+            # The first attempt runs as one batch on the inner backend,
+            # outside the lock: parallel backends keep their parallelism.
+            first_attempts = self.inner.run([job for _, job in admitted])
+            with self._lock:
+                for (index, job), first in zip(
+                    admitted, first_attempts, strict=True
+                ):
+                    final = self._resolve(job, first)
+                    breaker = self._breaker_for(self._model_name(job))
+                    opens_before = breaker.opens
+                    if final.ok:
+                        breaker.record_success()
+                    else:
+                        breaker.record_failure()
+                    if breaker.opens > opens_before:
+                        self._stats = replace(
+                            self._stats,
+                            breaker_opens=self._stats.breaker_opens + 1,
+                        )
+                    results[index] = final
         return [result for result in results if result is not None]
 
     def close(self) -> None:

@@ -30,6 +30,7 @@ from types import MappingProxyType
 from typing import Any
 
 from repro.engine.backends import wall_timer
+from repro.obs import NULL_OBS, Counter, Observability
 
 __all__ = ["StageStats", "CacheStats", "EvaluationStore", "DEFAULT_CAPACITY"]
 
@@ -151,21 +152,33 @@ class EvaluationStore:
             :func:`~repro.engine.backends.wall_timer`; injectable so
             tests (and the RPR002 wall-clock lint rule) can keep every
             direct clock read inside ``engine/backends.py``.
+        obs: Observability facade; records per-stage lookup/hit counters
+            and the hit-streak histogram (length of consecutive-hit runs,
+            observed whenever a miss breaks a streak).  The default no-op
+            facade keeps uninstrumented stores zero-cost.
     """
 
     def __init__(
         self,
         capacity: int = DEFAULT_CAPACITY,
         timer: Callable[[], float] = wall_timer,
+        obs: Observability = NULL_OBS,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity
         self._timer = timer
+        self._obs = obs
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple[str, Hashable], Any] = OrderedDict()
         self._stages: dict[str, _MutableStageStats] = {}
         self._evictions = 0
+        self._hit_streak = 0
+        # Per-stage (lookups, hits) counter handles, resolved once: get()
+        # is the hottest instrumented path in the repo, and resolving a
+        # counter through the registry on every lookup (label-set
+        # normalization plus a registry lock) costs more than the lookup.
+        self._obs_counters: dict[str, tuple[Counter, Counter]] = {}
 
     @property
     def capacity(self) -> int:
@@ -181,6 +194,27 @@ class EvaluationStore:
             stats = self._stages[stage] = _MutableStageStats()
         return stats
 
+    def _stage_counters(self, stage: str) -> tuple[Counter, Counter]:
+        """The (lookups, hits) counter pair for one stage, cached."""
+        pair = self._obs_counters.get(stage)
+        if pair is None:
+            registry = self._obs.metrics
+            assert registry is not None  # guarded by metrics_on at call site
+            pair = (
+                registry.counter(
+                    "repro_cache_lookups_total",
+                    "Evaluation-store lookups, by stage",
+                    stage=stage,
+                ),
+                registry.counter(
+                    "repro_cache_hits_total",
+                    "Evaluation-store hits, by stage",
+                    stage=stage,
+                ),
+            )
+            self._obs_counters[stage] = pair
+        return pair
+
     def get(self, stage: str, key: Hashable) -> Any | None:
         """Look up a value, counting a hit or miss; ``None`` if absent.
 
@@ -191,11 +225,26 @@ class EvaluationStore:
         with self._lock:
             stats = self._stage(stage)
             stats.lookups += 1
+            counters = (
+                self._stage_counters(stage) if self._obs.metrics_on else None
+            )
+            if counters is not None:
+                counters[0].inc()
             if full_key in self._entries:
                 stats.hits += 1
+                self._hit_streak += 1
+                if counters is not None:
+                    counters[1].inc()
                 self._entries.move_to_end(full_key)
                 return self._entries[full_key]
             stats.misses += 1
+            if self._hit_streak and self._obs.metrics_on:
+                self._obs.observe(
+                    "repro_cache_hit_streak",
+                    float(self._hit_streak),
+                    description="Consecutive-hit run lengths, ended by a miss",
+                )
+            self._hit_streak = 0
             return None
 
     def put(
@@ -237,6 +286,8 @@ class EvaluationStore:
         start = self._timer()
         value = compute()
         elapsed_ms = (self._timer() - start) * 1000.0
+        if self._obs.trace_on:
+            self._obs.add_span("cache-miss", wall_ms=elapsed_ms, stage=stage)
         self.put(stage, key, value, compute_ms=elapsed_ms)
         return value
 
@@ -267,6 +318,7 @@ class EvaluationStore:
             self._entries.clear()
             self._stages.clear()
             self._evictions = 0
+            self._hit_streak = 0
 
     def __repr__(self) -> str:
         with self._lock:

@@ -59,14 +59,38 @@ _TOP_LEVEL_PACKAGES = ("repro", "tests", "benchmarks", "examples")
 DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
     "utils": (),
     "lint": (),
+    "obs": (),
     "detection": ("utils",),
-    "engine": ("utils",),
+    "engine": ("obs", "utils"),
     "ensembling": ("detection", "utils"),
     "simulation": ("detection", "utils"),
-    "core": ("engine", "simulation", "ensembling", "detection", "utils"),
+    "core": (
+        "engine",
+        "simulation",
+        "ensembling",
+        "detection",
+        "obs",
+        "utils",
+    ),
     "tracking": ("simulation", "detection", "utils"),
-    "query": ("core", "engine", "simulation", "ensembling", "detection", "utils"),
-    "runner": ("core", "engine", "simulation", "ensembling", "detection", "utils"),
+    "query": (
+        "core",
+        "engine",
+        "simulation",
+        "ensembling",
+        "detection",
+        "obs",
+        "utils",
+    ),
+    "runner": (
+        "core",
+        "engine",
+        "simulation",
+        "ensembling",
+        "detection",
+        "obs",
+        "utils",
+    ),
     "cli": (
         "runner",
         "query",
@@ -76,6 +100,7 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "simulation",
         "ensembling",
         "detection",
+        "obs",
         "utils",
         "lint",
     ),
@@ -89,6 +114,7 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
         "simulation",
         "ensembling",
         "detection",
+        "obs",
         "utils",
         "lint",
     ),

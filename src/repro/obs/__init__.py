@@ -1,0 +1,53 @@
+"""Observability: span tracing, metrics, structured run events, exporters.
+
+The package sits at the bottom of the import-layer DAG (RPR009):
+it imports nothing from the rest of ``repro``, so engine/core/runner can
+all depend on it.  Instrumented code receives an
+:class:`~repro.obs.api.Observability` facade (default
+:data:`~repro.obs.api.NULL_OBS`, the zero-cost off level) and calls its
+guarded helpers; the CLI constructs a live facade from ``--obs-level``
+and writes the results via the exporters in :mod:`repro.obs.export`.
+"""
+
+from .api import NULL_OBS, OBS_LEVELS, Observability
+from .events import EVENT_SCHEMAS, RunEventLog
+from .export import (
+    metrics_to_json,
+    metrics_to_prometheus,
+    write_events_jsonl,
+    write_metrics,
+    write_trace_json,
+)
+from .metrics import (
+    DEFAULT_BUCKETS,
+    Counter,
+    Gauge,
+    Histogram,
+    HistogramSnapshot,
+    MetricsRegistry,
+    MetricsSnapshot,
+)
+from .tracer import NULL_SPAN, Span, Tracer
+
+__all__ = [
+    "NULL_OBS",
+    "OBS_LEVELS",
+    "Observability",
+    "EVENT_SCHEMAS",
+    "RunEventLog",
+    "metrics_to_json",
+    "metrics_to_prometheus",
+    "write_events_jsonl",
+    "write_metrics",
+    "write_trace_json",
+    "DEFAULT_BUCKETS",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsRegistry",
+    "MetricsSnapshot",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+]

@@ -1,0 +1,159 @@
+"""The `Observability` facade: one object carrying tracer, metrics, events.
+
+Instrumentation sites throughout the engine, resilience layer, selection
+loops and runner call the guarded helpers on this facade
+(:meth:`count`, :meth:`observe`, :meth:`span`, :meth:`event`, ...).  At
+``level="off"`` every helper is a constant-time no-op against the shared
+:data:`NULL_OBS` singleton — the zero-cost path asserted by
+``benchmarks/test_obs_overhead.py``.
+
+Levels:
+
+* ``off`` — nothing recorded; all helpers no-op.
+* ``metrics`` — counters/gauges/histograms and structured events.
+* ``trace`` — everything in ``metrics`` plus nested spans.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from contextlib import AbstractContextManager
+from typing import Any
+
+from .events import DEFAULT_MAX_EVENTS, RunEventLog
+from .metrics import DEFAULT_BUCKETS, MetricsRegistry, MetricsSnapshot
+from .tracer import DEFAULT_MAX_SPANS, NULL_SPAN, Span, Tracer
+
+
+class _NullSpanContext(AbstractContextManager["Span"]):
+    """Reusable no-op context: entering yields the shared null span.
+
+    One instance serves every ``span()`` call at the off/metrics levels, so
+    the disabled path allocates nothing per frame.
+    """
+
+    __slots__ = ()
+
+    def __enter__(self) -> Span:
+        return NULL_SPAN
+
+    def __exit__(self, *exc: object) -> None:
+        return None
+
+
+_NULL_SPAN_CONTEXT = _NullSpanContext()
+
+__all__ = ["OBS_LEVELS", "Observability", "NULL_OBS"]
+
+#: Valid ``--obs-level`` values, in increasing order of detail.
+OBS_LEVELS = ("off", "metrics", "trace")
+
+
+class Observability:
+    """Bundles a tracer, a metrics registry and an event log behind
+    level-guarded helpers safe to call unconditionally from hot paths.
+
+    Args:
+        level: One of :data:`OBS_LEVELS`.
+        timer: Wall-clock seam for span durations (see
+            :class:`repro.obs.tracer.Tracer`); ``None`` records zero
+            wall time, keeping tests deterministic.
+        max_spans: Span retention bound (trace level only).
+        max_events: Event retention bound.
+    """
+
+    __slots__ = ("level", "metrics_on", "trace_on", "metrics", "events", "tracer")
+
+    def __init__(
+        self,
+        level: str = "off",
+        timer: Callable[[], float] | None = None,
+        max_spans: int = DEFAULT_MAX_SPANS,
+        max_events: int = DEFAULT_MAX_EVENTS,
+    ) -> None:
+        if level not in OBS_LEVELS:
+            raise ValueError(
+                f"obs level must be one of {OBS_LEVELS}, got {level!r}"
+            )
+        self.level = level
+        self.metrics_on = level != "off"
+        self.trace_on = level == "trace"
+        self.metrics: MetricsRegistry | None = (
+            MetricsRegistry() if self.metrics_on else None
+        )
+        self.events: RunEventLog | None = (
+            RunEventLog(max_events=max_events) if self.metrics_on else None
+        )
+        self.tracer: Tracer | None = (
+            Tracer(timer=timer, max_spans=max_spans) if self.trace_on else None
+        )
+
+    # -- metrics helpers --------------------------------------------------
+
+    def count(
+        self, name: str, amount: float = 1.0, description: str = "", **labels: object
+    ) -> None:
+        """Increment a counter (no-op below ``metrics`` level)."""
+        if self.metrics is not None:
+            self.metrics.counter(name, description, **labels).inc(amount)
+
+    def observe(
+        self,
+        name: str,
+        value: float,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        description: str = "",
+        **labels: object,
+    ) -> None:
+        """Record a histogram observation (no-op below ``metrics`` level)."""
+        if self.metrics is not None:
+            self.metrics.histogram(name, buckets, description, **labels).observe(
+                value
+            )
+
+    def set_gauge(
+        self, name: str, value: float, description: str = "", **labels: object
+    ) -> None:
+        """Set a gauge (no-op below ``metrics`` level)."""
+        if self.metrics is not None:
+            self.metrics.gauge(name, description, **labels).set(value)
+
+    def snapshot(self) -> MetricsSnapshot:
+        """The current metrics snapshot (empty below ``metrics`` level)."""
+        if self.metrics is None:
+            return MetricsSnapshot()
+        return self.metrics.snapshot()
+
+    # -- event helpers ----------------------------------------------------
+
+    def event(self, event_type: str, **fields: Any) -> None:
+        """Emit a structured event (no-op below ``metrics`` level)."""
+        if self.events is not None:
+            self.events.emit(event_type, **fields)
+
+    # -- span helpers -----------------------------------------------------
+
+    def span(self, name: str, **attributes: Any) -> AbstractContextManager[Span]:
+        """Open a nested span; yields :data:`NULL_SPAN` below ``trace``."""
+        if self.tracer is None:
+            return _NULL_SPAN_CONTEXT
+        return self.tracer.span(name, **attributes)
+
+    def add_span(
+        self,
+        name: str,
+        wall_ms: float = 0.0,
+        sim_ms: float = 0.0,
+        status: str = "ok",
+        **attributes: Any,
+    ) -> None:
+        """Record a pre-measured leaf span (no-op below ``trace``)."""
+        if self.tracer is not None:
+            self.tracer.add_span(
+                name, wall_ms=wall_ms, sim_ms=sim_ms, status=status, **attributes
+            )
+
+
+#: Shared always-off facade — the default wired through every constructor
+#: so un-configured code paths pay only an attribute check.
+NULL_OBS = Observability(level="off")

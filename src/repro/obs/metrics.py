@@ -1,0 +1,334 @@
+"""Metrics: counters, gauges, fixed-bucket histograms and merge-able snapshots.
+
+The registry records *logical* quantities only — frame counts, retry
+counts, simulated-millisecond latencies.  Wall-clock durations belong in
+spans (:mod:`repro.obs.tracer`), never in the registry, so a serial and a
+thread-pool run of the same seeded experiment produce **identical**
+snapshots — the property the backend-equivalence tests pin.
+
+Snapshots are immutable and merge-able: counters and histogram buckets
+add, gauges take the right-hand value.  Merging the per-worker snapshots
+of a sharded run therefore yields the same totals as a single-process
+run, which is what makes the registry safe to use across thread and
+process backends.
+"""
+
+from __future__ import annotations
+
+import threading
+from bisect import bisect_left
+from collections.abc import Mapping
+from dataclasses import dataclass, field
+from types import MappingProxyType
+from typing import Any
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "LabelSet",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "HistogramSnapshot",
+    "MetricsSnapshot",
+    "MetricsRegistry",
+]
+
+#: ``(name, sorted (key, value) pairs)`` — the identity of one time series.
+LabelSet = tuple[tuple[str, str], ...]
+MetricKey = tuple[str, LabelSet]
+
+#: Default histogram upper bounds (simulated milliseconds); observations
+#: above the last bound land in the implicit ``+Inf`` bucket.
+DEFAULT_BUCKETS: tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 25.0, 50.0, 100.0,
+    250.0, 500.0, 1_000.0, 2_500.0, 5_000.0, 10_000.0,
+)
+
+
+def labelset(labels: Mapping[str, object]) -> LabelSet:
+    """Normalize a label mapping into a canonical, hashable key."""
+    return tuple(sorted((str(k), str(v)) for k, v in labels.items()))
+
+
+class Counter:
+    """A monotonically increasing value."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        """Add ``amount`` (>= 0) to the counter."""
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge instead")
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+class Gauge:
+    """A value that can go up and down (last write wins)."""
+
+    __slots__ = ("_lock", "_value")
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._value = 0.0
+
+    def set(self, value: float) -> None:
+        with self._lock:
+            self._value = float(value)
+
+    def add(self, amount: float) -> None:
+        with self._lock:
+            self._value += amount
+
+    @property
+    def value(self) -> float:
+        with self._lock:
+            return self._value
+
+
+@dataclass(frozen=True)
+class HistogramSnapshot:
+    """Immutable bucketized distribution.
+
+    Attributes:
+        buckets: Finite upper bounds, strictly increasing.
+        counts: Per-bucket observation counts; one longer than
+            ``buckets`` — the final slot is the ``+Inf`` overflow bucket.
+        total: Sum of all observed values.
+        count: Number of observations.
+    """
+
+    buckets: tuple[float, ...]
+    counts: tuple[int, ...]
+    total: float
+    count: int
+
+    def merged(self, other: HistogramSnapshot) -> HistogramSnapshot:
+        """Element-wise sum; both sides must share the same buckets."""
+        if self.buckets != other.buckets:
+            raise ValueError(
+                f"cannot merge histograms with different buckets: "
+                f"{self.buckets} vs {other.buckets}"
+            )
+        return HistogramSnapshot(
+            buckets=self.buckets,
+            counts=tuple(
+                a + b for a, b in zip(self.counts, other.counts, strict=True)
+            ),
+            total=self.total + other.total,
+            count=self.count + other.count,
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        return {
+            "buckets": list(self.buckets),
+            "counts": list(self.counts),
+            "sum": self.total,
+            "count": self.count,
+        }
+
+
+class Histogram:
+    """Fixed-bucket histogram (buckets chosen at creation, never resized)."""
+
+    __slots__ = ("_lock", "buckets", "_counts", "_total", "_count")
+
+    def __init__(self, buckets: tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if not buckets:
+            raise ValueError("a histogram needs at least one bucket bound")
+        if any(b >= a for b, a in zip(buckets, buckets[1:])):
+            raise ValueError("bucket bounds must be strictly increasing")
+        self._lock = threading.Lock()
+        self.buckets = tuple(float(b) for b in buckets)
+        self._counts = [0] * (len(buckets) + 1)
+        self._total = 0.0
+        self._count = 0
+
+    def observe(self, value: float) -> None:
+        """Record one observation (``value <= bound`` lands in a bucket)."""
+        index = bisect_left(self.buckets, value)
+        with self._lock:
+            self._counts[index] += 1
+            self._total += value
+            self._count += 1
+
+    def snapshot(self) -> HistogramSnapshot:
+        with self._lock:
+            return HistogramSnapshot(
+                buckets=self.buckets,
+                counts=tuple(self._counts),
+                total=self._total,
+                count=self._count,
+            )
+
+
+def _labels_dict(labels: LabelSet) -> dict[str, str]:
+    return dict(labels)
+
+
+@dataclass(frozen=True)
+class MetricsSnapshot:
+    """Immutable, merge-able view of a :class:`MetricsRegistry`.
+
+    Equality is structural: two runs that performed the same logical work
+    produce equal snapshots regardless of scheduling (the serial-vs-thread
+    property asserted in ``tests/test_engine_backends.py``).
+    """
+
+    counters: Mapping[MetricKey, float] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+    gauges: Mapping[MetricKey, float] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+    histograms: Mapping[MetricKey, HistogramSnapshot] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+    descriptions: Mapping[str, str] = field(
+        default_factory=lambda: MappingProxyType({})
+    )
+
+    def merge(self, other: MetricsSnapshot) -> MetricsSnapshot:
+        """Combine two snapshots: counters/histograms add, gauges take
+        the right-hand side, descriptions union."""
+        counters = dict(self.counters)
+        for key, value in other.counters.items():
+            counters[key] = counters.get(key, 0.0) + value
+        histograms = dict(self.histograms)
+        for key, hist in other.histograms.items():
+            mine = histograms.get(key)
+            histograms[key] = hist if mine is None else mine.merged(hist)
+        gauges = dict(self.gauges)
+        gauges.update(other.gauges)
+        descriptions = dict(self.descriptions)
+        descriptions.update(other.descriptions)
+        return MetricsSnapshot(
+            counters=MappingProxyType(counters),
+            gauges=MappingProxyType(gauges),
+            histograms=MappingProxyType(histograms),
+            descriptions=MappingProxyType(descriptions),
+        )
+
+    # -- convenience accessors (tests, CLI summaries) ---------------------
+
+    def counter_value(self, name: str, **labels: object) -> float:
+        """The counter's value, 0.0 if the series was never written."""
+        return self.counters.get((name, labelset(labels)), 0.0)
+
+    def gauge_value(self, name: str, **labels: object) -> float:
+        return self.gauges.get((name, labelset(labels)), 0.0)
+
+    def histogram_snapshot(
+        self, name: str, **labels: object
+    ) -> HistogramSnapshot | None:
+        return self.histograms.get((name, labelset(labels)))
+
+    def counter_total(self, name: str) -> float:
+        """Sum of one counter across all label sets."""
+        return sum(
+            value for (n, _), value in self.counters.items() if n == name
+        )
+
+    def as_dict(self) -> dict[str, Any]:
+        """A deterministic (sorted) JSON-serializable view."""
+
+        def series(key: MetricKey) -> dict[str, Any]:
+            name, labels = key
+            return {"name": name, "labels": _labels_dict(labels)}
+
+        return {
+            "counters": [
+                {**series(key), "value": self.counters[key]}
+                for key in sorted(self.counters)
+            ],
+            "gauges": [
+                {**series(key), "value": self.gauges[key]}
+                for key in sorted(self.gauges)
+            ],
+            "histograms": [
+                {**series(key), **self.histograms[key].as_dict()}
+                for key in sorted(self.histograms)
+            ],
+            "descriptions": dict(sorted(self.descriptions.items())),
+        }
+
+
+class MetricsRegistry:
+    """Thread-safe home of every live counter, gauge and histogram.
+
+    Series are identified by ``(name, labels)``; the first caller of a
+    name may attach a ``description`` (exported as Prometheus ``# HELP``).
+    All bookkeeping is instance-level and bounded by the (small, static)
+    set of instrumentation sites — there is no per-frame growth.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: dict[MetricKey, Counter] = {}
+        self._gauges: dict[MetricKey, Gauge] = {}
+        self._histograms: dict[MetricKey, Histogram] = {}
+        self._descriptions: dict[str, str] = {}
+
+    def _describe(self, name: str, description: str) -> None:
+        if description and name not in self._descriptions:
+            self._descriptions[name] = description
+
+    def counter(
+        self, name: str, description: str = "", **labels: object
+    ) -> Counter:
+        key = (name, labelset(labels))
+        with self._lock:
+            self._describe(name, description)
+            metric = self._counters.get(key)
+            if metric is None:
+                metric = self._counters[key] = Counter()
+            return metric
+
+    def gauge(self, name: str, description: str = "", **labels: object) -> Gauge:
+        key = (name, labelset(labels))
+        with self._lock:
+            self._describe(name, description)
+            metric = self._gauges.get(key)
+            if metric is None:
+                metric = self._gauges[key] = Gauge()
+            return metric
+
+    def histogram(
+        self,
+        name: str,
+        buckets: tuple[float, ...] = DEFAULT_BUCKETS,
+        description: str = "",
+        **labels: object,
+    ) -> Histogram:
+        key = (name, labelset(labels))
+        with self._lock:
+            self._describe(name, description)
+            metric = self._histograms.get(key)
+            if metric is None:
+                metric = self._histograms[key] = Histogram(buckets)
+            return metric
+
+    def snapshot(self) -> MetricsSnapshot:
+        """An immutable point-in-time view of every series."""
+        with self._lock:
+            return MetricsSnapshot(
+                counters=MappingProxyType(
+                    {key: c.value for key, c in self._counters.items()}
+                ),
+                gauges=MappingProxyType(
+                    {key: g.value for key, g in self._gauges.items()}
+                ),
+                histograms=MappingProxyType(
+                    {key: h.snapshot() for key, h in self._histograms.items()}
+                ),
+                descriptions=MappingProxyType(dict(self._descriptions)),
+            )

@@ -24,6 +24,7 @@ from repro.core.selection import SelectionResult
 from repro.detection.types import FrameDetections
 from repro.engine.backends import ExecutionBackend
 from repro.ensembling.base import EnsembleMethod
+from repro.obs import NULL_OBS, Observability
 from repro.query.ast import Query
 from repro.query.parser import parse_query
 from repro.query.planner import PlanError, QueryPlan, build_plan
@@ -90,6 +91,8 @@ class QueryEngine:
         store: Optional shared :class:`EvaluationStore`; queries over the
             same registered video/models then reuse inference across
             executions.
+        obs: Observability facade threaded into every query's environment
+            (spans, metrics and events for the selection run).
     """
 
     def __init__(
@@ -98,11 +101,13 @@ class QueryEngine:
         fusion: EnsembleMethod | None = None,
         backend: ExecutionBackend | None = None,
         store: EvaluationStore | None = None,
+        obs: Observability = NULL_OBS,
     ) -> None:
         self.scoring = scoring if scoring is not None else WeightedLogScore(0.5)
         self.fusion = fusion
         self.backend = backend
         self.store = store
+        self.obs = obs
         self._videos: dict[str, tuple[Frame, ...]] = {}
         self._detectors: dict[str, object] = {}
         self._references: dict[str, object] = {}
@@ -190,6 +195,7 @@ class QueryEngine:
             fusion=self.fusion,
             cache=self.store,
             backend=self.backend,
+            obs=self.obs,
         )
 
         # A pipeline observer captures the selected ensemble's fused

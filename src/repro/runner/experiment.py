@@ -23,6 +23,7 @@ from repro.core.selection import SelectionAlgorithm, SelectionResult
 from repro.engine.backends import ExecutionBackend
 from repro.ensembling.base import EnsembleMethod
 from repro.ensembling.wbf import WeightedBoxesFusion
+from repro.obs import NULL_OBS, Observability
 from repro.simulation.clock import CostModel
 from repro.simulation.datasets import Dataset, build_bdd_like, build_nuscenes_like
 from repro.simulation.detectors import SimulatedDetector
@@ -190,6 +191,7 @@ def make_environment(
     cache: EvaluationStore | None = None,
     backend: ExecutionBackend | None = None,
     billing: str = "sum",
+    obs: Observability = NULL_OBS,
 ) -> DetectionEnvironment:
     """A fresh environment over a trial setup (optionally sharing a store).
 
@@ -201,6 +203,8 @@ def make_environment(
             wall clock only.
         billing: Detector billing policy (``"sum"`` per Eq. 12/14, or
             ``"max"`` for parallel-device deployments).
+        obs: Observability facade threaded into the environment (and
+            through it, the frame pipeline).
     """
     return DetectionEnvironment(
         detectors=list(setup.detectors),
@@ -211,6 +215,7 @@ def make_environment(
         cache=cache,
         backend=backend,
         billing=billing,
+        obs=obs,
     )
 
 
@@ -223,6 +228,7 @@ def run_algorithms(
     cache: EvaluationStore | None = None,
     backend: ExecutionBackend | None = None,
     billing: str = "sum",
+    obs: Observability = NULL_OBS,
 ) -> dict[str, SelectionResult]:
     """Run several algorithms on one trial with a shared evaluation store.
 
@@ -239,12 +245,14 @@ def run_algorithms(
         backend: Optional execution backend shared by all runs (the caller
             owns its lifecycle); wall clock only, results unchanged.
         billing: Detector billing policy for every run.
+        obs: Observability facade shared by every run (per-algorithm
+            series are separated by the ``algorithm`` metric label).
 
     Returns:
         Name -> the algorithm's :class:`SelectionResult`.
     """
     if cache is None:
-        cache = EvaluationStore()
+        cache = EvaluationStore(obs=obs)
     results: dict[str, SelectionResult] = {}
     for name, factory in algorithms.items():
         env = make_environment(
@@ -254,6 +262,7 @@ def run_algorithms(
             cache=cache,
             backend=backend,
             billing=billing,
+            obs=obs,
         )
         algorithm = factory()
         results[name] = algorithm.run(env, setup.frames, budget_ms=budget_ms)

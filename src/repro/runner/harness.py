@@ -18,6 +18,7 @@ from repro.core.scoring import ScoringFunction
 from repro.core.selection import SelectionAlgorithm, SelectionResult
 from repro.engine.backends import ExecutionBackend
 from repro.engine.store import EvaluationStore
+from repro.obs import NULL_OBS, Observability
 from repro.runner.experiment import TrialSetup, run_algorithms
 
 __all__ = ["MetricStats", "TrialOutcome", "compare_algorithms"]
@@ -103,6 +104,7 @@ def compare_algorithms(
     cache_by_trial: dict[int, EvaluationStore] | None = None,
     backend: ExecutionBackend | None = None,
     billing: str = "sum",
+    obs: Observability = NULL_OBS,
 ) -> dict[str, TrialOutcome]:
     """Run the multi-trial comparison protocol.
 
@@ -123,6 +125,9 @@ def compare_algorithms(
         backend: Optional execution backend shared across all trials (the
             caller owns its lifecycle); wall clock only, results unchanged.
         billing: Detector billing policy for every run.
+        obs: Observability facade shared by the whole comparison; per-trial
+            and per-algorithm detail lives in labels/events, while the
+            counters accumulate across the protocol.
 
     Returns:
         Name -> accumulated :class:`TrialOutcome`.
@@ -136,15 +141,21 @@ def compare_algorithms(
         setup = setup_factory(trial)
         cache = None
         if cache_by_trial is not None:
-            cache = cache_by_trial.setdefault(trial, EvaluationStore())
-        results = run_algorithms(
-            setup,
-            algorithms,
-            scoring=scoring,
-            budget_ms=budget_ms,
-            cache=cache,
-            backend=backend,
-            billing=billing,
+            cache = cache_by_trial.setdefault(trial, EvaluationStore(obs=obs))
+        with obs.span("trial", trial=trial):
+            results = run_algorithms(
+                setup,
+                algorithms,
+                scoring=scoring,
+                budget_ms=budget_ms,
+                cache=cache,
+                backend=backend,
+                billing=billing,
+                obs=obs,
+            )
+        obs.count(
+            "repro_trials_total",
+            description="Completed comparison trials",
         )
         for name, result in results.items():
             outcomes[name].add(result)

@@ -8,7 +8,20 @@ from __future__ import annotations
 
 from collections.abc import Mapping, Sequence
 
-__all__ = ["format_table", "normalize_by", "format_series"]
+__all__ = ["safe_rate", "format_table", "normalize_by", "format_series"]
+
+
+def safe_rate(numerator: float, denominator: float, default: float = 0.0) -> float:
+    """``numerator / denominator``, or ``default`` when the denominator is 0.
+
+    The repo-wide convention for aggregate rates (hit rates, per-frame
+    means, coverage fractions) is that an empty denominator yields 0.0 —
+    the same convention as :attr:`repro.engine.store.CacheStats.hit_rate` —
+    rather than raising or reporting a vacuous 1.0.
+    """
+    if denominator == 0:
+        return default
+    return numerator / denominator
 
 
 def _format_cell(value: object, precision: int) -> str:

@@ -35,6 +35,10 @@ class TrackingQuality:
             (1.0 is perfect).
         num_tracks: Distinct track ids emitted.
         num_objects: Distinct GT objects observed.
+
+    Rates with an empty denominator (no GT object-frames, no confirmed
+    track-frames) are 0.0, matching the convention of
+    :attr:`repro.engine.store.CacheStats.hit_rate`.
     """
 
     coverage: float
@@ -118,10 +122,14 @@ def evaluate_tracking(
         if tracks_of_object
         else 0.0
     )
+    # Empty inputs follow the repo-wide 0.0 convention (the same one
+    # CacheStats.hit_rate uses): a rate with a zero denominator is 0.0,
+    # never 1.0 — an empty video has not been covered, and a tracker that
+    # confirmed nothing has demonstrated no precision.
     return TrackingQuality(
-        coverage=matched_gt_frames / gt_frames if gt_frames else 1.0,
+        coverage=matched_gt_frames / gt_frames if gt_frames else 0.0,
         precision=(
-            matched_track_frames / track_frames if track_frames else 1.0
+            matched_track_frames / track_frames if track_frames else 0.0
         ),
         identity_switches=switches,
         fragmentation=fragmentation,

@@ -73,6 +73,186 @@ class TestParser:
             )
 
 
+class TestWorkersValidation:
+    """``--workers`` is validated at parse time (never deep in a pool)."""
+
+    def test_workers_with_serial_backend_rejected(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["compare", "--backend", "serial", "--workers", "8"])
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "--workers requires --backend thread or process" in err
+
+    def test_workers_default_serial_accepted(self):
+        # No explicit --workers: serial is fine (the default backend).
+        args = build_parser().parse_args(["compare"])
+        assert args.backend == "serial"
+        assert args.workers is None
+
+    def test_workers_zero_rejected_at_parse_time(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(
+                ["compare", "--backend", "thread", "--workers", "0"]
+            )
+        assert excinfo.value.code == 2
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_negative_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--backend", "thread", "--workers=-2"]
+            )
+        assert "positive integer" in capsys.readouterr().err
+
+    def test_workers_non_integer_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["compare", "--backend", "thread", "--workers", "many"]
+            )
+        assert "expected an integer" in capsys.readouterr().err
+
+    def test_workers_defaulted_for_thread_backend(self, capsys):
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "nusc-clear",
+                "--frames",
+                "10",
+                "--trials",
+                "1",
+                "--m",
+                "2",
+                "--scale",
+                "0.02",
+                "--backend",
+                "thread",
+            ]
+        )
+        assert code == 0
+        assert "MES" in capsys.readouterr().out
+
+    def test_workers_applies_to_query_too(self, capsys):
+        with pytest.raises(SystemExit):
+            main(
+                ["query", "--backend", "serial", "--workers", "2", "SELECT x"]
+            )
+        err = capsys.readouterr().err
+        assert "--workers requires --backend thread or process" in err
+
+
+class TestObservabilityFlags:
+    def test_obs_defaults_off(self):
+        args = build_parser().parse_args(["compare"])
+        assert args.obs_level == "off"
+        assert args.metrics_out is None
+        assert args.trace_out is None
+        assert args.events_out is None
+
+    def test_trace_out_requires_trace_level(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--trace-out", "t.json"])
+        assert "--trace-out requires --obs-level trace" in capsys.readouterr().err
+        with pytest.raises(SystemExit):
+            main(["compare", "--obs-level", "metrics", "--trace-out", "t.json"])
+
+    def test_metrics_out_requires_metrics_level(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["compare", "--metrics-out", "m.prom"])
+        err = capsys.readouterr().err
+        assert "--metrics-out requires --obs-level" in err
+
+    def test_events_out_requires_metrics_level(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["query", "--events-out", "e.jsonl", "SELECT x"])
+        assert "--events-out requires --obs-level" in capsys.readouterr().err
+
+    def test_unknown_obs_level_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["compare", "--obs-level", "debug"])
+
+    def test_compare_writes_obs_outputs(self, capsys, tmp_path):
+        import json
+
+        metrics_path = tmp_path / "metrics.json"
+        trace_path = tmp_path / "trace.json"
+        events_path = tmp_path / "events.jsonl"
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "nusc-clear",
+                "--frames",
+                "10",
+                "--trials",
+                "1",
+                "--m",
+                "2",
+                "--scale",
+                "0.02",
+                "--obs-level",
+                "trace",
+                "--metrics-out",
+                str(metrics_path),
+                "--trace-out",
+                str(trace_path),
+                "--events-out",
+                str(events_path),
+            ]
+        )
+        assert code == 0
+        out = capsys.readouterr().out
+        assert f"metrics written to {metrics_path}" in out
+
+        metrics = json.loads(metrics_path.read_text())
+        frame_counters = [
+            c
+            for c in metrics["counters"]
+            if c["name"] == "repro_frames_total"
+        ]
+        # One series per algorithm, 10 frames each.
+        assert frame_counters
+        assert all(c["value"] == 10 for c in frame_counters)
+
+        trace = json.loads(trace_path.read_text())
+        span_names = {s["name"] for s in trace["spans"]}
+        assert {"trial", "frame", "select", "detect", "fuse", "score",
+                "update"} <= span_names
+
+        events = [
+            json.loads(line)
+            for line in events_path.read_text().splitlines()
+        ]
+        assert events
+        assert all(e["type"] == "frame-completed" for e in events)
+
+    def test_compare_prometheus_metrics_out(self, capsys, tmp_path):
+        metrics_path = tmp_path / "metrics.prom"
+        code = main(
+            [
+                "compare",
+                "--dataset",
+                "nusc-clear",
+                "--frames",
+                "8",
+                "--trials",
+                "1",
+                "--m",
+                "2",
+                "--scale",
+                "0.02",
+                "--obs-level",
+                "metrics",
+                "--metrics-out",
+                str(metrics_path),
+            ]
+        )
+        assert code == 0
+        text = metrics_path.read_text()
+        assert "# TYPE repro_frames_total counter" in text
+        assert "repro_trials_total 1" in text
+
+
 class TestCommands:
     def test_algorithms_lists_registry(self, capsys):
         assert main(["algorithms"]) == 0

@@ -126,6 +126,65 @@ class TestFaultedBackendEquivalence:
         if profile == "outage-first":
             assert serial_stats.failures > 0
 
+    def test_chaos_metrics_snapshots_backend_independent(
+        self, detector_pool, lidar, small_video
+    ):
+        """Serial and thread-4w runs under the chaos fault profile must
+        produce *identical* logical metric snapshots — frames, retries,
+        degradations — because the registry records only counts and
+        simulated milliseconds, never scheduling-dependent values."""
+        from repro.engine.resilience import (
+            BreakerPolicy,
+            ResilientBackend,
+            RetryPolicy,
+        )
+        from repro.obs import Observability
+        from repro.simulation.faults import apply_fault_profile
+
+        frames = small_video.frames[:12]
+
+        def chaotic_run(make_inner):
+            obs = Observability(level="metrics")
+            pool = apply_fault_profile(detector_pool, "chaos", seed=5)
+            backend = ResilientBackend(
+                make_inner(obs),
+                retry=RetryPolicy(max_attempts=2, seed=5),
+                breaker=BreakerPolicy(failure_threshold=2, cooldown_batches=3),
+                obs=obs,
+            )
+            with backend:
+                env = DetectionEnvironment(pool, lidar, backend=backend, obs=obs)
+                result = MES(gamma=3).run(env, frames)
+                return result, env.fault_stats(), obs
+
+        serial_result, serial_stats, serial_obs = chaotic_run(
+            lambda obs: SerialBackend(obs=obs)
+        )
+        thread_result, thread_stats, thread_obs = chaotic_run(
+            lambda obs: ThreadPoolBackend(workers=4, obs=obs)
+        )
+        assert thread_result.records == serial_result.records
+
+        serial_snap = serial_obs.snapshot()
+        thread_snap = thread_obs.snapshot()
+        # The headline property: the whole snapshot is equal, not just a
+        # few counters — as_dict() covers every series deterministically.
+        assert thread_snap.as_dict() == serial_snap.as_dict()
+
+        # Sanity-check the logical counters against independent sources.
+        assert serial_snap.counter_value(
+            "repro_frames_total", algorithm=serial_result.algorithm
+        ) == len(serial_result.records)
+        assert serial_snap.counter_total("repro_retries_total") == (
+            serial_stats.retries
+        )
+        degraded = sum(1 for r in serial_result.records if r.degraded)
+        assert serial_snap.counter_total("repro_frames_degraded_total") == (
+            degraded
+        )
+        # The event streams agree too (same logical facts, same order).
+        assert serial_obs.events.events() == thread_obs.events.events()
+
     def test_faulty_runs_are_reproducible(
         self, detector_pool, lidar, small_video
     ):

@@ -188,6 +188,52 @@ class TestCircuitBreaker:
         breaker.record_failure()
         assert breaker.state == "closed"
 
+    def test_half_open_admits_exactly_one_probe(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_batches=1)
+        )
+        breaker.record_failure()
+        breaker.tick()
+        assert breaker.state == "half-open"
+        # allows() is read-only; it never reserves the probe slot.
+        assert breaker.allows() and breaker.allows()
+        assert breaker.try_admit()
+        assert not breaker.try_admit()  # the slot is taken
+        assert breaker.allows()  # still reported as admissible state
+        breaker.record_success()
+        assert breaker.state == "closed"
+        assert breaker.try_admit()  # closed admits freely again
+
+    def test_failed_probe_frees_slot_after_reopen(self):
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_batches=1)
+        )
+        breaker.record_failure()
+        breaker.tick()
+        assert breaker.try_admit()
+        breaker.record_failure()  # probe failed: open again
+        assert breaker.state == "open"
+        assert not breaker.try_admit()
+        breaker.tick()
+        assert breaker.state == "half-open"
+        assert breaker.try_admit()  # next cooldown offers a fresh probe
+
+    def test_transition_callback_fires_on_change_only(self):
+        transitions = []
+        breaker = CircuitBreaker(
+            BreakerPolicy(failure_threshold=1, cooldown_batches=2),
+            on_transition=lambda old, new: transitions.append((old, new)),
+        )
+        breaker.record_failure()
+        breaker.tick()  # cooldown tick 1: still open, no transition
+        breaker.tick()  # tick 2: half-open
+        breaker.record_success()
+        assert transitions == [
+            ("closed", "open"),
+            ("open", "half-open"),
+            ("half-open", "closed"),
+        ]
+
 
 class TestBreakerExecution:
     def _failing_backend(self):
@@ -262,6 +308,52 @@ class TestBreakerExecution:
             "skipped-open-circuit",
             "ok",
         ]
+
+    def test_half_open_single_probe_under_thread_backend(self):
+        """Two workers hitting a half-open circuit in the same batch must
+        admit exactly one probe; the other job is skipped, not raced in.
+
+        Regression test: admission used to consult the read-only
+        ``allows()`` per job, so a two-job batch against a half-open
+        circuit dispatched both jobs as probes."""
+        from repro.engine.backends import ThreadPoolBackend
+
+        model = _Model(fail_times=2)
+        with ThreadPoolBackend(workers=2) as inner:
+            backend = ResilientBackend(
+                inner,
+                retry=RetryPolicy(max_attempts=1),
+                breaker=BreakerPolicy(failure_threshold=2, cooldown_batches=1),
+            )
+            backend.run([_job(model, 0)])
+            backend.run([_job(model, 1)])  # opens the circuit
+            assert backend.breaker_state("m") == "open"
+            calls_before = model.calls
+            # One batch, two jobs of the half-open model, two live workers.
+            results = backend.run([_job(model, 2), _job(model, 3)])
+            statuses = sorted(r.status for r in results)
+            assert statuses == ["ok", "skipped-open-circuit"]
+            assert model.calls == calls_before + 1  # exactly one probe ran
+            assert backend.breaker_state("m") == "closed"  # probe healed it
+
+    def test_half_open_single_probe_same_frame_jobs(self):
+        """The guarantee holds even when both jobs are identical
+        (same model, same frame) — the second is refused, not deduped."""
+        model = _Model(fail_times=2)
+        backend = ResilientBackend(
+            SerialBackend(),
+            retry=RetryPolicy(max_attempts=1),
+            breaker=BreakerPolicy(failure_threshold=2, cooldown_batches=1),
+        )
+        backend.run([_job(model, 0)])
+        backend.run([_job(model, 1)])
+        calls_before = model.calls
+        results = backend.run([_job(model, 2), _job(model, 2)])
+        assert sorted(r.status for r in results) == [
+            "ok",
+            "skipped-open-circuit",
+        ]
+        assert model.calls == calls_before + 1
 
 
 class TestBackendSurface:

@@ -13,7 +13,12 @@ from repro.runner.experiment import (
     standard_setup,
 )
 from repro.runner.harness import MetricStats, TrialOutcome, compare_algorithms
-from repro.runner.reporting import format_series, format_table, normalize_by
+from repro.runner.reporting import (
+    format_series,
+    format_table,
+    normalize_by,
+    safe_rate,
+)
 
 
 class TestDetectorSuites:
@@ -166,3 +171,14 @@ class TestReporting:
             "B", [100, 200], {"MES": [1.0, 2.0], "BF": [0.5, 0.6]}
         )
         assert "100" in text and "MES" in text
+
+    def test_safe_rate(self):
+        assert safe_rate(3.0, 4.0) == 0.75
+        assert safe_rate(0.0, 4.0) == 0.0
+
+    def test_safe_rate_zero_denominator_defaults_to_zero(self):
+        """Empty-input aggregate rates follow the 0.0 convention of
+        CacheStats.hit_rate instead of raising ZeroDivisionError."""
+        assert safe_rate(5.0, 0.0) == 0.0
+        assert safe_rate(0.0, 0) == 0.0
+        assert safe_rate(1.0, 0.0, default=float("nan")) != safe_rate(1.0, 0.0)

@@ -3,11 +3,16 @@
 import itertools
 
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.baselines import BruteForce, SingleBest
 from repro.core.mes import MES
+from repro.core.selection import FrameRecord, SelectionResult
 from repro.runner.harness import TrialOutcome
 from repro.runner.io import (
+    load_outcomes_csv,
+    load_records_csv,
     load_result_json,
     outcomes_to_rows,
     result_to_dict,
@@ -90,6 +95,11 @@ class TestResultIO:
         assert len(lines) == 1 + 8
         assert lines[0].startswith("iteration,frame_index,selected")
 
+    def test_records_csv_roundtrip_from_run(self, result, tmp_path):
+        path = tmp_path / "records.csv"
+        save_records_csv(result, path)
+        assert load_records_csv(path) == list(result.records)
+
     def test_outcomes_rows_and_csv(self, result, tmp_path):
         outcome = TrialOutcome(algorithm="MES")
         outcome.add(result)
@@ -103,3 +113,122 @@ class TestResultIO:
         save_outcomes_csv({"MES": outcome}, path)
         lines = path.read_text().strip().splitlines()
         assert len(lines) == 3
+
+
+_NAMES = st.sampled_from(["yolo-c", "yolo-n", "yolo-r", "rcnn", "ref"])
+_ENSEMBLES = st.lists(_NAMES, min_size=1, max_size=4, unique=True).map(tuple)
+_FLOATS = st.floats(
+    allow_nan=False, allow_infinity=False, width=64, min_value=-1e9,
+    max_value=1e9,
+)
+_FRAME_RECORDS = st.builds(
+    FrameRecord,
+    iteration=st.integers(min_value=1, max_value=10**6),
+    frame_index=st.integers(min_value=0, max_value=10**6),
+    selected=_ENSEMBLES,
+    est_score=_FLOATS,
+    est_ap=_FLOATS,
+    true_score=_FLOATS,
+    true_ap=_FLOATS,
+    cost_ms=_FLOATS,
+    normalized_cost=_FLOATS,
+    charged_ms=_FLOATS,
+    realized=st.none() | _ENSEMBLES,
+)
+
+
+class TestCsvRoundTrip:
+    """``load(save(x)) == x`` for both CSV formats (satellite S3).
+
+    The writers serialize bools, ``None`` (the ``realized`` field of
+    fault-free frames) and floats; the loaders must coerce them back to
+    the exact original values, not leave raw strings behind.
+    """
+
+    @settings(max_examples=60, deadline=None)
+    @given(records=st.lists(_FRAME_RECORDS, max_size=12))
+    def test_records_roundtrip_property(self, records, tmp_path_factory):
+        path = tmp_path_factory.mktemp("csv") / "records.csv"
+        result = SelectionResult(
+            algorithm="prop", records=list(records), budget_ms=None
+        )
+        save_records_csv(result, path)
+        loaded = load_records_csv(path)
+        assert loaded == list(records)
+        # None-ness survives explicitly: no realized column collapses to
+        # the realized_key fallback.
+        assert [r.realized for r in loaded] == [r.realized for r in records]
+        assert [r.degraded for r in loaded] == [r.degraded for r in records]
+
+    @settings(max_examples=40, deadline=None)
+    @given(
+        data=st.dictionaries(
+            st.sampled_from(["MES", "MES-B", "SW-MES", "OPT"]),
+            st.lists(
+                st.tuples(_FLOATS, _FLOATS, _FLOATS,
+                          st.integers(min_value=0, max_value=10**4)),
+                min_size=1,
+                max_size=5,
+            ),
+            min_size=1,
+            max_size=4,
+        )
+    )
+    def test_outcomes_roundtrip_property(self, data, tmp_path_factory):
+        path = tmp_path_factory.mktemp("csv") / "outcomes.csv"
+        outcomes = {}
+        for name, rows in data.items():
+            outcome = TrialOutcome(algorithm=name)
+            for s_sum, mean_ap, mean_cost, frames in rows:
+                outcome.s_sum.append(s_sum)
+                outcome.mean_ap.append(mean_ap)
+                outcome.mean_cost.append(mean_cost)
+                outcome.frames_processed.append(frames)
+            outcomes[name] = outcome
+        save_outcomes_csv(outcomes, path)
+        assert load_outcomes_csv(path) == outcomes
+
+    def test_realized_none_distinct_from_realized_equal_selected(
+        self, tmp_path
+    ):
+        base = dict(
+            iteration=1, frame_index=0, est_score=0.5, est_ap=0.5,
+            true_score=0.5, true_ap=0.5, cost_ms=1.0, normalized_cost=0.1,
+            charged_ms=1.0,
+        )
+        records = [
+            FrameRecord(selected=("a", "b"), realized=None, **base),
+            FrameRecord(selected=("a", "b"), realized=("a",), **base),
+        ]
+        path = tmp_path / "records.csv"
+        save_records_csv(
+            SelectionResult(algorithm="x", records=records, budget_ms=None),
+            path,
+        )
+        loaded = load_records_csv(path)
+        assert loaded[0].realized is None
+        assert not loaded[0].degraded
+        assert loaded[1].realized == ("a",)
+        assert loaded[1].degraded
+
+    def test_records_loader_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("iteration,frame_index\n1,0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_records_csv(path)
+
+    def test_outcomes_loader_rejects_wrong_header(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        path.write_text("algorithm,s_sum\nMES,1.0\n")
+        with pytest.raises(ValueError, match="header"):
+            load_outcomes_csv(path)
+
+    def test_records_loader_rejects_inconsistent_degraded(self, tmp_path):
+        path = tmp_path / "bad.csv"
+        header = (
+            "iteration,frame_index,selected,est_score,est_ap,true_score,"
+            "true_ap,cost_ms,normalized_cost,charged_ms,realized,degraded"
+        )
+        path.write_text(header + "\n1,0,a+b,0,0,0,0,0,0,0,,True\n")
+        with pytest.raises(ValueError, match="inconsistent"):
+            load_records_csv(path)

@@ -143,6 +143,44 @@ class TestEvaluateTracking:
         with pytest.raises(ValueError):
             evaluate_tracking(frames, [])
 
+    def test_empty_video_yields_zero_rates(self):
+        """No frames at all: every rate is 0.0 (the repo-wide empty-
+        denominator convention), never a vacuous 1.0."""
+        quality = evaluate_tracking([], [])
+        assert quality.coverage == 0.0
+        assert quality.precision == 0.0
+        assert quality.identity_switches == 0
+        assert quality.fragmentation == 0.0
+        assert quality.num_tracks == 0
+        assert quality.num_objects == 0
+
+    def test_no_ground_truth_objects_yields_zero_coverage(
+        self, clear_category
+    ):
+        """Frames with no GT objects: coverage has a zero denominator and
+        must report 0.0, not 1.0."""
+        frames = [
+            Frame(i, clear_category, (), video_name="empty") for i in range(3)
+        ]
+        quality = evaluate_tracking(frames, [[], [], []])
+        assert quality.coverage == 0.0
+        assert quality.precision == 0.0
+
+    def test_zero_confirmed_tracks_yields_zero_precision(
+        self, clear_category
+    ):
+        """GT exists but the tracker confirmed nothing: precision has a
+        zero denominator and must report 0.0."""
+        frames = [
+            self._gt_frame(i, clear_category, {0: (10 * i, 0)})
+            for i in range(3)
+        ]
+        quality = evaluate_tracking(frames, [[], [], []])
+        assert quality.precision == 0.0
+        assert quality.coverage == 0.0  # nothing matched either
+        assert quality.num_objects == 1
+        assert quality.num_tracks == 0
+
     def test_end_to_end_on_simulated_detections(self, small_video, detector_pool):
         """Tracking fused real-ish detections yields sane statistics."""
         from repro.ensembling.wbf import WeightedBoxesFusion
