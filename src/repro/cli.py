@@ -36,6 +36,7 @@ from repro.obs import (
     write_trace_json,
 )
 from repro.query.executor import QueryEngine
+from repro.query.parser import ParseError, format_parse_error
 from repro.query.planner import algorithm_registry
 from repro.runner.experiment import dataset_keys, standard_setup
 from repro.runner.harness import compare_algorithms
@@ -285,6 +286,25 @@ def build_parser() -> argparse.ArgumentParser:
         default="video",
         help="name under which the video is registered",
     )
+    query.add_argument(
+        "--explain",
+        action="store_true",
+        help=(
+            "print the logical plan (with applied rewrites) and the "
+            "physical plan instead of executing; equivalent to prefixing "
+            "the query with EXPLAIN"
+        ),
+    )
+    query.add_argument(
+        "--materialize-dir",
+        default=None,
+        help=(
+            "directory of the persistent materialized detection store; "
+            "overlapping queries (across runs and processes) reuse "
+            "already-paid detector/REF inference, fusion and AP values "
+            "from it with bit-identical results"
+        ),
+    )
     _add_backend_arguments(query)
 
     sub.add_parser("datasets", help="print the Table 1 / Table 2 summaries")
@@ -377,13 +397,30 @@ def _run_query(args: argparse.Namespace) -> int:
     )
     obs = _make_obs(args)
     with _open_backend(args, obs) as backend:
-        engine = QueryEngine(backend=backend, obs=obs)
-        engine.register_video(args.video_name, setup.frames)
-        for detector in setup.detectors:
-            engine.register_detector(detector)
-        engine.register_reference(setup.reference)
-        result = engine.execute(args.text)
-        _print_fault_stats(backend)
+        with QueryEngine(
+            backend=backend, obs=obs, materialize_dir=args.materialize_dir
+        ) as engine:
+            engine.register_video(args.video_name, setup.frames)
+            for detector in setup.detectors:
+                engine.register_detector(detector)
+            engine.register_reference(setup.reference)
+            try:
+                plan = engine.plan(args.text)
+            except ParseError as error:
+                print(format_parse_error(error, args.text), file=sys.stderr)
+                return 2
+            if args.explain or plan.query.explain:
+                print(engine.explain(args.text))
+                return 0
+            result = engine.execute(args.text)
+            _print_fault_stats(backend)
+            if engine.matstore is not None:
+                stats = engine.matstore.stats()
+                print(
+                    f"materialized store: {stats.records} records, "
+                    f"hit rate {stats.hit_rate:.2f} "
+                    f"({stats.hits} hits, {stats.stores} new)"
+                )
     print(
         f"{len(result)} of {result.selection.frames_processed} processed "
         f"frames match"

@@ -49,6 +49,7 @@ class Oracle(IterativeSelection):
     """
 
     name = "OPT"
+    needs_reference = False  # selects on *true* scores only
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
@@ -65,6 +66,7 @@ class BruteForce(IterativeSelection):
     """BF: the largest ensemble ``M`` on every frame."""
 
     name = "BF"
+    needs_reference = False  # unconditional full-ensemble choice
 
     def _choose(
         self, env: DetectionEnvironment, t: int, frame: Frame
@@ -83,6 +85,7 @@ class SingleBest(IterativeSelection):
 
     name = "SGL"
     supports_streaming = False  # the calibration pass pre-scans the video
+    needs_reference = False  # calibrates on true AP, not REF estimates
 
     def __init__(self, calibration_frames: int | None = None) -> None:
         if calibration_frames is not None and calibration_frames < 1:
@@ -124,6 +127,7 @@ class RandomSelection(IterativeSelection):
     """RAND: a uniformly random ensemble per frame."""
 
     name = "RAND"
+    needs_reference = False  # choices are seeded-random, score-blind
 
     def __init__(self, seed: int = 0) -> None:
         self.seed = seed

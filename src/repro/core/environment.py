@@ -25,12 +25,18 @@ Execution is layered on the :mod:`repro.engine` package:
   clock only; every simulated charge, score and selection is identical
   across backends.
 * results are memoized in a bounded, LRU-evicting, thread-safe
-  :class:`~repro.engine.store.EvaluationStore` keyed by ``(frame,
-  ensemble)`` stage entries.  Because simulated detectors are
-  deterministic per frame, a store can safely be shared across
-  environments (e.g. between the algorithms being compared in one trial)
-  via the ``cache`` parameter, which makes multi-algorithm experiments
-  several times faster without changing any result.
+  :class:`~repro.engine.store.EvaluationStore`.  Store keys carry a
+  *context tag* naming everything the cached value depends on beyond the
+  frame — the producing detector, the fusion method and its parameters,
+  the reference model, the IoU threshold — so a store (and any persistent
+  tier attached to it) can safely be shared across environments with
+  *different* configurations: entries from different contexts never
+  collide, and because simulated detectors are deterministic per frame a
+  hit is always bit-identical to a recompute.  Sharing a store via the
+  ``cache`` parameter makes multi-algorithm experiments several times
+  faster without changing any result; attaching a persistent tier (see
+  :class:`~repro.query.matstore.MaterializedDetectionStore`) extends the
+  same reuse across queries and across processes.
 
 How parallel hardware is *billed* is an explicit policy, not a backend
 side effect: with ``billing="sum"`` (the paper's Eq. 12/14) the union
@@ -68,6 +74,7 @@ from repro.simulation.clock import CostModel, SimulatedClock
 from repro.simulation.video import Frame
 
 __all__ = [
+    "method_tag",
     "EnsembleEvaluation",
     "EvaluationBatch",
     "EvaluationStore",
@@ -87,6 +94,26 @@ BILLING_POLICIES: tuple[str, ...] = ("sum", "max")
 #: Backwards-compatible alias: the old raw-dict ``EvaluationCache`` is gone;
 #: the name now resolves to the bounded, instrumented store.
 EvaluationCache = EvaluationStore
+
+
+def method_tag(method: object) -> str:
+    """A deterministic identity string for a fusion/scoring method.
+
+    Combines the method's declared ``name`` (or class name) with its
+    scalar constructor state, so two instances configured identically get
+    the same tag and differently configured ones never share cache keys.
+    """
+    name = getattr(method, "name", None) or type(method).__name__
+    try:
+        state = vars(method)
+    except TypeError:
+        state = {}
+    params = ",".join(
+        f"{key}={value!r}"
+        for key, value in sorted(state.items())
+        if isinstance(value, (bool, int, float, str))
+    )
+    return f"{name}({params})"
 
 
 @dataclass(frozen=True)
@@ -197,7 +224,8 @@ class DetectionEnvironment:
             and ``.expected_time_ms`` (both :class:`SimulatedDetector` and
             :class:`SimulatedLidar` qualify, as does any user detector with
             the same surface).
-        reference: The REF model used for AP estimation.
+        reference: The REF model used for AP estimation.  May be ``None``
+            only with ``score_estimates=False`` (see below).
         scoring: The scoring function ``SC``; defaults to Eq. (30) with
             ``w1 = w2 = 0.5``.
         fusion: Box-fusion method; defaults to WBF as in the paper.
@@ -211,6 +239,14 @@ class DetectionEnvironment:
             :class:`~repro.engine.backends.SerialBackend`.  Backends
             affect wall-clock time only, never results or charges.
         billing: Detector billing policy, one of :data:`BILLING_POLICIES`.
+        score_estimates: When False, REF-based score estimation is skipped
+            entirely: the reference model is never inferred (or billed),
+            and every evaluation reports ``est_ap = est_score = 0.0``.
+            Only valid for selection algorithms that never consult
+            estimated scores (``needs_reference`` is False — BF, RAND,
+            OPT, SGL); the query planner's projection-pruning rewrite uses
+            this to skip reference scoring for queries that never read
+            ``score``.  True-AP reporting is unaffected.
         obs: Observability facade shared by the pipeline and this
             environment; spans (detect / per-model / fuse / score) and
             evaluation counters flow through it.  The default no-op
@@ -220,7 +256,7 @@ class DetectionEnvironment:
     def __init__(
         self,
         detectors: Sequence[object],
-        reference: object,
+        reference: object | None,
         scoring: ScoringFunction | None = None,
         fusion: EnsembleMethod | None = None,
         cost_model: CostModel | None = None,
@@ -229,10 +265,15 @@ class DetectionEnvironment:
         clock: SimulatedClock | None = None,
         backend: ExecutionBackend | None = None,
         billing: str = "sum",
+        score_estimates: bool = True,
         obs: Observability = NULL_OBS,
     ) -> None:
         if not detectors:
             raise ValueError("the detector pool must be non-empty")
+        if reference is None and score_estimates:
+            raise ValueError(
+                "a reference model is required unless score_estimates=False"
+            )
         names = [d.name for d in detectors]
         if len(set(names)) != len(names):
             raise ValueError(f"duplicate detector names: {names}")
@@ -261,7 +302,20 @@ class DetectionEnvironment:
             backend if backend is not None else SerialBackend()
         )
         self.billing = billing
+        self.score_estimates = score_estimates
         self.obs = obs
+
+        # Context tags appended to store keys: everything a cached value
+        # depends on beyond the frame, so heterogeneous environments (and
+        # persistent tiers shared across runs) never collide on a key.
+        self._fusion_tag = method_tag(self.fusion)
+        self._true_tag = f"{self._fusion_tag}|iou={self.iou_threshold:g}"
+        if reference is not None:
+            self._ref_name = str(getattr(reference, "name", "ref"))
+            self._est_tag = f"{self._true_tag}|ref={self._ref_name}"
+        else:
+            self._ref_name = None
+            self._est_tag = None
 
         # Frame-level degradation counters (bounded scalars, merged with
         # the backend's job-level counters by :meth:`fault_stats`).
@@ -366,12 +420,20 @@ class DetectionEnvironment:
         )
 
     def _reference_output(self, frame: Frame):
+        assert self.reference is not None  # guarded by score_estimates
         return self.store.get_or_compute(
-            "reference", frame.key, lambda: self.reference.detect(frame)
+            "reference",
+            (frame.key, self._ref_name),
+            lambda: self.reference.detect(frame),
         )
 
     def reference_detections(self, frame: Frame) -> FrameDetections:
         """``BBox_{REF|v}`` — the reference model's boxes for a frame."""
+        if self.reference is None:
+            raise RuntimeError(
+                "this environment has no reference model "
+                "(score_estimates=False)"
+            )
         return self._reference_output(frame).detections
 
     def _fused(self, frame: Frame, key: EnsembleKey) -> FrameDetections:
@@ -379,12 +441,14 @@ class DetectionEnvironment:
             parts = [self._single_output(frame, m).detections for m in key]
             return self.fusion.fuse(parts)
 
-        return self.store.get_or_compute("fused", (frame.key, key), compute)
+        return self.store.get_or_compute(
+            "fused", (frame.key, key, self._fusion_tag), compute
+        )
 
     def _estimated_ap(self, frame: Frame, key: EnsembleKey) -> float:
         return self.store.get_or_compute(
             "est_ap",
-            (frame.key, key),
+            (frame.key, key, self._est_tag),
             lambda: mean_average_precision(
                 self._fused(frame, key),
                 self.reference_detections(frame),
@@ -395,7 +459,7 @@ class DetectionEnvironment:
     def _true_ap(self, frame: Frame, key: EnsembleKey) -> float:
         return self.store.get_or_compute(
             "true_ap",
-            (frame.key, key),
+            (frame.key, key, self._true_tag),
             lambda: mean_average_precision(
                 self._fused(frame, key),
                 frame.ground_truth_detections(),
@@ -422,11 +486,28 @@ class DetectionEnvironment:
             if not self.store.contains("detector", (frame.key, model)):
                 jobs.append(InferenceJob(self._detectors[model], frame))
                 stages.append(("detector", (frame.key, model)))
-        if not self.store.contains("reference", frame.key):
+        if self.reference is not None and not self.store.contains(
+            "reference", (frame.key, self._ref_name)
+        ):
             jobs.append(InferenceJob(self.reference, frame))
-            stages.append(("reference", frame.key))
+            stages.append(("reference", (frame.key, self._ref_name)))
         if not jobs:
             return
+        if self.obs.metrics_on:
+            detector_jobs = sum(1 for stage, _ in stages if stage == "detector")
+            if detector_jobs:
+                self.obs.count(
+                    "repro_detector_invocations_total",
+                    amount=float(detector_jobs),
+                    description="Detector inferences actually executed "
+                    "(store and materialized-tier hits excluded)",
+                )
+            if len(jobs) > detector_jobs:
+                self.obs.count(
+                    "repro_reference_invocations_total",
+                    amount=float(len(jobs) - detector_jobs),
+                    description="Reference-model inferences actually executed",
+                )
         with self.obs.span("detect", jobs=len(jobs)) as detect_span:
             results = self.backend.run(jobs)
             if self.obs.trace_on:
@@ -514,7 +595,9 @@ class DetectionEnvironment:
         healthy_set = frozenset(healthy)
         failed_models = tuple(m for m in union_models if m not in healthy_set)
 
-        if not self.store.contains("reference", frame.key):
+        if self.score_estimates and not self.store.contains(
+            "reference", (frame.key, self._ref_name)
+        ):
             raise FrameEvaluationError(
                 f"reference inference failed for frame {frame.key!r}"
             )
@@ -549,11 +632,12 @@ class DetectionEnvironment:
             detector_ms = sum(member_times)
 
         reference_ms = 0.0
-        ref_output = self._reference_output(frame)
-        if charge and self.clock.charge_once(
-            "reference", frame.key, ref_output.inference_time_ms
-        ):
-            reference_ms = ref_output.inference_time_ms
+        if self.score_estimates:
+            ref_output = self._reference_output(frame)
+            if charge and self.clock.charge_once(
+                "reference", frame.key, ref_output.inference_time_ms
+            ):
+                reference_ms = ref_output.inference_time_ms
 
         # Pass 1 ("fuse"): materialize every realized ensemble's fused
         # detections and its cost components.  Pass 2 ("score"): APs and
@@ -588,7 +672,12 @@ class DetectionEnvironment:
             for key, realized, fused, inference_ms, fusion_ms in prepared:
                 cost_ms = inference_ms + fusion_ms
                 c_hat = self.normalized_cost(cost_ms)
-                est_ap = self._estimated_ap(frame, realized)
+                if self.score_estimates:
+                    est_ap = self._estimated_ap(frame, realized)
+                    est_score = self.scoring(est_ap, c_hat)
+                else:
+                    est_ap = 0.0
+                    est_score = 0.0
                 true_ap = self._true_ap(frame, realized)
                 evaluations[key] = EnsembleEvaluation(
                     key=key,
@@ -598,7 +687,7 @@ class DetectionEnvironment:
                     cost_ms=cost_ms,
                     normalized_cost=c_hat,
                     est_ap=est_ap,
-                    est_score=self.scoring(est_ap, c_hat),
+                    est_score=est_score,
                     true_ap=true_ap,
                     true_score=self.scoring(true_ap, c_hat),
                     realized=realized,

@@ -106,6 +106,13 @@ class SelectionAlgorithm(abc.ABC):
     #: Display name; subclasses override.
     name: str = "abstract"
 
+    #: Whether the algorithm consults REF-estimated scores.  Algorithms
+    #: that never read ``est_score`` / ``est_ap`` (BF, RAND, OPT, SGL)
+    #: override this to False, which lets the query planner's
+    #: projection-pruning rewrite run them in an environment with
+    #: ``score_estimates=False`` — no reference model inferred or billed.
+    needs_reference: bool = True
+
     @abc.abstractmethod
     def run(
         self,

@@ -27,12 +27,18 @@ from collections import OrderedDict
 from collections.abc import Callable, Hashable, Mapping
 from dataclasses import dataclass
 from types import MappingProxyType
-from typing import Any
+from typing import Any, Protocol, runtime_checkable
 
 from repro.engine.backends import wall_timer
 from repro.obs import NULL_OBS, Counter, Observability
 
-__all__ = ["StageStats", "CacheStats", "EvaluationStore", "DEFAULT_CAPACITY"]
+__all__ = [
+    "StageStats",
+    "CacheStats",
+    "PersistentTier",
+    "EvaluationStore",
+    "DEFAULT_CAPACITY",
+]
 
 #: Default entry bound.  A 600-frame, 31-ensemble trial needs ~60k entries
 #: across all stages; 2**18 leaves generous headroom for sweeps that share
@@ -62,6 +68,33 @@ class StageStats:
         return self.hits / self.lookups if self.lookups else 0.0
 
 
+@runtime_checkable
+class PersistentTier(Protocol):
+    """A disk-backed second tier an :class:`EvaluationStore` may consult.
+
+    A tier persists *deterministic* stage values across processes (the
+    query layer's materialized detection store implements this protocol).
+    The in-memory store consults it on a miss and writes computed values
+    through to it; a tier hit is bit-identical to a recompute because
+    every cached value is a pure function of its key.
+
+    Implementations must be thread-safe: the store calls them under its
+    own lock from whatever threads use the store.
+    """
+
+    def accepts(self, stage: str) -> bool:
+        """Whether this tier persists entries of ``stage``."""
+        ...
+
+    def load(self, stage: str, key: Hashable) -> Any | None:
+        """The persisted value, or ``None`` if absent."""
+        ...
+
+    def store(self, stage: str, key: Hashable, value: Any) -> None:
+        """Persist a computed value (idempotent on duplicate keys)."""
+        ...
+
+
 @dataclass(frozen=True)
 class CacheStats:
     """Immutable snapshot of an :class:`EvaluationStore`'s instrumentation.
@@ -74,6 +107,9 @@ class CacheStats:
         lookups / hits / misses: Totals across all stages.
         evictions: Entries dropped by the LRU policy since creation
             (or the last :meth:`EvaluationStore.clear`).
+        tier_hits: Reads (lookups or membership tests) answered by
+            promoting an entry from the attached persistent tier; 0 when
+            no tier is attached.
         stages: Per-stage :class:`StageStats`, keyed by stage name.
     """
 
@@ -84,6 +120,7 @@ class CacheStats:
     misses: int
     evictions: int
     stages: Mapping[str, StageStats]
+    tier_hits: int = 0
 
     @property
     def hit_rate(self) -> float:
@@ -98,6 +135,7 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "evictions": self.evictions,
+            "tier_hits": self.tier_hits,
             "hit_rate": self.hit_rate,
             "stages": {
                 name: {
@@ -156,6 +194,8 @@ class EvaluationStore:
             and the hit-streak histogram (length of consecutive-hit runs,
             observed whenever a miss breaks a streak).  The default no-op
             facade keeps uninstrumented stores zero-cost.
+        tier: Optional :class:`PersistentTier` consulted on memory misses
+            and written through on inserts (see :meth:`attach_tier`).
     """
 
     def __init__(
@@ -163,12 +203,15 @@ class EvaluationStore:
         capacity: int = DEFAULT_CAPACITY,
         timer: Callable[[], float] = wall_timer,
         obs: Observability = NULL_OBS,
+        tier: PersistentTier | None = None,
     ) -> None:
         if capacity < 1:
             raise ValueError("capacity must be at least 1")
         self._capacity = capacity
         self._timer = timer
         self._obs = obs
+        self._tier = tier
+        self._tier_hits = 0
         self._lock = threading.RLock()
         self._entries: OrderedDict[tuple[str, Hashable], Any] = OrderedDict()
         self._stages: dict[str, _MutableStageStats] = {}
@@ -183,6 +226,19 @@ class EvaluationStore:
     @property
     def capacity(self) -> int:
         return self._capacity
+
+    @property
+    def tier(self) -> PersistentTier | None:
+        return self._tier
+
+    def attach_tier(self, tier: PersistentTier | None) -> None:
+        """Attach (or detach, with ``None``) the persistent second tier.
+
+        Attaching mid-run is safe: already-cached entries stay in memory;
+        future misses consult the tier and future inserts write through.
+        """
+        with self._lock:
+            self._tier = tier
 
     def __len__(self) -> int:
         with self._lock:
@@ -215,9 +271,34 @@ class EvaluationStore:
             self._obs_counters[stage] = pair
         return pair
 
+    def _insert_locked(self, full_key: tuple[str, Hashable], value: Any) -> None:
+        """Insert an entry and enforce the bound; caller holds the lock."""
+        self._entries[full_key] = value
+        while len(self._entries) > self._capacity:
+            self._entries.popitem(last=False)
+            self._evictions += 1
+
+    def _tier_load_locked(self, stage: str, key: Hashable) -> Any | None:
+        """Consult the persistent tier and promote its value into memory.
+
+        Returns the promoted value, or ``None`` when no tier is attached,
+        the tier does not persist ``stage``, or the entry is absent.
+        Caller holds the lock and has already established a memory miss.
+        """
+        if self._tier is None or not self._tier.accepts(stage):
+            return None
+        value = self._tier.load(stage, key)
+        if value is None:
+            return None
+        self._tier_hits += 1
+        self._insert_locked((stage, key), value)
+        return value
+
     def get(self, stage: str, key: Hashable) -> Any | None:
         """Look up a value, counting a hit or miss; ``None`` if absent.
 
+        A memory miss consults the attached persistent tier (if any); a
+        tier hit promotes the value into memory and counts as a hit.
         Cached values are never ``None`` (:meth:`put` rejects it), so a
         ``None`` return unambiguously means *absent*.
         """
@@ -230,13 +311,18 @@ class EvaluationStore:
             )
             if counters is not None:
                 counters[0].inc()
+            value: Any | None
             if full_key in self._entries:
+                self._entries.move_to_end(full_key)
+                value = self._entries[full_key]
+            else:
+                value = self._tier_load_locked(stage, key)
+            if value is not None:
                 stats.hits += 1
                 self._hit_streak += 1
                 if counters is not None:
                     counters[1].inc()
-                self._entries.move_to_end(full_key)
-                return self._entries[full_key]
+                return value
             stats.misses += 1
             if self._hit_streak and self._obs.metrics_on:
                 self._obs.observe(
@@ -271,10 +357,12 @@ class EvaluationStore:
                 # (values are deterministic, so they are identical).
                 self._entries.move_to_end(full_key)
                 return
-            self._entries[full_key] = value
-            while len(self._entries) > self._capacity:
-                self._entries.popitem(last=False)
-                self._evictions += 1
+            self._insert_locked(full_key, value)
+            if self._tier is not None and self._tier.accepts(stage):
+                # Write through so the entry survives this process.  The
+                # tier deduplicates keys itself; values are deterministic,
+                # so duplicate stores are harmless either way.
+                self._tier.store(stage, key, value)
 
     def get_or_compute(
         self, stage: str, key: Hashable, compute: Callable[[], Any]
@@ -292,9 +380,16 @@ class EvaluationStore:
         return value
 
     def contains(self, stage: str, key: Hashable) -> bool:
-        """Membership test that does *not* count as a lookup."""
+        """Membership test that does *not* count as a lookup.
+
+        Consults (and promotes from) the persistent tier, so callers that
+        gate work on membership — e.g. the environment's job planner —
+        see tier-resident entries as present and skip recomputation.
+        """
         with self._lock:
-            return (stage, key) in self._entries
+            if (stage, key) in self._entries:
+                return True
+            return self._tier_load_locked(stage, key) is not None
 
     def stats(self) -> CacheStats:
         """An immutable snapshot of counters and per-stage timing."""
@@ -310,6 +405,7 @@ class EvaluationStore:
                 misses=sum(s.misses for s in stages.values()),
                 evictions=self._evictions,
                 stages=MappingProxyType(stages),
+                tier_hits=self._tier_hits,
             )
 
     def clear(self) -> None:
@@ -319,6 +415,7 @@ class EvaluationStore:
             self._stages.clear()
             self._evictions = 0
             self._hit_streak = 0
+            self._tier_hits = 0
 
     def __repr__(self) -> str:
         with self._lock:

@@ -124,12 +124,15 @@ class Query:
         min_duration: Temporal qualifier (``FOR AT LEAST n FRAMES``): only
             frames inside maximal consecutive runs of at least this many
             matching frames survive.  1 (default) disables the qualifier.
+        explain: True when the query was prefixed with ``EXPLAIN`` — the
+            caller should describe the plan instead of executing it.
     """
 
     select: tuple[str, ...]
     process: ProcessClause
     where: Expr | None = None
     min_duration: int = 1
+    explain: bool = False
 
     def __post_init__(self) -> None:
         if not self.select:

@@ -1,86 +1,59 @@
-"""Query execution: drive a selection algorithm and filter produced rows.
+"""Query execution: catalog-bound planning plus the operator pipeline.
 
-:class:`QueryEngine` is the user-facing entry point.  Videos, detectors and
-reference models are registered by name; :meth:`QueryEngine.execute` parses
-a query string, plans it, runs the bound selection algorithm over the video
-(selecting and fusing an ensemble per frame — the paper's pre-processing
-step), materializes the ``PRODUCE`` rows, and applies the ``WHERE``
-predicate.
+:class:`QueryEngine` is the user-facing entry point.  Videos, detectors
+and reference models are registered in a :class:`~repro.query.catalog.
+Catalog`; :meth:`QueryEngine.execute` parses a query string, binds it
+(:mod:`repro.query.planner`), lowers it to a rewritten logical plan
+(:mod:`repro.query.logical`), builds per-operator physical executors
+(:mod:`repro.query.physical`) and pulls the result through them.
 
-Row materialization rides the engine's unified
-:class:`~repro.engine.pipeline.FramePipeline`: a per-frame observer
-captures each selected ensemble's fused detections *during* the selection
-run, so the executor never re-walks the video in a second loop.
+All queries of one engine share one
+:class:`~repro.engine.store.EvaluationStore`: because store keys carry
+context tags (detector, fusion, reference, IoU), overlapping queries —
+even with different algorithms or references — reuse each other's
+detector inferences, fusions and AP computations with bit-identical
+results.  Passing ``materialize_dir`` additionally attaches a
+:class:`~repro.query.matstore.MaterializedDetectionStore`, extending
+that reuse across processes.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
-from dataclasses import dataclass
+from pathlib import Path
 
 from repro.core.environment import DetectionEnvironment, EvaluationStore
 from repro.core.scoring import ScoringFunction, WeightedLogScore
-from repro.core.selection import SelectionResult
-from repro.detection.types import FrameDetections
 from repro.engine.backends import ExecutionBackend
 from repro.ensembling.base import EnsembleMethod
+from repro.ensembling.wbf import WeightedBoxesFusion
 from repro.obs import NULL_OBS, Observability
-from repro.query.ast import Query
+from repro.query.catalog import Catalog
+from repro.query.logical import LogicalPlan, build_logical_plan
+from repro.query.matstore import MaterializedDetectionStore
 from repro.query.parser import parse_query
+from repro.query.physical import (
+    PRODUCIBLE_COLUMNS,
+    DetectExec,
+    FilterExec,
+    FrameScanExec,
+    PhysicalPlan,
+    ProjectExec,
+    QueryResult,
+    Row,
+    TemporalFilterExec,
+)
 from repro.query.planner import PlanError, QueryPlan, build_plan
-from repro.query.predicates import evaluate_expr
 from repro.simulation.video import Frame, Video
 
 __all__ = ["Row", "QueryResult", "QueryEngine"]
 
-#: Columns a PROCESS clause may produce, lower-cased.
-_PRODUCIBLE = ("frameid", "detections", "score", "ensemble")
-
-
-@dataclass(frozen=True)
-class Row:
-    """One produced row (one processed frame)."""
-
-    frame_id: int
-    detections: FrameDetections
-    score: float
-    ensemble: tuple[str, ...]
-
-    def value(self, column: str) -> object:
-        """Column accessor by (case-insensitive) name."""
-        key = column.lower()
-        if key == "frameid":
-            return self.frame_id
-        if key == "detections":
-            return self.detections
-        if key == "score":
-            return self.score
-        if key == "ensemble":
-            return self.ensemble
-        raise KeyError(f"unknown column {column!r}; known: {_PRODUCIBLE}")
-
-
-@dataclass
-class QueryResult:
-    """Execution output: selected rows plus run statistics."""
-
-    rows: list[Row]
-    selection: SelectionResult
-    query: Query
-
-    def __len__(self) -> int:
-        return len(self.rows)
-
-    def column(self, name: str) -> list[object]:
-        """All values of one selected column."""
-        return [row.value(name) for row in self.rows]
-
-    def frame_ids(self) -> list[int]:
-        return [row.frame_id for row in self.rows]
+#: Backwards-compatible alias (the canonical name lives in physical.py).
+_PRODUCIBLE = PRODUCIBLE_COLUMNS
 
 
 class QueryEngine:
-    """Catalog + executor for the video query language.
+    """Catalog + planner + operator executor for the video query language.
 
     Args:
         scoring: Scoring function used by selection algorithms.
@@ -88,11 +61,17 @@ class QueryEngine:
         backend: Execution backend shared by all queries (serial by
             default); parallel backends change wall clock only, never
             results.
-        store: Optional shared :class:`EvaluationStore`; queries over the
-            same registered video/models then reuse inference across
-            executions.
-        obs: Observability facade threaded into every query's environment
-            (spans, metrics and events for the selection run).
+        store: Optional externally owned :class:`EvaluationStore`; by
+            default the engine creates one and shares it across every
+            query it executes (context-tagged keys make that safe).
+        obs: Observability facade threaded into every query's
+            environment (spans, metrics and events for the selection
+            run).
+        catalog: Optional externally owned :class:`Catalog`.
+        materialize_dir: Directory for the persistent materialized
+            detection store; when given, every deterministic stage value
+            is written through to disk and later queries (in any
+            process) reuse it instead of re-running inference.
     """
 
     def __init__(
@@ -102,63 +81,69 @@ class QueryEngine:
         backend: ExecutionBackend | None = None,
         store: EvaluationStore | None = None,
         obs: Observability = NULL_OBS,
+        catalog: Catalog | None = None,
+        materialize_dir: str | Path | None = None,
     ) -> None:
         self.scoring = scoring if scoring is not None else WeightedLogScore(0.5)
-        self.fusion = fusion
+        self.fusion = fusion if fusion is not None else WeightedBoxesFusion()
         self.backend = backend
-        self.store = store
         self.obs = obs
-        self._videos: dict[str, tuple[Frame, ...]] = {}
-        self._detectors: dict[str, object] = {}
-        self._references: dict[str, object] = {}
+        self.catalog = catalog if catalog is not None else Catalog()
+        self.store = store if store is not None else EvaluationStore(obs=obs)
+        self.matstore: MaterializedDetectionStore | None = None
+        if materialize_dir is not None:
+            self.matstore = MaterializedDetectionStore(
+                materialize_dir, obs=obs
+            )
+            self.store.attach_tier(self.matstore)
+
+    def close(self) -> None:
+        """Flush and close the materialized store, if any (idempotent)."""
+        if self.matstore is not None:
+            self.matstore.close()
+
+    def __enter__(self) -> QueryEngine:
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # ---- catalog --------------------------------------------------------
 
     def register_video(self, name: str, video: Video | Sequence[Frame]) -> None:
         """Register a video (or raw frame sequence) under ``name``."""
-        if not name:
-            raise ValueError("video name must be non-empty")
-        frames = tuple(video.frames if isinstance(video, Video) else video)
-        if not frames:
-            raise ValueError("cannot register an empty video")
-        self._videos[name] = frames
+        self.catalog.register_video(name, video)
 
     def register_detector(self, detector: object) -> None:
         """Register a detector by its own ``.name``."""
-        name = getattr(detector, "name", None)
-        if not name:
-            raise ValueError("detector must expose a non-empty .name")
-        self._detectors[name] = detector
+        self.catalog.register_detector(detector)
 
     def register_reference(self, reference: object) -> None:
         """Register a reference model by its own ``.name``."""
-        name = getattr(reference, "name", None)
-        if not name:
-            raise ValueError("reference model must expose a non-empty .name")
-        self._references[name] = reference
+        self.catalog.register_reference(reference)
 
     @property
     def videos(self) -> list[str]:
-        return sorted(self._videos)
+        return self.catalog.videos
 
     @property
     def detectors(self) -> list[str]:
-        return sorted(self._detectors)
+        return self.catalog.detectors
 
     @property
     def references(self) -> list[str]:
-        return sorted(self._references)
+        return self.catalog.references
 
-    # ---- execution ------------------------------------------------------
+    # ---- planning -------------------------------------------------------
 
     def plan(self, text: str) -> QueryPlan:
-        """Parse and plan a query without executing it."""
+        """Parse and bind a query without executing it."""
         query = parse_query(text)
         for column in query.process.produce:
-            if column.lower() not in _PRODUCIBLE:
+            if column.lower() not in PRODUCIBLE_COLUMNS:
                 raise PlanError(
                     f"cannot produce column {column!r}; "
-                    f"producible: {list(_PRODUCIBLE)}"
+                    f"producible: {list(PRODUCIBLE_COLUMNS)}"
                 )
         return build_plan(
             query,
@@ -167,87 +152,115 @@ class QueryEngine:
             known_references=self.references,
         )
 
-    def execute(self, text: str) -> QueryResult:
-        """Run a query end to end.
+    def _lower(self, plan: QueryPlan) -> LogicalPlan:
+        fusion_name = (
+            getattr(self.fusion, "name", None) or type(self.fusion).__name__
+        )
+        return build_logical_plan(
+            plan,
+            total_frames=len(self.catalog.video(plan.query.process.video)),
+            default_reference=self.catalog.default_reference(),
+            fusion_name=str(fusion_name),
+        )
 
-        Raises:
-            ParseError: On syntax errors.
-            PlanError: On unknown names / bad parameters.
+    def logical_plan(self, text: str) -> LogicalPlan:
+        """Parse, bind and lower a query to its rewritten logical plan."""
+        return self._lower(self.plan(text))
+
+    def physical_plan(
+        self, logical: LogicalPlan, plan: QueryPlan | None = None
+    ) -> PhysicalPlan:
+        """Bind a logical plan to executors (building the environment).
+
+        ``plan`` supplies the configured algorithm instance; omitted, a
+        fresh one is bound from the logical plan's query.
         """
-        plan = self.plan(text)
-        process = plan.query.process
-        frames = self._videos[process.video]
-        detectors = [self._detectors[m] for m in process.models]
-        if process.reference is not None:
-            reference = self._references[process.reference]
-        else:
-            if not self._references:
-                raise PlanError(
-                    "query has no reference model and none is registered"
-                )
-            # Deterministic default: the first registered reference.
-            reference = self._references[self.references[0]]
-
+        if plan is None:
+            query = logical.query
+            plan = build_plan(
+                query,
+                known_videos=self.videos,
+                known_detectors=self.detectors,
+                known_references=self.references,
+            )
+        process = logical.query.process
+        reference = (
+            self.catalog.reference(logical.score.reference)
+            if logical.score.enabled and logical.score.reference is not None
+            else None
+        )
         env = DetectionEnvironment(
-            detectors=detectors,
+            detectors=[self.catalog.detector(m) for m in process.models],
             reference=reference,
             scoring=self.scoring,
             fusion=self.fusion,
             cache=self.store,
             backend=self.backend,
+            score_estimates=logical.score.enabled,
             obs=self.obs,
         )
-
-        # A pipeline observer captures the selected ensemble's fused
-        # detections as each frame is processed — no second frame loop.
-        detections_by_index: dict[int, FrameDetections] = {}
-
-        def capture_detections(frame, batch, record) -> None:
-            evaluation = batch.evaluations[record.selected]
-            detections_by_index[record.frame_index] = evaluation.detections
-
-        selection = plan.algorithm.run(
-            env,
-            frames,
-            budget_ms=plan.budget_ms,
-            observers=[capture_detections],
+        return PhysicalPlan(
+            logical=logical,
+            scan=FrameScanExec(
+                video=process.video,
+                frames=self.catalog.video(process.video),
+                limit=logical.scan.limit,
+            ),
+            detect=DetectExec(
+                algorithm=plan.algorithm,
+                env=env,
+                budget_ms=logical.detect.budget_ms,
+            ),
+            filter=FilterExec(predicate=logical.filter.predicate),
+            temporal=TemporalFilterExec(
+                min_duration=logical.filter.min_duration
+            ),
+            project=ProjectExec(columns=logical.project.columns),
         )
 
-        rows: list[Row] = []
-        for record in selection.records:
-            detections = detections_by_index[record.frame_index]
-            row = Row(
-                frame_id=record.frame_index,
-                detections=detections,
-                score=record.est_score,
-                ensemble=record.selected,
+    def explain(self, text: str) -> str:
+        """The EXPLAIN rendering: logical plan, rewrites, physical plan.
+
+        Works on queries with or without the ``EXPLAIN`` prefix.
+        """
+        plan = self.plan(text)
+        logical = self._lower(plan)
+        physical = self.physical_plan(logical, plan=plan)
+        lines = ["logical plan:"]
+        lines.extend(f"  {line}" for line in logical.describe_lines())
+        lines.append("rewrites:")
+        if logical.rewrites:
+            lines.extend(f"  - {rewrite}" for rewrite in logical.rewrites)
+        else:
+            lines.append("  (none)")
+        lines.append("physical plan:")
+        lines.extend(f"  {line}" for line in physical.describe_lines())
+        return "\n".join(lines)
+
+    # ---- execution ------------------------------------------------------
+
+    def execute(self, text: str) -> QueryResult:
+        """Run a query end to end.
+
+        Raises:
+            ParseError: On syntax errors.
+            PlanError: On unknown names / bad parameters, or when the
+                query carries an ``EXPLAIN`` prefix (use :meth:`explain`
+                to describe the plan instead).
+        """
+        plan = self.plan(text)
+        if plan.query.explain:
+            raise PlanError(
+                "EXPLAIN queries describe the plan instead of running; "
+                "use QueryEngine.explain()"
             )
-            if plan.query.where is None or evaluate_expr(
-                plan.query.where,
-                detections,
-                {"frameid": float(row.frame_id), "score": row.score},
-            ):
-                rows.append(row)
-        if plan.query.min_duration > 1:
-            rows = _apply_min_duration(rows, plan.query.min_duration)
-        return QueryResult(rows=rows, selection=selection, query=plan.query)
+        logical = self._lower(plan)
+        physical = self.physical_plan(logical, plan=plan)
+        with self.obs.span("query", video=plan.query.process.video):
+            return physical.execute()
 
 
 def _apply_min_duration(rows: list[Row], min_duration: int) -> list[Row]:
-    """Keep only rows in consecutive-frame runs of at least ``min_duration``.
-
-    Implements the temporal qualifier ``FOR AT LEAST n FRAMES``: an event
-    counts only if the predicate held on ``n`` or more consecutive frames.
-    """
-    kept: list[Row] = []
-    run: list[Row] = []
-    for row in rows:
-        if run and row.frame_id == run[-1].frame_id + 1:
-            run.append(row)
-        else:
-            if len(run) >= min_duration:
-                kept.extend(run)
-            run = [row]
-    if len(run) >= min_duration:
-        kept.extend(run)
-    return kept
+    """Back-compat shim: the temporal qualifier now lives in
+    :class:`~repro.query.physical.TemporalFilterExec`."""
+    return TemporalFilterExec(min_duration=min_duration).execute(rows)

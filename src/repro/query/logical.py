@@ -1,0 +1,347 @@
+"""Logical query plans: the operator tree and its rewrite rules.
+
+A parsed-and-bound query lowers to a fixed operator chain::
+
+    Scan -> Detect -> Fuse -> Score -> Filter -> Project
+
+mirroring the classical relational stack: *Scan* reads the registered
+video (optionally only a prefix), *Detect* runs the bound selection
+algorithm over the detector pool, *Fuse* names the box-fusion method,
+*Score* names the reference model that estimates per-frame AP, *Filter*
+applies the ``WHERE`` predicate and temporal qualifier, and *Project*
+fixes the output columns.
+
+Two rewrite rules run during lowering, each recorded on the plan for
+``EXPLAIN``:
+
+* **Predicate pushdown** — top-level ``frameID < k`` / ``frameID <= k``
+  conjuncts bound the scan, so the selection algorithm never processes
+  frames the filter is guaranteed to reject.  Only *prefix* bounds are
+  pushed, and only for streaming (causal) algorithms: selection state
+  evolves frame by frame, so skipping interior frames — or truncating
+  the video an algorithm pre-scans (SGL) — would change its choices and
+  break bit-identical equivalence with the unrewritten plan.
+* **Projection pruning** — when no produced column or predicate ever
+  reads ``score``, the algorithm never consults estimated scores
+  (``needs_reference`` is False), and the query names no explicit REF,
+  the Score operator is elided: the environment runs with
+  ``score_estimates=False`` and the reference model is never inferred
+  (or even required to be registered).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.query.ast import (
+    Comparison,
+    CountExpr,
+    ExistsExpr,
+    Expr,
+    FieldRef,
+    LogicalExpr,
+    Query,
+)
+from repro.query.planner import PlanError, QueryPlan
+
+__all__ = [
+    "ScanNode",
+    "DetectNode",
+    "FuseNode",
+    "ScoreNode",
+    "FilterNode",
+    "ProjectNode",
+    "LogicalPlan",
+    "build_logical_plan",
+    "format_expr",
+    "expr_references_field",
+    "frame_prefix_bound",
+]
+
+
+# ---- expression helpers -------------------------------------------------
+
+
+def format_expr(expr: Expr) -> str:
+    """Render a WHERE expression back to query-language syntax."""
+    if isinstance(expr, LogicalExpr):
+        if expr.op == "not":
+            return f"NOT {format_expr(expr.operands[0])}"
+        joiner = f" {expr.op.upper()} "
+        return "(" + joiner.join(format_expr(o) for o in expr.operands) + ")"
+    if isinstance(expr, ExistsExpr):
+        return f"EXISTS({_format_aggregate_args(expr.label, expr.min_confidence)})"
+    if isinstance(expr, Comparison):
+        if isinstance(expr.left, CountExpr):
+            left = (
+                "COUNT("
+                + _format_aggregate_args(
+                    expr.left.label, expr.left.min_confidence
+                )
+                + ")"
+            )
+        else:
+            left = expr.left.name
+        return f"{left} {expr.op} {expr.value:g}"
+    raise TypeError(f"unsupported expression node {type(expr).__name__}")
+
+
+def _format_aggregate_args(label: str | None, min_confidence: float) -> str:
+    rendered = "*" if label is None else f"'{label}'"
+    if min_confidence > 0.0:
+        rendered += f", {min_confidence:g}"
+    return rendered
+
+
+def expr_references_field(expr: Expr, name: str) -> bool:
+    """Whether the expression reads row field ``name`` (case-insensitive)."""
+    if isinstance(expr, LogicalExpr):
+        return any(expr_references_field(o, name) for o in expr.operands)
+    if isinstance(expr, Comparison) and isinstance(expr.left, FieldRef):
+        return expr.left.name.lower() == name.lower()
+    return False
+
+
+def _conjuncts(expr: Expr) -> list[Expr]:
+    """Top-level AND conjuncts (the expression itself if not an AND)."""
+    if isinstance(expr, LogicalExpr) and expr.op == "and":
+        flat: list[Expr] = []
+        for operand in expr.operands:
+            flat.extend(_conjuncts(operand))
+        return flat
+    return [expr]
+
+
+def frame_prefix_bound(expr: Expr) -> int | None:
+    """The scan prefix length implied by top-level ``frameID`` upper bounds.
+
+    ``frameID < k`` keeps ids ``0..ceil(k)-1`` (``ceil`` handles
+    fractional bounds) and ``frameID <= k`` keeps ``0..floor(k)``, so the
+    prefix lengths are ``ceil(k)`` and ``floor(k)+1`` respectively; the
+    tightest conjunct wins.  Returns ``None`` when no top-level conjunct
+    is such a bound — lower bounds, disjunctions and negations are never
+    pushed (they do not describe a prefix).
+    """
+    bound: int | None = None
+    for conjunct in _conjuncts(expr):
+        if not (
+            isinstance(conjunct, Comparison)
+            and isinstance(conjunct.left, FieldRef)
+            and conjunct.left.name.lower() == "frameid"
+        ):
+            continue
+        if conjunct.op == "<":
+            limit = math.ceil(conjunct.value)
+        elif conjunct.op == "<=":
+            limit = math.floor(conjunct.value) + 1
+        else:
+            continue
+        limit = max(limit, 0)
+        bound = limit if bound is None else min(bound, limit)
+    return bound
+
+
+# ---- operator nodes -----------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ScanNode:
+    """Read the registered video, optionally only its first ``limit`` frames."""
+
+    video: str
+    total_frames: int
+    limit: int | None = None
+
+    @property
+    def frames_scanned(self) -> int:
+        if self.limit is None:
+            return self.total_frames
+        return min(self.limit, self.total_frames)
+
+    def describe(self) -> str:
+        if self.limit is None:
+            span = f"all {self.total_frames} frames"
+        else:
+            span = f"first {self.frames_scanned} of {self.total_frames} frames"
+        return f"Scan(video={self.video!r}, {span})"
+
+
+@dataclass(frozen=True)
+class DetectNode:
+    """Run the bound selection algorithm over the detector pool."""
+
+    algorithm: str
+    models: tuple[str, ...]
+    budget_ms: float | None
+
+    def describe(self) -> str:
+        budget = "none" if self.budget_ms is None else f"{self.budget_ms:g}ms"
+        return (
+            f"Detect(algorithm={self.algorithm}, "
+            f"models=[{', '.join(self.models)}], budget={budget})"
+        )
+
+
+@dataclass(frozen=True)
+class FuseNode:
+    """Fuse each selected ensemble's member boxes."""
+
+    method: str
+
+    def describe(self) -> str:
+        return f"Fuse(method={self.method})"
+
+
+@dataclass(frozen=True)
+class ScoreNode:
+    """Estimate per-frame AP against the reference model.
+
+    ``enabled=False`` (with ``reference=None``) marks the operator as
+    elided by projection pruning: the environment runs with
+    ``score_estimates=False``.
+    """
+
+    reference: str | None
+    enabled: bool = True
+
+    def __post_init__(self) -> None:
+        if self.enabled and self.reference is None:
+            raise ValueError("an enabled Score node needs a reference model")
+
+    def describe(self) -> str:
+        if not self.enabled:
+            return "Score(skipped: projection pruning)"
+        return f"Score(reference={self.reference})"
+
+
+@dataclass(frozen=True)
+class FilterNode:
+    """Apply the WHERE predicate and the temporal qualifier."""
+
+    predicate: Expr | None
+    min_duration: int = 1
+
+    def describe(self) -> str:
+        rendered = (
+            "true" if self.predicate is None else format_expr(self.predicate)
+        )
+        return (
+            f"Filter(predicate={rendered}, min_duration={self.min_duration})"
+        )
+
+
+@dataclass(frozen=True)
+class ProjectNode:
+    """Fix the output columns."""
+
+    columns: tuple[str, ...]
+
+    def describe(self) -> str:
+        return f"Project(columns=[{', '.join(self.columns)}])"
+
+
+@dataclass(frozen=True)
+class LogicalPlan:
+    """The lowered operator chain plus the rewrites that shaped it."""
+
+    query: Query
+    scan: ScanNode
+    detect: DetectNode
+    fuse: FuseNode
+    score: ScoreNode
+    filter: FilterNode
+    project: ProjectNode
+    rewrites: tuple[str, ...] = ()
+
+    def describe_lines(self) -> list[str]:
+        return [
+            self.scan.describe(),
+            self.detect.describe(),
+            self.fuse.describe(),
+            self.score.describe(),
+            self.filter.describe(),
+            self.project.describe(),
+        ]
+
+
+# ---- lowering -----------------------------------------------------------
+
+
+def build_logical_plan(
+    plan: QueryPlan,
+    total_frames: int,
+    default_reference: str | None,
+    fusion_name: str,
+) -> LogicalPlan:
+    """Lower a bound :class:`~repro.query.planner.QueryPlan`.
+
+    Applies predicate pushdown and projection pruning (see the module
+    docstring for when each is sound) and resolves the reference model —
+    the explicit ``; REF`` name, else ``default_reference``.
+
+    Raises:
+        PlanError: When scoring is required but no reference model is
+            named or registered.
+    """
+    query = plan.query
+    process = query.process
+    rewrites: list[str] = []
+
+    limit: int | None = None
+    if query.where is not None and plan.algorithm.supports_streaming:
+        limit = frame_prefix_bound(query.where)
+        if limit is not None and limit < total_frames:
+            rewrites.append(
+                f"predicate pushdown: frameID bound limits the scan to the "
+                f"first {min(limit, total_frames)} of {total_frames} frames"
+            )
+        elif limit is not None:
+            limit = None  # the bound is vacuous; keep the plan unannotated
+
+    produced = {column.lower() for column in process.produce}
+    score_read = "score" in produced or (
+        query.where is not None
+        and expr_references_field(query.where, "score")
+    )
+    if (
+        not score_read
+        and not plan.algorithm.needs_reference
+        and process.reference is None
+    ):
+        score = ScoreNode(reference=None, enabled=False)
+        rewrites.append(
+            "projection pruning: no column or predicate reads score and "
+            f"{plan.algorithm.name} ignores estimates; reference scoring "
+            "elided"
+        )
+    else:
+        reference = (
+            process.reference
+            if process.reference is not None
+            else default_reference
+        )
+        if reference is None:
+            raise PlanError(
+                "query has no reference model and none is registered"
+            )
+        score = ScoreNode(reference=reference)
+
+    return LogicalPlan(
+        query=query,
+        scan=ScanNode(
+            video=process.video, total_frames=total_frames, limit=limit
+        ),
+        detect=DetectNode(
+            algorithm=plan.algorithm.name,
+            models=process.models,
+            budget_ms=plan.budget_ms,
+        ),
+        fuse=FuseNode(method=fusion_name),
+        score=score,
+        filter=FilterNode(
+            predicate=query.where, min_duration=query.min_duration
+        ),
+        project=ProjectNode(columns=query.select),
+        rewrites=tuple(rewrites),
+    )

@@ -2,7 +2,7 @@
 
 Grammar (keywords case-insensitive; identifiers may contain ``-``)::
 
-    query      := SELECT ident (',' ident)*
+    query      := [EXPLAIN] SELECT ident (',' ident)*
                   FROM '(' process ')'
                   [WHERE expr]
     process    := PROCESS ident PRODUCE ident (',' ident)*
@@ -35,11 +35,54 @@ from repro.query.ast import (
     Query,
 )
 
-__all__ = ["ParseError", "parse_query", "tokenize", "Token"]
+__all__ = [
+    "ParseError",
+    "parse_query",
+    "tokenize",
+    "Token",
+    "format_parse_error",
+]
 
 
 class ParseError(ValueError):
-    """Raised on any lexical or syntactic error, with position context."""
+    """Raised on any lexical or syntactic error, with position context.
+
+    Attributes:
+        message: The bare diagnostic (no position suffix).
+        position: 0-based character offset of the offending token in the
+            query text, or ``None`` when unknown.
+    """
+
+    def __init__(self, message: str, position: int | None = None) -> None:
+        suffix = f" (at position {position})" if position is not None else ""
+        super().__init__(f"{message}{suffix}")
+        self.message = message
+        self.position = position
+
+
+def format_parse_error(error: ParseError, text: str) -> str:
+    """Render a parse error with a caret under the offending character.
+
+    Produces the multi-line diagnostic the CLI prints::
+
+        error: expected FROM
+          SELECT frameID FORM (...)
+                         ^
+    """
+    lines = [f"error: {error.message}"]
+    position = error.position
+    if position is None:
+        return lines[0]
+    position = min(max(position, 0), len(text))
+    line_start = text.rfind("\n", 0, position) + 1
+    line_end = text.find("\n", position)
+    if line_end == -1:
+        line_end = len(text)
+    line = text[line_start:line_end]
+    column = position - line_start
+    lines.append(f"  {line}")
+    lines.append("  " + " " * column + "^")
+    return "\n".join(lines)
 
 
 @dataclass(frozen=True)
@@ -52,6 +95,7 @@ class Token:
 
 
 _KEYWORDS = {
+    "explain",
     "select",
     "from",
     "where",
@@ -95,7 +139,7 @@ def tokenize(text: str) -> list[Token]:
         match = _TOKEN_RE.match(text, position)
         if match is None:
             raise ParseError(
-                f"unexpected character {text[position]!r} at position {position}"
+                f"unexpected character {text[position]!r}", position=position
             )
         if match.lastgroup == "ws":
             position = match.end()
@@ -135,9 +179,8 @@ class _Parser:
 
     def _error(self, message: str) -> ParseError:
         token = self._current
-        return ParseError(
-            f"{message} (at position {token.position}, near {token.value!r})"
-        )
+        near = f", near {token.value!r}" if token.kind != "EOF" else " at end of input"
+        return ParseError(f"{message}{near}", position=token.position)
 
     def _expect_keyword(self, word: str) -> Token:
         token = self._current
@@ -186,6 +229,7 @@ class _Parser:
     # ---- grammar productions -------------------------------------------
 
     def parse(self) -> Query:
+        explain = self._match_keyword("explain")
         self._expect_keyword("select")
         select = tuple(self._ident_list())
         self._expect_keyword("from")
@@ -209,6 +253,7 @@ class _Parser:
             process=process,
             where=where,
             min_duration=min_duration,
+            explain=explain,
         )
 
     def _process(self) -> ProcessClause:

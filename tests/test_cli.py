@@ -345,3 +345,84 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "frame ids: [0, 1, 2, 3, 4]" in out
+
+
+class TestQueryCliEndToEnd:
+    QUERY = (
+        "SELECT frameID FROM (PROCESS video PRODUCE frameID, Detections "
+        "USING BF(yolov7-tiny-clear, yolov7-tiny-night)) WHERE frameID < 8"
+    )
+    SMALL = ["--dataset", "nusc-clear", "--frames", "20", "--m", "2",
+             "--scale", "0.02"]
+
+    def _run(self, capsys, *extra):
+        code = main(["query", *self.SMALL, *extra, self.QUERY])
+        captured = capsys.readouterr()
+        return code, captured.out, captured.err
+
+    def test_serial_and_thread_backends_agree(self, capsys):
+        code_serial, out_serial, _ = self._run(capsys, "--backend", "serial")
+        code_thread, out_thread, _ = self._run(
+            capsys, "--backend", "thread", "--workers", "2"
+        )
+        assert code_serial == code_thread == 0
+        serial_ids = next(
+            line for line in out_serial.splitlines()
+            if line.startswith("frame ids:")
+        )
+        thread_ids = next(
+            line for line in out_thread.splitlines()
+            if line.startswith("frame ids:")
+        )
+        assert serial_ids == thread_ids
+        assert serial_ids == f"frame ids: {list(range(8))}"
+
+    def test_explain_flag_prints_plans_without_running(self, capsys):
+        code, out, _ = self._run(capsys, "--explain")
+        assert code == 0
+        assert "logical plan:" in out
+        assert "physical plan:" in out
+        assert "predicate pushdown" in out
+        assert "projection pruning" in out
+        assert "frame ids:" not in out  # nothing executed
+
+    def test_explain_prefix_equivalent_to_flag(self, capsys):
+        code = main(["query", *self.SMALL, f"EXPLAIN {self.QUERY}"])
+        prefixed = capsys.readouterr().out
+        _, flagged, _ = self._run(capsys, "--explain")
+        assert code == 0
+        assert prefixed == flagged
+
+    def test_parse_error_prints_caret_and_exits_2(self, capsys):
+        text = "SELECT frameID FORM (PROCESS v PRODUCE frameID USING BF(m))"
+        code = main(["query", *self.SMALL, text])
+        captured = capsys.readouterr()
+        assert code == 2
+        lines = captured.err.splitlines()
+        assert lines[0].startswith("error: ")
+        assert lines[1] == f"  {text}"
+        assert lines[2].index("^") - 2 == text.index("FORM")
+
+    def test_materialize_dir_warm_run_reuses_everything(self, capsys, tmp_path):
+        mat = ["--materialize-dir", str(tmp_path / "mat")]
+        code_cold, out_cold, _ = self._run(capsys, *mat)
+        code_warm, out_warm, _ = self._run(capsys, *mat)
+        assert code_cold == code_warm == 0
+        cold_stats = next(
+            line for line in out_cold.splitlines()
+            if line.startswith("materialized store:")
+        )
+        warm_stats = next(
+            line for line in out_warm.splitlines()
+            if line.startswith("materialized store:")
+        )
+        assert "hit rate 0.00" in cold_stats
+        assert "0 new" in warm_stats  # every value came from the store
+        assert "hit rate 1.00" in warm_stats
+        # Bit-identical result rows, cold or warm.
+        frame_lines = [
+            next(line for line in out.splitlines()
+                 if line.startswith("frame ids:"))
+            for out in (out_cold, out_warm)
+        ]
+        assert frame_lines[0] == frame_lines[1]

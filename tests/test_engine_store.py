@@ -178,6 +178,107 @@ class TestStats:
         assert not stats.stages
 
 
+class _DictTier:
+    """Minimal in-memory PersistentTier for store-side tests."""
+
+    def __init__(self, stages=("detector",)):
+        self.stages = set(stages)
+        self.data = {}
+        self.loads = 0
+        self.stores = 0
+
+    def accepts(self, stage):
+        return stage in self.stages
+
+    def load(self, stage, key):
+        self.loads += 1
+        return self.data.get((stage, key))
+
+    def store(self, stage, key, value):
+        self.stores += 1
+        self.data[(stage, key)] = value
+
+
+class TestPersistentTier:
+    def test_put_writes_through(self):
+        tier = _DictTier()
+        store = EvaluationStore(capacity=8, tier=tier)
+        store.put("detector", "k", "v")
+        assert tier.data == {("detector", "k"): "v"}
+
+    def test_unaccepted_stage_not_written(self):
+        tier = _DictTier(stages=("detector",))
+        store = EvaluationStore(capacity=8, tier=tier)
+        store.put("est_ap", "k", 0.5)
+        assert not tier.data
+
+    def test_miss_promotes_from_tier_and_counts_hit(self):
+        tier = _DictTier()
+        tier.data[("detector", "k")] = "persisted"
+        store = EvaluationStore(capacity=8, tier=tier)
+        assert store.get("detector", "k") == "persisted"
+        stats = store.stats()
+        assert stats.hits == 1
+        assert stats.misses == 0
+        assert stats.tier_hits == 1
+        # Promoted into memory: the next get never consults the tier.
+        loads_before = tier.loads
+        assert store.get("detector", "k") == "persisted"
+        assert tier.loads == loads_before
+
+    def test_contains_promotes_without_counting_lookup(self):
+        tier = _DictTier()
+        tier.data[("detector", "k")] = "persisted"
+        store = EvaluationStore(capacity=8, tier=tier)
+        assert store.contains("detector", "k")
+        stats = store.stats()
+        assert stats.lookups == 0
+        assert stats.tier_hits == 1
+
+    def test_tier_miss_falls_through(self):
+        tier = _DictTier()
+        store = EvaluationStore(capacity=8, tier=tier)
+        assert store.get("detector", "absent") is None
+        stats = store.stats()
+        assert stats.misses == 1
+        assert stats.tier_hits == 0
+
+    def test_attach_tier_mid_run(self):
+        store = EvaluationStore(capacity=8)
+        store.put("detector", "cold", "v0")  # no tier yet: memory only
+        tier = _DictTier()
+        store.attach_tier(tier)
+        store.put("detector", "warm", "v1")
+        assert ("detector", "warm") in tier.data
+        assert ("detector", "cold") not in tier.data
+        store.attach_tier(None)
+        store.put("detector", "later", "v2")
+        assert ("detector", "later") not in tier.data
+
+    def test_get_or_compute_skips_compute_on_tier_hit(self):
+        tier = _DictTier()
+        tier.data[("detector", "k")] = "persisted"
+        store = EvaluationStore(capacity=8, tier=tier)
+        computed = []
+        value = store.get_or_compute(
+            "detector", "k", lambda: computed.append(1) or "fresh"
+        )
+        assert value == "persisted"
+        assert not computed
+
+    def test_clear_resets_tier_hits(self):
+        tier = _DictTier()
+        tier.data[("detector", "k")] = "v"
+        store = EvaluationStore(capacity=8, tier=tier)
+        store.get("detector", "k")
+        store.clear()
+        assert store.stats().tier_hits == 0
+
+    def test_stats_as_dict_includes_tier_hits(self):
+        store = EvaluationStore(capacity=8)
+        assert store.stats().as_dict()["tier_hits"] == 0
+
+
 class TestThreadSafety:
     def test_concurrent_get_or_compute(self):
         store = EvaluationStore(capacity=64)

@@ -1,0 +1,86 @@
+"""Tests for the query catalog."""
+
+import pytest
+
+from repro.query.catalog import Catalog, CatalogError, DetectorProfile
+
+
+class _Model:
+    def __init__(self, name, expected_time_ms=7.5):
+        self.name = name
+        self.expected_time_ms = expected_time_ms
+
+    def detect(self, frame):  # pragma: no cover - never invoked here
+        raise NotImplementedError
+
+
+class TestRegistration:
+    def test_video_registration(self, small_video):
+        catalog = Catalog()
+        catalog.register_video("v", small_video)
+        assert catalog.videos == ["v"]
+        assert len(catalog.video("v")) == len(small_video)
+
+    def test_raw_frame_sequence_accepted(self, small_video):
+        catalog = Catalog()
+        catalog.register_video("v", list(small_video.frames[:3]))
+        assert len(catalog.video("v")) == 3
+
+    def test_empty_video_rejected(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError):
+            catalog.register_video("v", [])
+        with pytest.raises(ValueError):
+            catalog.register_video("", [object()])
+
+    def test_detector_requires_name_and_detect(self):
+        catalog = Catalog()
+        with pytest.raises(ValueError, match="name"):
+            catalog.register_detector(object())
+
+        class Named:
+            name = "n"
+
+        with pytest.raises(ValueError, match="detect"):
+            catalog.register_detector(Named())
+
+    def test_profiles_recorded(self):
+        catalog = Catalog()
+        catalog.register_detector(_Model("det-a", 12.0))
+        catalog.register_reference(_Model("ref-a", 40.0))
+        assert catalog.profile("det-a") == DetectorProfile(
+            "det-a", 12.0, "detector"
+        )
+        assert catalog.profile("ref-a").kind == "reference"
+
+
+class TestLookups:
+    def test_unknown_names_raise_catalog_error(self):
+        catalog = Catalog()
+        with pytest.raises(CatalogError, match="unknown video"):
+            catalog.video("ghost")
+        with pytest.raises(CatalogError, match="unknown detector"):
+            catalog.detector("ghost")
+        with pytest.raises(CatalogError, match="unknown reference"):
+            catalog.reference("ghost")
+        with pytest.raises(CatalogError, match="unknown model"):
+            catalog.profile("ghost")
+
+    def test_catalog_error_is_key_error(self):
+        with pytest.raises(KeyError):
+            Catalog().detector("ghost")
+
+    def test_default_reference_is_first_sorted(self):
+        catalog = Catalog()
+        assert catalog.default_reference() is None
+        catalog.register_reference(_Model("zeta-ref"))
+        catalog.register_reference(_Model("alpha-ref"))
+        assert catalog.default_reference() == "alpha-ref"
+
+    def test_expected_union_cost(self):
+        catalog = Catalog()
+        catalog.register_detector(_Model("a", 10.0))
+        catalog.register_detector(_Model("b", 2.5))
+        assert catalog.expected_union_cost_ms(["a", "b"]) == 12.5
+        with pytest.raises(CatalogError):
+            catalog.expected_union_cost_ms(["a", "ghost"])

@@ -1,0 +1,167 @@
+"""Tests for the persistent materialized detection store."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+from tests.conftest import make_detection
+
+from repro.detection.types import FrameDetections
+from repro.query.matstore import (
+    FORMAT_VERSION,
+    MATERIALIZED_STAGES,
+    MaterializationError,
+    MaterializedDetectionStore,
+)
+from repro.simulation.detectors import DetectorOutput
+
+
+def _sample_output() -> DetectorOutput:
+    detections = FrameDetections(
+        frame_index=3,
+        detections=(
+            make_detection(label="car", conf=0.875, x1=10.5, y1=20.25),
+            make_detection(label="bus", conf=0.5, x1=0.0, y1=1.0, source="a"),
+        ),
+        source="det-a",
+    )
+    return DetectorOutput(detections=detections, inference_time_ms=12.125)
+
+
+class TestRoundTrip:
+    def test_detector_output_roundtrip_across_instances(self, tmp_path):
+        original = _sample_output()
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("detector", ("vid#3", "det-a"), original)
+        reopened = MaterializedDetectionStore(tmp_path)
+        value = reopened.load("detector", ("vid#3", "det-a"))
+        assert value == original  # bit-for-bit: dataclass equality on floats
+
+    def test_every_stage_roundtrips(self, tmp_path):
+        output = _sample_output()
+        keys = {
+            "detector": ("vid#0", "det-a"),
+            "reference": ("vid#0", "lidar-ref"),
+            "fused": ("vid#0", ("det-a", "det-b"), "wbf()"),
+            "est_ap": ("vid#0", ("det-a",), "wbf()|iou=0.5|ref=lidar-ref"),
+            "true_ap": ("vid#0", ("det-a",), "wbf()|iou=0.5"),
+        }
+        values = {
+            "detector": output,
+            "reference": output,
+            "fused": output.detections,
+            "est_ap": 0.6251278459354782,
+            "true_ap": 0.1,
+        }
+        with MaterializedDetectionStore(tmp_path) as store:
+            for stage in MATERIALIZED_STAGES:
+                store.store(stage, keys[stage], values[stage])
+        reopened = MaterializedDetectionStore(tmp_path)
+        for stage in MATERIALIZED_STAGES:
+            assert reopened.load(stage, keys[stage]) == values[stage]
+
+    def test_tuple_keys_survive_json(self, tmp_path):
+        """Ensemble keys (nested tuples) must decode back hash-equal."""
+        key = ("vid#7", ("a", "b", "c"), "wbf(conf=0.1)")
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("est_ap", key, 0.25)
+        reopened = MaterializedDetectionStore(tmp_path)
+        assert reopened.load("est_ap", key) == 0.25
+
+    def test_duplicate_store_is_idempotent(self, tmp_path):
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+            store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+            assert store.stats().stores == 1
+        segment = next(tmp_path.glob("segment-*.jsonl"))
+        assert len(segment.read_text().splitlines()) == 1
+
+    def test_unknown_stage_rejected(self, tmp_path):
+        store = MaterializedDetectionStore(tmp_path)
+        assert not store.accepts("bogus")
+        with pytest.raises(ValueError):
+            store.store("bogus", "k", 1.0)
+
+
+class TestIntegrity:
+    def test_corrupt_record_skipped_and_counted(self, tmp_path):
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+            store.store("true_ap", ("v#1", ("a",), "t"), 0.7)
+        segment = next(tmp_path.glob("segment-*.jsonl"))
+        lines = segment.read_text().splitlines()
+        # Flip the stored value without updating the checksum.
+        tampered = json.loads(lines[0])
+        tampered["value"] = 0.9999
+        segment.write_text(json.dumps(tampered) + "\n" + lines[1] + "\n")
+        reopened = MaterializedDetectionStore(tmp_path)
+        assert reopened.load("true_ap", ("v#0", ("a",), "t")) is None
+        assert reopened.load("true_ap", ("v#1", ("a",), "t")) == 0.7
+        assert reopened.stats().corrupt_records == 1
+
+    def test_torn_write_skipped(self, tmp_path):
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+        segment = next(tmp_path.glob("segment-*.jsonl"))
+        intact = segment.read_text()
+        segment.write_text(intact + '{"stage": "true_ap", "ke')
+        reopened = MaterializedDetectionStore(tmp_path)
+        assert reopened.load("true_ap", ("v#0", ("a",), "t")) == 0.5
+        assert reopened.stats().corrupt_records == 1
+
+    def test_blank_lines_ignored(self, tmp_path):
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+        segment = next(tmp_path.glob("segment-*.jsonl"))
+        segment.write_text(segment.read_text() + "\n\n")
+        reopened = MaterializedDetectionStore(tmp_path)
+        assert reopened.stats().corrupt_records == 0
+        assert len(reopened) == 1
+
+
+class TestVersioning:
+    def test_manifest_written_on_create(self, tmp_path):
+        MaterializedDetectionStore(tmp_path)
+        manifest = json.loads((tmp_path / "MANIFEST.json").read_text())
+        assert manifest["format_version"] == FORMAT_VERSION
+
+    def test_future_version_refused(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text(
+            json.dumps({"format_version": FORMAT_VERSION + 1})
+        )
+        with pytest.raises(MaterializationError, match="format_version"):
+            MaterializedDetectionStore(tmp_path)
+
+    def test_garbage_manifest_refused(self, tmp_path):
+        (tmp_path / "MANIFEST.json").write_text("not json at all")
+        with pytest.raises(MaterializationError):
+            MaterializedDetectionStore(tmp_path)
+
+    def test_each_session_gets_its_own_segment(self, tmp_path):
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.store("true_ap", ("v#1", ("a",), "t"), 0.6)
+        assert len(sorted(tmp_path.glob("segment-*.jsonl"))) == 2
+        reopened = MaterializedDetectionStore(tmp_path)
+        assert len(reopened) == 2
+
+    def test_read_only_session_creates_no_segment(self, tmp_path):
+        with MaterializedDetectionStore(tmp_path) as store:
+            store.load("true_ap", ("absent",))
+        assert not list(tmp_path.glob("segment-*.jsonl"))
+
+
+class TestStats:
+    def test_hit_miss_counters(self, tmp_path):
+        store = MaterializedDetectionStore(tmp_path)
+        store.store("true_ap", ("v#0", ("a",), "t"), 0.5)
+        assert store.load("true_ap", ("v#0", ("a",), "t")) == 0.5
+        assert store.load("true_ap", ("absent",)) is None
+        stats = store.stats()
+        assert stats.hits == 1
+        assert stats.misses == 1
+        assert stats.stores == 1
+        assert stats.hit_rate == pytest.approx(0.5)
+        assert json.loads(json.dumps(stats.as_dict()))["records"] == 1

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.query.ast import Comparison, CountExpr, ExistsExpr, FieldRef, LogicalExpr
-from repro.query.parser import ParseError, parse_query, tokenize
+from repro.query.parser import (
+    ParseError,
+    format_parse_error,
+    parse_query,
+    tokenize,
+)
 
 
 class TestTokenize:
@@ -150,3 +155,76 @@ class TestParseQuery:
                 "SELECT frameID FROM (PROCESS v PRODUCE frameID USING BF(m1)) "
                 "WHERE COUNT('car', conf < 0.5) > 1"
             )
+
+
+class TestExplainPrefix:
+    def test_explain_flag_set(self):
+        query = parse_query(
+            "EXPLAIN SELECT frameID FROM "
+            "(PROCESS v PRODUCE frameID USING BF(m1))"
+        )
+        assert query.explain is True
+
+    def test_explain_defaults_false(self):
+        query = parse_query(
+            "SELECT frameID FROM (PROCESS v PRODUCE frameID USING BF(m1))"
+        )
+        assert query.explain is False
+
+    def test_explain_case_insensitive(self):
+        query = parse_query(
+            "explain select frameID from (process v produce frameID using bf(m1))"
+        )
+        assert query.explain is True
+
+
+class TestErrorPositions:
+    def test_unexpected_character_position(self):
+        text = "SELECT @"
+        with pytest.raises(ParseError) as info:
+            tokenize(text)
+        assert info.value.position == text.index("@")
+
+    def test_syntax_error_carries_token_position(self):
+        text = "SELECT frameID FORM (PROCESS v PRODUCE frameID USING BF(m1))"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        assert info.value.position == text.index("FORM")
+        assert "(at position" in str(info.value)
+
+    def test_eof_error_position_is_end_of_text(self):
+        text = "SELECT frameID FROM (PROCESS v PRODUCE frameID USING BF(m1)"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        assert info.value.position is not None
+        assert info.value.position >= len(text.rstrip()) - 1
+
+    def test_message_attribute_has_no_position_suffix(self):
+        with pytest.raises(ParseError) as info:
+            parse_query("SELECT frameID FORM (PROCESS v PRODUCE frameID USING BF(m1))")
+        assert "(at position" not in info.value.message
+
+
+class TestFormatParseError:
+    def test_caret_points_at_offending_token(self):
+        text = "SELECT frameID FORM (PROCESS v PRODUCE frameID USING BF(m1))"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        rendered = format_parse_error(info.value, text)
+        lines = rendered.splitlines()
+        assert lines[0].startswith("error: ")
+        assert lines[1] == f"  {text}"
+        assert lines[2].index("^") - 2 == text.index("FORM")
+
+    def test_caret_on_correct_line_of_multiline_query(self):
+        text = "SELECT frameID\nFORM (PROCESS v PRODUCE frameID USING BF(m1))"
+        with pytest.raises(ParseError) as info:
+            parse_query(text)
+        rendered = format_parse_error(info.value, text)
+        lines = rendered.splitlines()
+        assert lines[1] == "  FORM (PROCESS v PRODUCE frameID USING BF(m1))"
+        assert lines[2] == "  ^"
+
+    def test_positionless_error_renders_message_only(self):
+        error = ParseError("boom")
+        assert format_parse_error(error, "whatever") == "error: boom"
