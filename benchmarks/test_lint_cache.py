@@ -1,0 +1,108 @@
+"""Incremental lint cache: cold vs warm wall-clock over a synthetic tree.
+
+A warm run serves every per-file entry and the whole-program entry from
+``--cache-dir``, skipping parsing and analysis entirely; only file reads,
+hashing and key computation remain.  This benchmark generates the same
+synthetic tree the parallelism benchmark uses, then times a cold run
+(empty cache) against a warm one (fully populated cache).
+
+Asserted properties:
+
+* findings are identical cold vs warm (asserted unconditionally) — the
+  cache can change wall-clock time only;
+* the warm run is at least :data:`SPEEDUP_FLOOR` times faster than the
+  cold one (the acceptance criterion's 3x, with headroom in practice —
+  warm runs are typically two orders of magnitude faster).
+
+Set ``REPRO_BENCH_LINT_CACHE_JSON`` to also write the printed JSON
+payload to that path (CI uploads it as a build artifact next to the
+SARIF report).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+
+import pytest
+from benchmarks.common import banner, scaled
+
+from repro.lint import LintCache, lint_paths
+
+#: Minimum cold/warm ratio; the acceptance criterion's 3x.
+SPEEDUP_FLOOR = 3.0
+
+#: Lines of generated code per synthetic module.
+_FUNCS_PER_MODULE = 40
+
+
+def _write_tree(root, num_modules: int) -> None:
+    """The same synthetic package shape as the --jobs benchmark."""
+    package = root / "src" / "repro" / "detection"
+    package.mkdir(parents=True)
+    body = "\n".join(
+        f"def helper_{index}(x):\n"
+        f"    y = x + {index}\n"
+        f"    return [y * k for k in range({index % 7} + 1)]\n"
+        for index in range(_FUNCS_PER_MODULE)
+    )
+    for module in range(num_modules):
+        (package / f"gen_{module:03d}.py").write_text(body, encoding="utf-8")
+
+
+def _time_lint(paths, cache: LintCache):
+    start = time.perf_counter()
+    result = lint_paths(paths, cache=cache)
+    return result, time.perf_counter() - start
+
+
+@pytest.mark.benchmark(group="lint")
+def test_lint_cache(tmp_path):
+    num_modules = scaled(60)
+    _write_tree(tmp_path, num_modules)
+    paths = [str(tmp_path / "src")]
+    cache_dir = tmp_path / "cache"
+
+    cold_cache = LintCache(cache_dir)
+    cold_result, cold_s = _time_lint(paths, cold_cache)
+    warm_cache = LintCache(cache_dir)
+    warm_result, warm_s = _time_lint(paths, warm_cache)
+    speedup = cold_s / warm_s
+
+    payload = {
+        "benchmark": "lint_cache",
+        "modules": num_modules,
+        "cold": {
+            "seconds": round(cold_s, 4),
+            "file_hits": cold_cache.file_hits,
+            "file_misses": cold_cache.file_misses,
+        },
+        "warm": {
+            "seconds": round(warm_s, 4),
+            "file_hits": warm_cache.file_hits,
+            "file_misses": warm_cache.file_misses,
+            "project_hits": warm_cache.project_hits,
+        },
+        "speedup": round(speedup, 2),
+    }
+    print(banner("Lint wall-clock cold vs warm cache"))
+    print(json.dumps(payload, indent=2))
+
+    artifact = os.environ.get("REPRO_BENCH_LINT_CACHE_JSON")
+    if artifact:
+        with open(artifact, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+        print(f"wrote {artifact}")
+
+    # The cache must never change findings, and a warm run must serve
+    # everything from cache.
+    assert warm_result == cold_result
+    assert warm_cache.file_misses == 0
+    assert warm_cache.project_hits == 1
+
+    print(f"warm speedup over cold: {speedup:.2f}x")
+    assert speedup >= SPEEDUP_FLOOR, (
+        f"warm run only {speedup:.2f}x faster than cold, below the "
+        f"{SPEEDUP_FLOOR}x floor (cold {cold_s:.3f}s, warm {warm_s:.3f}s)"
+    )

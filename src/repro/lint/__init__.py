@@ -14,16 +14,18 @@ PR 1's parallel backends and shared :class:`~repro.engine.store.EvaluationStore`
 made those invariants easy to violate silently from a worker thread, so
 this package machine-checks them on every change instead of relying on
 re-audits.  Five per-file AST rules (RPR001–RPR005, see
-:mod:`repro.lint.rules`) check each file in isolation; four
-whole-program rules (RPR006–RPR009, see :mod:`repro.lint.project_rules`)
+:mod:`repro.lint.rules`) check each file in isolation; seven
+whole-program rules (RPR006–RPR012, see :mod:`repro.lint.project_rules`)
 run over a cross-module project model — symbol table, import resolution
 and interprocedural call graph (:mod:`repro.lint.project` /
-:mod:`repro.lint.callgraph`) plus a taint-dataflow core
-(:mod:`repro.lint.dataflow`) — catching seed laundering, races deeper
-than one call hop, leaked handles and layering violations that no
-single-file pass can see.  Everything runs via ``repro lint <paths>``
-(``--jobs N`` fans the per-file phase out across processes without
-changing findings) and as a CI gate; see ``docs/STATIC_ANALYSIS.md``.
+:mod:`repro.lint.callgraph`) plus two dataflow cores
+(:mod:`repro.lint.dataflow`): RNG taint for seed laundering and
+ordering provenance for set/filesystem/completion-order values reaching
+persisted records, store keys and float reductions.  Everything runs
+via ``repro lint <paths>`` (``--jobs N`` fans the per-file phase out
+across processes, ``--cache-dir`` makes warm runs near-instant — see
+:mod:`repro.lint.cache` — neither changes findings) and as a CI gate;
+see ``docs/STATIC_ANALYSIS.md``.
 
 Violations are suppressed line-by-line with a justified comment::
 
@@ -42,8 +44,16 @@ from repro.lint.baseline import (
     violation_fingerprint,
     write_baseline,
 )
+from repro.lint.cache import ANALYZER_VERSION, LintCache
 from repro.lint.callgraph import CallGraph, CallSite
-from repro.lint.dataflow import TaintFinding, TaintOrigin, analyze_rng_taint
+from repro.lint.dataflow import (
+    OrderingFinding,
+    OrderOrigin,
+    TaintFinding,
+    TaintOrigin,
+    analyze_ordering,
+    analyze_rng_taint,
+)
 from repro.lint.engine import (
     LintResult,
     iter_python_files,
@@ -67,19 +77,24 @@ from repro.lint.rules import ALL_RULES, rule_ids
 __all__ = [
     "ALL_PROJECT_RULES",
     "ALL_RULES",
+    "ANALYZER_VERSION",
     "CallGraph",
     "CallSite",
     "DEFAULT_LAYERS",
     "FileContext",
+    "LintCache",
     "LintConfig",
     "LintError",
     "LintResult",
+    "OrderOrigin",
+    "OrderingFinding",
     "Project",
     "ProjectRule",
     "Rule",
     "TaintFinding",
     "TaintOrigin",
     "Violation",
+    "analyze_ordering",
     "analyze_rng_taint",
     "apply_baseline",
     "iter_python_files",

@@ -38,11 +38,17 @@ def violation_fingerprint(violation: Violation) -> str:
 def write_baseline(
     path: str | Path, violations: tuple[Violation, ...] | list[Violation]
 ) -> int:
-    """Snapshot the findings to ``path``; returns the count recorded."""
+    """Snapshot the findings to ``path``; returns the count recorded.
+
+    The fingerprint set is deduplicated and sorted (and the JSON keys
+    are too), so the written file is byte-identical no matter how the
+    findings were produced — serial, ``--jobs N``, cold or cached runs
+    all snapshot the same baseline.
+    """
     fingerprints = sorted({violation_fingerprint(v) for v in violations})
     payload = {"version": _BASELINE_VERSION, "fingerprints": fingerprints}
     Path(path).write_text(
-        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
     )
     return len(fingerprints)
 

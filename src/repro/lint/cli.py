@@ -13,6 +13,7 @@ from pathlib import Path
 
 from repro.lint.base import LintError
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
+from repro.lint.cache import LintCache
 from repro.lint.engine import LintResult, known_rule_ids, lint_paths
 from repro.lint.project_rules import ALL_PROJECT_RULES
 from repro.lint.report import render_json, render_sarif, render_text
@@ -81,6 +82,15 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         ),
     )
     parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help=(
+            "incremental-analysis cache directory (created if missing); "
+            "warm runs serve unchanged files from cache with byte-identical "
+            "findings"
+        ),
+    )
+    parser.add_argument(
         "--list-rules",
         action="store_true",
         help="print every rule's ID and summary, then exit",
@@ -133,11 +143,21 @@ def run_lint(args: argparse.Namespace) -> int:
     if jobs < 1:
         print("error: --jobs must be >= 0", file=sys.stderr)
         return 2
+    cache = LintCache(args.cache_dir) if args.cache_dir else None
     try:
-        result = lint_paths(args.paths, select=select, jobs=jobs)
+        result = lint_paths(args.paths, select=select, jobs=jobs, cache=cache)
     except LintError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if cache is not None:
+        # Stderr, deliberately: stdout (the report) stays byte-identical
+        # between cold and warm runs.
+        total = cache.file_hits + cache.file_misses
+        print(
+            f"cache: {cache.file_hits}/{total} file hits, project "
+            f"{'hit' if cache.project_hits else 'miss'}",
+            file=sys.stderr,
+        )
     if args.write_baseline:
         count = write_baseline(args.write_baseline, result.violations)
         print(
@@ -177,7 +197,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Standalone entry point (``python -m repro.lint``)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="determinism & concurrency static analysis (rules RPR001-RPR009)",
+        description="determinism & concurrency static analysis (rules RPR001-RPR012)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -32,12 +32,27 @@ analysis over the :class:`~repro.lint.project.Project` call graph:
 Each finding carries the full evidencing chain — origin construction
 site, every call hop, and the entry point — so the report can name the
 untainted origin verbatim.
+
+The same fixpoint engine powers a second, independent analysis:
+**ordering provenance** (RPR010/RPR012).  There the tracked property is
+not "came from an ambient RNG" but "iterates in an order the
+reproducibility contract does not pin down" — values born from
+``set``/``frozenset`` construction, ``os.listdir``/``Path.iterdir``/
+unsorted ``glob`` (directory order) or ``as_completed`` (completion
+order).  Provenance flows through the same channels (assignments,
+argument binding, returns, ``self`` fields), is laundered by the single
+sanctioned normalization ``sorted(...)`` (or an in-place ``.sort()``),
+and is reported when it reaches an *ordered sink* — a JSON serialization,
+a store/put call on a store-like receiver, a joined key string, or a
+file write — or drives a float accumulation / snapshot merge whose
+result depends on reduction order.  See :func:`analyze_ordering`.
 """
 
 from __future__ import annotations
 
 import ast
 from collections import deque
+from collections.abc import Callable
 from dataclasses import dataclass
 
 from repro.lint.callgraph import CallGraph, resolve_call_target
@@ -52,9 +67,15 @@ __all__ = [
     "SANCTIONED_RNG",
     "SANCTIONED_SEED",
     "SCOPED_SEGMENTS",
+    "UNORDERED_CALLS",
+    "UNORDERED_METHODS",
+    "OrderOrigin",
+    "OrderTaint",
+    "OrderingFinding",
     "Taint",
     "TaintFinding",
     "TaintOrigin",
+    "analyze_ordering",
     "analyze_rng_taint",
 ]
 
@@ -136,6 +157,31 @@ def analyze_rng_taint(project: Project, graph: CallGraph) -> list[TaintFinding]:
     return _Analysis(project, graph).run()
 
 
+def _run_fixpoint(
+    project: Project,
+    analyze: Callable[[FunctionInfo], list[str]],
+    exempt: frozenset[str] = frozenset(),
+) -> None:
+    """The shared interprocedural worklist driver.
+
+    Seeds every function (sorted, for deterministic summary growth),
+    re-queues the dependents each transfer function reports, and
+    terminates because summaries grow monotonically first-wins.
+    """
+    pending: deque[str] = deque(sorted(project.functions))
+    queued = set(pending)
+    while pending:
+        qname = pending.popleft()
+        queued.discard(qname)
+        fn = project.functions.get(qname)
+        if fn is None or fn.module in exempt:
+            continue
+        for dependent in analyze(fn):
+            if dependent not in queued and dependent in project.functions:
+                queued.add(dependent)
+                pending.append(dependent)
+
+
 class _Analysis:
     def __init__(self, project: Project, graph: CallGraph) -> None:
         self.project = project
@@ -146,19 +192,7 @@ class _Analysis:
         self._findings: dict[tuple[str, str, int], TaintFinding] = {}
 
     def run(self) -> list[TaintFinding]:
-        pending: deque[str] = deque(sorted(self.project.functions))
-        queued = set(pending)
-        while pending:
-            qname = pending.popleft()
-            queued.discard(qname)
-            fn = self.project.functions.get(qname)
-            if fn is None or fn.module in EXEMPT_MODULES:
-                continue
-            touched = self._analyze(fn)
-            for dependent in touched:
-                if dependent not in queued and dependent in self.project.functions:
-                    queued.add(dependent)
-                    pending.append(dependent)
+        _run_fixpoint(self.project, self._analyze, EXEMPT_MODULES)
         return sorted(
             self._findings.values(),
             key=lambda f: (f.path, f.line, f.col, f.entry),
@@ -429,6 +463,655 @@ class _Analysis:
             origin=taint.origin,
             chain=taint.chain,
         )
+
+
+# ---------------------------------------------------------------------------
+# Ordering provenance (RPR010 / RPR012)
+# ---------------------------------------------------------------------------
+
+#: External callables whose iteration order the platform does not pin.
+UNORDERED_CALLS: dict[str, str] = {
+    "os.listdir": "os.listdir() (directory order)",
+    "os.scandir": "os.scandir() (directory order)",
+    "glob.glob": "glob.glob() (directory order)",
+    "glob.iglob": "glob.iglob() (directory order)",
+    "concurrent.futures.as_completed": "as_completed() (completion order)",
+}
+
+#: Method names that produce unordered iterables regardless of receiver
+#: type resolution (``Path.iterdir`` et al. are attribute lookups on
+#: values whose type the analysis usually cannot prove).
+UNORDERED_METHODS: dict[str, str] = {
+    "iterdir": "Path.iterdir() (directory order)",
+    "glob": ".glob() (directory order)",
+    "rglob": ".rglob() (directory order)",
+    "scandir": ".scandir() (directory order)",
+    "as_completed": ".as_completed() (completion order)",
+}
+
+#: Builtins minting hash-ordered collections.
+_SET_CONSTRUCTORS = frozenset({"set", "frozenset"})
+
+#: The sanctioned normalization: wrapping in ``sorted(...)`` pins the
+#: order (an in-place ``.sort()`` is handled at the statement level).
+_ORDER_SANITIZERS = frozenset({"sorted"})
+
+#: Builtins whose *result* is order-insensitive even over an unordered
+#: argument (reductions with commutative exact semantics or re-sorts).
+#: ``sum`` over floats is order-sensitive in principle; it is treated as
+#: clean here because element types are unknowable statically — the
+#: documented RPR012 trade-off.
+_ORDER_INSENSITIVE = frozenset({"len", "min", "max", "any", "all", "sum", "sorted"})
+
+#: Builtins that preserve their argument's iteration order.
+_ORDER_PRESERVING = frozenset(
+    {"list", "tuple", "iter", "reversed", "enumerate", "filter", "map", "zip"}
+)
+
+#: Set methods returning another hash-ordered set (or a copy of one).
+_SET_METHODS = frozenset(
+    {"copy", "union", "intersection", "difference", "symmetric_difference"}
+)
+
+#: Dict-view accessors: unordered only when the *dict itself* has
+#: order-tainted insertion order (dicts are insertion-ordered; building
+#: one deterministically yields deterministic views).
+_DICT_VIEWS = frozenset({"keys", "values", "items"})
+
+#: Ordered-sink method names on store-like receivers.
+_SINK_METHODS = frozenset({"store", "put", "record"})
+
+#: Receiver-name fragments marking persistence/store objects, in the
+#: spirit of RECEIVER_HINTS for backends.
+_SINK_RECEIVER_HINTS = ("store", "writer", "log", "sink", "events")
+
+#: Calls inside a loop over an unordered iterable that persist each
+#: element — the per-iteration flavour of an ordered sink.
+_LOOP_WRITE_METHODS = frozenset({"write", "writelines"}) | _SINK_METHODS
+
+#: Snapshot/merge reductions whose result depends on consumption order.
+_MERGE_METHODS = frozenset({"merge", "merged"})
+
+
+@dataclass(frozen=True)
+class OrderOrigin:
+    """Where an iteration-order-unstable value was born."""
+
+    module: str
+    path: str
+    line: int
+    construct: str
+
+    def describe(self) -> str:
+        return f"{self.construct} at {self.path}:{self.line}"
+
+
+@dataclass(frozen=True)
+class OrderTaint:
+    """An order-unstable value: origin plus the call hops it travelled."""
+
+    origin: OrderOrigin
+    chain: tuple[str, ...]
+
+    def extend(self, hop: str) -> OrderTaint:
+        if len(self.chain) >= _MAX_CHAIN_HOPS:
+            return self
+        return OrderTaint(origin=self.origin, chain=(*self.chain, hop))
+
+
+@dataclass(frozen=True)
+class OrderingFinding:
+    """An unordered value reaching an ordered sink or reduction.
+
+    ``kind`` is ``"sink"`` (RPR010: the value's *content order* is
+    persisted or keyed) or ``"reduction"`` (RPR012: results are
+    *consumed* in unordered sequence by an order-sensitive fold).
+    """
+
+    kind: str
+    entry: str
+    module: str
+    path: str
+    line: int
+    col: int
+    origin: OrderOrigin
+    chain: tuple[str, ...]
+    detail: str
+
+
+def analyze_ordering(project: Project, graph: CallGraph) -> list[OrderingFinding]:
+    """Run the ordering-provenance fixpoint (memoized per project)."""
+    if project.ordering_cache is None:
+        project.ordering_cache = _OrderingAnalysis(project, graph).run()
+    return project.ordering_cache
+
+
+class _OrderingAnalysis:
+    """Interprocedural ordering-provenance pass (shares the RPR006 engine).
+
+    Per-function summaries — which params are order-tainted, whether the
+    return value is, which ``self`` fields are — grow first-wins under
+    :func:`_run_fixpoint`, so provenance survives calls, returns and
+    field round-trips exactly like RNG taint does.
+    """
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self._param_taint: dict[str, dict[str, OrderTaint]] = {}
+        self._returns: dict[str, OrderTaint] = {}
+        self._fields: dict[str, dict[str, OrderTaint]] = {}
+        self._findings: dict[tuple[str, str, int, str], OrderingFinding] = {}
+
+    def run(self) -> list[OrderingFinding]:
+        _run_fixpoint(self.project, self._analyze)
+        return sorted(
+            self._findings.values(),
+            key=lambda f: (f.path, f.line, f.col, f.kind, f.detail),
+        )
+
+    # ---- per-function transfer ------------------------------------------
+
+    def _analyze(self, fn: FunctionInfo) -> list[str]:
+        touched: list[str] = []
+        env: dict[str, OrderTaint] = dict(self._param_taint.get(fn.qname, {}))
+        module = self.project.modules.get(fn.module)
+        path = module.path if module is not None else fn.module
+        scoped = fn.module == "repro" or fn.module.startswith("repro.")
+
+        for stmt in _owned_statements(fn):
+            for node in _stmt_nodes(stmt):
+                if isinstance(node, ast.Call):
+                    touched.extend(self._bind_call_args(fn, node, env, path))
+                    if scoped:
+                        self._check_sink(fn, node, env, path)
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if taint is not None:
+                        env[target.id] = taint
+                    else:
+                        env.pop(target.id, None)
+                elif taint is not None:
+                    attr = _self_attr(target)
+                    if attr is not None and fn.class_qname is not None:
+                        fields = self._fields.setdefault(fn.class_qname, {})
+                        if attr not in fields:
+                            fields[attr] = taint
+                            touched.extend(self._class_methods(fn.class_qname))
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                if isinstance(stmt.target, ast.Name):
+                    if taint is not None:
+                        env[stmt.target.id] = taint
+                    else:
+                        env.pop(stmt.target.id, None)
+            elif isinstance(stmt, ast.AugAssign):
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                if taint is not None and isinstance(stmt.target, ast.Name):
+                    env[stmt.target.id] = taint
+            elif isinstance(stmt, ast.Expr) and isinstance(stmt.value, ast.Call):
+                self._apply_mutation(fn, stmt.value, env, path)
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                taint = self._expr_taint(fn, stmt.value, env, path)
+                if taint is not None and fn.qname not in self._returns:
+                    self._returns[fn.qname] = taint.extend(
+                        f"returned by {fn.qname} ({path}:{stmt.lineno})"
+                    )
+                    touched.extend(
+                        site.caller for site in self.graph.callers(fn.qname)
+                    )
+            elif isinstance(stmt, ast.For):
+                self._visit_loop(fn, stmt, env, path, scoped)
+        return touched
+
+    def _class_methods(self, class_qname: str) -> list[str]:
+        info = self.project.classes.get(class_qname)
+        return sorted(info.methods.values()) if info is not None else []
+
+    def _apply_mutation(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, OrderTaint],
+        path: str,
+    ) -> None:
+        """Statement-level mutations: ``x.sort()`` launders ``x``;
+        ``x.extend(unordered)`` / ``x.update(unordered)`` taint ``x``."""
+        func = call.func
+        if not (isinstance(func, ast.Attribute) and isinstance(func.value, ast.Name)):
+            return
+        name = func.value.id
+        if func.attr == "sort":
+            env.pop(name, None)
+            return
+        if func.attr in ("extend", "update"):
+            for arg in call.args:
+                taint = self._expr_taint(fn, arg, env, path)
+                if taint is not None:
+                    env[name] = taint.extend(
+                        f"{func.attr}ed into {name!r} ({path}:{call.lineno})"
+                    )
+                    return
+
+    def _visit_loop(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.For,
+        env: dict[str, OrderTaint],
+        path: str,
+        scoped: bool,
+    ) -> None:
+        """A ``for`` over an unordered iterable: everything *collected*
+        during the loop inherits the iteration order (RPR010 side), and
+        order-sensitive folds in the body are RPR012 reductions."""
+        taint = self._expr_taint(fn, stmt.iter, env, path)
+        if taint is None:
+            return
+        hop = f"iterated in {fn.qname} ({path}:{stmt.lineno})"
+        loop_taint = taint.extend(hop)
+        for inner in _block_statements(stmt.body) + _block_statements(stmt.orelse):
+            for node in _stmt_nodes(inner):
+                if not isinstance(node, ast.Call):
+                    continue
+                func = node.func
+                if not isinstance(func, ast.Attribute):
+                    continue
+                if func.attr in ("append", "add", "insert", "extend") and isinstance(
+                    func.value, ast.Name
+                ):
+                    env[func.value.id] = loop_taint
+                elif scoped and func.attr in _MERGE_METHODS:
+                    self._record(
+                        kind="reduction",
+                        fn=fn,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        taint=loop_taint,
+                        detail=f".{func.attr}() consumed in unordered iteration order",
+                    )
+                elif (
+                    scoped
+                    and func.attr in _LOOP_WRITE_METHODS
+                    and (
+                        func.attr in ("write", "writelines")
+                        or _receiver_is_sink(func.value)
+                    )
+                ):
+                    self._record(
+                        kind="sink",
+                        fn=fn,
+                        path=path,
+                        line=node.lineno,
+                        col=node.col_offset,
+                        taint=loop_taint,
+                        detail=(
+                            f".{func.attr}() persists elements in unordered "
+                            "iteration order"
+                        ),
+                    )
+            if scoped:
+                self._check_accumulation(fn, inner, loop_taint, path)
+            # Dict/subscript stores keyed per element: the *container*
+            # named on the left inherits the unordered insertion order.
+            if isinstance(inner, ast.Assign) and len(inner.targets) == 1:
+                target = inner.targets[0]
+                root = _subscript_root(target)
+                if root is not None:
+                    env[root] = loop_taint
+
+    def _check_accumulation(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.stmt,
+        taint: OrderTaint,
+        path: str,
+    ) -> None:
+        """Float-style folds inside an unordered loop (RPR012).
+
+        Constant increments (``n += 1``) are order-independent counters
+        and never flagged; anything accumulating a per-element value is.
+        """
+        if isinstance(stmt, ast.AugAssign) and isinstance(
+            stmt.op, (ast.Add, ast.Sub, ast.Mult)
+        ):
+            if isinstance(stmt.value, ast.Constant):
+                return
+            target = _augassign_target_name(stmt.target)
+            self._record(
+                kind="reduction",
+                fn=fn,
+                path=path,
+                line=stmt.lineno,
+                col=stmt.col_offset,
+                taint=taint,
+                detail=f"accumulation into {target!r} in unordered iteration order",
+            )
+        elif (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.BinOp)
+            and isinstance(stmt.value.op, (ast.Add, ast.Sub, ast.Mult))
+        ):
+            name = stmt.targets[0].id
+            reads_self = any(
+                isinstance(n, ast.Name) and n.id == name
+                for n in ast.walk(stmt.value)
+            )
+            if reads_self:
+                self._record(
+                    kind="reduction",
+                    fn=fn,
+                    path=path,
+                    line=stmt.lineno,
+                    col=stmt.col_offset,
+                    taint=taint,
+                    detail=(
+                        f"accumulation into {name!r} in unordered iteration order"
+                    ),
+                )
+
+    # ---- taint of expressions -------------------------------------------
+
+    def _expr_taint(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: dict[str, OrderTaint],
+        path: str,
+    ) -> OrderTaint | None:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            attr = _self_attr(expr)
+            if attr is not None and fn.class_qname is not None:
+                return self._fields.get(fn.class_qname, {}).get(attr)
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_taint(fn, expr, env, path)
+        if isinstance(expr, ast.Set):
+            return self._origin_taint(fn, expr, path, "set literal")
+        if isinstance(expr, ast.SetComp):
+            return self._origin_taint(fn, expr, path, "set comprehension")
+        if isinstance(expr, (ast.ListComp, ast.GeneratorExp, ast.DictComp)):
+            for comp in expr.generators:
+                taint = self._expr_taint(fn, comp.iter, env, path)
+                if taint is not None:
+                    return taint.extend(
+                        f"comprehended over in {fn.qname} ({path}:{expr.lineno})"
+                    )
+            return None
+        if isinstance(expr, ast.BinOp):
+            return self._expr_taint(fn, expr.left, env, path) or self._expr_taint(
+                fn, expr.right, env, path
+            )
+        if isinstance(expr, ast.IfExp):
+            return self._expr_taint(fn, expr.body, env, path) or self._expr_taint(
+                fn, expr.orelse, env, path
+            )
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                taint = self._expr_taint(fn, value, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            return self._expr_taint(fn, expr.value, env, path)
+        if isinstance(expr, ast.Starred):
+            return self._expr_taint(fn, expr.value, env, path)
+        if isinstance(expr, ast.Subscript):
+            # Slicing preserves (unstable) order; single-element access
+            # extracts a value whose own order is a separate question.
+            if isinstance(expr.slice, ast.Slice):
+                return self._expr_taint(fn, expr.value, env, path)
+            return None
+        return None
+
+    def _origin_taint(
+        self, fn: FunctionInfo, expr: ast.expr, path: str, construct: str
+    ) -> OrderTaint:
+        origin = OrderOrigin(
+            module=fn.module,
+            path=path,
+            line=expr.lineno,
+            construct=construct,
+        )
+        return OrderTaint(
+            origin=origin,
+            chain=(f"constructed in {fn.qname} ({path}:{expr.lineno})",),
+        )
+
+    def _call_taint(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, OrderTaint],
+        path: str,
+    ) -> OrderTaint | None:
+        callee = resolve_call_target(self.project, fn, call)
+        if callee is not None:
+            return self._returns.get(callee)
+        func = call.func
+        if isinstance(func, ast.Name):
+            name = func.id
+            if name in _ORDER_SANITIZERS or name in _ORDER_INSENSITIVE:
+                return None
+            if name in _SET_CONSTRUCTORS and self._is_builtin(fn, name):
+                return self._origin_taint(fn, call, path, f"{name}()")
+            if name in _ORDER_PRESERVING and self._is_builtin(fn, name):
+                for arg in call.args:
+                    taint = self._expr_taint(fn, arg, env, path)
+                    if taint is not None:
+                        return taint
+                return None
+        external = self._external_target(fn, call)
+        if external is not None and external in UNORDERED_CALLS:
+            return self._origin_taint(fn, call, path, UNORDERED_CALLS[external])
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            if attr in _DICT_VIEWS:
+                return self._expr_taint(fn, func.value, env, path)
+            if attr in UNORDERED_METHODS and external is None:
+                return self._origin_taint(fn, call, path, UNORDERED_METHODS[attr])
+            if attr in _SET_METHODS:
+                return self._expr_taint(fn, func.value, env, path)
+        return None
+
+    def _is_builtin(self, fn: FunctionInfo, name: str) -> bool:
+        """True unless the module rebinds ``name`` (import or def)."""
+        module = self.project.modules.get(fn.module)
+        return module is None or name not in module.env
+
+    def _external_target(self, fn: FunctionInfo, call: ast.Call) -> str | None:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        resolved = self.project.resolve(fn.module, dotted)
+        if resolved is None or resolved.kind not in ("external", "function"):
+            return None
+        return resolved.target
+
+    # ---- interprocedural propagation ------------------------------------
+
+    def _bind_call_args(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, OrderTaint],
+        path: str,
+    ) -> list[str]:
+        callee_q = resolve_call_target(self.project, fn, call)
+        if callee_q is None:
+            return []
+        callee = self.project.functions.get(callee_q)
+        if callee is None:
+            return []
+        touched: list[str] = []
+        offset = 1 if callee.is_method else 0
+        hop = f"passed to {callee_q} ({path}:{call.lineno})"
+        params = self._param_taint.setdefault(callee_q, {})
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            slot = index + offset
+            if slot >= len(callee.params):
+                break
+            taint = self._expr_taint(fn, arg, env, path)
+            if taint is not None and callee.params[slot] not in params:
+                params[callee.params[slot]] = taint.extend(hop)
+                touched.append(callee_q)
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg not in callee.params:
+                continue
+            taint = self._expr_taint(fn, keyword.value, env, path)
+            if taint is not None and keyword.arg not in params:
+                params[keyword.arg] = taint.extend(hop)
+                touched.append(callee_q)
+        return touched
+
+    # ---- sinks ----------------------------------------------------------
+
+    def _check_sink(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, OrderTaint],
+        path: str,
+    ) -> None:
+        external = self._external_target(fn, call)
+        if external in ("json.dump", "json.dumps"):
+            if call.args:
+                taint = self._expr_taint(fn, call.args[0], env, path)
+                if taint is not None:
+                    self._record(
+                        kind="sink",
+                        fn=fn,
+                        path=path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        taint=taint,
+                        detail=f"{external.rpartition('.')[2]}() serialization",
+                    )
+            return
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr in _SINK_METHODS and _receiver_is_sink(func.value):
+            for arg in (*call.args, *(kw.value for kw in call.keywords)):
+                taint = self._expr_taint(fn, arg, env, path)
+                if taint is not None:
+                    self._record(
+                        kind="sink",
+                        fn=fn,
+                        path=path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        taint=taint,
+                        detail=f".{func.attr}() on a store-like receiver",
+                    )
+                    return
+        elif func.attr == "join":
+            for arg in call.args:
+                taint = self._expr_taint(fn, arg, env, path)
+                if taint is not None:
+                    self._record(
+                        kind="sink",
+                        fn=fn,
+                        path=path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        taint=taint,
+                        detail=".join() building an ordered string/key",
+                    )
+                    return
+        elif func.attr == "writelines":
+            for arg in call.args:
+                taint = self._expr_taint(fn, arg, env, path)
+                if taint is not None:
+                    self._record(
+                        kind="sink",
+                        fn=fn,
+                        path=path,
+                        line=call.lineno,
+                        col=call.col_offset,
+                        taint=taint,
+                        detail=".writelines() persisting an ordered sequence",
+                    )
+                    return
+
+    def _record(
+        self,
+        kind: str,
+        fn: FunctionInfo,
+        path: str,
+        line: int,
+        col: int,
+        taint: OrderTaint,
+        detail: str,
+    ) -> None:
+        key = (kind, path, line, detail)
+        if key in self._findings:
+            return
+        self._findings[key] = OrderingFinding(
+            kind=kind,
+            entry=fn.qname,
+            module=fn.module,
+            path=path,
+            line=line,
+            col=col,
+            origin=taint.origin,
+            chain=taint.chain,
+            detail=detail,
+        )
+
+
+def _receiver_is_sink(expr: ast.expr) -> bool:
+    dotted = _dotted(expr)
+    if dotted is None:
+        return False
+    tail = dotted.rpartition(".")[2].lower()
+    return any(hint in tail for hint in _SINK_RECEIVER_HINTS)
+
+
+def _subscript_root(expr: ast.expr) -> str | None:
+    """The base name of a ``name[...]...`` store target, else ``None``."""
+    current = expr
+    seen_subscript = False
+    while isinstance(current, (ast.Subscript, ast.Attribute)):
+        if isinstance(current, ast.Subscript):
+            seen_subscript = True
+        current = current.value
+    if seen_subscript and isinstance(current, ast.Name):
+        return current.id
+    return None
+
+
+def _augassign_target_name(target: ast.expr) -> str:
+    if isinstance(target, ast.Name):
+        return target.id
+    dotted = _dotted(target)
+    return dotted if dotted is not None else "<target>"
+
+
+def _block_statements(body: list[ast.stmt]) -> list[ast.stmt]:
+    """All statements in a block, recursively, skipping nested defs."""
+    out: list[ast.stmt] = []
+    stack: list[ast.stmt] = list(reversed(body))
+    while stack:
+        stmt = stack.pop()
+        if isinstance(stmt, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)):
+            continue
+        out.append(stmt)
+        for block_name in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, block_name, None)
+            if isinstance(block, list):
+                stack.extend(reversed([s for s in block if isinstance(s, ast.stmt)]))
+        for handler in getattr(stmt, "handlers", []):
+            stack.extend(reversed(handler.body))
+    return out
 
 
 def _owned_statements(fn: FunctionInfo) -> list[ast.stmt]:

@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from pathlib import Path
 
 from repro.lint.base import DISABLE_COMMENT_RE, FileContext, LintError, Rule, Violation
+from repro.lint.cache import LintCache, content_hash, environment_key
 from repro.lint.callgraph import CallGraph
 from repro.lint.project import LintConfig, Project, ProjectRule, load_config
 from repro.lint.project_rules import ALL_PROJECT_RULES
@@ -282,21 +283,19 @@ def _read_error(path: Path, exc: OSError) -> Violation:
 
 
 def _lint_file_job(
-    job: tuple[str, tuple[str, ...] | None]
+    job: tuple[str, str, tuple[str, ...] | None]
 ) -> list[Violation]:
-    """Process-pool worker: per-file rules for one path.
+    """Process-pool worker: per-file rules for one already-read source.
 
-    Module-level (and returning plain frozen dataclasses) so it pickles;
-    each worker re-parses its file, which is what makes the fan-out
-    share-nothing and the output order-independent.
+    Module-level (and returning plain frozen dataclasses) so it pickles.
+    The parent reads every file exactly once (it needs the bytes for
+    content hashing and the project phase anyway) and ships the text to
+    the worker, so one consistent snapshot of each file feeds the
+    per-file rules, the cache key and the whole-program phase even if
+    the file changes mid-run.
     """
-    path_str, select = job
-    path = Path(path_str)
-    try:
-        source = path.read_text(encoding="utf-8")
-    except OSError as exc:
-        return [_read_error(path, exc)]
-    return lint_source(source, path.as_posix(), select=select)
+    path_str, source, select = job
+    return lint_source(source, Path(path_str).as_posix(), select=select)
 
 
 def lint_paths(
@@ -307,6 +306,7 @@ def lint_paths(
     jobs: int = 1,
     project_rules: Sequence[ProjectRule] = ALL_PROJECT_RULES,
     config: LintConfig | None = None,
+    cache: LintCache | None = None,
 ) -> LintResult:
     """Lint every Python file under ``paths``.
 
@@ -320,73 +320,115 @@ def lint_paths(
             phase (skipped entirely when ``select`` excludes them all).
         config: Analysis configuration; discovered from the nearest
             ``pyproject.toml`` when omitted.
+        cache: Incremental cache (see :mod:`repro.lint.cache`).  Hits
+            skip parsing and analysis entirely; findings are
+            byte-identical with or without it, for any ``jobs``.
     """
     wanted = {rule_id.upper() for rule_id in select} if select is not None else None
     files = list(iter_python_files(paths))
     violations: list[Violation] = []
-    contexts: dict[str, FileContext] = {}
     active_project_rules = [
         rule
         for rule in project_rules
         if wanted is None or rule.rule_id in wanted
     ]
-    if jobs > 1 and len(files) > 1:
-        select_arg = tuple(sorted(wanted)) if wanted is not None else None
-        chunksize = max(1, len(files) // (jobs * 4))
-        with ProcessPoolExecutor(max_workers=jobs) as executor:
-            mapped = executor.map(
-                _lint_file_job,
-                [(str(path), select_arg) for path in files],
-                chunksize=chunksize,
-            )
-            if active_project_rules:
-                # Overlap: while the workers run the per-file rules, the
-                # parent re-parses and runs the whole-program phase — the
-                # two phases are independent, so jobs-mode wall clock is
-                # max(), not sum(), of them.  Reads/parses that fail here
-                # were already reported by the workers.
-                for path in files:
-                    try:
-                        source = path.read_text(encoding="utf-8")
-                        ctx = FileContext.from_source(source, path.as_posix())
-                    except (OSError, LintError):
-                        continue
-                    contexts[ctx.path] = ctx
-                if contexts:
-                    effective = config if config is not None else load_config(files[0])
-                    violations.extend(
-                        _project_violations(contexts, active_project_rules, effective)
-                    )
-            for file_violations in mapped:
-                violations.extend(file_violations)
-        return LintResult(
-            violations=tuple(sorted(violations)), files_checked=len(files)
+
+    # Read every file once, in the parent: the bytes feed content
+    # hashing, the per-file rules and the project phase alike.
+    sources: dict[Path, str] = {}
+    for path in files:
+        try:
+            sources[path] = path.read_text(encoding="utf-8")
+        except OSError as exc:
+            violations.append(_read_error(path, exc))
+
+    if config is None and files:
+        config = load_config(files[0])
+    effective = config if config is not None else LintConfig()
+
+    environment = ""
+    digests: dict[str, str] = {}
+    file_keys: dict[Path, str] = {}
+    if cache is not None:
+        rule_ids = [rule.rule_id for rule in rules] + [
+            rule.rule_id for rule in project_rules
+        ]
+        environment = environment_key(
+            effective.fingerprint(),
+            rule_ids,
+            sorted(wanted) if wanted is not None else None,
         )
-    else:
+        digests = {
+            path.as_posix(): content_hash(source)
+            for path, source in sources.items()
+        }
+
+    # ---- per-file phase (cache hits served, misses computed) ------------
+    pending: list[Path] = []
+    for path in files:
+        if path not in sources:
+            continue
+        if cache is not None:
+            posix = path.as_posix()
+            file_keys[path] = cache.file_key(environment, posix, digests[posix])
+            hit = cache.load_file(file_keys[path])
+            if hit is not None:
+                violations.extend(hit)
+                continue
+        pending.append(path)
+
+    def run_project_phase() -> list[Violation]:
+        if not active_project_rules or not sources:
+            return []
+        project_key = ""
+        if cache is not None:
+            project_key = cache.project_key(environment, digests)
+            cached = cache.load_project(project_key)
+            if cached is not None:
+                return list(cached)
+        contexts: dict[str, FileContext] = {}
         for path in files:
-            try:
-                source = path.read_text(encoding="utf-8")
-            except OSError as exc:
-                violations.append(_read_error(path, exc))
+            source = sources.get(path)
+            if source is None:
                 continue
             try:
                 ctx = FileContext.from_source(source, path.as_posix())
-            except LintError as exc:
-                violations.append(
-                    Violation(
-                        path=path.as_posix(),
-                        line=0,
-                        col=0,
-                        rule_id=PARSE_ERROR_ID,
-                        message=str(exc),
-                    )
-                )
+            except LintError:
+                # Reported as RPR000 by the per-file phase.
                 continue
             contexts[ctx.path] = ctx
-            violations.extend(_file_violations(ctx, rules, wanted))
-    if active_project_rules and contexts:
-        effective = config if config is not None else load_config(files[0])
-        violations.extend(
-            _project_violations(contexts, active_project_rules, effective)
-        )
+        found: list[Violation] = []
+        if contexts:
+            found = _project_violations(contexts, active_project_rules, effective)
+        if cache is not None:
+            cache.store_project(project_key, found)
+        return found
+
+    select_arg = tuple(sorted(wanted)) if wanted is not None else None
+    if jobs > 1 and len(pending) > 1:
+        chunksize = max(1, len(pending) // (jobs * 4))
+        with ProcessPoolExecutor(max_workers=jobs) as executor:
+            mapped = executor.map(
+                _lint_file_job,
+                [(str(path), sources[path], select_arg) for path in pending],
+                chunksize=chunksize,
+            )
+            # Overlap: while the workers run the per-file rules, the
+            # parent runs the whole-program phase — the two phases are
+            # independent, so jobs-mode wall clock is max(), not sum(),
+            # of them.
+            violations.extend(run_project_phase())
+            for path, file_violations in zip(pending, mapped, strict=True):
+                if cache is not None:
+                    cache.store_file(file_keys[path], file_violations)
+                violations.extend(file_violations)
+    else:
+        for path in pending:
+            file_violations = lint_source(
+                sources[path], path.as_posix(), rules, select=select_arg
+            )
+            if cache is not None:
+                cache.store_file(file_keys[path], file_violations)
+            violations.extend(file_violations)
+        violations.extend(run_project_phase())
     return LintResult(violations=tuple(sorted(violations)), files_checked=len(files))

@@ -18,18 +18,21 @@ whole-program rules RPR006–RPR009 live in
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterator, Mapping
+import json
+from collections.abc import Iterator, Mapping, Sequence
 from dataclasses import dataclass, field
 from pathlib import Path, PurePosixPath
 from typing import TYPE_CHECKING
 
 from repro.lint.base import FileContext, Violation
 
-if TYPE_CHECKING:  # runtime import would cycle: callgraph builds on this
+if TYPE_CHECKING:  # runtime import would cycle: callgraph/dataflow build on this
     from repro.lint.callgraph import CallGraph
+    from repro.lint.dataflow import OrderingFinding
 
 __all__ = [
     "DEFAULT_LAYERS",
+    "DEFAULT_PERSISTENCE",
     "ClassInfo",
     "FunctionInfo",
     "ImportEdge",
@@ -38,6 +41,7 @@ __all__ = [
     "Project",
     "ProjectRule",
     "Resolved",
+    "is_persistence_path",
     "iter_owned_nodes",
     "iter_owned_statements",
     "load_config",
@@ -121,6 +125,24 @@ DEFAULT_LAYERS: dict[str, tuple[str, ...]] = {
 }
 
 
+#: Path fragments naming the *persistence* modules RPR011 audits — the
+#: files whose bytes land on disk (or in another process) and therefore
+#: must serialize deterministically.  Overridden by the ``persistence``
+#: list under ``[tool.repro-lint]`` in pyproject.toml when present.
+#: A module is a persistence module when any fragment occurs in its
+#: POSIX path; fragments with a leading ``/`` anchor at a path-segment
+#: boundary (``/io.py`` matches ``runner/io.py`` but not ``prio.py``).
+DEFAULT_PERSISTENCE: tuple[str, ...] = (
+    "store",
+    "export",
+    "events",
+    "baseline",
+    "report",
+    "serial",
+    "/io.py",
+)
+
+
 @dataclass(frozen=True)
 class LintConfig:
     """Project-level analysis configuration.
@@ -129,51 +151,114 @@ class LintConfig:
         layers: The layer DAG for RPR009 — layer name → layers it may
             import (closure applied at check time).  ``None`` falls back
             to :data:`DEFAULT_LAYERS`.
+        persistence: Path fragments selecting the persistence modules
+            RPR011 audits.  ``None`` falls back to
+            :data:`DEFAULT_PERSISTENCE`.
     """
 
     layers: Mapping[str, tuple[str, ...]] | None = None
+    persistence: tuple[str, ...] | None = None
 
     def layer_dag(self) -> Mapping[str, tuple[str, ...]]:
         return self.layers if self.layers is not None else DEFAULT_LAYERS
 
+    def persistence_fragments(self) -> tuple[str, ...]:
+        if self.persistence is not None:
+            return self.persistence
+        return DEFAULT_PERSISTENCE
 
-def _parse_layer_table(text: str) -> dict[str, tuple[str, ...]] | None:
-    """Extract ``[tool.repro-lint.layers]`` from pyproject text.
+    def fingerprint(self) -> str:
+        """Canonical JSON of everything that can change findings.
 
-    Uses :mod:`tomllib` when available (3.11+); on 3.10 falls back to a
-    minimal line parser that understands exactly the shape this section
-    uses (``name = ["a", "b"]``, lists possibly spanning lines).
+        The incremental cache folds this into every entry key, so any
+        config edit — layer DAG or persistence list — invalidates all
+        cached findings.
+        """
+        return json.dumps(
+            {
+                "layers": {
+                    name: list(allowed)
+                    for name, allowed in self.layer_dag().items()
+                },
+                "persistence": list(self.persistence_fragments()),
+            },
+            sort_keys=True,
+            separators=(",", ":"),
+        )
+
+
+def is_persistence_path(path: str, fragments: Sequence[str]) -> bool:
+    """True when ``path`` names a persistence module per ``fragments``.
+
+    Fragments starting with ``/`` must match at a path-segment boundary;
+    bare fragments match anywhere in the POSIX path's basename-bearing
+    tail.  Matching is case-sensitive (module paths are).
+    """
+    posix = PurePosixPath(path).as_posix()
+    for fragment in fragments:
+        if fragment.startswith("/"):
+            if posix.endswith(fragment) or fragment[1:] == posix:
+                return True
+        elif fragment in posix.rsplit("/", 1)[-1]:
+            return True
+    return False
+
+
+def _parse_repro_lint_tables(
+    text: str,
+) -> tuple[dict[str, tuple[str, ...]] | None, tuple[str, ...] | None]:
+    """Extract ``[tool.repro-lint]`` config from pyproject text.
+
+    Returns ``(layers, persistence)``; each is ``None`` when its section
+    or key is absent or malformed.  Uses :mod:`tomllib` when available
+    (3.11+); on 3.10 falls back to a minimal line parser that understands
+    exactly the shapes these sections use (``name = ["a", "b"]``, lists
+    possibly spanning lines).
     """
     try:
         import tomllib
     except ImportError:  # Python 3.10: no stdlib TOML reader
-        return _parse_layer_table_fallback(text)
+        return _parse_repro_lint_tables_fallback(text)
     try:
         data = tomllib.loads(text)
     except tomllib.TOMLDecodeError:
-        return None
-    table = data.get("tool", {}).get("repro-lint", {}).get("layers")
-    if not isinstance(table, dict):
-        return None
-    layers: dict[str, tuple[str, ...]] = {}
-    for name, allowed in table.items():
-        if isinstance(allowed, list):
-            layers[str(name)] = tuple(str(item) for item in allowed)
-    return layers or None
+        return None, None
+    section = data.get("tool", {}).get("repro-lint", {})
+    if not isinstance(section, dict):
+        return None, None
+    layers: dict[str, tuple[str, ...]] | None = None
+    table = section.get("layers")
+    if isinstance(table, dict):
+        parsed_layers = {
+            str(name): tuple(str(item) for item in allowed)
+            for name, allowed in table.items()
+            if isinstance(allowed, list)
+        }
+        layers = parsed_layers or None
+    persistence: tuple[str, ...] | None = None
+    raw_persistence = section.get("persistence")
+    if isinstance(raw_persistence, list):
+        persistence = tuple(str(item) for item in raw_persistence)
+    return layers, persistence
 
 
-def _parse_layer_table_fallback(text: str) -> dict[str, tuple[str, ...]] | None:
+def _parse_repro_lint_tables_fallback(
+    text: str,
+) -> tuple[dict[str, tuple[str, ...]] | None, tuple[str, ...] | None]:
     layers: dict[str, tuple[str, ...]] = {}
-    in_section = False
+    persistence: tuple[str, ...] | None = None
+    section = ""
     pending_key: str | None = None
     pending_value = ""
     for raw_line in text.splitlines():
         line = raw_line.strip()
         if line.startswith("["):
-            in_section = line == "[tool.repro-lint.layers]"
+            section = line
             pending_key = None
             continue
-        if not in_section or not line or line.startswith("#"):
+        in_layers = section == "[tool.repro-lint.layers]"
+        in_root = section == "[tool.repro-lint]"
+        if not (in_layers or in_root) or not line or line.startswith("#"):
             continue
         if pending_key is None:
             key, sep, value = line.partition("=")
@@ -188,9 +273,13 @@ def _parse_layer_table_fallback(text: str) -> dict[str, tuple[str, ...]] | None:
             except (SyntaxError, ValueError):
                 parsed = None
             if isinstance(parsed, list):
-                layers[pending_key] = tuple(str(item) for item in parsed)
+                items = tuple(str(item) for item in parsed)
+                if in_layers:
+                    layers[pending_key] = items
+                elif pending_key == "persistence":
+                    persistence = items
             pending_key = None
-    return layers or None
+    return layers or None, persistence
 
 
 def load_config(start: Path | str) -> LintConfig:
@@ -210,7 +299,8 @@ def load_config(start: Path | str) -> LintConfig:
                 text = pyproject.read_text(encoding="utf-8")
             except OSError:
                 return LintConfig()
-            return LintConfig(layers=_parse_layer_table(text))
+            layers, persistence = _parse_repro_lint_tables(text)
+            return LintConfig(layers=layers, persistence=persistence)
     return LintConfig()
 
 
@@ -406,6 +496,9 @@ class Project:
         self.functions: dict[str, FunctionInfo] = {}
         self.classes: dict[str, ClassInfo] = {}
         self._function_qname_by_node_id: dict[int, str] = {}
+        # Memoized result of the ordering-provenance fixpoint; RPR010 and
+        # RPR012 both consume it, so it runs once per project.
+        self.ordering_cache: list[OrderingFinding] | None = None
 
     # ---- construction ---------------------------------------------------
 

@@ -1,4 +1,4 @@
-"""The whole-program rules RPR006–RPR009.
+"""The whole-program rules RPR006–RPR012.
 
 These run after the per-file pass, over the :class:`~repro.lint.project.Project`
 model and its call graph (see ``docs/STATIC_ANALYSIS.md`` for the
@@ -10,16 +10,17 @@ node lives in and are suppressed with the same justified
 from __future__ import annotations
 
 import ast
-from collections.abc import Iterator, Mapping
+from collections.abc import Callable, Iterator, Mapping
 
 from repro.lint.base import Violation, dotted_name
 from repro.lint.callgraph import CallGraph, CallSite
-from repro.lint.dataflow import analyze_rng_taint
+from repro.lint.dataflow import analyze_ordering, analyze_rng_taint
 from repro.lint.project import (
     FunctionInfo,
     ModuleInfo,
     Project,
     ProjectRule,
+    is_persistence_path,
     iter_owned_nodes,
     iter_owned_statements,
 )
@@ -37,6 +38,9 @@ __all__ = [
     "InterprocLocksetRule",
     "ResourceSafetyRule",
     "ImportLayeringRule",
+    "OrderedSinkRule",
+    "UnstableSerializationRule",
+    "ParallelReductionOrderRule",
     "project_rule_ids",
 ]
 
@@ -635,12 +639,270 @@ def _catches_exception(handler: ast.ExceptHandler) -> bool:
     return False
 
 
+class OrderedSinkRule(ProjectRule):
+    """RPR010 — unordered sources must not reach ordered sinks unsorted.
+
+    The reproducibility contract persists *sequences*: JSONL records,
+    store keys, metrics snapshots, fused-detection lists.  A value whose
+    iteration order the platform does not pin — ``set``/``frozenset``
+    construction, dict views over an order-tainted dict, ``os.listdir``,
+    ``Path.iterdir``/unsorted ``glob``, ``as_completed`` — must pass the
+    sanctioned ``sorted(...)`` normalization (or an in-place ``.sort()``)
+    before it is serialized (``json.dump(s)``), handed to a
+    ``store``/``put``/``record`` call on a store-like receiver, joined
+    into a key string, or written element-wise from an unordered loop.
+    The ordering-provenance dataflow pass follows the value through
+    assignments, calls, returns and ``self`` fields, so laundering
+    across module boundaries is caught with full chain evidence.
+    Deterministically built dicts stay clean (dicts are
+    insertion-ordered); only views over already-unordered dicts taint.
+    """
+
+    rule_id = "RPR010"
+    summary = (
+        "iteration-order-unstable value (set/frozenset, os.listdir, "
+        "Path.iterdir/glob, as_completed) reaches an ordered sink (JSON "
+        "record, store key, joined string, element-wise write) without "
+        "sorted() normalization"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for finding in analyze_ordering(project, graph):
+            if finding.kind != "sink":
+                continue
+            flow = " -> ".join(finding.chain)
+            yield Violation(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"{finding.detail} receives a value with unstable "
+                    f"iteration order originating from "
+                    f"{finding.origin.describe()}; flow: {flow}. Normalize "
+                    "with sorted(..., key=...) before the order is "
+                    "persisted or keyed"
+                ),
+            )
+
+
+class UnstableSerializationRule(ProjectRule):
+    """RPR011 — persistence modules must serialize deterministically.
+
+    Scoped to the *persistence modules* — files whose bytes cross a
+    process boundary — selected by the ``persistence`` path-fragment
+    list under ``[tool.repro-lint]`` (default
+    :data:`~repro.lint.project.DEFAULT_PERSISTENCE`).  Three checks:
+
+    * ``json.dump``/``json.dumps`` without ``sort_keys=True`` — dict
+      key order is insertion order, which varies with code path, so
+      persisted bytes (and their checksums) silently diverge;
+    * ``id(...)``/``hash(...)`` anywhere — both are process-dependent
+      (``PYTHONHASHSEED``), so any derived value breaks replay;
+    * ``repr(...)`` used to *build a key* (subscript index or a
+      ``store``/``put``/``record`` argument) — ``repr`` of containers
+      leaks element order and of objects leaks addresses.  ``repr`` for
+      diagnostics/float formatting is fine and not flagged (``str`` and
+      ``repr`` of a float are the exact shortest round-trip in
+      Python 3, so float formatting itself is deterministic).
+    """
+
+    rule_id = "RPR011"
+    summary = (
+        "unstable serialization in a persistence module: json.dump(s) "
+        "without sort_keys=True, process-dependent id()/hash(), or a "
+        "repr()-derived key"
+    )
+
+    _UNSTABLE_BUILTINS = frozenset({"id", "hash"})
+    _KEY_CALL_METHODS = frozenset({"store", "put", "record"})
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        fragments = project.config.persistence_fragments()
+        for module_name in sorted(project.modules):
+            if not (
+                module_name == "repro" or module_name.startswith("repro.")
+            ):
+                continue
+            module = project.modules[module_name]
+            if not is_persistence_path(module.path, fragments):
+                continue
+            yield from self._check_module(project, module)
+
+    def _check_module(
+        self, project: Project, module: ModuleInfo
+    ) -> Iterator[Violation]:
+        seen: set[tuple[int, int]] = set()
+
+        def emit(node: ast.AST, message: str) -> Iterator[Violation]:
+            pos = (node.lineno, node.col_offset)
+            if pos in seen:
+                return
+            seen.add(pos)
+            yield Violation(
+                path=module.path,
+                line=node.lineno,
+                col=node.col_offset,
+                rule_id=self.rule_id,
+                message=message,
+            )
+
+        for node in ast.walk(module.context.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(project, module, node, emit)
+            elif isinstance(node, ast.Subscript):
+                unstable = _find_unstable_key_call(
+                    node.slice, self._UNSTABLE_BUILTINS | {"repr"}, module
+                )
+                if unstable is not None:
+                    found, name = unstable
+                    yield from emit(
+                        found,
+                        f"{name}()-derived subscript key in persistence "
+                        f"module {module.name}: the value varies per "
+                        "process/run; build keys from stable fields instead",
+                    )
+
+    def _check_call(
+        self,
+        project: Project,
+        module: ModuleInfo,
+        call: ast.Call,
+        emit: Callable[[ast.AST, str], Iterator[Violation]],
+    ) -> Iterator[Violation]:
+        dotted = dotted_name(call.func)
+        resolved = (
+            project.resolve(module.name, dotted) if dotted is not None else None
+        )
+        target = resolved.target if resolved is not None else None
+        if target in ("json.dump", "json.dumps"):
+            if not _json_call_sorts_keys(call):
+                yield from emit(
+                    call,
+                    f"{target}() without sort_keys=True in persistence "
+                    f"module {module.name}: dict key order is "
+                    "insertion-dependent, so persisted bytes and their "
+                    "checksums diverge across code paths; pass "
+                    "sort_keys=True",
+                )
+            return
+        func = call.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id in self._UNSTABLE_BUILTINS
+            and func.id not in module.env
+        ):
+            yield from emit(
+                call,
+                f"{func.id}() in persistence module {module.name}: the "
+                "result is process-dependent (PYTHONHASHSEED / object "
+                "address) and must not reach persisted state; derive "
+                "stable identifiers from record fields",
+            )
+            return
+        if (
+            isinstance(func, ast.Attribute)
+            and func.attr in self._KEY_CALL_METHODS
+        ):
+            for arg in (*call.args, *(kw.value for kw in call.keywords)):
+                unstable = _find_unstable_key_call(arg, {"repr"}, module)
+                if unstable is not None:
+                    yield from emit(
+                        unstable[0],
+                        f"repr()-derived key passed to .{func.attr}() in "
+                        f"persistence module {module.name}: repr leaks "
+                        "container order and object addresses; build keys "
+                        "from stable scalar fields",
+                    )
+
+
+class ParallelReductionOrderRule(ProjectRule):
+    """RPR012 — parallel reductions must consume in deterministic order.
+
+    Float addition is not associative: merging worker results (metrics
+    snapshots, AP sums, cost accumulators) in completion order or
+    hash order yields run-dependent low bits, which the bit-for-bit
+    backend-equivalence contract forbids.  This rule flags loops over
+    order-unstable iterables (``as_completed``, sets, dict views over
+    tainted dicts — same provenance pass as RPR010) whose body performs
+    an order-sensitive fold: ``acc += f(item)``-style accumulation
+    (constant increments are order-independent and exempt) or
+    ``.merge()``/``.merged()`` snapshot merges.  Each finding carries
+    the RPR007-style call-chain evidence from the unordered origin to
+    the reduction.  Consuming ``as_completed`` into a list and sorting
+    by key *before* folding is the sanctioned pattern and stays clean.
+    """
+
+    rule_id = "RPR012"
+    summary = (
+        "order-sensitive reduction (float accumulation or snapshot merge) "
+        "consumes results in unordered (completion/hash) order instead of "
+        "a deterministic key order"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        for finding in analyze_ordering(project, graph):
+            if finding.kind != "reduction":
+                continue
+            flow = " -> ".join(finding.chain)
+            yield Violation(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"{finding.detail}; the iterable originates from "
+                    f"{finding.origin.describe()}; flow: {flow}. Collect "
+                    "results and sort by a stable key before folding "
+                    "(float addition is not associative)"
+                ),
+            )
+
+
+def _json_call_sorts_keys(call: ast.Call) -> bool:
+    """True when the call passes ``sort_keys=True`` (or ``**kwargs``,
+    which the analysis cannot see through and trusts)."""
+    for keyword in call.keywords:
+        if keyword.arg is None:
+            return True
+        if keyword.arg == "sort_keys":
+            value = keyword.value
+            if isinstance(value, ast.Constant):
+                return bool(value.value)
+            return True  # computed flag: trust it
+    return False
+
+
+def _find_unstable_key_call(
+    expr: ast.AST, names: set[str] | frozenset[str], module: ModuleInfo
+) -> tuple[ast.Call, str] | None:
+    """The first ``repr``/``id``/``hash`` builtin call under ``expr``."""
+    for node in ast.walk(expr):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in names
+            and node.func.id not in module.env
+        ):
+            return node, node.func.id
+    return None
+
+
 #: Every shipped whole-program rule, in ID order.
 ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     SeedFlowTaintRule(),
     InterprocLocksetRule(),
     ResourceSafetyRule(),
     ImportLayeringRule(),
+    OrderedSinkRule(),
+    UnstableSerializationRule(),
+    ParallelReductionOrderRule(),
 )
 
 

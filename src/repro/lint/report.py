@@ -7,6 +7,7 @@ and one result per violation with a 1-based physical location.
 
 from __future__ import annotations
 
+import inspect
 import json
 
 from repro.lint.engine import PARSE_ERROR_ID, LintResult
@@ -47,20 +48,38 @@ def render_json(result: LintResult) -> str:
     return json.dumps(payload, indent=2, sort_keys=True)
 
 
+def _rule_full_description(rule: object) -> str | None:
+    """First docstring paragraph of the rule class, newline-folded."""
+    doc = inspect.getdoc(type(rule))
+    if not doc:
+        return None
+    paragraph = doc.split("\n\n", 1)[0]
+    return " ".join(paragraph.split())
+
+
 def _sarif_rules() -> list[dict[str, object]]:
     entries: list[dict[str, object]] = [
         {
             "id": PARSE_ERROR_ID,
             "shortDescription": {"text": "file cannot be read or parsed"},
+            "fullDescription": {
+                "text": (
+                    "The analyzer could not read or parse this file; no "
+                    "other rule ran on it."
+                )
+            },
         }
     ]
     for rule in (*ALL_RULES, *ALL_PROJECT_RULES):
-        entries.append(
-            {
-                "id": rule.rule_id,
-                "shortDescription": {"text": rule.summary},
-            }
-        )
+        entry: dict[str, object] = {
+            "id": rule.rule_id,
+            "shortDescription": {"text": rule.summary},
+            "defaultConfiguration": {"level": "error"},
+        }
+        full = _rule_full_description(rule)
+        if full is not None:
+            entry["fullDescription"] = {"text": full}
+        entries.append(entry)
     return entries
 
 

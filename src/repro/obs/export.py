@@ -112,7 +112,7 @@ def write_trace_json(path: str, tracer: Tracer) -> None:
         "dropped": tracer.dropped,
     }
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(payload, handle, indent=2)
+        json.dump(payload, handle, indent=2, sort_keys=True)
 
 
 def _write_jsonl(handle: IO[str], rows: list[dict[str, Any]]) -> None:

@@ -265,7 +265,9 @@ class MaterializedDetectionStore:
                 )
         else:
             manifest_path.write_text(
-                json.dumps({"format_version": FORMAT_VERSION}) + "\n", "utf-8"
+                json.dumps({"format_version": FORMAT_VERSION}, sort_keys=True)
+                + "\n",
+                "utf-8",
             )
 
     def _load_segment(self, path: Path) -> None:
@@ -358,7 +360,11 @@ class MaterializedDetectionStore:
                 self._writer = self._session_segment.open(
                     "a", encoding="utf-8"
                 )
-            self._writer.write(json.dumps(record) + "\n")
+            # sort_keys keeps segment bytes canonical (RPR011).  Compat:
+            # segments written before this change load fine — checksums
+            # are computed over the canonical re-encoding in _checksum,
+            # not over the raw line, so key order never affected them.
+            self._writer.write(json.dumps(record, sort_keys=True) + "\n")
             self._writer.flush()
             self._index[full_key] = value
             self._stores += 1

@@ -68,7 +68,7 @@ def result_to_dict(result: SelectionResult) -> dict:
 def save_result_json(result: SelectionResult, path: _PathLike) -> None:
     """Write a run to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(result_to_dict(result), handle, indent=2)
+        json.dump(result_to_dict(result), handle, indent=2, sort_keys=True)
 
 
 def load_result_json(path: _PathLike) -> SelectionResult:
@@ -278,7 +278,7 @@ def cache_stats_to_dict(stats: CacheStats) -> dict:
 def save_cache_stats_json(stats: CacheStats, path: _PathLike) -> None:
     """Write a store's :class:`CacheStats` snapshot to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(cache_stats_to_dict(stats), handle, indent=2)
+        json.dump(cache_stats_to_dict(stats), handle, indent=2, sort_keys=True)
 
 
 def fault_stats_to_dict(stats: FaultStats) -> dict:
@@ -289,4 +289,4 @@ def fault_stats_to_dict(stats: FaultStats) -> dict:
 def save_fault_stats_json(stats: FaultStats, path: _PathLike) -> None:
     """Write a :class:`FaultStats` snapshot to a JSON file."""
     with open(path, "w", encoding="utf-8") as handle:
-        json.dump(fault_stats_to_dict(stats), handle, indent=2)
+        json.dump(fault_stats_to_dict(stats), handle, indent=2, sort_keys=True)

@@ -1,0 +1,206 @@
+"""Incremental cache behaviour: hits, invalidation, byte-identity.
+
+The contract under test (see ``src/repro/lint/cache.py``): findings are
+byte-identical with or without the cache and for any ``--jobs`` value;
+cache keys fold in file content, the config fingerprint, the analyzer
+version and the active rule/select sets, so every invalidation is
+constructive (a changed ingredient simply produces a fresh key); and a
+corrupt entry degrades to a miss, never to wrong findings.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from textwrap import dedent
+
+from repro.lint.baseline import violation_fingerprint, write_baseline
+from repro.lint.cache import LintCache
+from repro.lint.engine import LintResult, lint_paths
+from repro.lint.project import LintConfig
+from repro.lint.report import render_json, render_sarif, render_text
+
+CONFIG = LintConfig()
+
+
+def write_tree(root: Path) -> list[Path]:
+    """A small mixed tree: clean files plus one RPR001 offender."""
+    package = root / "src" / "repro" / "core"
+    package.mkdir(parents=True)
+    files: list[Path] = []
+    for index in range(4):
+        clean = package / f"clean_{index}.py"
+        clean.write_text(
+            f"def helper_{index}(x):\n    return x + {index}\n",
+            encoding="utf-8",
+        )
+        files.append(clean)
+    offender = package / "offender.py"
+    offender.write_text(
+        dedent(
+            """
+            import random
+
+            def draw(key):
+                return random.random()
+            """
+        ).lstrip(),
+        encoding="utf-8",
+    )
+    files.append(offender)
+    return files
+
+
+def run(
+    root: Path,
+    cache: LintCache | None = None,
+    jobs: int = 1,
+    select: set[str] | None = None,
+) -> LintResult:
+    return lint_paths([root], select=select, jobs=jobs, config=CONFIG, cache=cache)
+
+
+def test_cold_then_warm_hits_everything(tmp_path: Path) -> None:
+    files = write_tree(tmp_path)
+    cache = LintCache(tmp_path / "cache")
+
+    cold = run(tmp_path, cache)
+    assert cache.file_hits == 0
+    assert cache.file_misses == len(files)
+    assert cache.project_hits == 0
+    assert cache.project_misses == 1
+
+    warm_cache = LintCache(tmp_path / "cache")
+    warm = run(tmp_path, warm_cache)
+    assert warm_cache.file_hits == len(files)
+    assert warm_cache.file_misses == 0
+    assert warm_cache.project_hits == 1
+    assert warm_cache.project_misses == 0
+    assert warm == cold
+
+
+def test_cold_and_warm_reports_are_byte_identical(tmp_path: Path) -> None:
+    write_tree(tmp_path)
+    cold = run(tmp_path, LintCache(tmp_path / "cache"))
+    warm = run(tmp_path, LintCache(tmp_path / "cache"))
+    uncached = run(tmp_path)
+    for render in (render_text, render_json, render_sarif):
+        assert render(cold) == render(warm) == render(uncached)
+
+
+def test_file_edit_invalidates_only_that_file_and_the_project(
+    tmp_path: Path,
+) -> None:
+    files = write_tree(tmp_path)
+    run(tmp_path, LintCache(tmp_path / "cache"))
+
+    edited = files[0]
+    edited.write_text(
+        "def helper_0(x):\n    return x - 1\n", encoding="utf-8"
+    )
+    cache = LintCache(tmp_path / "cache")
+    result = run(tmp_path, cache)
+    # Only the edited file recomputes; the project phase always keys over
+    # every file's digest, so one edit anywhere invalidates it too.
+    assert cache.file_misses == 1
+    assert cache.file_hits == len(files) - 1
+    assert cache.project_misses == 1
+    assert result == run(tmp_path)
+
+
+def test_config_change_invalidates_everything(tmp_path: Path) -> None:
+    files = write_tree(tmp_path)
+    run(tmp_path, LintCache(tmp_path / "cache"))
+
+    cache = LintCache(tmp_path / "cache")
+    other = LintConfig(persistence=("core",))
+    lint_paths([tmp_path], config=other, cache=cache)
+    assert cache.file_hits == 0
+    assert cache.file_misses == len(files)
+    assert cache.project_misses == 1
+
+
+def test_analyzer_version_bump_invalidates_everything(
+    tmp_path: Path, monkeypatch
+) -> None:
+    files = write_tree(tmp_path)
+    run(tmp_path, LintCache(tmp_path / "cache"))
+
+    # jobs=1 keeps everything in-process so the monkeypatch is visible.
+    monkeypatch.setattr("repro.lint.cache.ANALYZER_VERSION", "test-bump")
+    cache = LintCache(tmp_path / "cache")
+    result = run(tmp_path, cache)
+    assert cache.file_hits == 0
+    assert cache.file_misses == len(files)
+    assert cache.project_misses == 1
+    assert result == run(tmp_path)
+
+
+def test_select_sets_use_distinct_keys(tmp_path: Path) -> None:
+    files = write_tree(tmp_path)
+    narrow = run(tmp_path, LintCache(tmp_path / "cache"), select={"RPR001"})
+
+    # A full run must not be served from the narrow run's entries.
+    cache = LintCache(tmp_path / "cache")
+    full = run(tmp_path, cache)
+    assert cache.file_hits == 0
+    assert cache.file_misses == len(files)
+    assert full == run(tmp_path)
+    assert narrow == run(tmp_path, select={"RPR001"})
+
+
+def test_corrupt_entries_degrade_to_misses(tmp_path: Path) -> None:
+    write_tree(tmp_path)
+    cache_dir = tmp_path / "cache"
+    expected = run(tmp_path, LintCache(cache_dir))
+
+    for entry in cache_dir.glob("*.json"):
+        entry.write_text("{not json", encoding="utf-8")
+    cache = LintCache(cache_dir)
+    assert run(tmp_path, cache) == expected
+    assert cache.file_hits == 0
+    # The recompute heals the entries in place.
+    healed = LintCache(cache_dir)
+    assert run(tmp_path, healed) == expected
+    assert healed.file_misses == 0
+
+
+def test_jobs_and_cache_compose(tmp_path: Path) -> None:
+    write_tree(tmp_path)
+    serial = run(tmp_path)
+    cold_jobs = run(tmp_path, LintCache(tmp_path / "cache"), jobs=4)
+    warm_jobs = run(tmp_path, LintCache(tmp_path / "cache"), jobs=4)
+    assert serial == cold_jobs == warm_jobs
+    for render in (render_text, render_json, render_sarif):
+        assert render(serial) == render(cold_jobs) == render(warm_jobs)
+
+
+def test_missing_cache_dir_parent_degrades_gracefully(tmp_path: Path) -> None:
+    write_tree(tmp_path)
+    # A cache rooted somewhere creatable-but-absent just gets created;
+    # results match the uncached run either way.
+    nested = tmp_path / "a" / "b" / "cache"
+    assert run(tmp_path, LintCache(nested)) == run(tmp_path)
+    assert nested.is_dir()
+
+
+def test_baseline_fingerprints_stable_across_modes(tmp_path: Path) -> None:
+    write_tree(tmp_path)
+    runs = [
+        run(tmp_path),
+        run(tmp_path, LintCache(tmp_path / "cache")),
+        run(tmp_path, LintCache(tmp_path / "cache")),
+        run(tmp_path, LintCache(tmp_path / "cache"), jobs=4),
+        run(tmp_path, jobs=4),
+    ]
+    fingerprints = [
+        [violation_fingerprint(v) for v in result.violations] for result in runs
+    ]
+    assert all(prints == fingerprints[0] for prints in fingerprints)
+
+    # And the serialized baseline file itself is byte-identical.
+    texts = []
+    for index, result in enumerate(runs):
+        target = tmp_path / f"baseline_{index}.json"
+        write_baseline(target, result.violations)
+        texts.append(target.read_text(encoding="utf-8"))
+    assert all(text == texts[0] for text in texts)

@@ -21,7 +21,10 @@ from repro.lint import (
     load_config,
     module_name_for_path,
 )
-from repro.lint.project import _parse_layer_table, _parse_layer_table_fallback
+from repro.lint.project import (
+    _parse_repro_lint_tables,
+    _parse_repro_lint_tables_fallback,
+)
 
 
 def build_project(sources: dict[str, str]) -> Project:
@@ -433,11 +436,34 @@ TOML_SNIPPET = textwrap.dedent(
     """
 )
 
+TOML_SNIPPET_WITH_PERSISTENCE = textwrap.dedent(
+    """
+    [tool.repro-lint]
+    persistence = ["store", "/io.py"]
+
+    [tool.repro-lint.layers]
+    utils = []
+    core = ["utils"]
+    """
+)
+
 
 def test_layer_table_parsers_agree() -> None:
     expected = {"utils": (), "core": ("utils",), "cli": ("core", "utils")}
-    assert _parse_layer_table(TOML_SNIPPET) == expected
-    assert _parse_layer_table_fallback(TOML_SNIPPET) == expected
+    assert _parse_repro_lint_tables(TOML_SNIPPET) == (expected, None)
+    assert _parse_repro_lint_tables_fallback(TOML_SNIPPET) == (expected, None)
+
+
+def test_persistence_list_parsers_agree() -> None:
+    expected = (
+        {"utils": (), "core": ("utils",)},
+        ("store", "/io.py"),
+    )
+    assert _parse_repro_lint_tables(TOML_SNIPPET_WITH_PERSISTENCE) == expected
+    assert (
+        _parse_repro_lint_tables_fallback(TOML_SNIPPET_WITH_PERSISTENCE)
+        == expected
+    )
 
 
 def test_load_config_finds_repo_pyproject(tmp_path) -> None:

@@ -563,3 +563,415 @@ def test_rpr009_custom_dag_overrides_default() -> None:
     violations = run(sources, select={"RPR009"}, config=strict)
     assert [v.rule_id for v in violations] == ["RPR009"]
     assert "allowed: nothing" in violations[0].message
+
+
+# ---------------------------------------------------------------------------
+# RPR010 — ordered sinks
+
+
+def test_rpr010_set_into_json_dump_fires() -> None:
+    violations = run(
+        {
+            "src/repro/query/writer.py": """
+            import json
+
+            def persist(items, out):
+                keys = set(items)
+                out.write(json.dumps(list(keys)))
+            """,
+        },
+        select={"RPR010"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR010"]
+    message = violations[0].message
+    assert "set()" in message
+    assert "src/repro/query/writer.py:5" in message
+    assert "sorted(" in message
+
+
+def test_rpr010_sorted_normalization_stays_clean() -> None:
+    assert (
+        run(
+            {
+                "src/repro/query/writer.py": """
+                import json
+
+                def persist(items, out):
+                    keys = sorted(set(items))
+                    out.write(json.dumps(keys))
+                """,
+            },
+            select={"RPR010"},
+        )
+        == []
+    )
+
+
+def test_rpr010_inplace_sort_stays_clean() -> None:
+    assert (
+        run(
+            {
+                "src/repro/query/writer.py": """
+                import json
+
+                def persist(items, out):
+                    keys = list(set(items))
+                    keys.sort()
+                    out.write(json.dumps(keys))
+                """,
+            },
+            select={"RPR010"},
+        )
+        == []
+    )
+
+
+def test_rpr010_insertion_ordered_dict_views_stay_clean() -> None:
+    # Dicts are insertion-ordered: views over a deterministically built
+    # dict are deterministic, so they must NOT taint (the FP guard).
+    assert (
+        run(
+            {
+                "src/repro/query/writer.py": """
+                import json
+
+                def persist(records, out):
+                    table = {}
+                    for record in records:
+                        table[record.key] = record.value
+                    out.write(json.dumps(list(table.items()), sort_keys=True))
+                """,
+            },
+            select={"RPR010"},
+        )
+        == []
+    )
+
+
+def test_rpr010_views_over_unordered_dict_fire() -> None:
+    violations = run(
+        {
+            "src/repro/query/writer.py": """
+            import json
+
+            def persist(items, out):
+                table = dict.fromkeys(set(items))
+                keys = list(table)
+                out.write(json.dumps(sorted(items)))
+
+            def persist_views(items, out):
+                grouped = {}
+                for item in set(items):
+                    grouped[item] = 1
+                out.write(json.dumps(list(grouped.keys())))
+            """,
+        },
+        select={"RPR010"},
+    )
+    # Only the second function fires: its dict was *built* in set order.
+    assert [v.rule_id for v in violations] == ["RPR010"]
+    assert violations[0].line == 13
+
+
+def test_rpr010_listdir_through_helper_and_return_fires() -> None:
+    # Provenance survives a call hop and a return: the unsorted listdir
+    # happens in one module, the JSON write in another.
+    violations = run(
+        {
+            "src/repro/runner/scan.py": """
+            import os
+
+            def frame_files(root):
+                return [name for name in os.listdir(root)]
+            """,
+            "src/repro/runner/manifest.py": """
+            import json
+
+            from repro.runner.scan import frame_files
+
+            def write_manifest(root, out):
+                files = frame_files(root)
+                out.write(json.dumps(files))
+            """,
+        },
+        select={"RPR010"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR010"]
+    message = violations[0].message
+    assert "os.listdir()" in message
+    assert "flow:" in message
+    assert "returned by repro.runner.scan.frame_files" in message
+
+
+def test_rpr010_store_put_key_fires() -> None:
+    violations = run(
+        {
+            "src/repro/engine/keys.py": """
+            def index(store, names):
+                key = frozenset(names)
+                store.put(tuple(key), 1)
+            """,
+        },
+        select={"RPR010"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR010"]
+    assert "frozenset()" in violations[0].message
+
+
+def test_rpr010_joined_key_fires_and_sorted_join_does_not() -> None:
+    violations = run(
+        {
+            "src/repro/query/keys.py": """
+            def bad_key(parts):
+                return ":".join(set(parts))
+
+            def good_key(parts):
+                return ":".join(sorted(set(parts)))
+            """,
+        },
+        select={"RPR010"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR010"]
+    assert violations[0].line == 3
+
+
+def test_rpr010_outside_repro_namespace_is_exempt() -> None:
+    # Sinks in tests/benchmarks are not part of the persisted contract.
+    assert (
+        run(
+            {
+                "tests/helpers.py": """
+                import json
+
+                def dump(items, out):
+                    out.write(json.dumps(list(set(items))))
+                """,
+            },
+            select={"RPR010"},
+        )
+        == []
+    )
+
+
+# ---------------------------------------------------------------------------
+# RPR011 — unstable serialization in persistence modules
+
+
+def test_rpr011_json_dumps_without_sort_keys_fires() -> None:
+    violations = run(
+        {
+            "src/repro/query/matstore.py": """
+            import json
+
+            def save(record, fh):
+                fh.write(json.dumps(record))
+            """,
+        },
+        select={"RPR011"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR011"]
+    assert "sort_keys=True" in violations[0].message
+
+
+def test_rpr011_sorted_keys_and_nonpersistence_modules_clean() -> None:
+    # sort_keys=True passes; the same code outside a persistence module
+    # is out of scope.
+    assert (
+        run(
+            {
+                "src/repro/query/matstore.py": """
+                import json
+
+                def save(record, fh):
+                    fh.write(json.dumps(record, sort_keys=True))
+                """,
+                "src/repro/cli.py": """
+                import json
+
+                def show(record):
+                    print(json.dumps(record))
+                """,
+            },
+            select={"RPR011"},
+        )
+        == []
+    )
+
+
+def test_rpr011_sort_keys_false_fires() -> None:
+    violations = run(
+        {
+            "src/repro/query/matstore.py": """
+            import json
+
+            def save(record, fh):
+                fh.write(json.dumps(record, sort_keys=False))
+            """,
+        },
+        select={"RPR011"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR011"]
+
+
+def test_rpr011_id_hash_and_repr_keys_fire() -> None:
+    violations = run(
+        {
+            "src/repro/query/matstore.py": """
+            def key_for(obj):
+                return id(obj)
+
+            def slot_for(table, obj):
+                return table[hash(obj)]
+
+            def put(store, obj, value):
+                store.put(repr(obj), value)
+            """,
+        },
+        select={"RPR011"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR011"] * 3
+    messages = " | ".join(v.message for v in violations)
+    assert "id()" in messages
+    assert "hash()" in messages
+    assert "repr()-derived key" in messages
+
+
+def test_rpr011_diagnostic_repr_is_clean() -> None:
+    # repr() for error messages / __repr__ is fine — only key positions
+    # are flagged.
+    assert (
+        run(
+            {
+                "src/repro/query/matstore.py": """
+                def describe(obj):
+                    return f"unusable record {repr(obj)}"
+                """,
+            },
+            select={"RPR011"},
+        )
+        == []
+    )
+
+
+def test_rpr011_custom_persistence_config() -> None:
+    sources = {
+        "src/repro/query/custom_sink.py": """
+        import json
+
+        def save(record, fh):
+            fh.write(json.dumps(record))
+        """,
+    }
+    # Not matched by the default fragments...
+    assert run(sources, select={"RPR011"}) == []
+    # ... but a configured fragment pulls it into scope.
+    config = LintConfig(persistence=("custom_sink",))
+    violations = run(sources, select={"RPR011"}, config=config)
+    assert [v.rule_id for v in violations] == ["RPR011"]
+
+
+# ---------------------------------------------------------------------------
+# RPR012 — parallel-reduction order
+
+
+def test_rpr012_as_completed_accumulation_fires_with_chain() -> None:
+    violations = run(
+        {
+            "src/repro/engine/agg.py": """
+            from concurrent.futures import as_completed
+
+            def reduce_results(futures):
+                total = 0.0
+                for fut in as_completed(futures):
+                    total += fut.result()
+                return total
+            """,
+        },
+        select={"RPR012"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR012"]
+    message = violations[0].message
+    assert "'total'" in message
+    assert "as_completed() (completion order)" in message
+    # RPR007-style chain evidence.
+    assert "flow:" in message
+    assert "not associative" in message
+
+
+def test_rpr012_as_completed_then_sort_is_clean() -> None:
+    # The sanctioned pattern: drain completion order into a list, sort
+    # by a stable key, then fold.
+    assert (
+        run(
+            {
+                "src/repro/engine/agg.py": """
+                from concurrent.futures import as_completed
+
+                def reduce_results(futures):
+                    done = [(f.key, f.result()) for f in as_completed(futures)]
+                    done.sort()
+                    total = 0.0
+                    for _, value in done:
+                        total += value
+                    return total
+                """,
+            },
+            select={"RPR012"},
+        )
+        == []
+    )
+
+
+def test_rpr012_counters_are_exempt() -> None:
+    # Constant increments are order-independent: counting elements of a
+    # set is deterministic no matter the iteration order.
+    assert (
+        run(
+            {
+                "src/repro/engine/agg.py": """
+                def count(items):
+                    n = 0
+                    for _ in set(items):
+                        n += 1
+                    return n
+                """,
+            },
+            select={"RPR012"},
+        )
+        == []
+    )
+
+
+def test_rpr012_snapshot_merge_over_set_fires() -> None:
+    violations = run(
+        {
+            "src/repro/obs/agg.py": """
+            def combine(snapshots_by_name):
+                merged = None
+                for name in set(snapshots_by_name):
+                    merged = merged.merge(snapshots_by_name[name])
+                return merged
+            """,
+        },
+        select={"RPR012"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR012"]
+    assert ".merge()" in violations[0].message
+
+
+def test_rpr012_sorted_merge_is_clean() -> None:
+    assert (
+        run(
+            {
+                "src/repro/obs/agg.py": """
+                def combine(snapshots_by_name):
+                    merged = None
+                    for name in sorted(snapshots_by_name):
+                        merged = merged.merge(snapshots_by_name[name])
+                    return merged
+                """,
+            },
+            select={"RPR012"},
+        )
+        == []
+    )
