@@ -15,6 +15,8 @@ from repro.lint.base import LintError
 from repro.lint.baseline import apply_baseline, load_baseline, write_baseline
 from repro.lint.cache import LintCache
 from repro.lint.engine import LintResult, known_rule_ids, lint_paths
+from repro.lint.explain import RULE_GUIDES, format_guide
+from repro.lint.project import load_config
 from repro.lint.project_rules import ALL_PROJECT_RULES
 from repro.lint.report import render_json, render_sarif, render_text
 from repro.lint.rules import ALL_RULES
@@ -95,12 +97,60 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="print every rule's ID and summary, then exit",
     )
+    parser.add_argument(
+        "--explain",
+        metavar="RPR0XX",
+        default=None,
+        help=(
+            "print one rule's full guide — description, true/false "
+            "positive examples, sanctioned escapes — then exit"
+        ),
+    )
 
 
 def _list_rules() -> int:
     for rule in (*ALL_RULES, *ALL_PROJECT_RULES):
         print(f"{rule.rule_id}  {rule.summary}")
     return 0
+
+
+def _explain_rule(raw: str) -> int:
+    rule_id = raw.strip().upper()
+    guide = RULE_GUIDES.get(rule_id)
+    if guide is None:
+        print(
+            f"error: unknown rule {raw!r}; known: "
+            f"{', '.join(sorted(RULE_GUIDES))}",
+            file=sys.stderr,
+        )
+        return 2
+    summaries = {
+        rule.rule_id: rule.summary for rule in (*ALL_RULES, *ALL_PROJECT_RULES)
+    }
+    print(format_guide(guide, summaries.get(rule_id)))
+    return 0
+
+
+def _warn_unknown_config_keys(paths: Sequence[str]) -> None:
+    """Stderr warning for typo'd ``[tool.repro-lint]`` keys.
+
+    Exit-code-neutral by design: a typo'd ``persistance`` must not
+    *fail* the run, but it must not silently disable enforcement
+    either, so the warning always prints.
+    """
+    if not paths:
+        return
+    try:
+        config = load_config(paths[0])
+    except OSError:
+        return
+    if config.unknown_keys:
+        keys = ", ".join(repr(key) for key in config.unknown_keys)
+        print(
+            f"warning: unknown [tool.repro-lint] key(s) {keys} ignored "
+            "(known: layers, persistence, sanctioned-seams, bound-methods)",
+            file=sys.stderr,
+        )
 
 
 def _summary_line(result: LintResult, suppressed_by_baseline: int) -> str:
@@ -126,6 +176,9 @@ def run_lint(args: argparse.Namespace) -> int:
     """Execute a lint run from parsed arguments; returns the exit code."""
     if args.list_rules:
         return _list_rules()
+    if args.explain:
+        return _explain_rule(args.explain)
+    _warn_unknown_config_keys(args.paths)
     select = None
     if args.select:
         select = {part.strip().upper() for part in args.select.split(",") if part.strip()}
@@ -197,7 +250,7 @@ def main(argv: Sequence[str] | None = None) -> int:
     """Standalone entry point (``python -m repro.lint``)."""
     parser = argparse.ArgumentParser(
         prog="repro lint",
-        description="determinism & concurrency static analysis (rules RPR001-RPR012)",
+        description="determinism & concurrency static analysis (rules RPR001-RPR015)",
     )
     add_lint_arguments(parser)
     return run_lint(parser.parse_args(argv))

@@ -46,6 +46,16 @@ and is reported when it reaches an *ordered sink* — a JSON serialization,
 a store/put call on a store-like receiver, a joined key string, or a
 file write — or drives a float accumulation / snapshot merge whose
 result depends on reduction order.  See :func:`analyze_ordering`.
+
+A third analysis rides the same engine: **effect summaries**
+(RPR013/RPR014/RPR015).  Per function it computes a lattice summary of
+{mutates-self-field, mutates-global/module state, performs-io,
+captures-from-enclosing-scope, grows-container} propagated through
+calls, returns, ``self`` dispatch and closures — plus a purity taint
+tracking values derived from process/host/clock state.  RPR013 reads the
+capture/field-kind side (process-transport safety), RPR014 the purity
+sinks (cache purity), RPR015 the growth sites and bounding evidence
+(leak detection).  See :func:`analyze_effects`.
 """
 
 from __future__ import annotations
@@ -53,28 +63,38 @@ from __future__ import annotations
 import ast
 from collections import deque
 from collections.abc import Callable
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 
 from repro.lint.callgraph import CallGraph, resolve_call_target
 from repro.lint.project import (
     FunctionInfo,
     Project,
+    iter_owned_nodes,
     iter_owned_statements,
 )
 
 __all__ = [
+    "GROWTH_METHODS",
+    "IMPURE_CALLS",
+    "IMPURE_PREFIXES",
     "RNG_CONSTRUCTORS",
     "SANCTIONED_RNG",
     "SANCTIONED_SEED",
     "SCOPED_SEGMENTS",
     "UNORDERED_CALLS",
     "UNORDERED_METHODS",
+    "Effect",
+    "EffectSummary",
+    "EffectsReport",
+    "GrowthSite",
     "OrderOrigin",
     "OrderTaint",
     "OrderingFinding",
+    "PurityFinding",
     "Taint",
     "TaintFinding",
     "TaintOrigin",
+    "analyze_effects",
     "analyze_ordering",
     "analyze_rng_taint",
 ]
@@ -1066,6 +1086,1127 @@ class _OrderingAnalysis:
             chain=taint.chain,
             detail=detail,
         )
+
+
+# ---------------------------------------------------------------------------
+# Effect summaries (RPR013 / RPR014 / RPR015)
+# ---------------------------------------------------------------------------
+
+#: External call targets whose results depend on process/host/clock
+#: state — the impurity *sources* of the cache-purity analysis.
+IMPURE_CALLS: frozenset[str] = frozenset(
+    {
+        "os.getenv",
+        "os.environ.get",
+        "os.getpid",
+        "os.getcwd",
+        "os.cpu_count",
+        "os.urandom",
+        "socket.gethostname",
+        "getpass.getuser",
+    }
+)
+
+#: Dotted-prefix impurity sources: every callable under these modules
+#: reads ambient process/host/clock/entropy state.
+IMPURE_PREFIXES: tuple[str, ...] = (
+    "time.",
+    "uuid.",
+    "random.",
+    "numpy.random.",
+    "secrets.",
+    "platform.",
+)
+
+#: Clock-reading constructors on ``datetime.*`` receivers.
+_IMPURE_DATETIME_TAILS = frozenset({"now", "utcnow", "today"})
+
+#: Method names that grow a container in place.
+GROWTH_METHODS: frozenset[str] = frozenset(
+    {
+        "append",
+        "appendleft",
+        "add",
+        "update",
+        "extend",
+        "extendleft",
+        "insert",
+        "setdefault",
+    }
+)
+
+#: Growth methods that are *keyed upserts*: they insert at most once per
+#: distinct key, so the container is sized by its key domain rather than
+#: by iteration count — mutation, but not unbounded growth.
+_UPSERT_METHODS = frozenset({"setdefault"})
+
+#: Constructor tails marking a field as a lock-like object (never
+#: picklable, never transportable to a worker process).
+_LOCK_TAILS = frozenset(
+    {"Lock", "RLock", "Semaphore", "BoundedSemaphore", "Condition", "Event", "Barrier"}
+)
+
+#: Constructor tails marking a field as an open handle or worker pool.
+_HANDLE_TAILS = frozenset(
+    {
+        "open",
+        "Pool",
+        "ThreadPoolExecutor",
+        "ProcessPoolExecutor",
+        "make_backend",
+        "socket",
+        "TemporaryFile",
+        "NamedTemporaryFile",
+    }
+)
+
+#: Constructor tails marking tracers/observability backends — process-
+#: local state whose worker-side copy silently diverges from the parent.
+_TRACER_TAILS = frozenset({"Tracer", "SpanTracer", "Backend", "Observability"})
+
+#: Mutable-container constructors recognized in field initializers.
+_CONTAINER_CONSTRUCTORS = frozenset(
+    {"list", "dict", "set", "deque", "defaultdict", "OrderedDict", "Counter"}
+)
+
+#: Store/persistence sink method names for the purity check (RPR014).
+_PURITY_SINK_METHODS = frozenset({"put", "store"})
+
+#: Receiver-name fragments marking cache/store persistence objects.
+_PURITY_SINK_RECEIVERS = ("store", "cache", "tier")
+
+#: Class-name fragments that make bare ``self.put(...)`` a purity sink.
+_STORE_CLASS_HINTS = ("store", "cache")
+
+
+@dataclass(frozen=True)
+class Effect:
+    """One observed side effect (or impurity source) with evidence.
+
+    ``kind`` is one of ``"mutates-self"``, ``"mutates-global"``,
+    ``"io"``, ``"captures"``, ``"grows"`` — or ``"impure"`` for the
+    purity taint that rides the same fixpoint.
+    """
+
+    kind: str
+    subject: str
+    detail: str
+    path: str
+    line: int
+    chain: tuple[str, ...] = ()
+
+    def extend(self, hop: str) -> Effect:
+        if len(self.chain) >= _MAX_CHAIN_HOPS:
+            return self
+        return Effect(
+            kind=self.kind,
+            subject=self.subject,
+            detail=self.detail,
+            path=self.path,
+            line=self.line,
+            chain=(*self.chain, hop),
+        )
+
+    def describe(self) -> str:
+        return f"{self.detail} at {self.path}:{self.line}"
+
+
+@dataclass
+class EffectSummary:
+    """Per-function element of the effect lattice.
+
+    Every map grows first-wins under the fixpoint (a function's summary
+    only ever gains entries), which is what guarantees termination on
+    recursive call cycles — the same discipline as the RNG and ordering
+    passes.
+    """
+
+    mutates_self: dict[str, Effect] = field(default_factory=dict)
+    mutates_global: dict[str, Effect] = field(default_factory=dict)
+    io: Effect | None = None
+    captures: dict[str, Effect] = field(default_factory=dict)
+    grows: dict[str, Effect] = field(default_factory=dict)
+
+
+@dataclass(frozen=True)
+class GrowthSite:
+    """One direct grow operation on an instance or module container."""
+
+    qname: str
+    module: str
+    path: str
+    line: int
+    col: int
+    container: str
+    op: str
+    in_loop: bool
+
+
+@dataclass(frozen=True)
+class PurityFinding:
+    """An impure value flowing into a cache/store persistence call."""
+
+    entry: str
+    path: str
+    line: int
+    col: int
+    sink: str
+    source: Effect
+
+
+@dataclass
+class EffectsReport:
+    """Everything the effect fixpoint proves; RPR013–015 read this.
+
+    Attributes:
+        summaries: Per-function :class:`EffectSummary` by qname.
+        growth_sites: Every direct grow operation found, sorted.
+        bounded: Container keys (``Class.attr`` / ``module.name``) with
+            bounding evidence *somewhere* in the project — bounded
+            construction (``deque(maxlen=...)``), an eviction method
+            call, a ``del c[...]``, or wholesale reassignment outside
+            ``__init__``.
+        field_kinds: ``class -> attr -> kind`` for fields holding locks,
+            open handles, or tracers/backends (RPR013's transport
+            hazards).
+        loop_lines: Per-function line sets covered by loop bodies, used
+            to decide whether a call site executes repeatedly.
+        purity_findings: RPR014 sink hits, sorted.
+    """
+
+    summaries: dict[str, EffectSummary]
+    growth_sites: tuple[GrowthSite, ...]
+    bounded: frozenset[str]
+    field_kinds: dict[str, dict[str, str]]
+    loop_lines: dict[str, frozenset[int]]
+    purity_findings: tuple[PurityFinding, ...]
+
+
+def analyze_effects(project: Project, graph: CallGraph) -> EffectsReport:
+    """Run the effect/purity fixpoint (memoized per project)."""
+    if project.effects_cache is None:
+        project.effects_cache = _EffectAnalysis(project, graph).run()
+    return project.effects_cache
+
+
+def _classify_value(value: ast.expr | None) -> str | None:
+    """Transport-hazard kind of an assigned value, else ``None``."""
+    if not isinstance(value, ast.Call):
+        return None
+    func = value.func
+    dotted = _dotted(func)
+    tail = dotted.rpartition(".")[2] if dotted is not None else None
+    if tail is None and isinstance(func, ast.Attribute):
+        tail = func.attr
+    if tail is None:
+        return None
+    if tail in _LOCK_TAILS:
+        return "lock"
+    if tail in _HANDLE_TAILS:
+        return "open handle"
+    if tail in _TRACER_TAILS or tail.endswith(("Tracer", "Backend")):
+        return "tracer/backend"
+    return None
+
+
+def _is_mutable_container(value: ast.expr | None) -> bool:
+    if isinstance(value, (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)):
+        return True
+    if isinstance(value, ast.Call):
+        dotted = _dotted(value.func)
+        tail = dotted.rpartition(".")[2] if dotted is not None else None
+        return tail in _CONTAINER_CONSTRUCTORS
+    return False
+
+
+def _is_bounded_construction(value: ast.expr | None) -> bool:
+    """True for containers bounded at construction (``deque(maxlen=N)``,
+    LRU/bounded cache classes)."""
+    if not isinstance(value, ast.Call):
+        return False
+    dotted = _dotted(value.func)
+    tail = dotted.rpartition(".")[2] if dotted is not None else ""
+    if tail == "deque":
+        for keyword in value.keywords:
+            if keyword.arg == "maxlen" and not (
+                isinstance(keyword.value, ast.Constant)
+                and keyword.value.value is None
+            ):
+                return True
+        return False
+    lowered = tail.lower()
+    return "lru" in lowered or "bounded" in lowered
+
+
+def _local_names(fn: FunctionInfo) -> frozenset[str]:
+    """Parameter and locally-bound names of one function.  Names the
+    function declares ``global``/``nonlocal`` are excluded — writes to
+    them target the outer scope."""
+    names = set(fn.params)
+    for node in iter_owned_nodes(fn.node):
+        if isinstance(node, ast.Name) and isinstance(node.ctx, ast.Store):
+            names.add(node.id)
+        elif isinstance(node, ast.ExceptHandler) and node.name:
+            names.add(node.name)
+    for node in iter_owned_nodes(fn.node):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            names.difference_update(node.names)
+    return frozenset(names)
+
+
+#: Loop constructs; calls inside comprehensions also run per element.
+_LOOP_NODES = (
+    ast.For,
+    ast.AsyncFor,
+    ast.While,
+    ast.ListComp,
+    ast.SetComp,
+    ast.DictComp,
+    ast.GeneratorExp,
+)
+
+
+def _loop_line_set(fn: FunctionInfo) -> frozenset[int]:
+    lines: set[int] = set()
+    for node in iter_owned_nodes(fn.node):
+        if isinstance(node, _LOOP_NODES):
+            end = node.end_lineno or node.lineno
+            lines.update(range(node.lineno, end + 1))
+    return frozenset(lines)
+
+
+class _EffectAnalysis:
+    """Interprocedural effect-summary pass (third user of the fixpoint).
+
+    Two deterministic pre-sweeps seed the lattice before the worklist
+    runs: a *class sweep* classifying fields (mutable containers,
+    bounded-at-construction containers, transport hazards, fields
+    reassigned outside ``__init__``), then a *function sweep* recording
+    direct effects — growth sites, bounding evidence, closure captures,
+    io — plus per-function loop-line sets.  The fixpoint then propagates
+    module mutation, growth, io and the purity taint through resolved
+    calls, returns and ``self`` dispatch with first-wins summaries.
+    """
+
+    def __init__(self, project: Project, graph: CallGraph) -> None:
+        self.project = project
+        self.graph = graph
+        self.summaries: dict[str, EffectSummary] = {}
+        self._impure_params: dict[str, dict[str, Effect]] = {}
+        self._impure_returns: dict[str, Effect] = {}
+        self._findings: dict[tuple[str, int, int, str], PurityFinding] = {}
+        self._growth: dict[tuple[str, int, int, str], GrowthSite] = {}
+        self._bounded: set[str] = set()
+        self._field_kinds: dict[str, dict[str, str]] = {}
+        self._mutable_fields: dict[str, set[str]] = {}
+        self._mutated_outside_init: dict[str, dict[str, Effect]] = {}
+        self._loop_lines: dict[str, frozenset[int]] = {}
+        self._locals: dict[str, frozenset[str]] = {}
+        self._module_containers: dict[str, str | None] = {}
+        self._seams = project.config.sanctioned_seam_targets()
+        self._bounders = project.config.bounding_methods()
+
+    def run(self) -> EffectsReport:
+        for qname in sorted(self.project.functions):
+            self._scan_class_fields(self.project.functions[qname])
+        for qname in sorted(self.project.functions):
+            self._collect_direct(self.project.functions[qname])
+        _run_fixpoint(self.project, self._analyze)
+        return EffectsReport(
+            summaries=self.summaries,
+            growth_sites=tuple(
+                sorted(
+                    self._growth.values(),
+                    key=lambda s: (s.path, s.line, s.col, s.container),
+                )
+            ),
+            bounded=frozenset(self._bounded),
+            field_kinds=self._field_kinds,
+            loop_lines=self._loop_lines,
+            purity_findings=tuple(
+                sorted(
+                    self._findings.values(),
+                    key=lambda f: (f.path, f.line, f.col, f.sink),
+                )
+            ),
+        )
+
+    # ---- pre-sweep 1: class fields --------------------------------------
+
+    def _scan_class_fields(self, fn: FunctionInfo) -> None:
+        if fn.class_qname is None or isinstance(fn.node, ast.Lambda):
+            return
+        cls = fn.class_qname
+        kinds = self._field_kinds.setdefault(cls, {})
+        in_init = fn.name == "__init__"
+        module = self.project.modules.get(fn.module)
+        path = module.path if module is not None else fn.module
+        for stmt in _owned_statements(fn):
+            pairs: list[tuple[str, ast.expr | None, int]] = []
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                attr = _self_attr(stmt.targets[0])
+                if attr is not None:
+                    pairs.append((attr, stmt.value, stmt.lineno))
+            elif isinstance(stmt, ast.AnnAssign):
+                attr = _self_attr(stmt.target)
+                if attr is not None:
+                    pairs.append((attr, stmt.value, stmt.lineno))
+            for attr, value, lineno in pairs:
+                kind = _classify_value(value)
+                if kind is not None and attr not in kinds:
+                    kinds[attr] = kind
+                key = f"{cls}.{attr}"
+                if in_init:
+                    if _is_mutable_container(value):
+                        self._mutable_fields.setdefault(cls, set()).add(attr)
+                    if _is_bounded_construction(value):
+                        self._bounded.add(key)
+                else:
+                    # Wholesale reassignment outside __init__ retires the
+                    # old contents — bounding evidence for RPR015, and a
+                    # post-construction mutation for RPR014.
+                    self._bounded.add(key)
+                    self._note_outside_init(
+                        cls, attr, path, lineno, f"self.{attr} reassigned"
+                    )
+
+    def _note_outside_init(
+        self, cls: str, attr: str, path: str, line: int, detail: str
+    ) -> None:
+        mutated = self._mutated_outside_init.setdefault(cls, {})
+        if attr not in mutated:
+            mutated[attr] = Effect(
+                kind="mutates-self",
+                subject=f"self.{attr}",
+                detail=detail,
+                path=path,
+                line=line,
+            )
+
+    # ---- pre-sweep 2: direct effects ------------------------------------
+
+    def _collect_direct(self, fn: FunctionInfo) -> None:
+        summary = self.summaries.setdefault(fn.qname, EffectSummary())
+        module = self.project.modules.get(fn.module)
+        path = module.path if module is not None else fn.module
+        locals_ = _local_names(fn)
+        self._locals[fn.qname] = locals_
+        loops = self._loop_lines[fn.qname] = _loop_line_set(fn)
+        upserts = self._upsert_guarded(fn, locals_)
+        self._collect_captures(fn, summary, path)
+        for node in iter_owned_nodes(fn.node):
+            if isinstance(node, ast.Call):
+                if isinstance(node.func, ast.Attribute):
+                    self._container_method_effects(
+                        fn, node, summary, path, locals_, node.lineno in loops, upserts
+                    )
+                self._io_effect(fn, node, summary, path)
+        for stmt in _owned_statements(fn):
+            in_loop = stmt.lineno in loops
+            if isinstance(stmt, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+                self._store_effects(
+                    fn, stmt, summary, path, locals_, in_loop, upserts
+                )
+            elif isinstance(stmt, ast.Delete):
+                for target in stmt.targets:
+                    if isinstance(target, ast.Subscript):
+                        container = self._container_of(fn, target.value, locals_)
+                        if container is not None:
+                            self._bounded.add(container[0])
+
+    def _upsert_guarded(
+        self, fn: FunctionInfo, locals_: frozenset[str]
+    ) -> frozenset[str]:
+        """Container keys this function grows only behind a key guard.
+
+        A function that reads ``container.get(key)`` or tests
+        ``key in container`` before storing follows the keyed-upsert
+        idiom (registries, interning caches): it inserts at most once
+        per distinct key, so the container is sized by its key domain
+        rather than by how often the function runs.  Stores to such
+        containers are mutations but not unbounded growth.
+        """
+        guarded: set[str] = set()
+        for node in iter_owned_nodes(fn.node):
+            if (
+                isinstance(node, ast.Call)
+                and isinstance(node.func, ast.Attribute)
+                and node.func.attr == "get"
+            ):
+                container = self._container_of(fn, node.func.value, locals_)
+                if container is not None:
+                    guarded.add(container[0])
+            elif isinstance(node, ast.Compare) and any(
+                isinstance(op, (ast.In, ast.NotIn)) for op in node.ops
+            ):
+                for comparator in node.comparators:
+                    container = self._container_of(fn, comparator, locals_)
+                    if container is not None:
+                        guarded.add(container[0])
+        return frozenset(guarded)
+
+    def _collect_captures(
+        self, fn: FunctionInfo, summary: EffectSummary, path: str
+    ) -> None:
+        """Free variables of a nested def/lambda, classified by what the
+        enclosing scope binds them to."""
+        if fn.parent is None:
+            return
+        ancestors: list[FunctionInfo] = []
+        parent = fn.parent
+        while parent is not None:
+            info = self.project.functions.get(parent)
+            if info is None:
+                break
+            ancestors.append(info)
+            parent = info.parent
+        if not ancestors:
+            return
+        own = self._locals.get(fn.qname)
+        if own is None:
+            own = self._locals[fn.qname] = _local_names(fn)
+        for node in iter_owned_nodes(fn.node):
+            if not (isinstance(node, ast.Name) and isinstance(node.ctx, ast.Load)):
+                continue
+            name = node.id
+            if name in own or name in summary.captures:
+                continue
+            for ancestor in ancestors:
+                outer = self._locals.get(ancestor.qname)
+                if outer is None:
+                    outer = self._locals[ancestor.qname] = _local_names(ancestor)
+                if name not in outer:
+                    continue
+                kind = self._captured_kind(ancestor, name)
+                summary.captures[name] = Effect(
+                    kind="captures",
+                    subject=name,
+                    detail=f"captures {name!r} ({kind}) from {ancestor.qname}",
+                    path=path,
+                    line=node.lineno,
+                )
+                break
+
+    def _captured_kind(self, ancestor: FunctionInfo, name: str) -> str:
+        for stmt in _owned_statements(ancestor):
+            value: ast.expr | None = None
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name) and target.id == name:
+                    value = stmt.value
+            elif isinstance(stmt, ast.AnnAssign):
+                if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                    value = stmt.value
+            elif isinstance(stmt, ast.With):
+                for item in stmt.items:
+                    if (
+                        isinstance(item.optional_vars, ast.Name)
+                        and item.optional_vars.id == name
+                    ):
+                        value = item.context_expr
+            if value is None:
+                continue
+            kind = _classify_value(value)
+            if kind is not None:
+                return kind
+        return "value"
+
+    def _container_of(
+        self, fn: FunctionInfo, expr: ast.expr, locals_: frozenset[str]
+    ) -> tuple[str, str] | None:
+        """(container key, display name) for a mutation receiver, or
+        ``None`` when the receiver is a local/parameter (mutating an
+        argument is the caller's concern) or unresolvable."""
+        attr = _self_attr(expr)
+        if attr is not None and fn.class_qname is not None:
+            return f"{fn.class_qname}.{attr}", f"self.{attr}"
+        if isinstance(expr, ast.Name) and expr.id not in locals_:
+            name = expr.id
+            module = self.project.modules.get(fn.module)
+            if module is None:
+                return None
+            binding = module.env.get(name)
+            if binding is None:
+                # A module-level variable of this module.
+                return f"{fn.module}.{name}", name
+            if binding[0] == "member":
+                resolved = self.project.resolve(fn.module, name)
+                if resolved is not None and resolved.kind == "external":
+                    owner = resolved.target.rpartition(".")[0]
+                    # Imported module state, not a true third-party name.
+                    if owner in self.project.modules:
+                        return resolved.target, name
+        return None
+
+    def _module_container_kind(self, key: str) -> str | None:
+        """``"bounded"`` / ``"mutable"`` / ``None`` for a module-level
+        ``module.name`` key, from the owning module's top-level assigns."""
+        cached = self._module_containers.get(key)
+        if key in self._module_containers:
+            return cached
+        owner, _, name = key.rpartition(".")
+        kind: str | None = None
+        module = self.project.modules.get(owner)
+        if module is not None:
+            for stmt in module.context.tree.body:
+                value: ast.expr | None = None
+                if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                    target = stmt.targets[0]
+                    if isinstance(target, ast.Name) and target.id == name:
+                        value = stmt.value
+                elif isinstance(stmt, ast.AnnAssign):
+                    if isinstance(stmt.target, ast.Name) and stmt.target.id == name:
+                        value = stmt.value
+                if value is None:
+                    continue
+                if _is_bounded_construction(value):
+                    kind = "bounded"
+                elif _is_mutable_container(value):
+                    kind = "mutable"
+                break
+        self._module_containers[key] = kind
+        return kind
+
+    def _growable(self, fn: FunctionInfo, expr: ast.expr, key: str) -> bool:
+        attr = _self_attr(expr)
+        if attr is not None and fn.class_qname is not None:
+            return attr in self._mutable_fields.get(fn.class_qname, set())
+        kind = self._module_container_kind(key)
+        if kind == "bounded":
+            self._bounded.add(key)
+            return False
+        return kind == "mutable"
+
+    def _container_method_effects(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        summary: EffectSummary,
+        path: str,
+        locals_: frozenset[str],
+        in_loop: bool,
+        upserts: frozenset[str],
+    ) -> None:
+        func = call.func
+        assert isinstance(func, ast.Attribute)
+        method = func.attr
+        is_growth = method in GROWTH_METHODS
+        is_bounder = method in self._bounders
+        if not (is_growth or is_bounder):
+            return
+        container = self._container_of(fn, func.value, locals_)
+        if container is None:
+            return
+        key, display = container
+        if is_bounder:
+            self._bounded.add(key)
+        effect = Effect(
+            kind="mutates-self" if display.startswith("self.") else "mutates-global",
+            subject=display,
+            detail=f".{method}() on {display}",
+            path=path,
+            line=call.lineno,
+            chain=(f"mutated in {fn.qname} ({path}:{call.lineno})",),
+        )
+        self._note_mutation(fn, summary, key, display, effect)
+        if (
+            is_growth
+            and method not in _UPSERT_METHODS
+            and key not in upserts
+            and self._growable(fn, func.value, key)
+        ):
+            self._add_growth(fn, summary, key, f".{method}()", call, path, in_loop, effect)
+
+    def _store_effects(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.Assign | ast.AnnAssign | ast.AugAssign,
+        summary: EffectSummary,
+        path: str,
+        locals_: frozenset[str],
+        in_loop: bool,
+        upserts: frozenset[str],
+    ) -> None:
+        targets = stmt.targets if isinstance(stmt, ast.Assign) else [stmt.target]
+        for target in targets:
+            if isinstance(target, ast.Subscript):
+                container = self._container_of(fn, target.value, locals_)
+                if container is None:
+                    continue
+                key, display = container
+                effect = Effect(
+                    kind=(
+                        "mutates-self"
+                        if display.startswith("self.")
+                        else "mutates-global"
+                    ),
+                    subject=display,
+                    detail=f"{display}[...] = ... store",
+                    path=path,
+                    line=stmt.lineno,
+                    chain=(f"mutated in {fn.qname} ({path}:{stmt.lineno})",),
+                )
+                self._note_mutation(fn, summary, key, display, effect)
+                # ``d[k] += x`` requires the key to exist already, a
+                # keyed-upsert guard makes the store once-per-key, and a
+                # RHS that reads the container back is a fold/rewrite of
+                # existing entries — none of those are unbounded growth.
+                if (
+                    not isinstance(stmt, ast.AugAssign)
+                    and key not in upserts
+                    and not self._rhs_reads_container(fn, stmt, locals_, key)
+                    and self._growable(fn, target.value, key)
+                ):
+                    self._add_growth(
+                        fn, summary, key, "[...]= store", stmt, path, in_loop, effect
+                    )
+            elif isinstance(stmt, ast.AugAssign):
+                attr = _self_attr(target)
+                if attr is None or fn.class_qname is None:
+                    continue
+                key = f"{fn.class_qname}.{attr}"
+                display = f"self.{attr}"
+                effect = Effect(
+                    kind="mutates-self",
+                    subject=display,
+                    detail=f"augmented assignment to {display}",
+                    path=path,
+                    line=stmt.lineno,
+                    chain=(f"mutated in {fn.qname} ({path}:{stmt.lineno})",),
+                )
+                self._note_mutation(fn, summary, key, display, effect)
+                # += on a mutable container concatenates; on counters it
+                # is numeric and excluded by the mutable-field gate.
+                if attr in self._mutable_fields.get(fn.class_qname, set()):
+                    self._add_growth(
+                        fn, summary, key, "augmented +=", stmt, path, in_loop, effect
+                    )
+
+    def _rhs_reads_container(
+        self,
+        fn: FunctionInfo,
+        stmt: ast.Assign | ast.AnnAssign,
+        locals_: frozenset[str],
+        key: str,
+    ) -> bool:
+        """True when the stored value reads the same container back."""
+        if stmt.value is None:
+            return False
+        for node in ast.walk(stmt.value):
+            if isinstance(node, (ast.Attribute, ast.Name)):
+                container = self._container_of(fn, node, locals_)
+                if container is not None and container[0] == key:
+                    return True
+        return False
+
+    def _note_mutation(
+        self,
+        fn: FunctionInfo,
+        summary: EffectSummary,
+        key: str,
+        display: str,
+        effect: Effect,
+    ) -> None:
+        if display.startswith("self."):
+            attr = display[len("self.") :]
+            summary.mutates_self.setdefault(attr, effect)
+            if fn.name != "__init__" and fn.class_qname is not None:
+                self._note_outside_init(
+                    fn.class_qname, attr, effect.path, effect.line, effect.detail
+                )
+        else:
+            summary.mutates_global.setdefault(key, effect)
+
+    def _add_growth(
+        self,
+        fn: FunctionInfo,
+        summary: EffectSummary,
+        key: str,
+        op: str,
+        node: ast.stmt | ast.expr,
+        path: str,
+        in_loop: bool,
+        effect: Effect,
+    ) -> None:
+        site = GrowthSite(
+            qname=fn.qname,
+            module=fn.module,
+            path=path,
+            line=node.lineno,
+            col=node.col_offset,
+            container=key,
+            op=op,
+            in_loop=in_loop,
+        )
+        self._growth.setdefault((path, site.line, site.col, key), site)
+        summary.grows.setdefault(
+            key,
+            Effect(
+                kind="grows",
+                subject=key,
+                detail=f"{key} grows via {op}",
+                path=path,
+                line=site.line,
+                chain=effect.chain,
+            ),
+        )
+
+    def _io_effect(
+        self, fn: FunctionInfo, call: ast.Call, summary: EffectSummary, path: str
+    ) -> None:
+        if summary.io is not None:
+            return
+        func = call.func
+        detail: str | None = None
+        if isinstance(func, ast.Name) and func.id in ("open", "print", "input"):
+            module = self.project.modules.get(fn.module)
+            if module is None or func.id not in module.env:
+                detail = f"{func.id}()"
+        elif isinstance(func, ast.Attribute) and func.attr in (
+            "write",
+            "writelines",
+            "write_text",
+            "read_text",
+            "read_bytes",
+            "mkdir",
+            "unlink",
+        ):
+            detail = f".{func.attr}()"
+        if detail is not None:
+            summary.io = Effect(
+                kind="io",
+                subject=detail,
+                detail=f"performs io via {detail}",
+                path=path,
+                line=call.lineno,
+                chain=(f"io in {fn.qname} ({path}:{call.lineno})",),
+            )
+
+    # ---- fixpoint transfer ----------------------------------------------
+
+    def _analyze(self, fn: FunctionInfo) -> list[str]:
+        touched: list[str] = []
+        summary = self.summaries.setdefault(fn.qname, EffectSummary())
+        env: dict[str, Effect] = dict(self._impure_params.get(fn.qname, {}))
+        module = self.project.modules.get(fn.module)
+        path = module.path if module is not None else fn.module
+        scoped = fn.module == "repro" or fn.module.startswith("repro.")
+        changed = False
+        for stmt in _owned_statements(fn):
+            for node in _stmt_nodes(stmt):
+                if isinstance(node, ast.Call):
+                    changed |= self._absorb_callee(fn, node, summary, path)
+                    touched.extend(self._bind_impure_args(fn, node, env, path))
+                    if scoped:
+                        self._check_purity_sink(fn, node, env, path)
+            if isinstance(stmt, ast.Assign) and len(stmt.targets) == 1:
+                taint = self._expr_impurity(fn, stmt.value, env, path)
+                target = stmt.targets[0]
+                if isinstance(target, ast.Name):
+                    if taint is not None:
+                        env[target.id] = taint
+                    else:
+                        env.pop(target.id, None)
+            elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+                if isinstance(stmt.target, ast.Name):
+                    taint = self._expr_impurity(fn, stmt.value, env, path)
+                    if taint is not None:
+                        env[stmt.target.id] = taint
+                    else:
+                        env.pop(stmt.target.id, None)
+            elif isinstance(stmt, ast.AugAssign) and isinstance(stmt.target, ast.Name):
+                taint = self._expr_impurity(fn, stmt.value, env, path)
+                if taint is not None:
+                    env[stmt.target.id] = taint
+            elif isinstance(stmt, ast.Return) and stmt.value is not None:
+                taint = self._expr_impurity(fn, stmt.value, env, path)
+                if taint is not None and fn.qname not in self._impure_returns:
+                    self._impure_returns[fn.qname] = taint.extend(
+                        f"returned by {fn.qname} ({path}:{stmt.lineno})"
+                    )
+                    touched.extend(
+                        site.caller for site in self.graph.callers(fn.qname)
+                    )
+        if changed:
+            touched.extend(site.caller for site in self.graph.callers(fn.qname))
+        return touched
+
+    def _absorb_callee(
+        self, fn: FunctionInfo, call: ast.Call, summary: EffectSummary, path: str
+    ) -> bool:
+        callee_q = resolve_call_target(self.project, fn, call)
+        if callee_q is None or callee_q == fn.qname:
+            return False
+        callee_summary = self.summaries.get(callee_q)
+        if callee_summary is None:
+            return False
+        hop = f"called from {fn.qname} ({path}:{call.lineno})"
+        changed = False
+        for key, effect in sorted(callee_summary.mutates_global.items()):
+            if key not in summary.mutates_global:
+                summary.mutates_global[key] = effect.extend(hop)
+                changed = True
+        for key, effect in sorted(callee_summary.grows.items()):
+            if key not in summary.grows:
+                summary.grows[key] = effect.extend(hop)
+                changed = True
+        if summary.io is None and callee_summary.io is not None:
+            summary.io = callee_summary.io.extend(hop)
+            changed = True
+        # self-dispatch executes the callee's field mutations on *this*
+        # instance; calls through other receivers stay with the callee.
+        if (
+            isinstance(call.func, ast.Attribute)
+            and isinstance(call.func.value, ast.Name)
+            and call.func.value.id == "self"
+        ):
+            for attr, effect in sorted(callee_summary.mutates_self.items()):
+                if attr not in summary.mutates_self:
+                    summary.mutates_self[attr] = effect.extend(hop)
+                    changed = True
+        return changed
+
+    # ---- purity taint ---------------------------------------------------
+
+    def _bind_impure_args(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, Effect],
+        path: str,
+    ) -> list[str]:
+        callee_q = resolve_call_target(self.project, fn, call)
+        if callee_q is None:
+            return []
+        callee = self.project.functions.get(callee_q)
+        if callee is None:
+            return []
+        touched: list[str] = []
+        offset = 1 if callee.is_method else 0
+        hop = f"passed to {callee_q} ({path}:{call.lineno})"
+        params = self._impure_params.setdefault(callee_q, {})
+        for index, arg in enumerate(call.args):
+            if isinstance(arg, ast.Starred):
+                continue
+            slot = index + offset
+            if slot >= len(callee.params):
+                break
+            taint = self._expr_impurity(fn, arg, env, path)
+            if taint is not None and callee.params[slot] not in params:
+                params[callee.params[slot]] = taint.extend(hop)
+                touched.append(callee_q)
+        for keyword in call.keywords:
+            if keyword.arg is None or keyword.arg not in callee.params:
+                continue
+            taint = self._expr_impurity(fn, keyword.value, env, path)
+            if taint is not None and keyword.arg not in params:
+                params[keyword.arg] = taint.extend(hop)
+                touched.append(callee_q)
+        return touched
+
+    def _expr_impurity(
+        self,
+        fn: FunctionInfo,
+        expr: ast.expr,
+        env: dict[str, Effect],
+        path: str,
+    ) -> Effect | None:
+        if isinstance(expr, ast.Name):
+            return env.get(expr.id)
+        if isinstance(expr, ast.Attribute):
+            attr = _self_attr(expr)
+            if attr is not None and fn.class_qname is not None:
+                template = self._mutated_outside_init.get(fn.class_qname, {}).get(attr)
+                if template is not None:
+                    return Effect(
+                        kind="impure",
+                        subject=f"self.{attr}",
+                        detail=(
+                            f"read of self.{attr}, mutated outside __init__ "
+                            f"({template.describe()})"
+                        ),
+                        path=path,
+                        line=expr.lineno,
+                        chain=(f"read in {fn.qname} ({path}:{expr.lineno})",),
+                    )
+            # Attribute reads off impure locals do NOT propagate: the
+            # analysis is value-granular (``result.output`` stays clean
+            # when only ``result.wall_ms`` carried the clock) — the
+            # documented RPR014 trade-off.
+            return None
+        if isinstance(expr, ast.Call):
+            return self._call_impurity(fn, expr, env, path)
+        if isinstance(expr, ast.BinOp):
+            return self._expr_impurity(
+                fn, expr.left, env, path
+            ) or self._expr_impurity(fn, expr.right, env, path)
+        if isinstance(expr, ast.UnaryOp):
+            return self._expr_impurity(fn, expr.operand, env, path)
+        if isinstance(expr, ast.Compare):
+            for sub in (expr.left, *expr.comparators):
+                taint = self._expr_impurity(fn, sub, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.IfExp):
+            return self._expr_impurity(
+                fn, expr.body, env, path
+            ) or self._expr_impurity(fn, expr.orelse, env, path)
+        if isinstance(expr, ast.BoolOp):
+            for value in expr.values:
+                taint = self._expr_impurity(fn, value, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.NamedExpr):
+            return self._expr_impurity(fn, expr.value, env, path)
+        if isinstance(expr, ast.Starred):
+            return self._expr_impurity(fn, expr.value, env, path)
+        if isinstance(expr, (ast.Tuple, ast.List, ast.Set)):
+            for element in expr.elts:
+                taint = self._expr_impurity(fn, element, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.Dict):
+            for sub in (*expr.keys, *expr.values):
+                if sub is None:
+                    continue
+                taint = self._expr_impurity(fn, sub, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.JoinedStr):
+            for value in expr.values:
+                taint = self._expr_impurity(fn, value, env, path)
+                if taint is not None:
+                    return taint
+            return None
+        if isinstance(expr, ast.FormattedValue):
+            return self._expr_impurity(fn, expr.value, env, path)
+        if isinstance(expr, ast.Subscript):
+            return self._expr_impurity(fn, expr.value, env, path)
+        return None
+
+    def _call_impurity(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, Effect],
+        path: str,
+    ) -> Effect | None:
+        external = self._external_target(fn, call)
+        if external is not None and external in self._seams:
+            return None
+        callee = resolve_call_target(self.project, fn, call)
+        if callee is not None:
+            ret = self._impure_returns.get(callee)
+            if ret is not None:
+                return ret
+            return None
+        func = call.func
+        if (
+            isinstance(func, ast.Name)
+            and func.id == "id"
+            and self._is_builtin(fn, func.id)
+        ):
+            return Effect(
+                kind="impure",
+                subject="id()",
+                detail="id() (process-dependent object address)",
+                path=path,
+                line=call.lineno,
+                chain=(f"called in {fn.qname} ({path}:{call.lineno})",),
+            )
+        if external is None:
+            return None
+        if self._is_impure_external(external):
+            return Effect(
+                kind="impure",
+                subject=external,
+                detail=f"{external}() (process/host/clock-dependent)",
+                path=path,
+                line=call.lineno,
+                chain=(f"called in {fn.qname} ({path}:{call.lineno})",),
+            )
+        return None
+
+    @staticmethod
+    def _is_impure_external(target: str) -> bool:
+        if target in IMPURE_CALLS:
+            return True
+        if any(target.startswith(prefix) for prefix in IMPURE_PREFIXES):
+            return True
+        return (
+            target.startswith("datetime.")
+            and target.rpartition(".")[2] in _IMPURE_DATETIME_TAILS
+        )
+
+    def _is_builtin(self, fn: FunctionInfo, name: str) -> bool:
+        module = self.project.modules.get(fn.module)
+        return module is None or name not in module.env
+
+    def _external_target(self, fn: FunctionInfo, call: ast.Call) -> str | None:
+        dotted = _dotted(call.func)
+        if dotted is None:
+            return None
+        resolved = self.project.resolve(fn.module, dotted)
+        if resolved is None or resolved.kind not in ("external", "function"):
+            return None
+        return resolved.target
+
+    # ---- purity sinks ---------------------------------------------------
+
+    def _check_purity_sink(
+        self,
+        fn: FunctionInfo,
+        call: ast.Call,
+        env: dict[str, Effect],
+        path: str,
+    ) -> None:
+        func = call.func
+        if not isinstance(func, ast.Attribute):
+            return
+        if func.attr not in _PURITY_SINK_METHODS:
+            return
+        if not self._receiver_is_persistence(fn, func.value):
+            return
+        checked: list[ast.expr] = [
+            arg for arg in call.args[:3] if not isinstance(arg, ast.Starred)
+        ]
+        for keyword in call.keywords:
+            # Timing keywords (compute_ms and friends) are measurement
+            # metadata, explicitly exempt from the purity contract.
+            if keyword.arg is None or keyword.arg.endswith("_ms"):
+                continue
+            checked.append(keyword.value)
+        for arg in checked:
+            taint = self._expr_impurity(fn, arg, env, path)
+            if taint is None:
+                continue
+            receiver = _dotted(func.value) or "store"
+            key = (path, call.lineno, call.col_offset, f".{func.attr}()")
+            if key not in self._findings:
+                self._findings[key] = PurityFinding(
+                    entry=fn.qname,
+                    path=path,
+                    line=call.lineno,
+                    col=call.col_offset,
+                    sink=f".{func.attr}() on {receiver!r}",
+                    source=taint,
+                )
+            return
+
+    def _receiver_is_persistence(self, fn: FunctionInfo, expr: ast.expr) -> bool:
+        dotted = _dotted(expr)
+        if dotted is None:
+            return False
+        if dotted == "self":
+            # self.put(...) inside a store/cache class is a sink too.
+            cls = (fn.class_qname or "").rpartition(".")[2].lower()
+            return any(hint in cls for hint in _STORE_CLASS_HINTS)
+        tail = dotted.rpartition(".")[2].lower()
+        return any(hint in tail for hint in _PURITY_SINK_RECEIVERS)
 
 
 def _receiver_is_sink(expr: ast.expr) -> bool:

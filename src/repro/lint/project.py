@@ -28,14 +28,17 @@ from repro.lint.base import FileContext, Violation
 
 if TYPE_CHECKING:  # runtime import would cycle: callgraph/dataflow build on this
     from repro.lint.callgraph import CallGraph
-    from repro.lint.dataflow import OrderingFinding
+    from repro.lint.dataflow import EffectsReport, OrderingFinding
 
 __all__ = [
+    "DEFAULT_BOUND_METHODS",
     "DEFAULT_LAYERS",
     "DEFAULT_PERSISTENCE",
+    "DEFAULT_SANCTIONED_SEAMS",
     "ClassInfo",
     "FunctionInfo",
     "ImportEdge",
+    "KNOWN_CONFIG_KEYS",
     "LintConfig",
     "ModuleInfo",
     "Project",
@@ -142,6 +145,45 @@ DEFAULT_PERSISTENCE: tuple[str, ...] = (
     "/io.py",
 )
 
+#: Call targets whose results the cache-purity analysis (RPR014) treats
+#: as derivable state: the deterministic RNG seam and seed derivation.
+#: Extended (not replaced) by ``sanctioned-seams`` under
+#: ``[tool.repro-lint]``.  Injected clocks/timers need no entry here —
+#: calls through injected attributes resolve to nothing and are treated
+#: as clean by construction.
+DEFAULT_SANCTIONED_SEAMS: tuple[str, ...] = (
+    "repro.utils.rng.derive_rng",
+    "repro.utils.rng.spawn_seeds",
+    "repro.utils.rng.derive_seed",
+)
+
+#: Method names the effect analysis counts as *bounding* a container —
+#: evidence that a grow-only field is in fact evicted/drained somewhere,
+#: which clears RPR015.  Extended by ``bound-methods`` under
+#: ``[tool.repro-lint]``.
+DEFAULT_BOUND_METHODS: tuple[str, ...] = (
+    "pop",
+    "popitem",
+    "popleft",
+    "clear",
+    "remove",
+    "discard",
+    "evict",
+    "prune",
+    "trim",
+    "drain",
+    "flush_and_reset",
+    "truncate",
+)
+
+#: Keys the analyzer understands under ``[tool.repro-lint]`` (the
+#: ``layers`` sub-table included).  Anything else is reported as an
+#: unknown key so a typo'd ``persistance`` cannot silently disable
+#: enforcement.
+KNOWN_CONFIG_KEYS: frozenset[str] = frozenset(
+    {"layers", "persistence", "sanctioned-seams", "bound-methods"}
+)
+
 
 @dataclass(frozen=True)
 class LintConfig:
@@ -154,10 +196,23 @@ class LintConfig:
         persistence: Path fragments selecting the persistence modules
             RPR011 audits.  ``None`` falls back to
             :data:`DEFAULT_PERSISTENCE`.
+        sanctioned_seams: Extra dotted call targets whose results the
+            purity analysis (RPR014) treats as parameter-derived, on top
+            of :data:`DEFAULT_SANCTIONED_SEAMS`.
+        bound_methods: Extra method names counted as container-bounding
+            operations by the growth analysis (RPR015), on top of
+            :data:`DEFAULT_BOUND_METHODS`.
+        unknown_keys: Keys found under ``[tool.repro-lint]`` that the
+            analyzer does not understand.  Diagnostic only — the CLI
+            warns about them on stderr — and deliberately excluded from
+            :meth:`fingerprint` (they cannot change findings).
     """
 
     layers: Mapping[str, tuple[str, ...]] | None = None
     persistence: tuple[str, ...] | None = None
+    sanctioned_seams: tuple[str, ...] = ()
+    bound_methods: tuple[str, ...] = ()
+    unknown_keys: tuple[str, ...] = ()
 
     def layer_dag(self) -> Mapping[str, tuple[str, ...]]:
         return self.layers if self.layers is not None else DEFAULT_LAYERS
@@ -167,12 +222,21 @@ class LintConfig:
             return self.persistence
         return DEFAULT_PERSISTENCE
 
+    def sanctioned_seam_targets(self) -> frozenset[str]:
+        return frozenset(DEFAULT_SANCTIONED_SEAMS) | frozenset(
+            self.sanctioned_seams
+        )
+
+    def bounding_methods(self) -> frozenset[str]:
+        return frozenset(DEFAULT_BOUND_METHODS) | frozenset(self.bound_methods)
+
     def fingerprint(self) -> str:
         """Canonical JSON of everything that can change findings.
 
         The incremental cache folds this into every entry key, so any
-        config edit — layer DAG or persistence list — invalidates all
-        cached findings.
+        config edit — layer DAG, persistence list, seam or bound-method
+        allowlist — invalidates all cached findings.  ``unknown_keys``
+        is excluded: a typo'd key changes a warning, never a finding.
         """
         return json.dumps(
             {
@@ -181,6 +245,8 @@ class LintConfig:
                     for name, allowed in self.layer_dag().items()
                 },
                 "persistence": list(self.persistence_fragments()),
+                "sanctioned_seams": sorted(self.sanctioned_seam_targets()),
+                "bound_methods": sorted(self.bounding_methods()),
             },
             sort_keys=True,
             separators=(",", ":"),
@@ -204,16 +270,21 @@ def is_persistence_path(path: str, fragments: Sequence[str]) -> bool:
     return False
 
 
-def _parse_repro_lint_tables(
-    text: str,
-) -> tuple[dict[str, tuple[str, ...]] | None, tuple[str, ...] | None]:
+def _string_list(raw: object) -> tuple[str, ...] | None:
+    if isinstance(raw, list):
+        return tuple(str(item) for item in raw)
+    return None
+
+
+def _parse_repro_lint_tables(text: str) -> LintConfig:
     """Extract ``[tool.repro-lint]`` config from pyproject text.
 
-    Returns ``(layers, persistence)``; each is ``None`` when its section
-    or key is absent or malformed.  Uses :mod:`tomllib` when available
-    (3.11+); on 3.10 falls back to a minimal line parser that understands
-    exactly the shapes these sections use (``name = ["a", "b"]``, lists
-    possibly spanning lines).
+    Every field of the returned :class:`LintConfig` falls back to its
+    default when its section or key is absent or malformed; keys the
+    analyzer does not understand land in ``unknown_keys``.  Uses
+    :mod:`tomllib` when available (3.11+); on 3.10 falls back to a
+    minimal line parser that understands exactly the shapes these
+    sections use (``name = ["a", "b"]``, lists possibly spanning lines).
     """
     try:
         import tomllib
@@ -222,10 +293,10 @@ def _parse_repro_lint_tables(
     try:
         data = tomllib.loads(text)
     except tomllib.TOMLDecodeError:
-        return None, None
+        return LintConfig()
     section = data.get("tool", {}).get("repro-lint", {})
     if not isinstance(section, dict):
-        return None, None
+        return LintConfig()
     layers: dict[str, tuple[str, ...]] | None = None
     table = section.get("layers")
     if isinstance(table, dict):
@@ -235,18 +306,22 @@ def _parse_repro_lint_tables(
             if isinstance(allowed, list)
         }
         layers = parsed_layers or None
-    persistence: tuple[str, ...] | None = None
-    raw_persistence = section.get("persistence")
-    if isinstance(raw_persistence, list):
-        persistence = tuple(str(item) for item in raw_persistence)
-    return layers, persistence
+    unknown = tuple(
+        sorted(str(key) for key in section if key not in KNOWN_CONFIG_KEYS)
+    )
+    return LintConfig(
+        layers=layers,
+        persistence=_string_list(section.get("persistence")),
+        sanctioned_seams=_string_list(section.get("sanctioned-seams")) or (),
+        bound_methods=_string_list(section.get("bound-methods")) or (),
+        unknown_keys=unknown,
+    )
 
 
-def _parse_repro_lint_tables_fallback(
-    text: str,
-) -> tuple[dict[str, tuple[str, ...]] | None, tuple[str, ...] | None]:
+def _parse_repro_lint_tables_fallback(text: str) -> LintConfig:
     layers: dict[str, tuple[str, ...]] = {}
-    persistence: tuple[str, ...] | None = None
+    lists: dict[str, tuple[str, ...]] = {}
+    unknown: set[str] = set()
     section = ""
     pending_key: str | None = None
     pending_value = ""
@@ -255,6 +330,10 @@ def _parse_repro_lint_tables_fallback(
         if line.startswith("["):
             section = line
             pending_key = None
+            if section.startswith("[tool.repro-lint."):
+                table = section[len("[tool.repro-lint.") : -1]
+                if table not in KNOWN_CONFIG_KEYS:
+                    unknown.add(table)
             continue
         in_layers = section == "[tool.repro-lint.layers]"
         in_root = section == "[tool.repro-lint]"
@@ -265,6 +344,8 @@ def _parse_repro_lint_tables_fallback(
             if not sep:
                 continue
             pending_key, pending_value = key.strip().strip('"'), value.strip()
+            if in_root and pending_key not in KNOWN_CONFIG_KEYS:
+                unknown.add(pending_key)
         else:
             pending_value += " " + line
         if pending_value.startswith("[") and pending_value.endswith("]"):
@@ -276,10 +357,16 @@ def _parse_repro_lint_tables_fallback(
                 items = tuple(str(item) for item in parsed)
                 if in_layers:
                     layers[pending_key] = items
-                elif pending_key == "persistence":
-                    persistence = items
+                else:
+                    lists[pending_key] = items
             pending_key = None
-    return layers or None, persistence
+    return LintConfig(
+        layers=layers or None,
+        persistence=lists.get("persistence"),
+        sanctioned_seams=lists.get("sanctioned-seams", ()),
+        bound_methods=lists.get("bound-methods", ()),
+        unknown_keys=tuple(sorted(unknown)),
+    )
 
 
 def load_config(start: Path | str) -> LintConfig:
@@ -299,8 +386,7 @@ def load_config(start: Path | str) -> LintConfig:
                 text = pyproject.read_text(encoding="utf-8")
             except OSError:
                 return LintConfig()
-            layers, persistence = _parse_repro_lint_tables(text)
-            return LintConfig(layers=layers, persistence=persistence)
+            return _parse_repro_lint_tables(text)
     return LintConfig()
 
 
@@ -499,6 +585,9 @@ class Project:
         # Memoized result of the ordering-provenance fixpoint; RPR010 and
         # RPR012 both consume it, so it runs once per project.
         self.ordering_cache: list[OrderingFinding] | None = None
+        # Memoized result of the effect-summary fixpoint; RPR013, RPR014
+        # and RPR015 all consume it, so it too runs once per project.
+        self.effects_cache: EffectsReport | None = None
 
     # ---- construction ---------------------------------------------------
 

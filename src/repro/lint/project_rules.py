@@ -1,4 +1,4 @@
-"""The whole-program rules RPR006–RPR012.
+"""The whole-program rules RPR006–RPR015.
 
 These run after the per-file pass, over the :class:`~repro.lint.project.Project`
 model and its call graph (see ``docs/STATIC_ANALYSIS.md`` for the
@@ -10,11 +10,19 @@ node lives in and are suppressed with the same justified
 from __future__ import annotations
 
 import ast
+from collections import deque
 from collections.abc import Callable, Iterator, Mapping
 
 from repro.lint.base import Violation, dotted_name
-from repro.lint.callgraph import CallGraph, CallSite
-from repro.lint.dataflow import analyze_ordering, analyze_rng_taint
+from repro.lint.callgraph import CallGraph, CallSite, _infer_local_types
+from repro.lint.dataflow import (
+    EffectSummary,
+    EffectsReport,
+    GrowthSite,
+    analyze_effects,
+    analyze_ordering,
+    analyze_rng_taint,
+)
 from repro.lint.project import (
     FunctionInfo,
     ModuleInfo,
@@ -41,10 +49,61 @@ __all__ = [
     "OrderedSinkRule",
     "UnstableSerializationRule",
     "ParallelReductionOrderRule",
+    "ProcessTransportRule",
+    "CachePurityRule",
+    "UnboundedGrowthRule",
     "project_rule_ids",
 ]
 
 _MAX_CHAIN_DEPTH = 20
+
+
+def _callable_qname(
+    project: Project, fn: FunctionInfo, expr: ast.expr
+) -> str | None:
+    """Qualified name of the project function a callable expression
+    references (bound ``self``/``cls`` methods, nested defs up the
+    enclosing chain, module names and re-exports)."""
+    if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
+        if expr.value.id in ("self", "cls") and fn.class_qname is not None:
+            return project.method(fn.class_qname, expr.attr)
+    dotted = dotted_name(expr)
+    if dotted is None:
+        return None
+    if isinstance(expr, ast.Name):
+        current: FunctionInfo | None = fn
+        while current is not None:
+            nested = current.nested.get(dotted)
+            if nested is not None:
+                return nested
+            current = (
+                project.functions.get(current.parent)
+                if current.parent is not None
+                else None
+            )
+    resolved = project.resolve(fn.module, dotted)
+    if resolved is not None and resolved.kind == "function":
+        return resolved.target
+    return None
+
+
+def _submitted_callables(
+    project: Project, fn: FunctionInfo, call: ast.Call
+) -> list[tuple[ast.expr, FunctionInfo]]:
+    """The (argument expression, resolved function) pairs handed over at
+    a dispatch site."""
+    submitted: list[tuple[ast.expr, FunctionInfo]] = []
+    for arg in list(call.args) + [kw.value for kw in call.keywords]:
+        target: FunctionInfo | None = None
+        if isinstance(arg, ast.Lambda):
+            target = project.function_for_node(arg)
+        elif isinstance(arg, (ast.Name, ast.Attribute)):
+            qname = _callable_qname(project, fn, arg)
+            if qname is not None:
+                target = project.functions.get(qname)
+        if target is not None:
+            submitted.append((arg, target))
+    return submitted
 
 
 class SeedFlowTaintRule(ProjectRule):
@@ -130,7 +189,7 @@ class InterprocLocksetRule(ProjectRule):
                         and receiver_is_backend(node.func.value)
                     ):
                         continue
-                    for submitted in self._submitted(project, fn, node):
+                    for _, submitted in _submitted_callables(project, fn, node):
                         yield from self._trace(
                             project,
                             graph,
@@ -147,49 +206,6 @@ class InterprocLocksetRule(ProjectRule):
             for qname in sorted(project.functions)
             if project.functions[qname].module == module_name
         ]
-
-    def _submitted(
-        self, project: Project, fn: FunctionInfo, call: ast.Call
-    ) -> list[FunctionInfo]:
-        """Resolve the callables handed over at a dispatch site."""
-        submitted: list[FunctionInfo] = []
-        for arg in list(call.args) + [kw.value for kw in call.keywords]:
-            target: FunctionInfo | None = None
-            if isinstance(arg, ast.Lambda):
-                target = project.function_for_node(arg)
-            elif isinstance(arg, (ast.Name, ast.Attribute)):
-                qname = self._callable_qname(project, fn, arg)
-                if qname is not None:
-                    target = project.functions.get(qname)
-            if target is not None:
-                submitted.append(target)
-        return submitted
-
-    @staticmethod
-    def _callable_qname(
-        project: Project, fn: FunctionInfo, expr: ast.expr
-    ) -> str | None:
-        if isinstance(expr, ast.Attribute) and isinstance(expr.value, ast.Name):
-            if expr.value.id in ("self", "cls") and fn.class_qname is not None:
-                return project.method(fn.class_qname, expr.attr)
-        dotted = dotted_name(expr)
-        if dotted is None:
-            return None
-        if isinstance(expr, ast.Name):
-            current: FunctionInfo | None = fn
-            while current is not None:
-                nested = current.nested.get(dotted)
-                if nested is not None:
-                    return nested
-                current = (
-                    project.functions.get(current.parent)
-                    if current.parent is not None
-                    else None
-                )
-        resolved = project.resolve(fn.module, dotted)
-        if resolved is not None and resolved.kind == "function":
-            return resolved.target
-        return None
 
     def _trace(
         self,
@@ -894,6 +910,378 @@ def _find_unstable_key_call(
     return None
 
 
+def _module_is_repro(name: str) -> bool:
+    return name == "repro" or name.startswith("repro.")
+
+
+class ProcessTransportRule(ProjectRule):
+    """RPR013 — callables shipped to a process pool must survive pickling.
+
+    A process backend pickles the submitted callable and executes it in
+    a worker whose memory is disjoint from the parent's.  Three hazards,
+    each reported with full evidence from the effect-summary analysis:
+
+    * **unpicklable callables** — lambdas and local defs cannot be
+      imported by worker processes; flagged with the closure-capture
+      chain (every free variable and what the enclosing scope binds it
+      to, locks and open handles called out by kind);
+    * **state that cannot cross** — a bound method drags its whole
+      instance across the boundary; when the class holds a lock, an
+      open handle/pool, or a tracer/observability backend, the transfer
+      is a pickle error or a silently diverging worker-side copy;
+    * **worker-side module mutation** — a callable that transitively
+      (through the call graph) mutates module/global state performs the
+      write in the worker, where it dies with the process; the evidence
+      chain names every call hop from the submission to the write.
+
+    Thread backends share memory and are exempt; only dispatch sites
+    provably targeting a process pool — receiver or local named/typed as
+    a process pool, ``ProcessPoolExecutor``/``multiprocessing.Pool``
+    construction, ``make_backend("process")`` — are checked.
+    """
+
+    rule_id = "RPR013"
+    summary = (
+        "callable submitted to a process pool is unpicklable "
+        "(lambda/local def), drags a lock/open-handle/tracer-holding "
+        "instance across the process boundary, or mutates module state "
+        "that dies with the worker"
+    )
+
+    _UNSAFE_FIELD_KINDS = ("lock", "open handle", "tracer/backend")
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        effects = analyze_effects(project, graph)
+        reported: set[tuple[str, int, str, str]] = set()
+        for qname in sorted(project.functions):
+            fn = project.functions[qname]
+            module = project.modules.get(fn.module)
+            if module is None or isinstance(fn.node, ast.Lambda):
+                continue
+            process_locals = _process_pool_locals(project, fn)
+            for node in iter_owned_nodes(fn.node):
+                if not (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in DISPATCH_METHODS
+                    and (
+                        receiver_is_backend(node.func.value)
+                        or _is_process_receiver(node.func.value, process_locals)
+                    )
+                ):
+                    continue
+                if not _is_process_receiver(node.func.value, process_locals):
+                    continue
+                for arg, target in _submitted_callables(project, fn, node):
+                    yield from self._check_submission(
+                        effects, module, node, arg, target, reported
+                    )
+
+    def _check_submission(
+        self,
+        effects: EffectsReport,
+        module: ModuleInfo,
+        dispatch: ast.Call,
+        arg: ast.expr,
+        target: FunctionInfo,
+        reported: set[tuple[str, int, str, str]],
+    ) -> Iterator[Violation]:
+        summary = effects.summaries.get(target.qname, EffectSummary())
+
+        def emit(problem: str, message: str) -> Iterator[Violation]:
+            key = (module.path, dispatch.lineno, target.qname, problem)
+            if key in reported:
+                return
+            reported.add(key)
+            yield Violation(
+                path=module.path,
+                line=dispatch.lineno,
+                col=dispatch.col_offset,
+                rule_id=self.rule_id,
+                message=message,
+            )
+
+        if target.parent is not None:
+            kind = "lambda" if isinstance(target.node, ast.Lambda) else "local def"
+            captures = "; ".join(
+                effect.detail for _, effect in sorted(summary.captures.items())
+            )
+            note = f"; capture chain: {captures}" if captures else ""
+            yield from emit(
+                "unpicklable",
+                (
+                    f"{kind} {target.qname} is submitted to a process pool "
+                    "but cannot be imported by worker processes (pickling "
+                    f"fails){note}. Define it at module level and pass its "
+                    "state as explicit picklable arguments"
+                ),
+            )
+        elif target.is_method and target.class_qname is not None:
+            kinds = effects.field_kinds.get(target.class_qname, {})
+            hazardous = {
+                attr: kind
+                for attr, kind in sorted(kinds.items())
+                if kind in self._UNSAFE_FIELD_KINDS
+            }
+            if hazardous and _is_bound_reference(arg):
+                fields = ", ".join(
+                    f"self.{attr} ({kind})" for attr, kind in hazardous.items()
+                )
+                yield from emit(
+                    "bound-method",
+                    (
+                        f"bound method {target.qname} is submitted to a "
+                        "process pool, dragging its instance across the "
+                        f"process boundary; the instance holds {fields}. "
+                        "Submit a module-level function and pass picklable "
+                        "inputs instead"
+                    ),
+                )
+        if summary.mutates_global:
+            key, effect = sorted(summary.mutates_global.items())[0]
+            chain = " -> ".join(effect.chain)
+            yield from emit(
+                "module-mutation",
+                (
+                    f"{target.qname} submitted to a process pool mutates "
+                    f"module state {key} ({effect.describe()}); the write "
+                    "happens in the worker process and is silently lost "
+                    f"when it exits — chain: {chain}. Return results and "
+                    "fold them in the parent instead"
+                ),
+            )
+
+
+def _is_bound_reference(expr: ast.expr) -> bool:
+    return (
+        isinstance(expr, ast.Attribute)
+        and isinstance(expr.value, ast.Name)
+        and expr.value.id in ("self", "cls")
+    )
+
+
+#: Externals whose construction yields a process pool.
+_PROCESS_POOL_TARGETS = frozenset(
+    {
+        "concurrent.futures.ProcessPoolExecutor",
+        "multiprocessing.Pool",
+        "multiprocessing.pool.Pool",
+    }
+)
+
+
+def _process_pool_locals(project: Project, fn: FunctionInfo) -> frozenset[str]:
+    """Local names provably bound to a process pool in this function."""
+    names: set[str] = set()
+    for name, class_qname in sorted(_infer_local_types(project, fn).items()):
+        if "process" in class_qname.rpartition(".")[2].lower():
+            names.add(name)
+    if isinstance(fn.node, ast.Lambda):
+        return frozenset(names)
+    for stmt in iter_owned_statements(fn.node):
+        if not (
+            isinstance(stmt, ast.Assign)
+            and len(stmt.targets) == 1
+            and isinstance(stmt.targets[0], ast.Name)
+            and isinstance(stmt.value, ast.Call)
+        ):
+            continue
+        call = stmt.value
+        dotted = dotted_name(call.func)
+        if dotted is None:
+            continue
+        resolved = project.resolve(fn.module, dotted)
+        target = resolved.target if resolved is not None else dotted
+        tail = target.rpartition(".")[2]
+        if (
+            target in _PROCESS_POOL_TARGETS
+            or tail == "ProcessPoolExecutor"
+            or (
+                tail == "make_backend"
+                and call.args
+                and isinstance(call.args[0], ast.Constant)
+                and call.args[0].value == "process"
+            )
+        ):
+            names.add(stmt.targets[0].id)
+    return frozenset(names)
+
+
+def _is_process_receiver(
+    receiver: ast.expr, process_locals: frozenset[str]
+) -> bool:
+    """True when a dispatch receiver is provably a *process* pool."""
+    if isinstance(receiver, ast.Name) and receiver.id in process_locals:
+        return True
+    dotted = dotted_name(receiver)
+    if dotted is None:
+        return False
+    return "process" in dotted.rpartition(".")[2].lower()
+
+
+class CachePurityRule(ProjectRule):
+    """RPR014 — cached/materialized values must be pure functions of inputs.
+
+    The cross-query reuse story (the ``EvaluationStore`` and the
+    :class:`~repro.query.matstore.MaterializedDetectionStore`) only
+    holds if a cached value is a pure function of its cache key: replay
+    the computation anywhere, any time, and the bytes match.  The purity
+    taint of the effect fixpoint tracks values derived from
+    process/host/clock/entropy state (``time.*``, ``uuid.*``,
+    ``os.getpid``/``getenv``, ``random.*``, ``datetime.now``, ``id()``)
+    and from instance fields mutated outside ``__init__`` (hidden
+    mutable state), through assignments, calls, returns and containers.
+    A tainted value reaching a ``.put()``/``.store()`` call on a
+    store/cache/tier receiver is flagged with the full flow chain.
+
+    Sanctioned seams stay clean: ``repro.utils.rng.derive_rng`` /
+    ``derive_seed`` / ``spawn_seeds`` (plus any target listed under
+    ``sanctioned-seams`` in ``[tool.repro-lint]``), and timing keywords
+    (``compute_ms`` and friends ending ``_ms``), which are measurement
+    metadata rather than cached values.
+    """
+
+    rule_id = "RPR014"
+    summary = (
+        "value flowing into EvaluationStore.put / materialized-store "
+        "persistence derives from process/host/clock state or hidden "
+        "mutable fields instead of the function's parameters and "
+        "sanctioned seams"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        effects = analyze_effects(project, graph)
+        for finding in effects.purity_findings:
+            chain = " -> ".join(finding.source.chain)
+            yield Violation(
+                path=finding.path,
+                line=finding.line,
+                col=finding.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"value reaching {finding.sink} in {finding.entry} is "
+                    "not a pure function of its parameters: it derives "
+                    f"from {finding.source.describe()}; flow: {chain}. "
+                    "Cached results must derive only from parameters and "
+                    "sanctioned seams (derive_rng, injected timers) — pass "
+                    "the value in explicitly or route timing through a "
+                    "*_ms keyword"
+                ),
+            )
+
+
+class UnboundedGrowthRule(ProjectRule):
+    """RPR015 — hot-loop container growth needs a bounding operation.
+
+    A long-running service survives millions of frames only if every
+    container on the hot path is bounded.  The effect analysis records
+    every *growth site* — ``append``/``add``/``update``/``extend``/
+    subscript-store/``+=`` on an instance field or module-level
+    container — and every piece of *bounding evidence* anywhere in the
+    project: bounded construction (``deque(maxlen=...)``, LRU/bounded
+    cache classes), eviction calls (``pop``/``clear``/``evict``/
+    ``prune``/... plus any method listed under ``bound-methods`` in
+    ``[tool.repro-lint]``), ``del c[...]``, or wholesale reassignment
+    outside ``__init__``.  A growth site with no bounding evidence for
+    its container is flagged when it executes repeatedly: the growth
+    statement sits inside a loop, or the caller-graph walk finds a call
+    site inside a loop that transitively reaches the growing function
+    (the interprocedural part RPR003's declaration check cannot see).
+    Local variables and parameters are never flagged — they die with the
+    frame; only ``self`` fields and module state accumulate.
+
+    Two scoping decisions keep this a *service-path* rule: the linter's
+    own package (``repro.lint``) is exempt — it is a run-to-completion
+    batch tool whose containers die with each invocation — and loop
+    evidence is only accepted from ``repro.*`` callers, so a ``for``
+    loop in a test or benchmark does not make product code "hot".
+    """
+
+    rule_id = "RPR015"
+    summary = (
+        "instance/module container grows inside (or transitively under) "
+        "a loop with no bounding eviction/clear/reassignment anywhere in "
+        "the project — a leak for a long-running service"
+    )
+
+    def check_project(
+        self, project: Project, graph: CallGraph
+    ) -> Iterator[Violation]:
+        effects = analyze_effects(project, graph)
+        for site in effects.growth_sites:
+            if not _module_is_repro(site.module):
+                continue
+            if site.module.startswith("repro.lint"):
+                continue
+            if site.container in effects.bounded:
+                continue
+            evidence = self._loop_evidence(project, graph, effects, site)
+            if evidence is None:
+                continue
+            yield Violation(
+                path=site.path,
+                line=site.line,
+                col=site.col,
+                rule_id=self.rule_id,
+                message=(
+                    f"container {site.container} grows via {site.op} in "
+                    f"{site.qname} with no bounding operation (eviction/"
+                    "clear/reassignment) anywhere in the project; "
+                    f"{evidence}. A long-running service leaks here — "
+                    "bound it (deque(maxlen=...), LRU eviction) or drain "
+                    "it per run"
+                ),
+            )
+
+    @staticmethod
+    def _loop_evidence(
+        project: Project,
+        graph: CallGraph,
+        effects: EffectsReport,
+        site: GrowthSite,
+    ) -> str | None:
+        """Why this growth executes repeatedly, or ``None`` if it cannot
+        be shown to."""
+        if site.in_loop:
+            return (
+                "the growth statement itself runs inside a loop "
+                f"({site.path}:{site.line})"
+            )
+        queue: deque[tuple[str, tuple[str, ...]]] = deque([(site.qname, ())])
+        seen = {site.qname}
+        while queue:
+            qname, chain = queue.popleft()
+            if len(chain) >= _MAX_CHAIN_DEPTH:
+                continue
+            for call_site in sorted(
+                graph.callers(qname), key=lambda s: (s.caller, s.line)
+            ):
+                caller_fn = project.functions.get(call_site.caller)
+                if caller_fn is None or not _module_is_repro(caller_fn.module):
+                    # A loop in a test/benchmark does not make product
+                    # code hot; only service-path callers count.
+                    continue
+                caller_path = InterprocLocksetRule._path_of(
+                    project, call_site.caller
+                )
+                hop = (
+                    f"{qname} called from {call_site.caller} "
+                    f"({caller_path}:{call_site.line})"
+                )
+                loop_lines = effects.loop_lines.get(call_site.caller)
+                if loop_lines and call_site.line in loop_lines:
+                    steps = " -> ".join((*chain, hop))
+                    return f"reached from a loop: {steps}"
+                if call_site.caller not in seen:
+                    seen.add(call_site.caller)
+                    queue.append((call_site.caller, (*chain, hop)))
+        return None
+
+
 #: Every shipped whole-program rule, in ID order.
 ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     SeedFlowTaintRule(),
@@ -903,6 +1291,9 @@ ALL_PROJECT_RULES: tuple[ProjectRule, ...] = (
     OrderedSinkRule(),
     UnstableSerializationRule(),
     ParallelReductionOrderRule(),
+    ProcessTransportRule(),
+    CachePurityRule(),
+    UnboundedGrowthRule(),
 )
 
 

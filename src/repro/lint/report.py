@@ -11,6 +11,7 @@ import inspect
 import json
 
 from repro.lint.engine import PARSE_ERROR_ID, LintResult
+from repro.lint.explain import full_description
 from repro.lint.project_rules import ALL_PROJECT_RULES
 from repro.lint.rules import ALL_RULES
 
@@ -49,7 +50,14 @@ def render_json(result: LintResult) -> str:
 
 
 def _rule_full_description(rule: object) -> str | None:
-    """First docstring paragraph of the rule class, newline-folded."""
+    """The rule's guide description (single source of truth with
+    ``--explain``); falls back to the class docstring's first paragraph
+    for rules that have not been given a guide yet."""
+    rule_id = getattr(rule, "rule_id", None)
+    if isinstance(rule_id, str):
+        from_guide = full_description(rule_id)
+        if from_guide is not None:
+            return from_guide
     doc = inspect.getdoc(type(rule))
     if not doc:
         return None
@@ -63,7 +71,8 @@ def _sarif_rules() -> list[dict[str, object]]:
             "id": PARSE_ERROR_ID,
             "shortDescription": {"text": "file cannot be read or parsed"},
             "fullDescription": {
-                "text": (
+                "text": full_description(PARSE_ERROR_ID)
+                or (
                     "The analyzer could not read or parse this file; no "
                     "other rule ran on it."
                 )

@@ -295,7 +295,7 @@ class MaterializedDetectionStore:
                     error=str(exc),
                 )
                 continue
-            self._index[(stage, key)] = value
+            self._index[(stage, key)] = value  # repro-lint: disable=RPR015 -- persistent disk-mirroring index: sized by the on-disk segment set, not by service uptime; compaction bounds the segments
 
     def close(self) -> None:
         """Flush and close this session's segment (idempotent)."""

@@ -204,3 +204,83 @@ def test_baseline_fingerprints_stable_across_modes(tmp_path: Path) -> None:
         write_baseline(target, result.violations)
         texts.append(target.read_text(encoding="utf-8"))
     assert all(text == texts[0] for text in texts)
+
+
+def test_stale_analyzer_version_entries_are_not_served(
+    tmp_path: Path, monkeypatch
+) -> None:
+    """Entries written by the previous analyzer release (version "1",
+    before the effect fixpoint existed) must never satisfy a lookup from
+    the current release."""
+    files = write_tree(tmp_path)
+    monkeypatch.setattr("repro.lint.cache.ANALYZER_VERSION", "1")
+    run(tmp_path, LintCache(tmp_path / "cache"))
+    monkeypatch.undo()
+
+    cache = LintCache(tmp_path / "cache")
+    result = run(tmp_path, cache)
+    assert cache.file_hits == 0
+    assert cache.file_misses == len(files)
+    assert cache.project_misses == 1
+    assert result == run(tmp_path)
+
+
+def test_new_rule_ids_invalidate_file_and_project_entries(
+    tmp_path: Path,
+) -> None:
+    """A cache populated without RPR013-015 in the rule set cannot serve
+    a run that has them: the environment key folds in every active rule
+    ID, so growing the rule set is constructively invalidating."""
+    from repro.lint.project_rules import ALL_PROJECT_RULES
+
+    files = write_tree(tmp_path)
+    legacy = tuple(
+        rule
+        for rule in ALL_PROJECT_RULES
+        if rule.rule_id not in {"RPR013", "RPR014", "RPR015"}
+    )
+    legacy_cache = LintCache(tmp_path / "cache")
+    lint_paths(
+        [tmp_path], config=CONFIG, cache=legacy_cache, project_rules=legacy
+    )
+    assert legacy_cache.file_misses == len(files)
+
+    cache = LintCache(tmp_path / "cache")
+    result = run(tmp_path, cache)
+    assert cache.file_hits == 0
+    assert cache.file_misses == len(files)
+    assert cache.project_misses == 1
+    assert result == run(tmp_path)
+
+
+def test_effect_rule_findings_cache_byte_identically(tmp_path: Path) -> None:
+    """RPR015 findings (project-phase, effect-fixpoint-backed) round-trip
+    through the cache and --jobs with byte-identical reports."""
+    package = tmp_path / "src" / "repro" / "tracking"
+    package.mkdir(parents=True)
+    (package / "events.py").write_text(
+        dedent(
+            """
+            class EventLog:
+                def __init__(self):
+                    self._events = []
+
+                def on_batch(self, frames):
+                    for frame in frames:
+                        self._events.append(frame)
+            """
+        ).lstrip(),
+        encoding="utf-8",
+    )
+    cold = run(tmp_path, LintCache(tmp_path / "cache"))
+    warm = run(tmp_path, LintCache(tmp_path / "cache"))
+    warm_jobs = run(tmp_path, LintCache(tmp_path / "cache"), jobs=4)
+    uncached = run(tmp_path)
+    assert [v.rule_id for v in cold.violations] == ["RPR015"]
+    for render in (render_text, render_json, render_sarif):
+        assert (
+            render(cold)
+            == render(warm)
+            == render(warm_jobs)
+            == render(uncached)
+        )

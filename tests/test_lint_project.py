@@ -450,20 +450,60 @@ TOML_SNIPPET_WITH_PERSISTENCE = textwrap.dedent(
 
 def test_layer_table_parsers_agree() -> None:
     expected = {"utils": (), "core": ("utils",), "cli": ("core", "utils")}
-    assert _parse_repro_lint_tables(TOML_SNIPPET) == (expected, None)
-    assert _parse_repro_lint_tables_fallback(TOML_SNIPPET) == (expected, None)
+    for parse in (_parse_repro_lint_tables, _parse_repro_lint_tables_fallback):
+        config = parse(TOML_SNIPPET)
+        assert config.layers == expected
+        assert config.persistence is None
+        # [tool.other] belongs to another tool — never an unknown key.
+        assert config.unknown_keys == ()
 
 
 def test_persistence_list_parsers_agree() -> None:
-    expected = (
-        {"utils": (), "core": ("utils",)},
-        ("store", "/io.py"),
+    for parse in (_parse_repro_lint_tables, _parse_repro_lint_tables_fallback):
+        config = parse(TOML_SNIPPET_WITH_PERSISTENCE)
+        assert config.layers == {"utils": (), "core": ("utils",)}
+        assert config.persistence == ("store", "/io.py")
+        assert config.unknown_keys == ()
+
+
+TOML_SNIPPET_WITH_TYPOS = textwrap.dedent(
+    """
+    [tool.repro-lint]
+    persistance = ["store"]
+    sanctioned-seams = ["pkg.clock.now"]
+    bound-methods = ["drop_oldest"]
+
+    [tool.repro-lint.layres]
+    utils = []
+    """
+)
+
+
+def test_unknown_keys_collected_by_both_parsers() -> None:
+    for parse in (_parse_repro_lint_tables, _parse_repro_lint_tables_fallback):
+        config = parse(TOML_SNIPPET_WITH_TYPOS)
+        assert config.unknown_keys == ("layres", "persistance")
+        # Known keys still parse despite the typos alongside them.
+        assert config.sanctioned_seams == ("pkg.clock.now",)
+        assert config.bound_methods == ("drop_oldest",)
+
+
+def test_unknown_keys_excluded_from_fingerprint() -> None:
+    clean = LintConfig()
+    typod = LintConfig(unknown_keys=("persistance",))
+    assert clean.fingerprint() == typod.fingerprint()
+
+
+def test_seam_and_bound_method_accessors_union_defaults() -> None:
+    config = LintConfig(
+        sanctioned_seams=("pkg.clock.now",), bound_methods=("drop_oldest",)
     )
-    assert _parse_repro_lint_tables(TOML_SNIPPET_WITH_PERSISTENCE) == expected
-    assert (
-        _parse_repro_lint_tables_fallback(TOML_SNIPPET_WITH_PERSISTENCE)
-        == expected
-    )
+    seams = config.sanctioned_seam_targets()
+    bounds = config.bounding_methods()
+    assert "pkg.clock.now" in seams
+    assert "repro.utils.rng.derive_rng" in seams
+    assert "drop_oldest" in bounds
+    assert "evict" in bounds
 
 
 def test_load_config_finds_repo_pyproject(tmp_path) -> None:

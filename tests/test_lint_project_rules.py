@@ -975,3 +975,427 @@ def test_rpr012_sorted_merge_is_clean() -> None:
         )
         == []
     )
+
+
+# ---------------------------------------------------------------------------
+# RPR013 — process-transport safety
+
+
+def test_rpr013_lambda_capturing_lock_fires_with_capture_chain() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            import threading
+
+            from concurrent.futures import ProcessPoolExecutor
+
+            def run_one(job, lock):
+                with lock:
+                    return job
+
+            def drive(jobs):
+                lock = threading.Lock()
+                pool = ProcessPoolExecutor()
+                return list(pool.map(lambda job: run_one(job, lock), jobs))
+            """,
+        },
+        select={"RPR013"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR013"]
+    message = violations[0].message
+    assert "lambda" in message
+    assert "cannot be imported by worker processes" in message
+    # The capture chain names the free variable and what binds it.
+    assert "capture chain" in message
+    assert "'lock' (lock)" in message
+    assert "repro.runner.dispatch.drive" in message
+
+
+def test_rpr013_local_def_fires_top_level_def_is_clean() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            def execute(job):
+                return job * 2
+
+            def drive(jobs):
+                def helper(job):
+                    return execute(job)
+                pool = ProcessPoolExecutor()
+                return list(pool.map(helper, jobs))
+
+            def drive_safe(jobs):
+                pool = ProcessPoolExecutor()
+                return list(pool.map(execute, jobs))
+            """,
+        },
+        select={"RPR013"},
+    )
+    # Only the local def fires; the module-level function is picklable.
+    assert [v.rule_id for v in violations] == ["RPR013"]
+    assert "local def" in violations[0].message
+    assert "helper" in violations[0].message
+
+
+def test_rpr013_thread_pool_is_exempt() -> None:
+    assert (
+        run(
+            {
+                "src/repro/runner/dispatch.py": """
+                import threading
+
+                from concurrent.futures import ThreadPoolExecutor
+
+                def drive(jobs):
+                    lock = threading.Lock()
+                    pool = ThreadPoolExecutor()
+                    return list(pool.map(lambda job: (job, lock), jobs))
+                """,
+            },
+            select={"RPR013"},
+        )
+        == []
+    )
+
+
+def test_rpr013_bound_method_dragging_lock_fires() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            import threading
+
+            from concurrent.futures import ProcessPoolExecutor
+
+            class Runner:
+                def __init__(self):
+                    self._lock = threading.Lock()
+
+                def work(self, job):
+                    return job
+
+                def drive(self, jobs):
+                    pool = ProcessPoolExecutor()
+                    return list(pool.map(self.work, jobs))
+            """,
+        },
+        select={"RPR013"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR013"]
+    message = violations[0].message
+    assert "bound method" in message
+    assert "self._lock (lock)" in message
+    assert "process boundary" in message
+
+
+def test_rpr013_module_mutation_fires_with_chain() -> None:
+    violations = run(
+        {
+            "src/repro/runner/dispatch.py": """
+            from concurrent.futures import ProcessPoolExecutor
+
+            _RESULTS = {}
+
+            def execute(job):
+                _RESULTS[job] = job * 2
+                return job
+
+            def drive(jobs):
+                pool = ProcessPoolExecutor()
+                return list(pool.map(execute, jobs))
+            """,
+        },
+        select={"RPR013"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR013"]
+    message = violations[0].message
+    assert "mutates module state" in message
+    assert "_RESULTS" in message
+    assert "silently lost" in message
+    assert "chain:" in message
+
+
+# ---------------------------------------------------------------------------
+# RPR014 — cache purity
+
+
+def test_rpr014_clock_value_reaching_put_fires_with_flow() -> None:
+    violations = run(
+        {
+            "src/repro/engine/persist.py": """
+            import time
+
+            def persist(store, stage, key):
+                value = time.time()
+                store.put(stage, key, value)
+            """,
+        },
+        select={"RPR014"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR014"]
+    message = violations[0].message
+    assert "not a pure function of its parameters" in message
+    assert "time.time" in message
+    assert "flow:" in message
+    assert "derive_rng" in message  # the suggested fix mentions the seams
+
+
+def test_rpr014_cross_module_laundering_fires() -> None:
+    violations = run(
+        {
+            "src/repro/engine/clockutil.py": """
+            import time
+
+            def stamp():
+                return time.time()
+            """,
+            "src/repro/engine/persist.py": """
+            from repro.engine.clockutil import stamp
+
+            def persist(store, stage, key):
+                value = stamp()
+                store.put(stage, key, value)
+            """,
+        },
+        select={"RPR014"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR014"]
+    message = violations[0].message
+    # The flow chain crosses the module boundary back to the clock read.
+    assert "time.time" in message
+    assert "clockutil" in message
+
+
+def test_rpr014_derive_rng_seam_is_clean() -> None:
+    assert (
+        run(
+            {
+                "src/repro/utils/rng.py": """
+                def derive_rng(seed, *key):
+                    return object()
+                """,
+                "src/repro/engine/persist.py": """
+                from repro.utils.rng import derive_rng
+
+                def persist(store, stage, key, seed):
+                    rng = derive_rng(seed, stage)
+                    store.put(stage, key, rng)
+                """,
+            },
+            select={"RPR014"},
+        )
+        == []
+    )
+
+
+def test_rpr014_timing_keyword_is_exempt() -> None:
+    assert (
+        run(
+            {
+                "src/repro/engine/persist.py": """
+                import time
+
+                def persist(store, stage, key, value):
+                    started = time.perf_counter()
+                    wall = (time.perf_counter() - started) * 1000.0
+                    store.put(stage, key, value, compute_ms=wall)
+                """,
+            },
+            select={"RPR014"},
+        )
+        == []
+    )
+
+
+def test_rpr014_parameter_derived_value_is_clean() -> None:
+    assert (
+        run(
+            {
+                "src/repro/engine/persist.py": """
+                def persist(store, stage, key, boxes):
+                    value = [b for b in boxes if b is not None]
+                    store.put(stage, key, value)
+                """,
+            },
+            select={"RPR014"},
+        )
+        == []
+    )
+
+
+# ---------------------------------------------------------------------------
+# RPR015 — unbounded growth on the hot path
+
+
+def test_rpr015_lexical_loop_growth_fires() -> None:
+    violations = run(
+        {
+            "src/repro/tracking/events.py": """
+            class EventLog:
+                def __init__(self):
+                    self._events = []
+
+                def on_batch(self, frames):
+                    for frame in frames:
+                        self._events.append(frame)
+            """,
+        },
+        select={"RPR015"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR015"]
+    message = violations[0].message
+    assert "EventLog._events" in message
+    assert "grows via .append()" in message
+    assert "inside a loop" in message
+    assert "no bounding operation" in message
+
+
+def test_rpr015_cross_module_growth_chain_fires() -> None:
+    violations = run(
+        {
+            "src/repro/tracking/tracker.py": """
+            class TrackBook:
+                def __init__(self):
+                    self._tracks = []
+
+                def admit(self, track):
+                    self._tracks.append(track)
+            """,
+            "src/repro/engine/loop.py": """
+            from repro.tracking.tracker import TrackBook
+
+            def serve(frames):
+                book = TrackBook()
+                for frame in frames:
+                    book.admit(frame)
+                return book
+            """,
+        },
+        select={"RPR015"},
+    )
+    assert [v.rule_id for v in violations] == ["RPR015"]
+    message = violations[0].message
+    # The evidence names the cross-module caller chain into the loop.
+    assert "reached from a loop" in message
+    assert "repro.engine.loop.serve" in message
+    assert "src/repro/engine/loop.py" in message
+
+
+def test_rpr015_bounded_deque_is_clean() -> None:
+    assert (
+        run(
+            {
+                "src/repro/tracking/events.py": """
+                from collections import deque
+
+                class EventLog:
+                    def __init__(self):
+                        self._events = deque(maxlen=256)
+
+                    def on_batch(self, frames):
+                        for frame in frames:
+                            self._events.append(frame)
+                """,
+            },
+            select={"RPR015"},
+        )
+        == []
+    )
+
+
+def test_rpr015_eviction_anywhere_bounds_the_container() -> None:
+    assert (
+        run(
+            {
+                "src/repro/engine/cachebox.py": """
+                class CacheBox:
+                    def __init__(self):
+                        self._entries = {}
+
+                    def remember(self, keys):
+                        for key in keys:
+                            self._entries[key] = key
+
+                    def evict_oldest(self):
+                        while len(self._entries) > 100:
+                            self._entries.pop(next(iter(self._entries)))
+                """,
+            },
+            select={"RPR015"},
+        )
+        == []
+    )
+
+
+def test_rpr015_reassignment_outside_init_retires_contents() -> None:
+    assert (
+        run(
+            {
+                "src/repro/runner/batcher.py": """
+                class Batcher:
+                    def __init__(self):
+                        self._batch = []
+
+                    def feed(self, items):
+                        for item in items:
+                            self._batch.append(item)
+
+                    def flush(self):
+                        out = list(self._batch)
+                        self._batch = []
+                        return out
+                """,
+            },
+            select={"RPR015"},
+        )
+        == []
+    )
+
+
+def test_rpr015_keyed_upsert_is_not_growth() -> None:
+    assert (
+        run(
+            {
+                "src/repro/obs/registry.py": """
+                class Registry:
+                    def __init__(self):
+                        self._by_name = {}
+
+                    def record(self, names):
+                        for name in names:
+                            if name not in self._by_name:
+                                self._by_name[name] = 0
+                """,
+            },
+            select={"RPR015"},
+        )
+        == []
+    )
+
+
+def test_rpr015_test_module_loops_are_not_hot_paths() -> None:
+    assert (
+        run(
+            {
+                "src/repro/tracking/tracker.py": """
+                class TrackBook:
+                    def __init__(self):
+                        self._tracks = []
+
+                    def admit(self, track):
+                        self._tracks.append(track)
+                """,
+                "tests/test_tracker.py": """
+                from repro.tracking.tracker import TrackBook
+
+                def test_admit():
+                    book = TrackBook()
+                    for i in range(3):
+                        book.admit(i)
+                """,
+            },
+            select={"RPR015"},
+        )
+        == []
+    )
