@@ -12,20 +12,36 @@ Asserted properties:
 * the 4-worker thread backend is at least 2x faster than serial on
   wall-clock throughput;
 * all backends produce identical selection records and identical
-  simulated-clock totals — parallelism never changes a result or a charge.
+  simulated-clock totals — parallelism never changes a result or a charge;
+* chunked process-pool submission (``submission_chunksize``) beats the
+  stdlib default ``chunksize=1`` on a burst of cheap jobs — the regression
+  guard for the per-job pickle/IPC overhead fix.
+
+Results are written to ``BENCH_engine.json`` at the repo root on every run
+(override the path with ``REPRO_BENCH_ENGINE_JSON``), mirroring the
+``BENCH_query.json`` convention, so the perf trajectory is recorded in
+version control.
 """
 
 from __future__ import annotations
 
 import json
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
+from pathlib import Path
 
 import pytest
 from benchmarks.common import banner, scaled
 
 from repro.core.baselines import BruteForce
 from repro.core.environment import DetectionEnvironment
-from repro.engine.backends import make_backend
+from repro.engine.backends import (
+    InferenceJob,
+    _execute_job,
+    make_backend,
+    submission_chunksize,
+)
 from repro.simulation.detectors import SimulatedDetector
 from repro.simulation.lidar import SimulatedLidar
 from repro.simulation.profiles import make_profile
@@ -77,6 +93,57 @@ def _make_models():
     return detectors, reference
 
 
+class NoopModel:
+    """A detector whose inference is free: isolates dispatch overhead.
+
+    ``detect`` returns its input, so a batch of :class:`InferenceJob`\\ s
+    built on it measures nothing but submission machinery — pickling, pipe
+    crossings, scheduling.  Module-level and stateless, hence picklable
+    for process pools.
+    """
+
+    name = "noop"
+    expected_time_ms = 0.0
+
+    def detect(self, frame):
+        return frame
+
+
+def _time_dispatch(pool, jobs, chunksize: int, repeats: int = 3) -> float:
+    """Best-of-``repeats`` wall seconds for mapping jobs over a warm pool."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        results = list(pool.map(_execute_job, jobs, chunksize=chunksize))
+        best = min(best, time.perf_counter() - start)
+        assert len(results) == len(jobs)
+    return best
+
+
+def _dispatch_overhead_section(num_jobs: int) -> dict:
+    """Chunked vs per-job process-pool submission on trivial jobs.
+
+    The regression benchmark for ``_PoolBackend.run``'s former default
+    ``chunksize=1``: one pickle + two pipe crossings per job dominated
+    wall time for cheap jobs.  Both variants run on the *same* warmed
+    pool, so the measured difference is purely the submission strategy.
+    """
+    jobs = [InferenceJob(NoopModel(), i) for i in range(num_jobs)]
+    chunksize = submission_chunksize(num_jobs, WORKERS)
+    with ProcessPoolExecutor(max_workers=WORKERS) as pool:
+        # Warm the workers so process startup is not billed to either side.
+        list(pool.map(_execute_job, jobs[:WORKERS]))
+        unchunked_s = _time_dispatch(pool, jobs, chunksize=1)
+        chunked_s = _time_dispatch(pool, jobs, chunksize=chunksize)
+    return {
+        "jobs": num_jobs,
+        "chunksize": chunksize,
+        "unchunked_seconds": round(unchunked_s, 4),
+        "chunked_seconds": round(chunked_s, 4),
+        "speedup": round(unchunked_s / chunked_s, 2),
+    }
+
+
 def _run_backend(name: str, frames):
     """One full BruteForce selection run on a fresh store; returns
     (records, clock snapshot, wall seconds)."""
@@ -103,6 +170,8 @@ def test_engine_throughput():
     for name in ("serial", "thread", "process"):
         runs[name] = _run_backend(name, frames)
 
+    dispatch = _dispatch_overhead_section(num_jobs=scaled(512, minimum=64))
+
     payload = {
         "benchmark": "engine_throughput",
         "frames": num_frames,
@@ -115,9 +184,16 @@ def test_engine_throughput():
             }
             for name, (_, _, elapsed) in runs.items()
         },
+        "process_dispatch": dispatch,
     }
+    out_path = Path(
+        os.environ.get("REPRO_BENCH_ENGINE_JSON", "BENCH_engine.json")
+    )
+    out_path.write_text(json.dumps(payload, indent=2) + "\n")
+
     print(banner("Engine throughput (frames/sec per backend)"))
     print(json.dumps(payload, indent=2))
+    print(f"results written to {out_path}")
 
     serial_result, serial_clock, serial_s = runs["serial"]
     for name, (result, clock, _) in runs.items():
@@ -131,4 +207,11 @@ def test_engine_throughput():
     assert speedup >= 2.0, (
         f"thread backend speedup {speedup:.2f}x below the 2x floor "
         f"(serial {serial_s:.3f}s, thread {thread_s:.3f}s)"
+    )
+    assert dispatch["speedup"] >= 1.2, (
+        f"chunked submission speedup {dispatch['speedup']:.2f}x below the "
+        f"1.2x floor over per-job dispatch "
+        f"(chunksize=1 {dispatch['unchunked_seconds']:.3f}s, "
+        f"chunksize={dispatch['chunksize']} "
+        f"{dispatch['chunked_seconds']:.3f}s)"
     )

@@ -103,6 +103,11 @@ class SingleBest(IterativeSelection):
             sample = frames[::stride][: self.calibration_frames]
         singles = [make_key([name]) for name in env.model_names]
         totals = {key: 0.0 for key in singles}
+        # Batched pre-scan: submit every missing (model, frame) inference
+        # of the calibration sample as one chunked backend batch, so the
+        # per-frame peeks below run against a warm store.  Outputs (and
+        # therefore the calibration result) are bit-identical either way.
+        env.prefetch(sample)
         for frame in sample:
             try:
                 batch = env.peek(frame, singles)

@@ -480,19 +480,39 @@ class DetectionEnvironment:
         treats the model as unhealthy for this frame, and the next frame
         naturally re-attempts it — failures are never negatively cached.
         """
+        jobs, stages = self._missing_jobs(frame, models)
+        if not jobs:
+            return
+        self._execute_and_store(jobs, stages)
+
+    def _missing_jobs(
+        self, frame: Frame, models: Sequence[str]
+    ) -> tuple[list[InferenceJob], list[tuple[str, object]]]:
+        """The inference jobs a frame still needs, with their store keys.
+
+        Membership tests go through the store's batched
+        :meth:`~repro.engine.store.EvaluationStore.contains_many` — one
+        lock acquisition per frame instead of one per model.
+        """
         jobs: list[InferenceJob] = []
         stages: list[tuple[str, object]] = []
-        for model in models:
-            if not self.store.contains("detector", (frame.key, model)):
+        detector_keys = [(frame.key, model) for model in models]
+        present = self.store.contains_many("detector", detector_keys)
+        for model, key, has in zip(models, detector_keys, present, strict=True):
+            if not has:
                 jobs.append(InferenceJob(self._detectors[model], frame))
-                stages.append(("detector", (frame.key, model)))
+                stages.append(("detector", key))
         if self.reference is not None and not self.store.contains(
             "reference", (frame.key, self._ref_name)
         ):
             jobs.append(InferenceJob(self.reference, frame))
             stages.append(("reference", (frame.key, self._ref_name)))
-        if not jobs:
-            return
+        return jobs, stages
+
+    def _execute_and_store(
+        self, jobs: list[InferenceJob], stages: list[tuple[str, object]]
+    ) -> None:
+        """Run jobs through the backend and store successful outputs."""
         if self.obs.metrics_on:
             detector_jobs = sum(1 for stage, _ in stages if stage == "detector")
             if detector_jobs:
@@ -531,6 +551,66 @@ class DetectionEnvironment:
         for (stage, key), result in zip(stages, results, strict=True):
             if result.ok and not self.store.contains(stage, key):
                 self.store.put(stage, key, result.output, result.wall_ms)
+
+    def prefetch(
+        self,
+        frames: Iterable[Frame],
+        models: Sequence[str] | None = None,
+        include_reference: bool = True,
+    ) -> int:
+        """Materialize many frames' outputs in one batched submission.
+
+        Coalesces every missing ``(model, frame)`` inference (plus REF,
+        unless ``include_reference`` is false) across ``frames`` into a
+        single :meth:`~repro.engine.backends.ExecutionBackend.run` call,
+        so pool backends amortize dispatch overhead via chunked
+        submission instead of paying one round-trip per frame.  This is
+        the batched pre-scan path: SGL's calibration pass uses it before
+        peeking frames one at a time.
+
+        Results are bit-for-bit unaffected: outputs are deterministic per
+        ``(model, frame)`` and land in the store exactly as on-demand
+        materialization would put them, and billing reads the simulated
+        times carried *inside* stored outputs, never the wall clock.
+        Under fault injection a failed prefetched inference leaves no
+        store entry and is simply re-attempted when the frame is
+        evaluated, exactly like any other failed job.
+
+        Args:
+            frames: Frames to materialize.
+            models: Detector names to run; defaults to the full pool.
+            include_reference: Also materialize REF outputs (when the
+                environment has a reference model).
+
+        Returns:
+            The number of inference jobs actually executed.
+        """
+        names: Sequence[str] = (
+            self.model_names if models is None else list(models)
+        )
+        for name in names:
+            if name not in self._detectors:
+                raise KeyError(
+                    f"unknown detector {name!r}; pool: {list(self.model_names)}"
+                )
+        jobs: list[InferenceJob] = []
+        stages: list[tuple[str, object]] = []
+        for frame in frames:
+            frame_jobs, frame_stages = self._missing_jobs(frame, names)
+            if not include_reference and frame_stages:
+                trimmed = [
+                    (job, stage)
+                    for job, stage in zip(frame_jobs, frame_stages, strict=True)
+                    if stage[0] == "detector"
+                ]
+                frame_jobs = [job for job, _ in trimmed]
+                frame_stages = [stage for _, stage in trimmed]
+            jobs.extend(frame_jobs)
+            stages.extend(frame_stages)
+        if not jobs:
+            return 0
+        self._execute_and_store(jobs, stages)
+        return len(jobs)
 
     # ---- evaluation -----------------------------------------------------
 

@@ -190,17 +190,23 @@ def iou_matrix(
         return np.zeros((a.shape[0], b.shape[0]), dtype=np.float64)
 
     # Intersection rectangle per pair, broadcast over the (n, m) grid.
-    ix1 = np.maximum(a[:, None, 0], b[None, :, 0])
-    iy1 = np.maximum(a[:, None, 1], b[None, :, 1])
+    # Buffers are reused via ``out=`` — same elementwise operations (and
+    # therefore bit-identical results), about half the allocations; this
+    # matrix is rebuilt for every fused class pool.
+    iw = np.maximum(a[:, None, 0], b[None, :, 0])
     ix2 = np.minimum(a[:, None, 2], b[None, :, 2])
-    iy2 = np.minimum(a[:, None, 3], b[None, :, 3])
-    iw = np.clip(ix2 - ix1, 0.0, None)
-    ih = np.clip(iy2 - iy1, 0.0, None)
-    inter = iw * ih
+    np.subtract(ix2, iw, out=iw)
+    np.clip(iw, 0.0, None, out=iw)
+    ih = np.maximum(a[:, None, 1], b[None, :, 1])
+    np.minimum(a[:, None, 3], b[None, :, 3], out=ix2)
+    np.subtract(ix2, ih, out=ih)
+    np.clip(ih, 0.0, None, out=ih)
+    inter = np.multiply(iw, ih, out=iw)
 
     area_a = (a[:, 2] - a[:, 0]) * (a[:, 3] - a[:, 1])
     area_b = (b[:, 2] - b[:, 0]) * (b[:, 3] - b[:, 1])
-    union = area_a[:, None] + area_b[None, :] - inter
+    union = np.add(area_a[:, None], area_b[None, :], out=ih)
+    np.subtract(union, inter, out=union)
 
     with np.errstate(divide="ignore", invalid="ignore"):
         result = np.where(union > 0.0, inter / union, 0.0)

@@ -39,7 +39,28 @@ __all__ = [
     "ProcessPoolBackend",
     "BACKEND_NAMES",
     "make_backend",
+    "submission_chunksize",
 ]
+
+
+def submission_chunksize(num_jobs: int, workers: int) -> int:
+    """Chunk size for pool submission: jobs per pickle/IPC round-trip.
+
+    ``Executor.map``'s default ``chunksize=1`` ships one job per worker
+    round-trip; for a process pool that is one pickle + two pipe
+    crossings *per job*, which dominates wall time for cheap jobs.
+    Chunking amortizes it while still leaving ~4 chunks per worker so
+    the pool load-balances uneven job durations — the same policy as
+    ``repro.lint.engine``'s parallel file linting.
+
+    Results are unaffected: ``map`` returns results in job order no
+    matter how submissions are chunked.
+    """
+    if num_jobs < 1:
+        raise ValueError("num_jobs must be at least 1")
+    if workers < 1:
+        raise ValueError("workers must be at least 1")
+    return max(1, num_jobs // (workers * 4))
 
 
 @dataclass(frozen=True)
@@ -256,7 +277,15 @@ class _PoolBackend:
             # Pool dispatch overhead is never worth it for a single job.
             results = [_execute_job(job) for job in jobs]
         else:
-            results = list(self._pool().map(_execute_job, jobs))
+            # Chunked submission: thread pools ignore chunksize, process
+            # pools ship ``chunksize`` jobs per pickle/IPC round-trip.
+            results = list(
+                self._pool().map(
+                    _execute_job,
+                    jobs,
+                    chunksize=submission_chunksize(len(jobs), self.workers),
+                )
+            )
         if self.obs.metrics_on:
             self._metrics.record(results)
         return results

@@ -24,7 +24,7 @@ from __future__ import annotations
 
 import threading
 from collections import OrderedDict
-from collections.abc import Callable, Hashable, Mapping
+from collections.abc import Callable, Hashable, Mapping, Sequence
 from dataclasses import dataclass
 from types import MappingProxyType
 from typing import Any, Protocol, runtime_checkable
@@ -294,6 +294,40 @@ class EvaluationStore:
         self._insert_locked((stage, key), value)
         return value
 
+    def _get_locked(
+        self,
+        stage: str,
+        key: Hashable,
+        stats: _MutableStageStats,
+        counters: tuple[Counter, Counter] | None,
+    ) -> Any | None:
+        """One counted lookup; caller holds the lock."""
+        full_key = (stage, key)
+        stats.lookups += 1
+        if counters is not None:
+            counters[0].inc()
+        value: Any | None
+        if full_key in self._entries:
+            self._entries.move_to_end(full_key)
+            value = self._entries[full_key]
+        else:
+            value = self._tier_load_locked(stage, key)
+        if value is not None:
+            stats.hits += 1
+            self._hit_streak += 1
+            if counters is not None:
+                counters[1].inc()
+            return value
+        stats.misses += 1
+        if self._hit_streak and self._obs.metrics_on:
+            self._obs.observe(
+                "repro_cache_hit_streak",
+                float(self._hit_streak),
+                description="Consecutive-hit run lengths, ended by a miss",
+            )
+        self._hit_streak = 0
+        return None
+
     def get(self, stage: str, key: Hashable) -> Any | None:
         """Look up a value, counting a hit or miss; ``None`` if absent.
 
@@ -302,36 +336,32 @@ class EvaluationStore:
         Cached values are never ``None`` (:meth:`put` rejects it), so a
         ``None`` return unambiguously means *absent*.
         """
-        full_key = (stage, key)
         with self._lock:
             stats = self._stage(stage)
-            stats.lookups += 1
             counters = (
                 self._stage_counters(stage) if self._obs.metrics_on else None
             )
-            if counters is not None:
-                counters[0].inc()
-            value: Any | None
-            if full_key in self._entries:
-                self._entries.move_to_end(full_key)
-                value = self._entries[full_key]
-            else:
-                value = self._tier_load_locked(stage, key)
-            if value is not None:
-                stats.hits += 1
-                self._hit_streak += 1
-                if counters is not None:
-                    counters[1].inc()
-                return value
-            stats.misses += 1
-            if self._hit_streak and self._obs.metrics_on:
-                self._obs.observe(
-                    "repro_cache_hit_streak",
-                    float(self._hit_streak),
-                    description="Consecutive-hit run lengths, ended by a miss",
-                )
-            self._hit_streak = 0
-            return None
+            return self._get_locked(stage, key, stats, counters)
+
+    def get_many(
+        self, stage: str, keys: Sequence[Hashable]
+    ) -> list[Any | None]:
+        """Batched :meth:`get` over one stage: one lock acquisition.
+
+        Counting semantics are identical to issuing the gets one at a
+        time (each key is one lookup, one hit or miss, in key order) —
+        only the per-key lock/stat-resolution overhead is amortized.
+        This is the warm-hit fast path for callers that read a whole
+        frame's worth of entries at once.
+        """
+        with self._lock:
+            stats = self._stage(stage)
+            counters = (
+                self._stage_counters(stage) if self._obs.metrics_on else None
+            )
+            return [
+                self._get_locked(stage, key, stats, counters) for key in keys
+            ]
 
     def put(
         self, stage: str, key: Hashable, value: Any, compute_ms: float = 0.0
@@ -390,6 +420,52 @@ class EvaluationStore:
             if (stage, key) in self._entries:
                 return True
             return self._tier_load_locked(stage, key) is not None
+
+    def contains_many(
+        self, stage: str, keys: Sequence[Hashable]
+    ) -> list[bool]:
+        """Batched :meth:`contains` over one stage: one lock acquisition.
+
+        Used by the environment's job planner to test a whole frame's
+        detector entries (and by multi-frame prefetch to test many
+        frames) without taking the store lock once per model.
+        """
+        with self._lock:
+            return [
+                (stage, key) in self._entries
+                or self._tier_load_locked(stage, key) is not None
+                for key in keys
+            ]
+
+    def put_many(
+        self,
+        stage: str,
+        items: Sequence[tuple[Hashable, Any, float]],
+    ) -> None:
+        """Batched :meth:`put` over one stage: one lock acquisition.
+
+        Args:
+            items: ``(key, value, compute_ms)`` triples, inserted in
+                order with :meth:`put`'s exact semantics (``None``
+                values rejected, racing inserts keep the first value,
+                write-through to the persistent tier).
+        """
+        for _, value, compute_ms in items:
+            if value is None:
+                raise ValueError("EvaluationStore cannot cache None values")
+            if compute_ms < 0:
+                raise ValueError("compute_ms must be non-negative")
+        with self._lock:
+            stats = self._stage(stage)
+            for key, value, compute_ms in items:
+                stats.compute_ms += compute_ms
+                full_key = (stage, key)
+                if full_key in self._entries:
+                    self._entries.move_to_end(full_key)
+                    continue
+                self._insert_locked(full_key, value)
+                if self._tier is not None and self._tier.accepts(stage):
+                    self._tier.store(stage, key, value)
 
     def stats(self) -> CacheStats:
         """An immutable snapshot of counters and per-stage timing."""

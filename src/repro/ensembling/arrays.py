@@ -1,0 +1,246 @@
+"""Array-backed detection pools: the vectorized fusion fast path.
+
+Scalar fusion walks ``Detection`` objects one at a time, paying a Python
+``BBox.iou`` call (and often an object allocation) per box pair — O(N·C)
+interpreter work per class pool.  :class:`ClassPool` converts a pool to
+``(N, 4)`` box / ``(N,)`` confidence arrays exactly once, after which
+IoU, greedy clustering and weighted box averaging run as numpy kernels.
+
+Bit-for-bit equivalence with the scalar implementations is the contract
+(``tests/test_fusion_vectorized.py`` property-tests it): every kernel
+here restricts itself to operations whose floating-point results are
+identical to the scalar path's —
+
+* elementwise min/max/add/sub/mul/div (single IEEE-754 ops either way);
+* ordered reductions via ``np.cumsum`` (sequential prefix sums, matching
+  Python's left-to-right accumulation);
+* ``math.exp`` applied per element (``np.exp`` may route through SIMD
+  polynomial kernels that differ from libm by ulps, so it is banned on
+  this path);
+* stable argsort by ``(-confidence, index)``, matching the stable
+  ``sorted(..., reverse=True)`` tie-breaking the scalar path pins.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from numpy.typing import NDArray
+
+from repro.detection.boxes import BBox, iou_matrix
+from repro.detection.types import Detection, FrameDetections
+
+__all__ = [
+    "ClassPool",
+    "partition_by_label",
+    "stable_confidence_order",
+    "greedy_iou_clusters",
+    "weighted_mean_box",
+]
+
+#: Below this many cluster members the weighted box average runs as plain
+#: Python arithmetic (identical operations, no array-construction
+#: overhead).  Clusters hold at most one box per detector in practice, so
+#: pools fused from a handful of models stay entirely on the scalar
+#: helper; the numpy reduction only pays off for unusually fat clusters.
+_SMALL_CLUSTER = 16
+
+
+class ClassPool:
+    """A single-class detection pool with lazily-built array views.
+
+    The detections tuple preserves pool order (the order scalar fusion
+    sees).  Arrays are built on first access and cached, so scalar-mode
+    callers that never touch them pay nothing.
+    """
+
+    __slots__ = ("detections", "_boxes", "_confidences", "_iou")
+
+    def __init__(self, detections: Sequence[Detection]) -> None:
+        self.detections: tuple[Detection, ...] = tuple(detections)
+        self._boxes: NDArray[np.float64] | None = None
+        self._confidences: NDArray[np.float64] | None = None
+        self._iou: NDArray[np.float64] | None = None
+
+    def __len__(self) -> int:
+        return len(self.detections)
+
+    @property
+    def boxes(self) -> NDArray[np.float64]:
+        """``(N, 4)`` corner-format box array, built once."""
+        boxes = self._boxes
+        if boxes is None:
+            boxes = self._boxes = np.asarray(
+                [d.box.as_tuple() for d in self.detections], dtype=np.float64
+            ).reshape(len(self.detections), 4)
+        return boxes
+
+    @property
+    def confidences(self) -> NDArray[np.float64]:
+        """``(N,)`` confidence array, built once."""
+        conf = self._confidences
+        if conf is None:
+            conf = self._confidences = np.asarray(
+                [d.confidence for d in self.detections], dtype=np.float64
+            )
+        return conf
+
+    def iou(self) -> NDArray[np.float64]:
+        """The ``(N, N)`` pairwise IoU matrix, built once.
+
+        Entries are bit-identical to :meth:`BBox.iou` on the same pair
+        (every step is a single elementwise IEEE op, and the union's
+        ``area_a + area_b`` addition is commutative).
+        """
+        mat = self._iou
+        if mat is None:
+            boxes = self.boxes
+            mat = self._iou = iou_matrix(boxes, boxes)
+        return mat
+
+    def subset(self, indices: NDArray[np.intp]) -> ClassPool:
+        """A new pool of ``detections[i] for i in indices`` (array views too)."""
+        sub = ClassPool([self.detections[int(i)] for i in indices])
+        if self._boxes is not None:
+            sub._boxes = self._boxes[indices]
+        if self._confidences is not None:
+            sub._confidences = self._confidences[indices]
+        if self._iou is not None:
+            sub._iou = self._iou[np.ix_(indices, indices)]
+        return sub
+
+
+def partition_by_label(pooled: FrameDetections) -> dict[str, ClassPool]:
+    """Split a pooled frame into per-class pools, preserving pool order.
+
+    Group membership and ordering match
+    :meth:`FrameDetections.by_label` exactly; the arrays inside each
+    pool are built lazily, so a scalar-only caller never converts.
+    """
+    groups: dict[str, list[Detection]] = {}
+    for det in pooled.detections:
+        groups.setdefault(det.label, []).append(det)
+    return {label: ClassPool(dets) for label, dets in groups.items()}
+
+
+def stable_confidence_order(
+    confidences: NDArray[np.float64],
+) -> NDArray[np.intp]:
+    """Indices sorted by ``(-confidence, index)`` — the pinned tie-break.
+
+    Matches ``sorted(range(n), key=conf, reverse=True)``: descending
+    confidence, equal confidences kept in original index order (Python's
+    ``reverse=True`` preserves stability rather than reversing ties).
+    """
+    order: NDArray[np.intp] = np.argsort(-confidences, kind="stable").astype(
+        np.intp, copy=False
+    )
+    return order
+
+
+def greedy_iou_clusters(
+    iou: NDArray[np.float64],
+    order: NDArray[np.intp],
+    iou_threshold: float,
+) -> list[list[int]]:
+    """Vectorized twin of :func:`repro.ensembling.base.cluster_by_iou`.
+
+    Visits detections in ``order``; each joins the first existing cluster
+    whose representative (first member) overlaps it with IoU at or above
+    the threshold, else seeds a new cluster.
+
+    All N² IoU comparisons happen as one vectorized threshold; the greedy
+    scan itself then runs over plain Python lists with the scalar path's
+    early exit.  Per-candidate numpy calls (slicing the representative row
+    each iteration) cost more than they save — kernel-launch overhead on
+    length-few-dozen operands — which is the one place where a hybrid
+    beats both pure forms.
+    """
+    hit = (iou >= iou_threshold).tolist()
+    clusters: list[list[int]] = []
+    reps: list[int] = []
+    for idx in order.tolist():
+        row = hit[idx]
+        for cluster_idx, rep in enumerate(reps):
+            if row[rep]:
+                clusters[cluster_idx].append(idx)
+                break
+        else:
+            clusters.append([idx])
+            reps.append(idx)
+    return clusters
+
+
+def ordered_sum(values: NDArray[np.float64]) -> float:
+    """Left-to-right sum, bit-identical to Python's sequential ``sum``.
+
+    ``np.sum`` uses pairwise reduction, which rounds differently from the
+    scalar path's ``a0 + a1 + ...``; ``np.cumsum`` is defined as the
+    sequential prefix sum, so its last element reproduces the scalar
+    accumulation exactly.
+    """
+    if values.size == 0:
+        return 0.0
+    return float(np.cumsum(values)[-1])
+
+
+def weighted_mean_box(
+    pool: ClassPool,
+    member_indices: list[int],
+    weights: Sequence[float] | NDArray[np.float64] | None,
+) -> BBox:
+    """Weighted coordinate-wise mean of cluster members.
+
+    Bit-identical to :func:`repro.detection.boxes.average_boxes` over the
+    same members and weights: per-member products are single elementwise
+    ops, and both the weight total and the coordinate sums reduce
+    left-to-right (via ``np.cumsum`` on the array path).  Small clusters
+    take the scalar helper directly — same operations, no array setup.
+
+    Raises:
+        ValueError: If all weights are zero (mirroring the scalar path).
+    """
+    if len(member_indices) < _SMALL_CLUSTER:
+        # Inlined :func:`average_boxes`: the same accumulations in the
+        # same order, minus per-call list building — this runs once per
+        # cluster on the fusion hot path.
+        detections = pool.detections
+        total = 0.0
+        x1 = y1 = x2 = y2 = 0.0
+        if weights is None:
+            for i in member_indices:
+                box = detections[i].box
+                x1 += box.x1
+                y1 += box.y1
+                x2 += box.x2
+                y2 += box.y2
+                total += 1.0
+        else:
+            for i, raw_w in zip(member_indices, weights, strict=True):
+                w = float(raw_w)
+                box = detections[i].box
+                x1 += box.x1 * w
+                y1 += box.y1 * w
+                x2 += box.x2 * w
+                y2 += box.y2 * w
+                total += w
+        if total <= 0:
+            raise ValueError("weights must not all be zero")
+        return BBox(x1 / total, y1 / total, x2 / total, y2 / total)
+    idx = np.asarray(member_indices, dtype=np.intp)
+    boxes = pool.boxes[idx]
+    if weights is None:
+        weight_arr = np.ones(len(member_indices), dtype=np.float64)
+    else:
+        weight_arr = np.asarray(weights, dtype=np.float64)
+    total = ordered_sum(weight_arr)
+    if total <= 0:
+        raise ValueError("weights must not all be zero")
+    sums = np.cumsum(boxes * weight_arr[:, None], axis=0)[-1]
+    return BBox(
+        float(sums[0]) / total,
+        float(sums[1]) / total,
+        float(sums[2]) / total,
+        float(sums[3]) / total,
+    )

@@ -22,6 +22,7 @@ from repro.engine.backends import (
     SerialBackend,
     ThreadPoolBackend,
     make_backend,
+    submission_chunksize,
 )
 
 #: algorithm -> (factory, budget_ms); MES-B is budget-mandatory (TCVI).
@@ -302,3 +303,67 @@ class TestBackendMechanics:
             # Same frames, same detectors, warm store: identical charges.
             assert env.clock.snapshot() == first_clock
             assert second.records == first.records
+
+
+class TestSubmissionChunksize:
+    """The chunked-submission policy and the batched paths that use it."""
+
+    def test_policy_mirrors_lint_engine(self):
+        # max(1, jobs // (workers * 4)): ~4 chunks per worker.
+        assert submission_chunksize(1, 4) == 1
+        assert submission_chunksize(16, 4) == 1
+        assert submission_chunksize(64, 4) == 4
+        assert submission_chunksize(512, 4) == 32
+        assert submission_chunksize(10, 1) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError, match="num_jobs"):
+            submission_chunksize(0, 4)
+        with pytest.raises(ValueError, match="workers"):
+            submission_chunksize(8, 0)
+
+    def test_large_batch_bitwise_equivalent_across_backends(
+        self, detector_pool, small_video
+    ):
+        # 24 frames x 3 detectors = 72 jobs: chunksize 72 // 16 = 4, so
+        # the pool backends actually exercise multi-job chunks here.
+        frames = small_video.frames[:24]
+        jobs = [InferenceJob(d, f) for f in frames for d in detector_pool]
+        assert submission_chunksize(len(jobs), 4) > 1
+        serial = SerialBackend().run(jobs)
+        assert all(r.ok for r in serial)
+        for name in ("thread", "process"):
+            backend = make_backend(name, workers=4)
+            try:
+                results = backend.run(jobs)
+            finally:
+                backend.close()
+            # map() returns results in job order regardless of chunking;
+            # simulated outputs are deterministic, so equality is bitwise.
+            assert [r.output for r in results] == [r.output for r in serial]
+
+    def test_prefetch_runs_of_all_backends_identical(
+        self, detector_pool, lidar, small_video
+    ):
+        frames = small_video.frames[:16]
+
+        def run(backend_name):
+            backend = make_backend(backend_name, workers=4)
+            try:
+                env = DetectionEnvironment(
+                    detector_pool, lidar, backend=backend
+                )
+                executed = env.prefetch(frames)
+                result = MES().run(env, frames)
+                return executed, result, env.clock.snapshot()
+            finally:
+                backend.close()
+
+        serial_jobs, serial_result, serial_clock = run("serial")
+        # Everything was missing: one job per (model, frame) plus REF.
+        assert serial_jobs == len(frames) * (len(detector_pool) + 1)
+        for name in ("thread", "process"):
+            jobs, result, clock = run(name)
+            assert jobs == serial_jobs
+            assert result.records == serial_result.records
+            assert clock == serial_clock

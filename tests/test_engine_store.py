@@ -323,3 +323,96 @@ class TestThreadSafety:
         stats = store.stats()
         assert stats.hits + stats.misses == stats.lookups
         assert stats.evictions > 0
+
+
+class TestBatchedOperations:
+    """get_many / contains_many / put_many: one lock, sequential semantics."""
+
+    def test_get_many_matches_sequential_gets(self):
+        batched = EvaluationStore(capacity=16)
+        sequential = EvaluationStore(capacity=16)
+        for store in (batched, sequential):
+            store.put("detector", ("f1", "m1"), "a")
+            store.put("detector", ("f1", "m2"), "b")
+        keys = [("f1", "m1"), ("f1", "m9"), ("f1", "m2"), ("f1", "m1")]
+        results = batched.get_many("detector", keys)
+        assert results == ["a", None, "b", "a"]
+        assert results == [sequential.get("detector", k) for k in keys]
+        # Stats parity with the sequential path: same lookups, hits,
+        # misses — batching is invisible to the counters.
+        assert batched.stats() == sequential.stats()
+
+    def test_get_many_counts_each_key(self):
+        store = EvaluationStore(capacity=16)
+        store.put("s", 1, "x")
+        store.get_many("s", [1, 2, 1, 3])
+        stats = store.stats()
+        assert stats.lookups == 4
+        assert stats.hits == 2
+        assert stats.misses == 2
+
+    def test_get_many_refreshes_lru_order(self):
+        store = EvaluationStore(capacity=2)
+        store.put("s", 1, "a")
+        store.put("s", 2, "b")
+        store.get_many("s", [1])  # 1 becomes most-recent
+        store.put("s", 3, "c")  # evicts 2
+        assert store.contains("s", 1)
+        assert not store.contains("s", 2)
+
+    def test_contains_many_matches_sequential_contains(self):
+        store = EvaluationStore(capacity=16)
+        store.put("detector", ("f1", "m1"), "a")
+        keys = [("f1", "m1"), ("f1", "m2")]
+        assert store.contains_many("detector", keys) == [
+            store.contains("detector", k) for k in keys
+        ]
+        # Like contains(), no lookup is counted.
+        assert store.stats().lookups == 0
+
+    def test_contains_many_promotes_from_tier(self):
+        tier = _DictTier(stages=("detector",))
+        tier.store("detector", "k", "v")
+        store = EvaluationStore(capacity=16, tier=tier)
+        assert store.contains_many("detector", ["k", "missing"]) == [
+            True,
+            False,
+        ]
+        # The tier hit was promoted into memory.
+        assert ("detector", "k") in store._entries
+
+    def test_put_many_matches_sequential_puts(self):
+        batched = EvaluationStore(capacity=16)
+        sequential = EvaluationStore(capacity=16)
+        items = [(1, "a", 2.0), (2, "b", 3.0), (1, "dup", 1.0)]
+        batched.put_many("s", items)
+        for key, value, ms in items:
+            sequential.put("s", key, value, ms)
+        assert batched.get("s", 1) == sequential.get("s", 1) == "a"
+        assert batched.get("s", 2) == sequential.get("s", 2) == "b"
+        assert batched.stats() == sequential.stats()
+
+    def test_put_many_validates_before_inserting_anything(self):
+        store = EvaluationStore(capacity=16)
+        with pytest.raises(ValueError, match="None"):
+            store.put_many("s", [(1, "ok", 0.0), (2, None, 0.0)])
+        with pytest.raises(ValueError, match="compute_ms"):
+            store.put_many("s", [(3, "ok", -1.0)])
+        # All-or-nothing: the valid leading item was not inserted.
+        assert len(store) == 0
+
+    def test_put_many_writes_through_to_tier(self):
+        tier = _DictTier(stages=("detector",))
+        store = EvaluationStore(capacity=16, tier=tier)
+        store.put_many("detector", [("k1", "v1", 0.0), ("k2", "v2", 0.0)])
+        store.put_many("reference", [("k3", "v3", 0.0)])  # not accepted
+        assert tier.data == {
+            ("detector", "k1"): "v1",
+            ("detector", "k2"): "v2",
+        }
+
+    def test_put_many_respects_capacity(self):
+        store = EvaluationStore(capacity=3)
+        store.put_many("s", [(i, str(i), 0.0) for i in range(10)])
+        assert len(store) == 3
+        assert store.stats().evictions == 7

@@ -149,3 +149,70 @@ class TestOverhead:
     def test_negative_overhead_rejected(self, environment):
         with pytest.raises(ValueError):
             environment.charge_overhead(-1)
+
+
+class TestPrefetch:
+    def test_prefetch_counts_and_warms_every_output(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detectors=detector_pool, reference=lidar)
+        frames = small_video.frames[:6]
+        executed = env.prefetch(frames)
+        # One job per (model, frame) plus one REF job per frame.
+        assert executed == len(frames) * (len(detector_pool) + 1)
+        for frame in frames:
+            for model in env.model_names:
+                assert env.store.contains("detector", (frame.key, model))
+            assert env.store.contains("reference", (frame.key, "lidar-ref"))
+        # Everything is warm: a second prefetch does nothing.
+        assert env.prefetch(frames) == 0
+
+    def test_prefetch_is_result_neutral(
+        self, detector_pool, lidar, small_video
+    ):
+        from repro.core.mes import MES
+
+        frames = small_video.frames[:10]
+        plain_env = DetectionEnvironment(
+            detectors=detector_pool, reference=lidar
+        )
+        plain = MES().run(plain_env, frames)
+        warm_env = DetectionEnvironment(
+            detectors=detector_pool, reference=lidar
+        )
+        warm_env.prefetch(frames)
+        warmed = MES().run(warm_env, frames)
+        # Prefetch moves work earlier; it must not move any number.
+        assert warmed.records == plain.records
+        assert warm_env.clock.snapshot() == plain_env.clock.snapshot()
+
+    def test_prefetch_makes_later_evaluations_pure_hits(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detectors=detector_pool, reference=lidar)
+        frames = small_video.frames[:4]
+        env.prefetch(frames)
+        before = env.store.stats()
+        for frame in frames:
+            env.evaluate(frame, [env.full_ensemble])
+        after = env.store.stats()
+        detector = after.stages["detector"]
+        # Evaluation looked detector outputs up without recomputing any.
+        assert detector.misses == before.stages["detector"].misses
+
+    def test_prefetch_model_subset(self, detector_pool, lidar, small_video):
+        env = DetectionEnvironment(detectors=detector_pool, reference=lidar)
+        frame = small_video.frames[0]
+        only = env.model_names[0]
+        env.prefetch([frame], models=[only], include_reference=False)
+        assert env.store.contains("detector", (frame.key, only))
+        for other in env.model_names[1:]:
+            assert not env.store.contains("detector", (frame.key, other))
+        assert not env.store.contains("reference", (frame.key, "lidar-ref"))
+
+    def test_prefetch_unknown_model_rejected(
+        self, detector_pool, lidar, small_video
+    ):
+        env = DetectionEnvironment(detectors=detector_pool, reference=lidar)
+        with pytest.raises(KeyError, match="unknown detector"):
+            env.prefetch(small_video.frames[:1], models=["resnet-900"])

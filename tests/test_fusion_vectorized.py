@@ -1,0 +1,301 @@
+"""Scalar vs vectorized fusion kernels: bit-for-bit equivalence.
+
+The vectorized kernels (``repro.ensembling.arrays`` and each method's
+``_fuse_class_arrays``) promise *bit-identical* outputs to the scalar
+reference path — not merely close ones.  These tests pin that contract:
+
+* a hypothesis property drives every registered method over random pools
+  in ``scalar``, ``vectorized`` and ``auto`` modes and requires exact
+  ``Detection``-list equality (dataclass ``==`` compares every float);
+* the greedy-clustering tie-break — stable ``(-confidence, index)`` visit
+  order — is pinned with explicit equal-confidence pools;
+* :func:`~repro.ensembling.arrays.weighted_mean_box` is checked against
+  :func:`~repro.detection.boxes.average_boxes` on both its small-cluster
+  and array branches, including the all-zero-weights error;
+* ``fuse_mode`` validation and the ``auto`` dispatch cutoff are covered
+  directly.
+"""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.detection.boxes import BBox, average_boxes
+from repro.detection.types import Detection, FrameDetections
+from repro.ensembling import VECTORIZE_MIN_POOL
+from repro.ensembling.arrays import (
+    ClassPool,
+    greedy_iou_clusters,
+    partition_by_label,
+    stable_confidence_order,
+    weighted_mean_box,
+)
+from repro.ensembling.base import cluster_by_iou
+from repro.ensembling.registry import available_methods, create_method
+
+
+@st.composite
+def detections(draw, labels=("car", "bus")):
+    x1 = draw(st.floats(min_value=0, max_value=800))
+    y1 = draw(st.floats(min_value=0, max_value=400))
+    w = draw(st.floats(min_value=5, max_value=300))
+    h = draw(st.floats(min_value=5, max_value=200))
+    conf = draw(st.floats(min_value=0.01, max_value=1.0))
+    source = draw(st.sampled_from(["m1", "m2", "m3", "m4"]))
+    return Detection(
+        BBox(x1, y1, x1 + w, y1 + h),
+        conf,
+        draw(st.sampled_from(labels)),
+        source=source,
+    )
+
+
+@st.composite
+def detector_outputs(draw, max_per_model=12):
+    num_models = draw(st.integers(min_value=1, max_value=4))
+    frames = []
+    for i in range(num_models):
+        dets = draw(
+            st.lists(detections(), min_size=0, max_size=max_per_model)
+        )
+        frames.append(FrameDetections(0, tuple(dets), source=f"m{i + 1}"))
+    return frames
+
+
+def _clustered_outputs(seed: int, num_objects: int, num_models: int = 4):
+    """Deterministic pools of overlapping re-detections (dense clusters)."""
+    rng = np.random.default_rng(seed)
+    outputs = []
+    centers = rng.uniform(100.0, 900.0, size=(num_objects, 2))
+    sizes = rng.uniform(40.0, 180.0, size=(num_objects, 2))
+    for m in range(num_models):
+        dets = []
+        for obj in range(num_objects):
+            cx, cy = centers[obj]
+            w, h = sizes[obj]
+            x1 = float(cx - w / 2.0 + rng.uniform(-9.0, 9.0))
+            y1 = float(cy - h / 2.0 + rng.uniform(-9.0, 9.0))
+            dets.append(
+                Detection(
+                    BBox(x1, y1, x1 + float(w), y1 + float(h)),
+                    float(rng.uniform(0.05, 0.99)),
+                    "car" if obj % 3 else "bus",
+                    source=f"m{m + 1}",
+                )
+            )
+        outputs.append(FrameDetections(0, tuple(dets), source=f"m{m + 1}"))
+    return outputs
+
+
+# ---- scalar == vectorized == auto ------------------------------------
+
+
+@pytest.mark.parametrize("method_name", available_methods())
+@given(per_detector=detector_outputs())
+@settings(max_examples=40, deadline=None)
+def test_modes_bit_identical(method_name, per_detector):
+    method = create_method(method_name)
+    method.fuse_mode = "scalar"
+    scalar = method.fuse(per_detector)
+    method.fuse_mode = "vectorized"
+    vectorized = method.fuse(per_detector)
+    method.fuse_mode = "auto"
+    auto = method.fuse(per_detector)
+    # Dataclass equality compares every coordinate and confidence exactly;
+    # any ulp of drift in a kernel fails here.
+    assert vectorized == scalar
+    assert auto == scalar
+
+
+@pytest.mark.parametrize("method_name", available_methods())
+@pytest.mark.parametrize("iou_threshold", [0.3, 0.5, 0.7])
+def test_modes_bit_identical_dense_pools(method_name, iou_threshold):
+    """Large overlapping pools (the vectorized kernels' target regime)."""
+    method = create_method(method_name)
+    try:
+        method.iou_threshold = iou_threshold
+    except AttributeError:
+        pass
+    for seed, num_objects in ((1, 8), (2, 24), (3, 40)):
+        outputs = _clustered_outputs(seed, num_objects)
+        method.fuse_mode = "scalar"
+        scalar = method.fuse(outputs)
+        method.fuse_mode = "vectorized"
+        assert method.fuse(outputs) == scalar, (method_name, seed)
+
+
+@pytest.mark.parametrize("method_name", available_methods())
+def test_modes_bit_identical_varied_params(method_name):
+    """Confidence filtering and conf_type variants stay equivalent."""
+    outputs = _clustered_outputs(7, 20)
+    variants = [create_method(method_name)]
+    base = variants[0]
+    if hasattr(base, "confidence_threshold"):
+        variants.append(create_method(method_name))
+        variants[-1].confidence_threshold = 0.4
+    if hasattr(base, "conf_type"):
+        variants.append(create_method(method_name, conf_type="max"))
+    for method in variants:
+        method.fuse_mode = "scalar"
+        scalar = method.fuse(outputs)
+        method.fuse_mode = "vectorized"
+        assert method.fuse(outputs) == scalar
+
+
+# ---- tie-breaking ----------------------------------------------------
+
+
+def _equal_confidence_pool(n: int = 10) -> list[Detection]:
+    """All-equal confidences: any unstable ordering scrambles clusters."""
+    return [
+        Detection(
+            BBox(10.0 * i, 0.0, 10.0 * i + 50.0, 40.0),
+            0.5,
+            "car",
+            source=f"m{i % 3 + 1}",
+        )
+        for i in range(n)
+    ]
+
+
+def test_stable_confidence_order_breaks_ties_by_index():
+    conf = np.asarray([0.5, 0.9, 0.5, 0.1, 0.9, 0.5])
+    order = stable_confidence_order(conf)
+    assert order.tolist() == [1, 4, 0, 2, 5, 3]
+    expected = sorted(
+        range(len(conf)), key=lambda i: conf[i], reverse=True
+    )
+    assert order.tolist() == expected
+
+
+def test_cluster_by_iou_visits_equal_confidences_in_pool_order():
+    pool = _equal_confidence_pool()
+    clusters = cluster_by_iou(pool, iou_threshold=0.5)
+    # With every confidence tied, representatives must appear in pool
+    # order and each cluster's members must be index-sorted.
+    reps = [cluster[0] for cluster in clusters]
+    assert reps == sorted(reps)
+    for cluster in clusters:
+        assert cluster == sorted(cluster)
+
+
+def test_greedy_iou_clusters_matches_scalar_clustering():
+    for seed, num_objects in ((11, 6), (12, 18), (13, 30)):
+        outputs = _clustered_outputs(seed, num_objects)
+        pooled = FrameDetections.pool(0, outputs)
+        for label, pool in partition_by_label(pooled).items():
+            scalar = cluster_by_iou(pool.detections, 0.5)
+            order = stable_confidence_order(pool.confidences)
+            vectorized = greedy_iou_clusters(pool.iou(), order, 0.5)
+            assert vectorized == scalar, (seed, label)
+
+
+def test_greedy_iou_clusters_equal_confidence_ties():
+    pool = ClassPool(_equal_confidence_pool())
+    order = stable_confidence_order(pool.confidences)
+    assert order.tolist() == list(range(len(pool)))
+    assert greedy_iou_clusters(pool.iou(), order, 0.5) == cluster_by_iou(
+        pool.detections, 0.5
+    )
+
+
+# ---- weighted_mean_box -----------------------------------------------
+
+
+@pytest.mark.parametrize("size", [1, 3, 15, 16, 40])
+def test_weighted_mean_box_matches_average_boxes(size):
+    rng = np.random.default_rng(size)
+    dets = []
+    for _ in range(size):
+        x1 = float(rng.uniform(0, 500))
+        y1 = float(rng.uniform(0, 300))
+        dets.append(
+            Detection(
+                BBox(x1, y1, x1 + float(rng.uniform(5, 80)),
+                     y1 + float(rng.uniform(5, 60))),
+                float(rng.uniform(0.01, 1.0)),
+                "car",
+            )
+        )
+    pool = ClassPool(dets)
+    indices = list(range(size))
+    weights = [d.confidence for d in dets]
+    expected = average_boxes([d.box for d in dets], weights)
+    assert weighted_mean_box(pool, indices, weights) == expected
+    # Uniform weighting (weights=None) against explicit ones.
+    uniform = average_boxes([d.box for d in dets], None)
+    assert weighted_mean_box(pool, indices, None) == uniform
+
+
+@pytest.mark.parametrize("size", [2, 20])
+def test_weighted_mean_box_rejects_all_zero_weights(size):
+    dets = [
+        Detection(BBox(0.0, 0.0, 10.0, 10.0), 0.5, "car")
+        for _ in range(size)
+    ]
+    pool = ClassPool(dets)
+    with pytest.raises(ValueError, match="zero"):
+        weighted_mean_box(pool, list(range(size)), [0.0] * size)
+
+
+# ---- dispatch --------------------------------------------------------
+
+
+def test_fuse_mode_validation():
+    method = create_method("wbf")
+    method.fuse_mode = "turbo"
+    with pytest.raises(ValueError, match="unknown fuse_mode"):
+        method.fuse([FrameDetections(0, (), source="m1")])
+
+
+class _RecordingWBF:
+    """Wraps a WBF instance, recording which kernel each pool took."""
+
+    def __init__(self):
+        self.method = create_method("wbf")
+        self.calls: list[tuple[str, int]] = []
+        original_scalar = type(self.method)._fuse_class
+        original_arrays = type(self.method)._fuse_class_arrays
+
+        def record_scalar(this, dets, num_models):
+            self.calls.append(("scalar", len(dets)))
+            return original_scalar(this, dets, num_models)
+
+        def record_arrays(this, pool, num_models):
+            self.calls.append(("vectorized", len(pool)))
+            return original_arrays(this, pool, num_models)
+
+        self.method._fuse_class = record_scalar.__get__(self.method)
+        self.method._fuse_class_arrays = record_arrays.__get__(self.method)
+
+
+def test_auto_mode_dispatches_on_pool_size():
+    small = [
+        Detection(BBox(0.0, 0.0, 10.0, 10.0), 0.9, "bus", source="m1")
+        for _ in range(VECTORIZE_MIN_POOL - 1)
+    ]
+    large = [
+        Detection(
+            BBox(5.0 * i, 50.0, 5.0 * i + 30.0, 90.0), 0.8, "car",
+            source="m1",
+        )
+        for i in range(VECTORIZE_MIN_POOL)
+    ]
+    frame = FrameDetections(0, tuple(small + large), source="m1")
+
+    recorder = _RecordingWBF()
+    recorder.method.fuse_mode = "auto"
+    recorder.method.fuse([frame])
+    assert ("scalar", len(small)) in recorder.calls
+    assert ("vectorized", len(large)) in recorder.calls
+
+    recorder = _RecordingWBF()
+    recorder.method.fuse_mode = "scalar"
+    recorder.method.fuse([frame])
+    assert all(kind == "scalar" for kind, _ in recorder.calls)
+
+    recorder = _RecordingWBF()
+    recorder.method.fuse_mode = "vectorized"
+    recorder.method.fuse([frame])
+    assert all(kind == "vectorized" for kind, _ in recorder.calls)
